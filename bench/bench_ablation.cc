@@ -1,0 +1,62 @@
+// Ablation studies of MrCC's design choices (DESIGN.md §5/§6):
+//
+//   1. Face-only vs full order-3 Laplacian mask. The paper (§III-B) keeps
+//      only the center + 2d face weights so a convolution costs O(d); the
+//      full mask "improves a little" but costs O(3^d). Measured here head
+//      to head on the low-dimensional group-1 datasets.
+//   2. The number of resolutions H at the paper's default vs deeper trees
+//      (complementing the Fig. 4 sensitivity run with the same harness).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/mrcc.h"
+#include "data/catalog.h"
+
+namespace {
+
+using namespace mrcc;
+using namespace mrcc::bench;
+
+RunMeasurement Measure(const MrCCParams& params, const LabeledDataset& ds,
+                       const std::string& tag) {
+  MrCC method(params);
+  RunMeasurement m = MeasureRun(method, ds);
+  m.method = tag;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const BenchOptions options = OptionsFromEnv();
+  std::printf("== MrCC ablations ==\n");
+  std::printf("face-only vs full Laplacian mask | scale=%.3g\n",
+              options.scale);
+
+  ResultSink sink("ablation", options);
+  // Full mask is exponential in d: restrict to the group-1 datasets that
+  // fit under kMaxFullMaskDims.
+  for (size_t i = 0; i < 4; ++i) {  // 6d, 8d, 10d, 12d.
+    const SyntheticConfig config = Group1Config(i, options.scale);
+    const LabeledDataset dataset = MustGenerate(config);
+
+    MrCCParams face;
+    sink.Add(Measure(face, dataset, "face"));
+
+    MrCCParams full;
+    full.full_mask = true;
+    sink.Add(Measure(full, dataset, "full3^d"));
+  }
+
+  std::printf("-- resolution depth (14d base) --\n");
+  const LabeledDataset base = MustGenerate(Base14dConfig(options.scale));
+  for (int h : {4, 6, 8, 12}) {
+    MrCCParams params;
+    params.num_resolutions = h;
+    char tag[16];
+    std::snprintf(tag, sizeof(tag), "H=%d", h);
+    sink.Add(Measure(params, base, tag));
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Every bench binary regenerates one panel group of the paper's evaluation
+// (Fig. 4 / Fig. 5): it builds the corresponding dataset family, runs the
+// configured methods, and prints the same rows the paper plots — Quality,
+// Subspaces Quality, memory (KB) and wall-clock seconds — plus machine-
+// readable CSV.
+//
+// Environment knobs:
+//   MRCC_BENCH_SCALE    point-count multiplier (default 0.125). The shape
+//                       of every curve is preserved; absolute values move.
+//   MRCC_BENCH_FULL=1   shorthand for MRCC_BENCH_SCALE=1 (paper scale).
+//   MRCC_BENCH_BUDGET   per-run time budget in seconds (default 120).
+//                       Methods exceeding it are reported as timed out,
+//                       mirroring the paper's 3h/1-week cutoffs.
+//   MRCC_BENCH_METHODS  comma-separated subset of methods to run.
+//   MRCC_BENCH_CSV      directory to also write <bench>.csv into.
+
+#ifndef MRCC_BENCH_BENCH_COMMON_H_
+#define MRCC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baselines/clusterer.h"
+#include "baselines/tuning_grid.h"
+#include "data/generator.h"
+#include "eval/measurement.h"
+
+namespace mrcc::bench {
+
+struct BenchOptions {
+  double scale = 0.125;
+  double time_budget_seconds = 120.0;
+  std::vector<std::string> methods = PaperMethodNames();
+  std::string csv_dir;
+};
+
+inline std::vector<std::string> SplitCsvList(const std::string& raw) {
+  std::vector<std::string> out;
+  std::string token;
+  for (char c : raw) {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) out.push_back(token);
+  return out;
+}
+
+inline BenchOptions OptionsFromEnv() {
+  BenchOptions options;
+  if (const char* full = std::getenv("MRCC_BENCH_FULL");
+      full != nullptr && full[0] == '1') {
+    options.scale = 1.0;
+  }
+  if (const char* scale = std::getenv("MRCC_BENCH_SCALE")) {
+    options.scale = std::strtod(scale, nullptr);
+  }
+  if (const char* budget = std::getenv("MRCC_BENCH_BUDGET")) {
+    options.time_budget_seconds = std::strtod(budget, nullptr);
+  }
+  if (const char* methods = std::getenv("MRCC_BENCH_METHODS")) {
+    options.methods = SplitCsvList(methods);
+  }
+  if (const char* dir = std::getenv("MRCC_BENCH_CSV")) {
+    options.csv_dir = dir;
+  }
+  return options;
+}
+
+/// Collects rows and mirrors them to stdout and (optionally) a CSV file.
+class ResultSink {
+ public:
+  ResultSink(const std::string& bench_name, const BenchOptions& options) {
+    if (!options.csv_dir.empty()) {
+      csv_.open(options.csv_dir + "/" + bench_name + ".csv");
+      if (csv_) csv_ << MeasurementCsvHeader() << "\n";
+    }
+  }
+
+  void Add(const RunMeasurement& m) {
+    std::printf("%s\n", FormatMeasurementRow(m).c_str());
+    std::fflush(stdout);
+    if (csv_) csv_ << MeasurementCsvRow(m) << "\n";
+  }
+
+ private:
+  std::ofstream csv_;
+};
+
+/// Generates a labeled dataset or dies (bench inputs are code, not user
+/// input).
+inline LabeledDataset MustGenerate(const SyntheticConfig& config) {
+  Result<LabeledDataset> r = GenerateSynthetic(config);
+  if (!r.ok()) {
+    std::fprintf(stderr, "dataset %s: %s\n", config.name.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+/// Runs `method` over its §IV-E tuning grid on one dataset and returns the
+/// best-Quality completed run (the paper's reporting rule). When every
+/// configuration fails/times out, the last failure is returned.
+inline RunMeasurement MeasureTuned(const std::string& method_name,
+                                   const MethodTuning& tuning,
+                                   const LabeledDataset& dataset,
+                                   double time_budget_seconds,
+                                   const std::vector<int>* class_labels =
+                                       nullptr) {
+  RunMeasurement best;
+  best.method = method_name;
+  best.dataset = dataset.name;
+  best.error = "no tuning grid";
+  bool have_success = false;
+  for (TunedCandidate& candidate : TuningGrid(method_name, tuning)) {
+    RunMeasurement m =
+        class_labels == nullptr
+            ? MeasureRun(*candidate.method, dataset, time_budget_seconds)
+            : MeasureRunAgainstClasses(*candidate.method, dataset.data,
+                                       *class_labels, dataset.name,
+                                       time_budget_seconds);
+    m.method = method_name;  // Grid entries share the method's name.
+    if (m.completed) {
+      if (!have_success || m.quality.quality > best.quality.quality) {
+        best = m;
+        have_success = true;
+      }
+    } else if (!have_success) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+/// Runs every configured method (best-of-grid) over every dataset and
+/// reports each cell of the paper panel.
+inline void RunMatrix(const std::string& bench_name,
+                      const std::vector<SyntheticConfig>& configs,
+                      const BenchOptions& options) {
+  ResultSink sink(bench_name, options);
+  for (const SyntheticConfig& config : configs) {
+    const LabeledDataset dataset = MustGenerate(config);
+    MethodTuning tuning;
+    tuning.num_clusters = config.num_clusters;
+    tuning.noise_fraction = config.noise_fraction;
+    for (const std::string& name : options.methods) {
+      sink.Add(
+          MeasureTuned(name, tuning, dataset, options.time_budget_seconds));
+    }
+  }
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref,
+                        const BenchOptions& options) {
+  std::printf("== %s ==\n", title);
+  std::printf("reproduces %s | scale=%.3g budget=%.0fs methods=", paper_ref,
+              options.scale, options.time_budget_seconds);
+  for (size_t i = 0; i < options.methods.size(); ++i) {
+    std::printf("%s%s", i > 0 ? "," : "", options.methods[i].c_str());
+  }
+  std::printf("\n%-8s %-10s %10s %12s %10s\n", "method", "dataset",
+              "quality", "subspaceQ", "time");
+}
+
+}  // namespace mrcc::bench
+
+#endif  // MRCC_BENCH_BENCH_COMMON_H_

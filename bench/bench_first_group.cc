@@ -1,0 +1,19 @@
+// Reproduces Fig. 5a-c: Quality, memory and wall-clock time of all six
+// methods over the first synthetic group (6d..18d — dimensionality,
+// points and clusters growing together, 15% noise).
+//
+// Expected shape (paper §IV-F): MrCC, EPCH, HARP and LAC reach similar
+// high Quality; CFPC degrades above ~12 axes; P3C is worst; HARP and EPCH
+// consume by far the most memory; MrCC is the fastest on every dataset
+// (2.8-81x on 18d).
+
+#include "bench/bench_common.h"
+#include "data/catalog.h"
+
+int main() {
+  using namespace mrcc::bench;
+  const BenchOptions options = OptionsFromEnv();
+  PrintHeader("first group (6d..18d)", "Fig. 5a-c", options);
+  RunMatrix("first_group", mrcc::Group1Configs(options.scale), options);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Micro-benchmarks backing the paper's §III complexity claims and the
+// DESIGN.md ablations (google-benchmark):
+//
+//   - Counting-tree construction: O(eta * H * d) — swept in eta, d and H.
+//   - Face-only Laplacian convolution: O(d) per cell, versus the full
+//     order-3 mask at O(3^d) (the ablation the paper argues about when
+//     choosing the face-only mask).
+//   - Binomial critical value: log-space tail inversion cost.
+//   - Full MrCC runs at increasing eta (end-to-end linearity).
+
+#include <benchmark/benchmark.h>
+
+#include "common/stats.h"
+#include "core/counting_tree.h"
+#include "core/laplacian_mask.h"
+#include "core/mrcc.h"
+#include "data/generator.h"
+
+namespace {
+
+using namespace mrcc;
+
+LabeledDataset MakeData(size_t n, size_t d, uint64_t seed = 71) {
+  SyntheticConfig cfg;
+  cfg.num_points = n;
+  cfg.num_dims = d;
+  cfg.num_clusters = 5;
+  cfg.min_cluster_dims = d > 3 ? d - 3 : 1;
+  cfg.max_cluster_dims = d - 1;
+  cfg.seed = seed;
+  return std::move(GenerateSynthetic(cfg)).value();
+}
+
+void BM_TreeBuildPoints(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const LabeledDataset ds = MakeData(n, 14);
+  for (auto _ : state) {
+    auto tree = CountingTree::Build(ds.data, 4);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TreeBuildPoints)->RangeMultiplier(2)->Range(4000, 64000);
+
+void BM_TreeBuildDims(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const LabeledDataset ds = MakeData(10000, d);
+  for (auto _ : state) {
+    auto tree = CountingTree::Build(ds.data, 4);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_TreeBuildDims)->DenseRange(5, 30, 5);
+
+void BM_TreeBuildResolutions(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  const LabeledDataset ds = MakeData(10000, 10);
+  for (auto _ : state) {
+    auto tree = CountingTree::Build(ds.data, h);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_TreeBuildResolutions)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Ablation: face-only mask is O(d) per cell; the full order-3 mask is
+// O(3^d). The paper picks the face-only variant for exactly this reason.
+void BM_FaceMaskConvolve(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const LabeledDataset ds = MakeData(5000, d);
+  auto tree = CountingTree::Build(ds.data, 4);
+  const auto& node = tree->node(tree->NodesAtLevel(2)[0]);
+  const auto coords = tree->CellCoords(node, node.cells[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FaceLaplacianConvolve(*tree, 2, coords, node.cells[0].n));
+  }
+}
+BENCHMARK(BM_FaceMaskConvolve)->DenseRange(2, 12, 2);
+
+void BM_FullMaskConvolve(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const LabeledDataset ds = MakeData(5000, d);
+  auto tree = CountingTree::Build(ds.data, 4);
+  const auto& node = tree->node(tree->NodesAtLevel(2)[0]);
+  const auto coords = tree->CellCoords(node, node.cells[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FullLaplacianConvolve(*tree, 2, coords, node.cells[0].n));
+  }
+}
+BENCHMARK(BM_FullMaskConvolve)->DenseRange(2, 12, 2);
+
+void BM_BinomialCriticalValue(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinomialCriticalValue(n, 1.0 / 6.0, 1e-10));
+  }
+}
+BENCHMARK(BM_BinomialCriticalValue)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_MrCCEndToEnd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const LabeledDataset ds = MakeData(n, 14);
+  MrCC method;
+  for (auto _ : state) {
+    auto result = method.Run(ds.data);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MrCCEndToEnd)->RangeMultiplier(2)->Range(8000, 32000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+// Reproduces Fig. 5j-l: scalability in the number of clusters (5..25 over
+// the 14d base dataset).
+//
+// Expected shape: MrCC Quality high across the sweep (its beta-cluster
+// count tracks the true cluster count); on 20c the paper reports MrCC
+// 4.8x..1785x faster than CFPC/LAC/EPCH/P3C/HARP.
+
+#include "bench/bench_common.h"
+#include "data/catalog.h"
+
+int main() {
+  using namespace mrcc::bench;
+  const BenchOptions options = OptionsFromEnv();
+  PrintHeader("clusters scaling (5c..25c)", "Fig. 5j-l", options);
+  RunMatrix("scale_clusters", mrcc::ClustersGroupConfigs(options.scale),
+            options);
+  return 0;
+}

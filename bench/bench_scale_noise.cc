@@ -1,0 +1,16 @@
+// Reproduces Fig. 5d-f: robustness to noise (5%..25% noise over the 14d
+// base dataset).
+//
+// Expected shape: MrCC/LAC/EPCH Quality flat within ~10% of each other
+// across the whole noise sweep; costs barely move with the noise level.
+
+#include "bench/bench_common.h"
+#include "data/catalog.h"
+
+int main() {
+  using namespace mrcc::bench;
+  const BenchOptions options = OptionsFromEnv();
+  PrintHeader("noise scaling (5o..25o)", "Fig. 5d-f", options);
+  RunMatrix("scale_noise", mrcc::NoiseGroupConfigs(options.scale), options);
+  return 0;
+}

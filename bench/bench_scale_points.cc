@@ -1,0 +1,16 @@
+// Reproduces Fig. 5g-i: scalability in the number of points (50k..250k,
+// everything else fixed at the 14d base dataset).
+//
+// Expected shape: MrCC/LAC/EPCH Quality stays high and flat; MrCC time and
+// memory grow linearly with the point count and MrCC stays fastest.
+
+#include "bench/bench_common.h"
+#include "data/catalog.h"
+
+int main() {
+  using namespace mrcc::bench;
+  const BenchOptions options = OptionsFromEnv();
+  PrintHeader("points scaling (50k..250k)", "Fig. 5g-i", options);
+  RunMatrix("scale_points", mrcc::PointsGroupConfigs(options.scale), options);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Fig. 4: MrCC's sensitivity to its two parameters over the
+// first synthetic group.
+//   Fig. 4a-c  Quality / memory / time as alpha sweeps 1e-3 .. 1e-160
+//              (H fixed at 4).
+//   Fig. 4d-f  Quality / memory / time as H sweeps 4 .. 80
+//              (alpha fixed at 1e-10).
+//
+// Expected shape: best alpha between 1e-5 and 1e-20, costs flat in alpha;
+// Quality flat for H >= 4 while time grows super-linearly and memory
+// linearly with H.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "core/mrcc.h"
+#include "data/catalog.h"
+
+namespace {
+
+using namespace mrcc;
+using namespace mrcc::bench;
+
+RunMeasurement MeasureMrCC(const MrCCParams& params,
+                           const LabeledDataset& dataset,
+                           const std::string& tag) {
+  MrCC method(params);
+  RunMeasurement m = MeasureRun(method, dataset);
+  m.method = tag;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const BenchOptions options = OptionsFromEnv();
+  std::printf("== sensitivity analysis ==\n");
+  std::printf("reproduces Fig. 4 | scale=%.3g (MrCC only)\n", options.scale);
+
+  ResultSink alpha_sink("sensitivity_alpha", options);
+  const double alphas[] = {1e-3, 1e-5, 1e-10, 1e-20, 1e-40, 1e-80, 1e-160};
+  ResultSink h_sink("sensitivity_h", options);
+  const int resolutions[] = {4, 5, 10, 20, 40, 80};
+
+  for (const SyntheticConfig& config : Group1Configs(options.scale)) {
+    const LabeledDataset dataset = MustGenerate(config);
+
+    std::printf("-- %s: alpha sweep (H = 4), Fig. 4a-c --\n",
+                config.name.c_str());
+    for (double alpha : alphas) {
+      MrCCParams params;
+      params.alpha = alpha;
+      params.num_resolutions = 4;
+      char tag[32];
+      std::snprintf(tag, sizeof(tag), "a=%.0e", alpha);
+      alpha_sink.Add(MeasureMrCC(params, dataset, tag));
+    }
+
+    std::printf("-- %s: H sweep (alpha = 1e-10), Fig. 4d-f --\n",
+                config.name.c_str());
+    for (int h : resolutions) {
+      MrCCParams params;
+      params.alpha = 1e-10;
+      params.num_resolutions = h;
+      char tag[32];
+      std::snprintf(tag, sizeof(tag), "H=%d", h);
+      h_sink.Add(MeasureMrCC(params, dataset, tag));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Fig. 5s: Subspaces Quality (precision/recall over the
+// relevant-axis sets) of the first synthetic group. LAC is excluded — it
+// only weights axes instead of selecting them (paper §IV-F).
+//
+// Expected shape: MrCC and EPCH close together at the top; P3C, CFPC and
+// HARP worse.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "data/catalog.h"
+
+int main() {
+  using namespace mrcc::bench;
+  BenchOptions options = OptionsFromEnv();
+  options.methods.erase(
+      std::remove(options.methods.begin(), options.methods.end(), "LAC"),
+      options.methods.end());
+  PrintHeader("subspaces quality, first group", "Fig. 5s", options);
+  RunMatrix("subspace_quality", mrcc::Group1Configs(options.scale), options);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Real-data scenario (the paper's §IV-G): cluster breast-cancer screening
+// features and check how well the discovered structure separates the
+// malignant from the normal ROIs.
+//
+// The original experiment used the (proprietary) Siemens KDD Cup 2008
+// training data — 25 features per ROI over four breast/view sub-datasets.
+// This example runs on the KDD08-like substitute described in DESIGN.md:
+// the same shape (~25k ROIs x 25 features, ~1% malignant) with correlated
+// feature clusters per population.
+//
+//   ./examples/breast_cancer_screening [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mrcc.h"
+#include "data/catalog.h"
+#include "data/generator.h"
+#include "eval/quality.h"
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::strtod(argv[1], nullptr) : 0.25;
+
+  for (const mrcc::Kdd08LikeConfig& config : mrcc::Kdd08LikeConfigs(scale)) {
+    mrcc::Result<mrcc::Kdd08LikeDataset> dataset =
+        mrcc::GenerateKdd08Like(config);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "%s: %s\n", config.name.c_str(),
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    size_t malignant = 0;
+    for (int c : dataset->class_labels) malignant += (c == 1);
+    std::printf("%-16s %zu ROIs x %zu features (%zu malignant)\n",
+                config.name.c_str(), dataset->labeled.data.NumPoints(),
+                dataset->labeled.data.NumDims(), malignant);
+
+    mrcc::MrCC method;  // Parameter-free apart from the fixed defaults.
+    mrcc::Result<mrcc::MrCCResult> result = method.Run(dataset->labeled.data);
+    if (!result.ok()) {
+      std::fprintf(stderr, "  MrCC failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+
+    // Score the clusters against the malignant/normal ground truth, the
+    // way the Cup data was evaluated.
+    const mrcc::QualityReport q = mrcc::EvaluateAgainstClasses(
+        result->clustering, dataset->class_labels);
+    std::printf(
+        "  MrCC: %zu clusters in %.3f s  |  class Quality %.4f "
+        "(precision %.4f, recall %.4f)\n",
+        result->clustering.NumClusters(), result->stats.total_seconds,
+        q.quality, q.precision, q.recall);
+
+    // How pure is each cluster with respect to malignancy?
+    for (size_t c = 0; c < result->clustering.NumClusters(); ++c) {
+      const auto members = result->clustering.Members(static_cast<int>(c));
+      size_t bad = 0;
+      for (size_t i : members) bad += (dataset->class_labels[i] == 1);
+      std::printf("    cluster %zu: %6zu ROIs, %5.2f%% malignant\n", c,
+                  members.size(),
+                  members.empty()
+                      ? 0.0
+                      : 100.0 * static_cast<double>(bad) / members.size());
+    }
+  }
+  std::printf(
+      "\nClusters with elevated malignant share flag the ROI groups a "
+      "radiologist should review first.\n");
+  return 0;
+}

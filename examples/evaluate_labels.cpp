@@ -1,0 +1,72 @@
+// Scores a clustering label file against ground-truth labels — the
+// evaluation half of the pipeline as a standalone tool, so externally
+// produced clusterings can be compared with the paper's metrics.
+//
+//   ./examples/evaluate_labels found_labels.txt truth_labels.txt
+//
+// Both files hold one integer label per line (-1 = noise), e.g. written
+// by SaveLabels() or extracted from the trailing column of
+// generate_datasets output. Prints Quality (point precision/recall),
+// Clustering Error (optimal matching) and the confusion table.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "data/result_io.h"
+#include "eval/analysis.h"
+#include "eval/quality.h"
+
+namespace {
+
+// Rebuilds a Clustering (without axis information) from flat labels.
+mrcc::Clustering FromLabels(const std::vector<int>& labels) {
+  mrcc::Clustering c;
+  c.labels = labels;
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  c.clusters.resize(static_cast<size_t>(max_label + 1));
+  for (auto& info : c.clusters) info.relevant_axes.assign(1, true);
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s found_labels.txt truth_labels.txt\n",
+                 argv[0]);
+    return 2;
+  }
+  mrcc::Result<std::vector<int>> found = mrcc::LoadLabels(argv[1]);
+  mrcc::Result<std::vector<int>> truth = mrcc::LoadLabels(argv[2]);
+  if (!found.ok() || !truth.ok()) {
+    std::fprintf(stderr, "load failed: %s / %s\n",
+                 found.status().ToString().c_str(),
+                 truth.status().ToString().c_str());
+    return 1;
+  }
+  if (found->size() != truth->size()) {
+    std::fprintf(stderr, "label counts differ: %zu vs %zu\n", found->size(),
+                 truth->size());
+    return 1;
+  }
+
+  const mrcc::Clustering found_c = FromLabels(*found);
+  const mrcc::Clustering truth_c = FromLabels(*truth);
+  const mrcc::QualityReport q = mrcc::EvaluateClustering(found_c, truth_c);
+  const double ce = mrcc::ClusteringError(found_c, truth_c);
+
+  std::printf("points            %zu\n", found->size());
+  std::printf("found clusters    %zu (+%zu noise points)\n",
+              found_c.NumClusters(), found_c.NumNoisePoints());
+  std::printf("real clusters     %zu (+%zu noise points)\n",
+              truth_c.NumClusters(), truth_c.NumNoisePoints());
+  std::printf("Quality           %.4f (precision %.4f, recall %.4f)\n",
+              q.quality, q.precision, q.recall);
+  std::printf("Clustering Error  %.4f\n\n", ce);
+  std::printf("%s", mrcc::BuildConfusionTable(found_c, truth_c)
+                        .ToString()
+                        .c_str());
+  return 0;
+}

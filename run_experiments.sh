@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Reproduces the full evaluation: build, tests, every figure bench (CSV +
+# text), micro-benchmarks. Results land in ./results.
+#
+#   ./run_experiments.sh            # default 1/8-scale, ~30-60 min
+#   MRCC_BENCH_FULL=1 ./run_experiments.sh   # paper scale (hours)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build
+
+mkdir -p results
+export MRCC_BENCH_CSV="$PWD/results"
+export MRCC_BENCH_BUDGET="${MRCC_BENCH_BUDGET:-300}"
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in bench_sensitivity bench_first_group bench_scale_points \
+           bench_scale_clusters bench_scale_dims bench_scale_noise \
+           bench_rotated bench_subspace_quality bench_real_data \
+           bench_ablation; do
+    echo "### $b"
+    "./build/bench/$b"
+  done
+  echo "### bench_microbench"
+  ./build/bench/bench_microbench
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt, results/*.csv"

@@ -1,0 +1,290 @@
+#include "baselines/clique.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mdl.h"
+#include "common/union_find.h"
+
+namespace mrcc {
+namespace {
+
+// A unit is a list of (dim, bin) constraints with strictly increasing dims.
+using Item = uint32_t;  // dim * grid_partitions + bin.
+using Unit = std::vector<Item>;
+
+struct UnitHash {
+  size_t operator()(const Unit& u) const {
+    size_t h = 1469598103934665603ULL;
+    for (Item item : u) {
+      h ^= item;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+using UnitCounts = std::unordered_map<Unit, uint32_t, UnitHash>;
+
+// Candidate-explosion guard; CLIQUE's merging step is exponential in the
+// subspace dimensionality (one of the drawbacks the paper lists), so we
+// fail loudly instead of thrashing.
+constexpr size_t kMaxCandidates = 2'000'000;
+
+uint32_t DimOf(Item item, size_t xi) { return item / static_cast<Item>(xi); }
+uint32_t BinOf(Item item, size_t xi) { return item % static_cast<Item>(xi); }
+
+// Apriori join: units agreeing on all but the last item, whose last items
+// constrain different dims.
+std::vector<Unit> JoinCandidates(const std::vector<Unit>& dense, size_t xi) {
+  std::vector<Unit> candidates;
+  for (size_t a = 0; a < dense.size(); ++a) {
+    for (size_t b = a + 1; b < dense.size(); ++b) {
+      const Unit& ua = dense[a];
+      const Unit& ub = dense[b];
+      if (!std::equal(ua.begin(), ua.end() - 1, ub.begin())) continue;
+      const Item last_a = ua.back();
+      const Item last_b = ub.back();
+      if (DimOf(last_a, xi) == DimOf(last_b, xi)) continue;
+      Unit joined = ua;
+      joined.push_back(std::max(last_a, last_b));
+      joined[joined.size() - 2] = std::min(last_a, last_b);
+      candidates.push_back(std::move(joined));
+      if (candidates.size() > kMaxCandidates) return candidates;
+    }
+  }
+  return candidates;
+}
+
+// Prune candidates having a non-dense (k-1)-subset.
+std::vector<Unit> PruneBySubsets(std::vector<Unit> candidates,
+                                 const UnitCounts& dense_prev) {
+  std::vector<Unit> kept;
+  Unit subset;
+  for (Unit& cand : candidates) {
+    bool ok = true;
+    for (size_t drop = 0; drop < cand.size() && ok; ++drop) {
+      subset.clear();
+      for (size_t i = 0; i < cand.size(); ++i) {
+        if (i != drop) subset.push_back(cand[i]);
+      }
+      ok = dense_prev.contains(subset);
+    }
+    if (ok) kept.push_back(std::move(cand));
+  }
+  return kept;
+}
+
+}  // namespace
+
+Clique::Clique(CliqueParams params) : params_(params) {}
+
+Result<Clustering> Clique::Cluster(const Dataset& data) {
+  StartClock();
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  const size_t xi = params_.grid_partitions;
+  if (xi < 2) return Status::InvalidArgument("CLIQUE requires xi >= 2");
+  const double min_count = params_.density_threshold * static_cast<double>(n);
+
+  // Precompute each point's bin per axis.
+  std::vector<uint32_t> bins(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const double v = data(i, j);
+      uint32_t b = static_cast<uint32_t>(v * static_cast<double>(xi));
+      if (b >= xi) b = static_cast<uint32_t>(xi) - 1;
+      bins[i * d + j] = b;
+    }
+  }
+
+  // Level 1: dense 1-d units.
+  UnitCounts dense_prev;
+  {
+    std::vector<uint32_t> counts(d * xi, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        ++counts[j * xi + bins[i * d + j]];
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      for (size_t b = 0; b < xi; ++b) {
+        if (counts[j * xi + b] > min_count) {
+          dense_prev.emplace(
+              Unit{static_cast<Item>(j * xi + b)}, counts[j * xi + b]);
+        }
+      }
+    }
+  }
+
+  // All dense units of every level, for cluster extraction.
+  std::vector<std::pair<Unit, uint32_t>> all_dense(dense_prev.begin(),
+                                                   dense_prev.end());
+
+  size_t level = 1;
+  while (!dense_prev.empty() &&
+         (params_.max_subspace_dims == 0 || level < params_.max_subspace_dims)) {
+    if (TimeExpired()) return TimeoutStatus();
+    std::vector<Unit> prev_units;
+    prev_units.reserve(dense_prev.size());
+    for (const auto& [unit, count] : dense_prev) prev_units.push_back(unit);
+    std::sort(prev_units.begin(), prev_units.end());
+
+    std::vector<Unit> candidates = JoinCandidates(prev_units, xi);
+    if (candidates.size() > kMaxCandidates) {
+      return Status::OutOfRange(
+          "CLIQUE candidate explosion (exponential merging step)");
+    }
+    candidates = PruneBySubsets(std::move(candidates), dense_prev);
+    if (candidates.empty()) break;
+
+    // Count supports with one data scan.
+    UnitCounts counts;
+    counts.reserve(candidates.size());
+    for (Unit& c : candidates) counts.emplace(std::move(c), 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (TimeExpired()) return TimeoutStatus();
+      for (auto& [unit, count] : counts) {
+        bool inside = true;
+        for (Item item : unit) {
+          if (bins[i * d + DimOf(item, xi)] != BinOf(item, xi)) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) ++count;
+      }
+    }
+
+    UnitCounts dense_now;
+    for (auto& [unit, count] : counts) {
+      if (count > min_count) {
+        all_dense.emplace_back(unit, count);
+        dense_now.emplace(unit, count);
+      }
+    }
+    dense_prev = std::move(dense_now);
+    ++level;
+  }
+
+  // Group dense units by subspace (set of dims) and compute coverage.
+  std::map<std::vector<uint32_t>, std::vector<size_t>> by_subspace;
+  for (size_t u = 0; u < all_dense.size(); ++u) {
+    std::vector<uint32_t> dims;
+    for (Item item : all_dense[u].first) dims.push_back(DimOf(item, xi));
+    by_subspace[dims].push_back(u);
+  }
+
+  // MDL pruning of subspaces by coverage, keeping only maximal subspaces
+  // (no dense superset-subspace) to curb redundancy.
+  std::vector<std::vector<uint32_t>> subspaces;
+  std::vector<double> coverages;
+  for (const auto& [dims, units] : by_subspace) {
+    bool maximal = true;
+    for (const auto& [other, _] : by_subspace) {
+      if (other.size() > dims.size() &&
+          std::includes(other.begin(), other.end(), dims.begin(),
+                        dims.end())) {
+        maximal = false;
+        break;
+      }
+    }
+    if (!maximal) continue;
+    double coverage = 0.0;
+    for (size_t u : units) coverage += all_dense[u].second;
+    subspaces.push_back(dims);
+    coverages.push_back(coverage);
+  }
+  if (subspaces.empty()) {
+    Clustering out;
+    out.labels.assign(n, kNoiseLabel);
+    return out;
+  }
+  double coverage_cut = 0.0;
+  if (params_.mdl_pruning && coverages.size() > 1) {
+    std::vector<double> sorted = coverages;
+    std::sort(sorted.begin(), sorted.end());
+    coverage_cut = MdlThreshold(sorted);
+  }
+
+  // Clusters: connected components of dense units per selected subspace.
+  struct CliqueCluster {
+    std::vector<uint32_t> dims;
+    std::unordered_map<Unit, int, UnitHash> unit_of;  // unit -> component.
+    std::vector<int> component_cluster;  // component -> global cluster id.
+  };
+  Clustering out;
+  out.labels.assign(n, kNoiseLabel);
+  std::vector<CliqueCluster> selected;
+  std::vector<size_t> cluster_dims_count;  // Global cluster dimensionality.
+
+  for (size_t s = 0; s < subspaces.size(); ++s) {
+    if (coverages[s] < coverage_cut) continue;
+    const auto& dims = subspaces[s];
+    const auto& unit_ids = by_subspace[dims];
+    UnionFind uf(unit_ids.size());
+    std::unordered_map<Unit, uint32_t, UnitHash> local;
+    for (size_t idx = 0; idx < unit_ids.size(); ++idx) {
+      local.emplace(all_dense[unit_ids[idx]].first, idx);
+    }
+    for (size_t idx = 0; idx < unit_ids.size(); ++idx) {
+      const Unit& unit = all_dense[unit_ids[idx]].first;
+      // Probe face-adjacent units (one bin step along each constrained dim).
+      for (size_t pos = 0; pos < unit.size(); ++pos) {
+        for (int step : {-1, +1}) {
+          const uint32_t bin = BinOf(unit[pos], xi);
+          if ((step < 0 && bin == 0) || (step > 0 && bin + 1 >= xi)) continue;
+          Unit probe = unit;
+          probe[pos] = static_cast<Item>(unit[pos] + step);
+          auto it = local.find(probe);
+          if (it != local.end()) uf.Union(idx, it->second);
+        }
+      }
+    }
+    CliqueCluster cc;
+    cc.dims = dims;
+    std::vector<size_t> comp = uf.DenseIds();
+    cc.component_cluster.assign(uf.NumSets(), -1);
+    for (size_t idx = 0; idx < unit_ids.size(); ++idx) {
+      cc.unit_of.emplace(all_dense[unit_ids[idx]].first,
+                         static_cast<int>(comp[idx]));
+    }
+    for (size_t comp_id = 0; comp_id < uf.NumSets(); ++comp_id) {
+      ClusterInfo info;
+      info.relevant_axes.assign(d, false);
+      for (uint32_t dim : dims) info.relevant_axes[dim] = true;
+      cc.component_cluster[comp_id] = static_cast<int>(out.clusters.size());
+      out.clusters.push_back(std::move(info));
+      cluster_dims_count.push_back(dims.size());
+    }
+    selected.push_back(std::move(cc));
+  }
+
+  // Disjoint assignment: containing cluster of highest dimensionality.
+  Unit probe;
+  for (size_t i = 0; i < n; ++i) {
+    int best_cluster = kNoiseLabel;
+    size_t best_dims = 0;
+    for (const CliqueCluster& cc : selected) {
+      probe.clear();
+      for (uint32_t dim : cc.dims) {
+        probe.push_back(static_cast<Item>(dim * xi + bins[i * d + dim]));
+      }
+      auto it = cc.unit_of.find(probe);
+      if (it == cc.unit_of.end()) continue;
+      const int cluster = cc.component_cluster[static_cast<size_t>(it->second)];
+      if (cc.dims.size() > best_dims) {
+        best_dims = cc.dims.size();
+        best_cluster = cluster;
+      }
+    }
+    out.labels[i] = best_cluster;
+  }
+  return out;
+}
+
+}  // namespace mrcc

@@ -1,0 +1,53 @@
+// CLIQUE — Automatic Subspace Clustering of High Dimensional Data
+// (Agrawal et al., SIGMOD 1998).
+//
+// The archetypal bottom-up method from the paper's related work. Each axis
+// is partitioned into xi equal intervals; a unit is dense when it holds
+// more than tau fraction of the points. Dense units in k-dimensional
+// subspaces are generated apriori-style from (k-1)-dimensional ones,
+// subspaces are pruned by an MDL criterion on their coverage, and clusters
+// are the connected components of dense units (units adjacent when they
+// share a face) within each selected subspace.
+//
+// CLIQUE may report overlapping clusters across subspaces; to fit the
+// disjoint-partition evaluation (paper Definition 2), each point is
+// assigned to the containing cluster of highest dimensionality (ties:
+// larger cluster), a standard adaptation.
+
+#ifndef MRCC_BASELINES_CLIQUE_H_
+#define MRCC_BASELINES_CLIQUE_H_
+
+#include "core/subspace_clusterer.h"
+
+namespace mrcc {
+
+struct CliqueParams {
+  /// Number of intervals per axis (xi).
+  size_t grid_partitions = 10;
+
+  /// Density threshold tau: a unit is dense when its count exceeds
+  /// tau * num_points.
+  double density_threshold = 0.005;
+
+  /// Highest subspace dimensionality explored (guards the exponential
+  /// candidate growth; 0 = unbounded).
+  size_t max_subspace_dims = 8;
+
+  /// Keep only subspaces whose coverage passes the MDL cut.
+  bool mdl_pruning = true;
+};
+
+class Clique : public SubspaceClusterer {
+ public:
+  explicit Clique(CliqueParams params = CliqueParams());
+
+  std::string name() const override { return "CLIQUE"; }
+  Result<Clustering> Cluster(const Dataset& data) override;
+
+ private:
+  CliqueParams params_;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_BASELINES_CLIQUE_H_

@@ -1,0 +1,65 @@
+// DOC / FASTDOC (Procopiuc et al., SIGMOD 2002) and CFPC / FPC
+// (Yiu & Mamoulis, TKDE 2005).
+//
+// DOC defines a projected cluster as a hyper-box of width 2w around a
+// pivot point p on a set of relevant dims D, scoring candidates with
+// mu(|C|, |D|) = |C| * (1/beta)^|D|. The original algorithm is Monte
+// Carlo: random pivots and random discriminating sets vote dims into D.
+// FASTDOC caps the inner iterations. FPC (used by CFPC) replaces the
+// randomized inner loop with a systematic search: for a pivot p, every
+// point contributes the itemset { j : |x_j - p_j| <= w } and the best dim
+// set is found by branch-and-bound frequent-itemset mining; CFPC then
+// extracts multiple clusters in one run by removing found points.
+//
+// All three variants share this implementation, selected by `variant`.
+
+#ifndef MRCC_BASELINES_DOC_H_
+#define MRCC_BASELINES_DOC_H_
+
+#include <cstdint>
+
+#include "core/subspace_clusterer.h"
+
+namespace mrcc {
+
+enum class DocVariant { kDoc, kFastDoc, kCfpc };
+
+struct DocParams {
+  DocVariant variant = DocVariant::kCfpc;
+
+  /// Maximum number of clusters to extract (the paper feeds true k).
+  size_t num_clusters = 5;
+
+  /// Half-width of the cluster box on relevant dims (data in [0,1)).
+  double w = 0.1;
+
+  /// Minimum cluster size as a fraction of the remaining points.
+  double alpha = 0.08;
+
+  /// Quality trade-off: one extra relevant dim is worth multiplying the
+  /// cluster size by 1/beta. Must be in (0, 0.5].
+  double beta = 0.25;
+
+  /// CFPC: number of random medoids tried per cluster (maxout).
+  size_t max_out = 10;
+
+  /// DOC/FASTDOC: cap on inner iterations (FASTDOC's d^2 style bound).
+  size_t max_inner_iterations = 1000;
+
+  uint64_t seed = 7;
+};
+
+class Doc : public SubspaceClusterer {
+ public:
+  explicit Doc(DocParams params = DocParams());
+
+  std::string name() const override;
+  Result<Clustering> Cluster(const Dataset& data) override;
+
+ private:
+  DocParams params_;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_BASELINES_DOC_H_

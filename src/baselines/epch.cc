@@ -1,0 +1,217 @@
+#include "baselines/epch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace mrcc {
+namespace {
+
+// One d0-dimensional histogram over an axis combination.
+struct Histogram {
+  std::vector<size_t> axes;     // The d0 axes it projects onto.
+  std::vector<uint32_t> counts; // bins_per_axis^d0 cells.
+  std::vector<int16_t> region;  // Cell -> dense region id, -1 sparse.
+  int num_regions = 0;
+};
+
+// Flat cell index of a point in `hist`.
+size_t CellOf(const Dataset& data, size_t point, const Histogram& hist,
+              size_t bins) {
+  size_t cell = 0;
+  for (size_t axis : hist.axes) {
+    size_t b = static_cast<size_t>(data(point, axis) * static_cast<double>(bins));
+    if (b >= bins) b = bins - 1;
+    cell = cell * bins + b;
+  }
+  return cell;
+}
+
+// Labels dense cells (count above the noise floor) and connects adjacent
+// dense cells into regions via BFS over axis-neighbors.
+void FindDenseRegions(Histogram* hist, size_t bins, double sigmas) {
+  const size_t cells = hist->counts.size();
+  double mean = 0.0;
+  for (uint32_t c : hist->counts) mean += c;
+  mean /= static_cast<double>(cells);
+  double var = 0.0;
+  for (uint32_t c : hist->counts) {
+    const double diff = static_cast<double>(c) - mean;
+    var += diff * diff;
+  }
+  const double stddev = std::sqrt(var / static_cast<double>(cells));
+  const double threshold = mean + sigmas * stddev;
+
+  hist->region.assign(cells, -1);
+  hist->num_regions = 0;
+  const size_t d0 = hist->axes.size();
+  std::vector<size_t> stack;
+  std::vector<size_t> coord(d0);
+  for (size_t start = 0; start < cells; ++start) {
+    if (hist->region[start] >= 0 ||
+        static_cast<double>(hist->counts[start]) <= threshold) {
+      continue;
+    }
+    const int id = hist->num_regions++;
+    stack.assign(1, start);
+    hist->region[start] = static_cast<int16_t>(id);
+    while (!stack.empty()) {
+      const size_t cell = stack.back();
+      stack.pop_back();
+      // Decode mixed-radix coordinates.
+      size_t rem = cell;
+      for (size_t a = d0; a-- > 0;) {
+        coord[a] = rem % bins;
+        rem /= bins;
+      }
+      // Axis-adjacent neighbors.
+      size_t stride = 1;
+      for (size_t a = d0; a-- > 0;) {
+        for (int step : {-1, +1}) {
+          if ((step < 0 && coord[a] == 0) ||
+              (step > 0 && coord[a] + 1 >= bins)) {
+            continue;
+          }
+          const size_t neighbor =
+              cell + static_cast<size_t>(static_cast<int64_t>(stride) * step);
+          if (hist->region[neighbor] < 0 &&
+              static_cast<double>(hist->counts[neighbor]) > threshold) {
+            hist->region[neighbor] = static_cast<int16_t>(id);
+            stack.push_back(neighbor);
+          }
+        }
+        stride *= bins;
+      }
+    }
+  }
+}
+
+// Fraction of histograms where two signatures agree on a dense region
+// (both non-null and equal), over those where either is non-null.
+double SignatureSimilarity(const std::vector<int16_t>& a,
+                           const std::vector<int16_t>& b) {
+  size_t match = 0, active = 0;
+  for (size_t h = 0; h < a.size(); ++h) {
+    if (a[h] >= 0 || b[h] >= 0) {
+      ++active;
+      if (a[h] >= 0 && a[h] == b[h]) ++match;
+    }
+  }
+  return active > 0 ? static_cast<double>(match) / active : 0.0;
+}
+
+}  // namespace
+
+Epch::Epch(EpchParams params) : params_(params) {}
+
+Result<Clustering> Epch::Cluster(const Dataset& data) {
+  StartClock();
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  const size_t d0 = params_.histogram_dims;
+  const size_t bins = params_.bins_per_axis;
+  if (d0 < 1 || d0 > 2) {
+    return Status::InvalidArgument("EPCH supports histogram_dims in {1, 2}");
+  }
+  if (d0 > d) return Status::InvalidArgument("histogram_dims > data dims");
+  if (bins < 2) return Status::InvalidArgument("bins_per_axis must be >= 2");
+
+  // Build all C(d, d0) histograms.
+  std::vector<Histogram> histograms;
+  if (d0 == 1) {
+    for (size_t j = 0; j < d; ++j) {
+      histograms.push_back({{j}, std::vector<uint32_t>(bins, 0), {}, 0});
+    }
+  } else {
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = a + 1; b < d; ++b) {
+        histograms.push_back(
+            {{a, b}, std::vector<uint32_t>(bins * bins, 0), {}, 0});
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (Histogram& hist : histograms) {
+      ++hist.counts[CellOf(data, i, hist, bins)];
+    }
+  }
+  for (Histogram& hist : histograms) {
+    FindDenseRegions(&hist, bins, params_.threshold_sigmas);
+  }
+  if (TimeExpired()) return TimeoutStatus();
+
+  // Per-point signatures.
+  const size_t num_hists = histograms.size();
+  std::vector<std::vector<int16_t>> signatures(
+      n, std::vector<int16_t>(num_hists, -1));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t h = 0; h < num_hists; ++h) {
+      signatures[i][h] =
+          histograms[h].region[CellOf(data, i, histograms[h], bins)];
+    }
+  }
+
+  // Leader-style grouping of signatures into prototypes.
+  struct Prototype {
+    std::vector<int16_t> signature;
+    std::vector<size_t> members;
+  };
+  std::vector<Prototype> prototypes;
+  const size_t max_prototypes = std::max<size_t>(4 * params_.max_clusters, 16);
+  std::vector<int> proto_of(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    if (TimeExpired()) return TimeoutStatus();
+    // Points with an entirely null signature are immediate outliers.
+    const bool has_region = std::any_of(signatures[i].begin(),
+                                        signatures[i].end(),
+                                        [](int16_t r) { return r >= 0; });
+    if (!has_region) continue;
+    double best = -1.0;
+    int best_p = -1;
+    for (size_t p = 0; p < prototypes.size(); ++p) {
+      const double sim =
+          SignatureSimilarity(signatures[i], prototypes[p].signature);
+      if (sim > best) {
+        best = sim;
+        best_p = static_cast<int>(p);
+      }
+    }
+    if (best >= params_.outlier_threshold && best_p >= 0) {
+      prototypes[static_cast<size_t>(best_p)].members.push_back(i);
+      proto_of[i] = best_p;
+    } else if (prototypes.size() < max_prototypes) {
+      proto_of[i] = static_cast<int>(prototypes.size());
+      prototypes.push_back({signatures[i], {i}});
+    }
+  }
+
+  // Keep the max_clusters largest prototypes as clusters.
+  std::vector<size_t> order(prototypes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return prototypes[a].members.size() > prototypes[b].members.size();
+  });
+  const size_t kept =
+      std::min<size_t>(params_.max_clusters, prototypes.size());
+
+  Clustering out;
+  out.labels.assign(n, kNoiseLabel);
+  out.clusters.resize(kept);
+  for (size_t rank = 0; rank < kept; ++rank) {
+    const Prototype& proto = prototypes[order[rank]];
+    for (size_t i : proto.members) out.labels[i] = static_cast<int>(rank);
+    // Relevant axes: axes of histograms where the prototype pins a region.
+    ClusterInfo& info = out.clusters[rank];
+    info.relevant_axes.assign(d, false);
+    for (size_t h = 0; h < num_hists; ++h) {
+      if (proto.signature[h] >= 0) {
+        for (size_t axis : histograms[h].axes) info.relevant_axes[axis] = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mrcc

@@ -1,0 +1,269 @@
+#include "baselines/harp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/mdl.h"
+#include "common/rng.h"
+
+namespace mrcc {
+namespace {
+
+// Sufficient statistics of a (possibly merged) cluster.
+struct HarpCluster {
+  bool alive = true;
+  size_t count = 0;
+  std::vector<double> sum;
+  std::vector<double> sumsq;
+  std::vector<size_t> members;  // Indices into the sample.
+
+  // Cached best merge partner under the current thresholds.
+  int best_partner = -1;
+  double best_score = -1.0;
+};
+
+// Per-dim variance of the merge of a and b.
+void MergedVariance(const HarpCluster& a, const HarpCluster& b,
+                    std::vector<double>* var) {
+  const size_t d = a.sum.size();
+  const double n = static_cast<double>(a.count + b.count);
+  for (size_t j = 0; j < d; ++j) {
+    const double mean = (a.sum[j] + b.sum[j]) / n;
+    (*var)[j] = (a.sumsq[j] + b.sumsq[j]) / n - mean * mean;
+  }
+}
+
+}  // namespace
+
+Harp::Harp(HarpParams params) : params_(params) {}
+
+Result<Clustering> Harp::Cluster(const Dataset& data) {
+  StartClock();
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  const size_t k = params_.num_clusters;
+  if (k == 0) return Status::InvalidArgument("HARP requires num_clusters > 0");
+  if (params_.loosening_steps < 0) {
+    return Status::InvalidArgument("loosening_steps must be >= 0");
+  }
+
+  // Global per-dim variance (the relevance baseline).
+  std::vector<double> global_var(d, 0.0);
+  {
+    std::vector<double> mean(d, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) mean[j] += data(i, j);
+    }
+    for (double& m : mean) m /= static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = data(i, j) - mean[j];
+        global_var[j] += diff * diff;
+      }
+    }
+    for (double& v : global_var) {
+      v = std::max(v / static_cast<double>(n), 1e-12);
+    }
+  }
+
+  // The hierarchy is built over a bounded base set (see header comment).
+  std::vector<size_t> sample(n);
+  std::iota(sample.begin(), sample.end(), 0);
+  if (params_.max_base_clusters > 0 && n > params_.max_base_clusters) {
+    Rng rng(0x48415250);  // "HARP"; deterministic subsample.
+    sample = rng.SampleWithoutReplacement(n, params_.max_base_clusters);
+    std::sort(sample.begin(), sample.end());
+  }
+  const size_t m = sample.size();
+
+  std::vector<HarpCluster> clusters(m);
+  for (size_t i = 0; i < m; ++i) {
+    HarpCluster& c = clusters[i];
+    c.count = 1;
+    c.sum.assign(d, 0.0);
+    c.sumsq.assign(d, 0.0);
+    c.members.assign(1, i);
+    const auto p = data.Point(sample[i]);
+    for (size_t j = 0; j < d; ++j) {
+      c.sum[j] = p[j];
+      c.sumsq[j] = p[j] * p[j];
+    }
+  }
+  size_t alive = m;
+
+  // Merge score under thresholds (r_min, d_min): sum of relevance over
+  // mutually relevant dims, or -1 when fewer than d_min dims qualify.
+  std::vector<double> var(d);
+  auto merge_score = [&](size_t a, size_t b, double r_min,
+                         size_t d_min) -> double {
+    MergedVariance(clusters[a], clusters[b], &var);
+    double score = 0.0;
+    size_t relevant = 0;
+    for (size_t j = 0; j < d; ++j) {
+      const double r = 1.0 - var[j] / global_var[j];
+      if (r >= r_min) {
+        ++relevant;
+        score += r;
+      }
+    }
+    return relevant >= d_min ? score : -1.0;
+  };
+
+  auto recompute_best = [&](size_t a, double r_min, size_t d_min) {
+    clusters[a].best_partner = -1;
+    clusters[a].best_score = -1.0;
+    for (size_t b = 0; b < m; ++b) {
+      if (b == a || !clusters[b].alive) continue;
+      const double s = merge_score(a, b, r_min, d_min);
+      if (s > clusters[a].best_score) {
+        clusters[a].best_score = s;
+        clusters[a].best_partner = static_cast<int>(b);
+      }
+    }
+  };
+
+  // Threshold loosening: strictest (all dims relevant, high relevance) to
+  // loosest (1 dim, relevance 0). The original loosens d_min one dimension
+  // per round; loosening_steps = 0 selects that fully faithful schedule,
+  // a positive value compresses it into that many rounds.
+  const int steps = params_.loosening_steps > 0
+                        ? params_.loosening_steps
+                        : static_cast<int>(d);
+  for (int step = 0; step < steps && alive > k; ++step) {
+    const double frac =
+        steps > 1 ? static_cast<double>(step) / (steps - 1) : 1.0;
+    const size_t d_min = std::max<size_t>(
+        1, d - static_cast<size_t>(std::llround(frac * (d - 1))));
+    const double r_min = 0.9 * (1.0 - frac);
+
+    // Thresholds changed: all cached partners are stale.
+    for (size_t a = 0; a < m; ++a) {
+      if (clusters[a].alive) recompute_best(a, r_min, d_min);
+      if (TimeExpired()) return TimeoutStatus();
+    }
+
+    while (alive > k) {
+      if (TimeExpired()) return TimeoutStatus();
+      // Global best valid pair from the caches.
+      int best_a = -1;
+      double best = -1.0;
+      for (size_t a = 0; a < m; ++a) {
+        if (!clusters[a].alive || clusters[a].best_partner < 0) continue;
+        if (!clusters[static_cast<size_t>(clusters[a].best_partner)].alive) {
+          recompute_best(a, r_min, d_min);  // Partner died; refresh.
+          if (clusters[a].best_partner < 0) continue;
+        }
+        if (clusters[a].best_score > best) {
+          best = clusters[a].best_score;
+          best_a = static_cast<int>(a);
+        }
+      }
+      if (best_a < 0 || best < 0.0) break;  // Loosen further.
+
+      const size_t a = static_cast<size_t>(best_a);
+      const size_t b = static_cast<size_t>(clusters[a].best_partner);
+      // Merge b into a.
+      clusters[a].count += clusters[b].count;
+      for (size_t j = 0; j < d; ++j) {
+        clusters[a].sum[j] += clusters[b].sum[j];
+        clusters[a].sumsq[j] += clusters[b].sumsq[j];
+      }
+      clusters[a].members.insert(clusters[a].members.end(),
+                                 clusters[b].members.begin(),
+                                 clusters[b].members.end());
+      clusters[b].alive = false;
+      --alive;
+      recompute_best(a, r_min, d_min);
+      // Invalidate caches that referenced the merged pair: cluster a's
+      // statistics changed, so scores toward it are stale (keeping them
+      // would let one growing blob vacuum up everything on outdated
+      // scores), and b is gone.
+      for (size_t c = 0; c < m; ++c) {
+        if (!clusters[c].alive || c == a) continue;
+        const int bp = clusters[c].best_partner;
+        if (bp == static_cast<int>(a) || bp == static_cast<int>(b)) {
+          recompute_best(c, r_min, d_min);
+        }
+      }
+    }
+  }
+
+  // Keep the k largest merged clusters; everything else is noise, bounded
+  // in spirit by max_noise_fraction (the loosening above already drives
+  // the hierarchy until only ~k clusters remain).
+  std::vector<size_t> alive_ids;
+  for (size_t a = 0; a < m; ++a) {
+    if (clusters[a].alive) alive_ids.push_back(a);
+  }
+  std::sort(alive_ids.begin(), alive_ids.end(), [&](size_t x, size_t y) {
+    return clusters[x].count > clusters[y].count;
+  });
+  const size_t kept = std::min(k, alive_ids.size());
+
+  Clustering out;
+  out.labels.assign(n, kNoiseLabel);
+  out.clusters.resize(kept);
+
+  // Per-cluster relevance; dims selected by MDL cut over the relevances.
+  std::vector<std::vector<double>> centroid(kept, std::vector<double>(d));
+  std::vector<std::vector<double>> spread(kept, std::vector<double>(d));
+  for (size_t rank = 0; rank < kept; ++rank) {
+    const HarpCluster& c = clusters[alive_ids[rank]];
+    std::vector<double> relevance(d);
+    for (size_t j = 0; j < d; ++j) {
+      const double mean = c.sum[j] / static_cast<double>(c.count);
+      const double v =
+          std::max(c.sumsq[j] / static_cast<double>(c.count) - mean * mean, 0.0);
+      relevance[j] = std::max(0.0, 1.0 - v / global_var[j]);
+      centroid[rank][j] = mean;
+      spread[rank][j] = std::sqrt(v);
+    }
+    std::vector<double> sorted = relevance;
+    std::sort(sorted.begin(), sorted.end());
+    const double cut = MdlThreshold(sorted);
+    ClusterInfo& info = out.clusters[rank];
+    info.relevant_axes.assign(d, false);
+    for (size_t j = 0; j < d; ++j) {
+      if (relevance[j] >= cut) info.relevant_axes[j] = true;
+    }
+    for (size_t member : c.members) {
+      out.labels[sample[member]] = static_cast<int>(rank);
+    }
+  }
+
+  // Assign non-sample points to the closest cluster in its relevant
+  // subspace, unless no cluster is within 3 sigma (then noise).
+  if (m < n) {
+    std::vector<bool> in_sample(n, false);
+    for (size_t s : sample) in_sample[s] = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (in_sample[i]) continue;
+      double best_dist = std::numeric_limits<double>::infinity();
+      int best_c = kNoiseLabel;
+      const auto p = data.Point(i);
+      for (size_t rank = 0; rank < kept; ++rank) {
+        double dist = 0.0;
+        double limit = 0.0;
+        size_t dims = 0;
+        for (size_t j = 0; j < d; ++j) {
+          if (!out.clusters[rank].relevant_axes[j]) continue;
+          dist += std::fabs(p[j] - centroid[rank][j]);
+          limit += 3.0 * spread[rank][j] + 1e-3;
+          ++dims;
+        }
+        if (dims == 0 || dist > limit) continue;
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_c = static_cast<int>(rank);
+        }
+      }
+      out.labels[i] = best_c;
+    }
+  }
+  return out;
+}
+
+}  // namespace mrcc

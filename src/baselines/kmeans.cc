@@ -1,0 +1,109 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mrcc {
+namespace {
+
+double SquaredDistance(const Dataset& data, size_t i,
+                       const std::vector<double>& centroid) {
+  double acc = 0.0;
+  const auto p = data.Point(i);
+  for (size_t j = 0; j < p.size(); ++j) {
+    const double diff = p[j] - centroid[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KMeans::KMeans(KMeansParams params) : params_(params) {}
+
+Result<Clustering> KMeans::Cluster(const Dataset& data) {
+  StartClock();
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  const size_t k = std::min(params_.num_clusters, n);
+  if (k == 0) {
+    return Status::InvalidArgument("k-means requires num_clusters > 0");
+  }
+
+  // Farthest-point (k-means++-flavored, deterministic given the seed)
+  // initialization over a bounded sample.
+  Rng rng(params_.seed);
+  const size_t sample_size = std::min<size_t>(n, 2048);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(n, sample_size);
+  std::vector<std::vector<double>> centroids;
+  {
+    const size_t first = sample[rng.UniformInt(sample.size())];
+    centroids.emplace_back(data.Point(first).begin(),
+                           data.Point(first).end());
+    std::vector<double> closest(sample.size(),
+                                std::numeric_limits<double>::infinity());
+    while (centroids.size() < k) {
+      size_t best = sample[0];
+      double best_dist = -1.0;
+      for (size_t s = 0; s < sample.size(); ++s) {
+        closest[s] = std::min(
+            closest[s], SquaredDistance(data, sample[s], centroids.back()));
+        if (closest[s] > best_dist) {
+          best_dist = closest[s];
+          best = sample[s];
+        }
+      }
+      centroids.emplace_back(data.Point(best).begin(),
+                             data.Point(best).end());
+    }
+  }
+
+  std::vector<int> labels(n, 0);
+  for (int iter = 0; iter < params_.max_iterations; ++iter) {
+    if (TimeExpired()) return TimeoutStatus();
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double dist = SquaredDistance(data, i, centroids[c]);
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<int>(c);
+        }
+      }
+      labels[i] = best_c;
+    }
+
+    std::vector<std::vector<double>> next(k, std::vector<double>(d, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(labels[i]);
+      ++counts[c];
+      const auto p = data.Point(i);
+      for (size_t j = 0; j < d; ++j) next[c][j] += p[j];
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Empty cluster keeps its centroid.
+      for (size_t j = 0; j < d; ++j) {
+        next[c][j] /= static_cast<double>(counts[c]);
+        movement += std::fabs(next[c][j] - centroids[c][j]);
+      }
+      centroids[c] = next[c];
+    }
+    if (movement < params_.tolerance) break;
+  }
+
+  Clustering out;
+  out.labels = std::move(labels);
+  out.clusters.resize(k);
+  // Traditional clustering: every axis is "relevant" by construction.
+  for (ClusterInfo& info : out.clusters) info.relevant_axes.assign(d, true);
+  return out;
+}
+
+}  // namespace mrcc

@@ -1,0 +1,40 @@
+// Standard k-means — the "traditional clustering" strawman of the
+// paper's introduction.
+//
+// §I argues that full-dimensional methods "often fail to produce
+// acceptable results when data dimensionality raises above ten or so"
+// because distances concentrate and irrelevant axes drown the signal.
+// This Lloyd's-algorithm implementation (k-means++-style farthest-point
+// seeding, all axes weighted equally) exists to make that argument
+// measurable: see examples/curse_of_dimensionality.cpp.
+
+#ifndef MRCC_BASELINES_KMEANS_H_
+#define MRCC_BASELINES_KMEANS_H_
+
+#include <cstdint>
+
+#include "core/subspace_clusterer.h"
+
+namespace mrcc {
+
+struct KMeansParams {
+  size_t num_clusters = 5;
+  int max_iterations = 100;
+  double tolerance = 1e-6;
+  uint64_t seed = 7;
+};
+
+class KMeans : public SubspaceClusterer {
+ public:
+  explicit KMeans(KMeansParams params = KMeansParams());
+
+  std::string name() const override { return "k-means"; }
+  Result<Clustering> Cluster(const Dataset& data) override;
+
+ private:
+  KMeansParams params_;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_BASELINES_KMEANS_H_

@@ -1,0 +1,162 @@
+#include "baselines/lac.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mrcc {
+namespace {
+
+// Weighted squared L2 distance between point i and centroid c.
+double WeightedDistance(const Dataset& data, size_t i,
+                        const std::vector<double>& centroid,
+                        const std::vector<double>& weights) {
+  double acc = 0.0;
+  const auto p = data.Point(i);
+  for (size_t j = 0; j < p.size(); ++j) {
+    const double diff = p[j] - centroid[j];
+    acc += weights[j] * diff * diff;
+  }
+  return acc;
+}
+
+// Well-scattered initialization: first centroid random, each next centroid
+// is the point maximizing its distance to the closest chosen centroid
+// (evaluated on a sample for large datasets).
+std::vector<std::vector<double>> InitCentroids(const Dataset& data, size_t k,
+                                               Rng& rng) {
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  const size_t sample_size = std::min<size_t>(n, 2000);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(n, sample_size);
+
+  std::vector<std::vector<double>> centroids;
+  std::vector<double> unit(d, 1.0);
+  size_t first = sample[rng.UniformInt(sample.size())];
+  centroids.emplace_back(data.Point(first).begin(), data.Point(first).end());
+  std::vector<double> closest(sample.size(),
+                              std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    size_t best_idx = sample[0];
+    double best_dist = -1.0;
+    for (size_t s = 0; s < sample.size(); ++s) {
+      closest[s] = std::min(
+          closest[s], WeightedDistance(data, sample[s], centroids.back(), unit));
+      if (closest[s] > best_dist) {
+        best_dist = closest[s];
+        best_idx = sample[s];
+      }
+    }
+    centroids.emplace_back(data.Point(best_idx).begin(),
+                           data.Point(best_idx).end());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Lac::Lac(LacParams params) : params_(params) {}
+
+Result<Clustering> Lac::Cluster(const Dataset& data) {
+  StartClock();
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  const size_t k = std::min(params_.num_clusters, n);
+  if (k == 0) return Status::InvalidArgument("LAC requires num_clusters > 0");
+  if (params_.one_over_h <= 0) {
+    return Status::InvalidArgument("LAC requires 1/h >= 1");
+  }
+  const double h = 1.0 / static_cast<double>(params_.one_over_h);
+
+  Rng rng(params_.seed);
+  std::vector<std::vector<double>> centroids = InitCentroids(data, k, rng);
+  std::vector<std::vector<double>> weights(
+      k, std::vector<double>(d, 1.0 / static_cast<double>(d)));
+  std::vector<int> labels(n, 0);
+
+  for (int iter = 0; iter < params_.max_iterations; ++iter) {
+    if (TimeExpired()) return TimeoutStatus();
+
+    // Assignment step: nearest centroid under the cluster's own weights.
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double dist = WeightedDistance(data, i, centroids[c], weights[c]);
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<int>(c);
+        }
+      }
+      labels[i] = best_c;
+    }
+
+    // Per-cluster, per-axis average squared distance X_lj.
+    std::vector<std::vector<double>> x(k, std::vector<double>(d, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(labels[i]);
+      ++counts[c];
+      const auto p = data.Point(i);
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = p[j] - centroids[c][j];
+        x[c][j] += diff * diff;
+      }
+    }
+
+    // Weight update: w_lj ∝ exp(-X_lj / h), normalized per cluster.
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Empty cluster keeps its weights.
+      double max_exponent = -std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < d; ++j) {
+        x[c][j] /= static_cast<double>(counts[c]);
+        max_exponent = std::max(max_exponent, -x[c][j] / h);
+      }
+      double total = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        weights[c][j] = std::exp(-x[c][j] / h - max_exponent);
+        total += weights[c][j];
+      }
+      for (size_t j = 0; j < d; ++j) weights[c][j] /= total;
+    }
+
+    // Centroid update; track movement for convergence.
+    std::vector<std::vector<double>> next(k, std::vector<double>(d, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(labels[i]);
+      const auto p = data.Point(i);
+      for (size_t j = 0; j < d; ++j) next[c][j] += p[j];
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t j = 0; j < d; ++j) {
+        next[c][j] /= static_cast<double>(counts[c]);
+        movement += std::fabs(next[c][j] - centroids[c][j]);
+      }
+      centroids[c] = next[c];
+    }
+    if (movement < params_.tolerance) break;
+  }
+
+  Clustering out;
+  out.labels = std::move(labels);
+  out.clusters.resize(k);
+  const double uniform = 1.0 / static_cast<double>(d);
+  for (size_t c = 0; c < k; ++c) {
+    out.clusters[c].axis_weights = weights[c];
+    // LAC only weights axes; expose above-average weight as a coarse
+    // relevance indication (the paper excludes LAC from Subspaces Quality).
+    out.clusters[c].relevant_axes.assign(d, false);
+    for (size_t j = 0; j < d; ++j) {
+      if (weights[c][j] > uniform) out.clusters[c].relevant_axes[j] = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace mrcc

@@ -1,0 +1,205 @@
+#include "baselines/orclus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/linalg.h"
+#include "common/rng.h"
+
+namespace mrcc {
+namespace {
+
+// One seed/cluster: centroid + the basis of its "thin" subspace (the
+// eigenvectors with the smallest eigenvalues, stored as columns).
+struct OrclusSeed {
+  std::vector<double> centroid;
+  Matrix basis;  // d x l_current.
+};
+
+// Squared distance of point p to the seed, measured inside the seed's
+// subspace: || B^T (p - centroid) ||^2.
+double ProjectedDistance(std::span<const double> p, const OrclusSeed& seed) {
+  const size_t d = seed.centroid.size();
+  const size_t l = seed.basis.cols();
+  double acc = 0.0;
+  for (size_t c = 0; c < l; ++c) {
+    double dot = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      dot += seed.basis(j, c) * (p[j] - seed.centroid[j]);
+    }
+    acc += dot * dot;
+  }
+  return acc;
+}
+
+// Recomputes a seed's subspace: the l eigenvectors of the member
+// covariance with the smallest eigenvalues.
+void Redefine(const Dataset& data, const std::vector<size_t>& members,
+              size_t l, OrclusSeed* seed) {
+  const size_t d = data.NumDims();
+  if (members.size() < 2) {
+    seed->basis = Matrix::Identity(d);
+    // Trim to l columns (arbitrary axes; the seed is nearly empty anyway).
+    Matrix trimmed(d, l);
+    for (size_t j = 0; j < d; ++j) {
+      for (size_t c = 0; c < l; ++c) trimmed(j, c) = seed->basis(j, c);
+    }
+    seed->basis = std::move(trimmed);
+    return;
+  }
+  Matrix points(members.size(), d);
+  for (size_t r = 0; r < members.size(); ++r) {
+    for (size_t j = 0; j < d; ++j) points(r, j) = data(members[r], j);
+  }
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;
+  SymmetricEigen(Covariance(points), &eigenvalues, &eigenvectors);
+  // Eigenpairs come sorted descending; take the last l columns (smallest).
+  Matrix basis(d, l);
+  for (size_t c = 0; c < l; ++c) {
+    const size_t src = d - l + c;
+    for (size_t j = 0; j < d; ++j) basis(j, c) = eigenvectors(j, src);
+  }
+  seed->basis = std::move(basis);
+}
+
+}  // namespace
+
+Orclus::Orclus(OrclusParams params) : params_(params) {}
+
+Result<Clustering> Orclus::Cluster(const Dataset& data) {
+  StartClock();
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  const size_t k = std::min(params_.num_clusters, n);
+  if (k == 0) {
+    return Status::InvalidArgument("ORCLUS requires num_clusters > 0");
+  }
+  size_t l = params_.subspace_dims > 0 ? params_.subspace_dims
+                                       : std::max<size_t>(1, d / 2);
+  l = std::min(l, d);
+  if (!(params_.merge_factor > 0.0 && params_.merge_factor < 1.0)) {
+    return Status::InvalidArgument("merge_factor must be in (0, 1)");
+  }
+
+  Rng rng(params_.seed);
+  size_t kc = std::min(n, std::max(k, params_.seed_factor * k));
+  size_t lc = d;
+  std::vector<size_t> init = rng.SampleWithoutReplacement(n, kc);
+  std::vector<OrclusSeed> seeds(kc);
+  for (size_t s = 0; s < kc; ++s) {
+    const auto p = data.Point(init[s]);
+    seeds[s].centroid.assign(p.begin(), p.end());
+    seeds[s].basis = Matrix::Identity(d);
+  }
+
+  std::vector<int> labels(n, 0);
+  // Number of shrink iterations until kc reaches k.
+  const size_t iterations = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(
+             std::log(static_cast<double>(k) / static_cast<double>(kc)) /
+             std::log(params_.merge_factor))));
+  for (size_t iter = 0; iter <= iterations; ++iter) {
+    if (TimeExpired()) return TimeoutStatus();
+
+    // Assignment in each seed's current subspace.
+    std::vector<std::vector<size_t>> members(seeds.size());
+    for (size_t i = 0; i < n; ++i) {
+      const auto p = data.Point(i);
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_s = 0;
+      for (size_t s = 0; s < seeds.size(); ++s) {
+        const double dist = ProjectedDistance(p, seeds[s]);
+        if (dist < best) {
+          best = dist;
+          best_s = s;
+        }
+      }
+      labels[i] = static_cast<int>(best_s);
+      members[best_s].push_back(i);
+    }
+
+    // Centroid + subspace update.
+    for (size_t s = 0; s < seeds.size(); ++s) {
+      if (members[s].empty()) continue;
+      std::fill(seeds[s].centroid.begin(), seeds[s].centroid.end(), 0.0);
+      for (size_t i : members[s]) {
+        const auto p = data.Point(i);
+        for (size_t j = 0; j < d; ++j) seeds[s].centroid[j] += p[j];
+      }
+      for (size_t j = 0; j < d; ++j) {
+        seeds[s].centroid[j] /= static_cast<double>(members[s].size());
+      }
+      Redefine(data, members[s], lc, &seeds[s]);
+    }
+
+    if (iter == iterations) break;
+
+    // Shrink: merge closest centroid pairs until the new seed count.
+    const size_t k_next = std::max(
+        k, static_cast<size_t>(std::floor(static_cast<double>(seeds.size()) *
+                                          params_.merge_factor)));
+    const size_t l_next = std::max(
+        l, static_cast<size_t>(std::llround(
+               static_cast<double>(d) -
+               static_cast<double>(d - l) * (iter + 1.0) / iterations)));
+    while (seeds.size() > k_next) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_a = 0, best_b = 1;
+      for (size_t a = 0; a < seeds.size(); ++a) {
+        for (size_t b = a + 1; b < seeds.size(); ++b) {
+          double dist = 0.0;
+          for (size_t j = 0; j < d; ++j) {
+            const double diff = seeds[a].centroid[j] - seeds[b].centroid[j];
+            dist += diff * diff;
+          }
+          if (dist < best) {
+            best = dist;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      const size_t na = members[best_a].size();
+      const size_t nb = members[best_b].size();
+      const double total = static_cast<double>(std::max<size_t>(1, na + nb));
+      for (size_t j = 0; j < d; ++j) {
+        seeds[best_a].centroid[j] =
+            (seeds[best_a].centroid[j] * static_cast<double>(na) +
+             seeds[best_b].centroid[j] * static_cast<double>(nb)) /
+            total;
+      }
+      members[best_a].insert(members[best_a].end(), members[best_b].begin(),
+                             members[best_b].end());
+      Redefine(data, members[best_a], lc, &seeds[best_a]);
+      seeds.erase(seeds.begin() + static_cast<int64_t>(best_b));
+      members.erase(members.begin() + static_cast<int64_t>(best_b));
+    }
+    lc = l_next;
+    for (size_t s = 0; s < seeds.size(); ++s) {
+      if (!members[s].empty()) Redefine(data, members[s], lc, &seeds[s]);
+    }
+  }
+
+  Clustering out;
+  out.labels = std::move(labels);
+  out.clusters.resize(seeds.size());
+  for (size_t s = 0; s < seeds.size(); ++s) {
+    ClusterInfo& info = out.clusters[s];
+    // Oriented subspaces: report per-axis energy of the basis as weights;
+    // every axis is formally "relevant" (subspace is not axis-aligned).
+    info.relevant_axes.assign(d, true);
+    info.axis_weights.assign(d, 0.0);
+    for (size_t j = 0; j < d; ++j) {
+      for (size_t c = 0; c < seeds[s].basis.cols(); ++c) {
+        info.axis_weights[j] += seeds[s].basis(j, c) * seeds[s].basis(j, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mrcc

@@ -1,0 +1,58 @@
+// ORCLUS — Finding Generalized Projected Clusters in High Dimensional
+// Spaces (Aggarwal & Yu, SIGMOD 2000).
+//
+// Included as the classic method for clusters in *arbitrarily oriented*
+// subspaces (the paper's §II discusses it as the successor of PROCLUS able
+// to handle linear combinations of axes — the rotated-data experiments).
+// The algorithm starts from k0 >> k seeds and alternates:
+//   assign    each point joins the seed with the smallest distance in the
+//             seed's current subspace (the eigenvectors of the cluster's
+//             covariance with the *smallest* eigenvalues — where the
+//             cluster is thin);
+//   redefine  per-cluster subspaces from the new members;
+//   merge     the closest cluster pairs, shrinking the seed count toward k
+//             while the subspace dimensionality decays toward l.
+//
+// Reported clusters carry oriented subspaces, so axis-aligned relevant
+// axes are not well-defined; like LAC, ORCLUS is excluded from Subspaces
+// Quality and reports per-axis weights (energy of the subspace basis).
+
+#ifndef MRCC_BASELINES_ORCLUS_H_
+#define MRCC_BASELINES_ORCLUS_H_
+
+#include <cstdint>
+
+#include "core/subspace_clusterer.h"
+
+namespace mrcc {
+
+struct OrclusParams {
+  /// Final number of clusters.
+  size_t num_clusters = 5;
+
+  /// Target subspace dimensionality l (0 = half the data dims).
+  size_t subspace_dims = 0;
+
+  /// Initial seed multiplier: k0 = seed_factor * k.
+  size_t seed_factor = 5;
+
+  /// Seed-count decay per iteration (the paper's alpha = 0.5).
+  double merge_factor = 0.5;
+
+  uint64_t seed = 7;
+};
+
+class Orclus : public SubspaceClusterer {
+ public:
+  explicit Orclus(OrclusParams params = OrclusParams());
+
+  std::string name() const override { return "ORCLUS"; }
+  Result<Clustering> Cluster(const Dataset& data) override;
+
+ private:
+  OrclusParams params_;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_BASELINES_ORCLUS_H_

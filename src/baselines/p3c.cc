@@ -1,0 +1,235 @@
+#include "baselines/p3c.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace mrcc {
+namespace {
+
+// A relevant interval on one attribute: [lo, hi) in value space plus the
+// sorted ids of the points falling inside it.
+struct Interval {
+  size_t attr = 0;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<uint32_t> members;
+};
+
+// A p-signature: intervals on distinct attributes plus its support set.
+struct Signature {
+  std::vector<uint32_t> intervals;  // Indices into the interval table.
+  std::vector<uint32_t> support;
+  uint64_t attr_mask = 0;
+};
+
+// Sorted intersection of two id lists.
+std::vector<uint32_t> Intersect(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Chi-square uniformity p-value for bin counts restricted to `active`.
+double UniformityPValue(const std::vector<uint32_t>& counts,
+                        const std::vector<bool>& active) {
+  size_t bins = 0;
+  uint64_t total = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (active[b]) {
+      ++bins;
+      total += counts[b];
+    }
+  }
+  if (bins < 2 || total == 0) return 1.0;
+  const double expected = static_cast<double>(total) / bins;
+  double chi2 = 0.0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (active[b]) {
+      const double diff = static_cast<double>(counts[b]) - expected;
+      chi2 += diff * diff / expected;
+    }
+  }
+  return ChiSquareSurvival(static_cast<double>(bins - 1), chi2);
+}
+
+}  // namespace
+
+P3c::P3c(P3cParams params) : params_(params) {}
+
+Result<Clustering> P3c::Cluster(const Dataset& data) {
+  StartClock();
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  if (d > 62) return Status::InvalidArgument("P3C supports d <= 62");
+
+  // Sturges' rule.
+  const size_t bins = std::max<size_t>(
+      4, 1 + static_cast<size_t>(std::ceil(std::log2(std::max<size_t>(2, n)))));
+
+  // Phase 1: relevant intervals per attribute.
+  std::vector<Interval> intervals;
+  for (size_t j = 0; j < d; ++j) {
+    if (TimeExpired()) return TimeoutStatus();
+    std::vector<uint32_t> counts(bins, 0);
+    std::vector<std::vector<uint32_t>> bin_members(bins);
+    for (size_t i = 0; i < n; ++i) {
+      size_t b = static_cast<size_t>(data(i, j) * static_cast<double>(bins));
+      if (b >= bins) b = bins - 1;
+      ++counts[b];
+      bin_members[b].push_back(static_cast<uint32_t>(i));
+    }
+
+    // Peel the largest bins until the remainder looks uniform.
+    std::vector<bool> active(bins, true);
+    std::vector<bool> marked(bins, false);
+    while (UniformityPValue(counts, active) < params_.chi_square_alpha) {
+      size_t best = bins;
+      uint32_t best_count = 0;
+      for (size_t b = 0; b < bins; ++b) {
+        if (active[b] && counts[b] >= best_count) {
+          best_count = counts[b];
+          best = b;
+        }
+      }
+      if (best == bins) break;
+      active[best] = false;
+      marked[best] = true;
+    }
+
+    // Merge adjacent marked bins into intervals.
+    size_t b = 0;
+    while (b < bins) {
+      if (!marked[b]) {
+        ++b;
+        continue;
+      }
+      size_t end = b;
+      while (end + 1 < bins && marked[end + 1]) ++end;
+      Interval iv;
+      iv.attr = j;
+      iv.lo = static_cast<double>(b) / bins;
+      iv.hi = static_cast<double>(end + 1) / bins;
+      for (size_t bb = b; bb <= end; ++bb) {
+        iv.members.insert(iv.members.end(), bin_members[bb].begin(),
+                          bin_members[bb].end());
+      }
+      std::sort(iv.members.begin(), iv.members.end());
+      if (iv.members.size() >= params_.min_support) {
+        intervals.push_back(std::move(iv));
+      }
+      b = end + 1;
+    }
+  }
+
+  Clustering out;
+  out.labels.assign(n, kNoiseLabel);
+  if (intervals.empty()) return out;
+
+  // Phase 2: apriori-style signature growth with the Poisson expectation
+  // test. Width of an interval = its marginal support fraction, so the
+  // expected joint support under independence is n * prod(fractions).
+  std::vector<Signature> current;
+  for (uint32_t ivid = 0; ivid < intervals.size(); ++ivid) {
+    Signature s;
+    s.intervals.assign(1, ivid);
+    s.support = intervals[ivid].members;
+    s.attr_mask = uint64_t{1} << intervals[ivid].attr;
+    current.push_back(std::move(s));
+  }
+  std::vector<Signature> maximal;
+  while (!current.empty()) {
+    if (TimeExpired()) return TimeoutStatus();
+    std::vector<Signature> next;
+    std::vector<bool> extended(current.size(), false);
+    for (size_t s = 0; s < current.size(); ++s) {
+      const Signature& sig = current[s];
+      for (uint32_t ivid = sig.intervals.back() + 1;
+           ivid < intervals.size(); ++ivid) {
+        const Interval& iv = intervals[ivid];
+        if ((sig.attr_mask >> iv.attr) & 1) continue;  // Attr already bound.
+        std::vector<uint32_t> joint = Intersect(sig.support, iv.members);
+        if (joint.size() < params_.min_support) continue;
+        // Expected joint support under independence.
+        const double expected = static_cast<double>(sig.support.size()) *
+                                static_cast<double>(iv.members.size()) /
+                                static_cast<double>(n);
+        const double tail =
+            PoissonSurvival(expected, static_cast<int64_t>(joint.size()));
+        if (tail >= params_.poisson_threshold) continue;
+        Signature grown;
+        grown.intervals = sig.intervals;
+        grown.intervals.push_back(ivid);
+        grown.support = std::move(joint);
+        grown.attr_mask = sig.attr_mask | (uint64_t{1} << iv.attr);
+        next.push_back(std::move(grown));
+        extended[s] = true;
+        if (next.size() > params_.max_signatures) break;
+      }
+      if (next.size() > params_.max_signatures) break;
+    }
+    for (size_t s = 0; s < current.size(); ++s) {
+      if (!extended[s] && current[s].intervals.size() >= 2) {
+        maximal.push_back(std::move(current[s]));
+      }
+    }
+    if (next.size() > params_.max_signatures) {
+      // Lattice blow-up: keep the largest-support half and continue.
+      std::sort(next.begin(), next.end(),
+                [](const Signature& a, const Signature& b) {
+                  return a.support.size() > b.support.size();
+                });
+      next.resize(params_.max_signatures / 2);
+    }
+    current = std::move(next);
+  }
+  if (maximal.empty()) return out;
+
+  // Deduplicate cores: drop signatures whose support is (almost) contained
+  // in a larger one's; then assign points to the most specific core.
+  std::sort(maximal.begin(), maximal.end(),
+            [](const Signature& a, const Signature& b) {
+              if (a.intervals.size() != b.intervals.size()) {
+                return a.intervals.size() > b.intervals.size();
+              }
+              return a.support.size() > b.support.size();
+            });
+  std::vector<Signature> cores;
+  for (Signature& sig : maximal) {
+    bool redundant = false;
+    for (const Signature& core : cores) {
+      const size_t overlap = Intersect(core.support, sig.support).size();
+      if (static_cast<double>(overlap) >=
+          0.5 * static_cast<double>(sig.support.size())) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) cores.push_back(std::move(sig));
+  }
+
+  out.clusters.resize(cores.size());
+  for (size_t c = 0; c < cores.size(); ++c) {
+    ClusterInfo& info = out.clusters[c];
+    info.relevant_axes.assign(d, false);
+    for (uint32_t ivid : cores[c].intervals) {
+      info.relevant_axes[intervals[ivid].attr] = true;
+    }
+    for (uint32_t i : cores[c].support) {
+      // Most specific core wins: cores are sorted by dimensionality, so
+      // only unlabeled points are claimed.
+      if (out.labels[i] == kNoiseLabel) {
+        out.labels[i] = static_cast<int>(c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mrcc

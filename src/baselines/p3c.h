@@ -1,0 +1,48 @@
+// P3C — Robust Projected Clustering (Moise, Sander & Ester, KIS 2008).
+//
+// A statistical bottom-up method. Per attribute, the value range is binned
+// (Sturges' rule) and a chi-square uniformity test iteratively peels off
+// the highest bins until the remainder looks uniform; the peeled, merged
+// bins form the attribute's relevant intervals. Intervals are combined
+// apriori-style into p-signatures: an interval extends a signature only if
+// the observed joint support is significantly larger than expected under
+// independence, judged by a Poisson tail at the user's Poisson threshold
+// (the parameter the paper sweeps from 1e-1 to 1e-15). Maximal signatures
+// become cluster cores; points are assigned to the most specific core that
+// contains them, the rest is noise.
+
+#ifndef MRCC_BASELINES_P3C_H_
+#define MRCC_BASELINES_P3C_H_
+
+#include "core/subspace_clusterer.h"
+
+namespace mrcc {
+
+struct P3cParams {
+  /// Significance of the chi-square uniformity test per attribute.
+  double chi_square_alpha = 0.001;
+
+  /// Poisson tail threshold for accepting a signature extension.
+  double poisson_threshold = 1e-5;
+
+  /// Minimum points supporting a signature (absolute floor).
+  size_t min_support = 8;
+
+  /// Caps the signature lattice to keep the combinatorial phase bounded.
+  size_t max_signatures = 20000;
+};
+
+class P3c : public SubspaceClusterer {
+ public:
+  explicit P3c(P3cParams params = P3cParams());
+
+  std::string name() const override { return "P3C"; }
+  Result<Clustering> Cluster(const Dataset& data) override;
+
+ private:
+  P3cParams params_;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_BASELINES_P3C_H_

@@ -1,0 +1,281 @@
+#include "baselines/proclus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mrcc {
+namespace {
+
+double EuclideanDistance(const Dataset& data, size_t a, size_t b) {
+  double acc = 0.0;
+  const auto pa = data.Point(a);
+  const auto pb = data.Point(b);
+  for (size_t j = 0; j < pa.size(); ++j) {
+    const double diff = pa[j] - pb[j];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+// Manhattan segmental distance: average L1 distance over the cluster's
+// selected dimensions.
+double SegmentalDistance(const Dataset& data, size_t point, size_t medoid,
+                         const std::vector<bool>& dims) {
+  double acc = 0.0;
+  size_t count = 0;
+  const auto p = data.Point(point);
+  const auto m = data.Point(medoid);
+  for (size_t j = 0; j < p.size(); ++j) {
+    if (dims[j]) {
+      acc += std::fabs(p[j] - m[j]);
+      ++count;
+    }
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+// Greedy farthest-point thinning of `sample` down to `count` candidates.
+std::vector<size_t> GreedyCandidates(const Dataset& data,
+                                     const std::vector<size_t>& sample,
+                                     size_t count, Rng& rng) {
+  std::vector<size_t> chosen;
+  chosen.push_back(sample[rng.UniformInt(sample.size())]);
+  std::vector<double> closest(sample.size(),
+                              std::numeric_limits<double>::infinity());
+  while (chosen.size() < count) {
+    size_t best = sample[0];
+    double best_dist = -1.0;
+    for (size_t s = 0; s < sample.size(); ++s) {
+      closest[s] =
+          std::min(closest[s], EuclideanDistance(data, sample[s], chosen.back()));
+      if (closest[s] > best_dist) {
+        best_dist = closest[s];
+        best = sample[s];
+      }
+    }
+    chosen.push_back(best);
+  }
+  return chosen;
+}
+
+struct DimensionSelection {
+  std::vector<std::vector<bool>> dims;  // Per cluster.
+};
+
+// The original FindDimensions: per medoid locality, compute average
+// distance X_ij along each axis, standardize per medoid
+// (Z_ij = (X_ij - Y_i) / sigma_i) and greedily pick the k*l most negative
+// scores, at least 2 per medoid.
+DimensionSelection FindDimensions(const Dataset& data,
+                                  const std::vector<size_t>& medoids,
+                                  size_t total_dims_budget) {
+  const size_t k = medoids.size();
+  const size_t d = data.NumDims();
+  const size_t n = data.NumPoints();
+
+  // Locality of medoid i: points within delta_i = min distance to another
+  // medoid.
+  std::vector<double> delta(k, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (i != j) {
+        delta[i] =
+            std::min(delta[i], EuclideanDistance(data, medoids[i], medoids[j]));
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> x(k, std::vector<double>(d, 0.0));
+  std::vector<size_t> counts(k, 0);
+  for (size_t p = 0; p < n; ++p) {
+    for (size_t i = 0; i < k; ++i) {
+      if (EuclideanDistance(data, p, medoids[i]) <= delta[i]) {
+        ++counts[i];
+        const auto point = data.Point(p);
+        const auto m = data.Point(medoids[i]);
+        for (size_t j = 0; j < d; ++j) x[i][j] += std::fabs(point[j] - m[j]);
+      }
+    }
+  }
+
+  struct Score {
+    double z;
+    size_t cluster;
+    size_t dim;
+  };
+  std::vector<Score> scores;
+  scores.reserve(k * d);
+  for (size_t i = 0; i < k; ++i) {
+    const double denom = counts[i] > 0 ? static_cast<double>(counts[i]) : 1.0;
+    double mean = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      x[i][j] /= denom;
+      mean += x[i][j];
+    }
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = x[i][j] - mean;
+      var += diff * diff;
+    }
+    const double sigma = std::sqrt(var / std::max<size_t>(1, d - 1));
+    for (size_t j = 0; j < d; ++j) {
+      const double z = sigma > 0.0 ? (x[i][j] - mean) / sigma : 0.0;
+      scores.push_back({z, i, j});
+    }
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const Score& a, const Score& b) { return a.z < b.z; });
+
+  DimensionSelection sel;
+  sel.dims.assign(k, std::vector<bool>(d, false));
+  std::vector<size_t> taken(k, 0);
+  size_t total_taken = 0;
+
+  // First ensure two dimensions per cluster, then greedily fill the budget.
+  for (size_t need = 1; need <= 2; ++need) {
+    for (const Score& s : scores) {
+      if (taken[s.cluster] < need && !sel.dims[s.cluster][s.dim]) {
+        sel.dims[s.cluster][s.dim] = true;
+        ++taken[s.cluster];
+        ++total_taken;
+      }
+    }
+  }
+  for (const Score& s : scores) {
+    if (total_taken >= total_dims_budget) break;
+    if (!sel.dims[s.cluster][s.dim]) {
+      sel.dims[s.cluster][s.dim] = true;
+      ++taken[s.cluster];
+      ++total_taken;
+    }
+  }
+  return sel;
+}
+
+// Assignment by Manhattan segmental distance; returns total dispersion
+// (the hill-climbing objective).
+double AssignPoints(const Dataset& data, const std::vector<size_t>& medoids,
+                    const DimensionSelection& sel, std::vector<int>* labels) {
+  const size_t n = data.NumPoints();
+  const size_t k = medoids.size();
+  labels->assign(n, 0);
+  double objective = 0.0;
+  for (size_t p = 0; p < n; ++p) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_c = 0;
+    for (size_t i = 0; i < k; ++i) {
+      const double dist = SegmentalDistance(data, p, medoids[i], sel.dims[i]);
+      if (dist < best) {
+        best = dist;
+        best_c = static_cast<int>(i);
+      }
+    }
+    (*labels)[p] = best_c;
+    objective += best;
+  }
+  return objective;
+}
+
+}  // namespace
+
+Proclus::Proclus(ProclusParams params) : params_(params) {}
+
+Result<Clustering> Proclus::Cluster(const Dataset& data) {
+  StartClock();
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  const size_t k = std::min(params_.num_clusters, n);
+  if (k == 0) {
+    return Status::InvalidArgument("PROCLUS requires num_clusters > 0");
+  }
+  size_t l = params_.avg_dims > 0 ? params_.avg_dims : std::max<size_t>(2, d / 2);
+  l = std::min(l, d);
+
+  Rng rng(params_.seed);
+  const size_t sample_size = std::min(n, params_.sample_factor_a * k);
+  const size_t candidate_count =
+      std::min(sample_size, std::max(k, params_.candidate_factor_b * k));
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(n, sample_size);
+  std::vector<size_t> candidates =
+      GreedyCandidates(data, sample, candidate_count, rng);
+
+  // Initial medoids: random k of the candidates.
+  std::vector<size_t> medoid_idx = rng.SampleWithoutReplacement(candidates.size(), k);
+  std::vector<size_t> medoids(k);
+  for (size_t i = 0; i < k; ++i) medoids[i] = candidates[medoid_idx[i]];
+
+  std::vector<int> labels;
+  DimensionSelection best_sel = FindDimensions(data, medoids, k * l);
+  double best_objective = AssignPoints(data, medoids, best_sel, &labels);
+  std::vector<size_t> best_medoids = medoids;
+  std::vector<int> best_labels = labels;
+
+  // Hill climbing: replace the medoid of the smallest cluster by a random
+  // unused candidate; keep the swap when the dispersion improves.
+  int bad_swaps = 0;
+  while (bad_swaps < params_.max_bad_swaps) {
+    if (TimeExpired()) return TimeoutStatus();
+    std::vector<size_t> sizes(k, 0);
+    for (int c : best_labels) ++sizes[static_cast<size_t>(c)];
+    const size_t worst = static_cast<size_t>(
+        std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+    medoids = best_medoids;
+    size_t replacement = candidates[rng.UniformInt(candidates.size())];
+    if (std::find(medoids.begin(), medoids.end(), replacement) !=
+        medoids.end()) {
+      ++bad_swaps;
+      continue;
+    }
+    medoids[worst] = replacement;
+
+    DimensionSelection sel = FindDimensions(data, medoids, k * l);
+    const double objective = AssignPoints(data, medoids, sel, &labels);
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_medoids = medoids;
+      best_labels = labels;
+      best_sel = std::move(sel);
+      bad_swaps = 0;
+    } else {
+      ++bad_swaps;
+    }
+  }
+
+  // Refinement: recompute dimensions from the final clusters and flag
+  // outliers outside every cluster's sphere of influence (the smallest
+  // segmental distance from its medoid to another medoid).
+  std::vector<double> influence(k, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (i != j) {
+        influence[i] = std::min(
+            influence[i], SegmentalDistance(data, best_medoids[j],
+                                            best_medoids[i], best_sel.dims[i]));
+      }
+    }
+  }
+  for (size_t p = 0; p < n; ++p) {
+    const size_t c = static_cast<size_t>(best_labels[p]);
+    if (SegmentalDistance(data, p, best_medoids[c], best_sel.dims[c]) >
+        influence[c]) {
+      best_labels[p] = kNoiseLabel;
+    }
+  }
+
+  Clustering out;
+  out.labels = std::move(best_labels);
+  out.clusters.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.clusters[i].relevant_axes = best_sel.dims[i];
+  }
+  return out;
+}
+
+}  // namespace mrcc

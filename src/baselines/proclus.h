@@ -1,0 +1,59 @@
+// PROCLUS — Fast Algorithms for Projected Clustering (Aggarwal et al.,
+// SIGMOD 1999).
+//
+// A k-medoid projected clustering method, the archetypal top-down
+// competitor discussed in the paper's related work. Three phases:
+//   1. Initialization: a random sample is thinned by greedy farthest-point
+//      selection into a candidate medoid set.
+//   2. Iteration: k medoids are drawn from the candidates and hill-climbed
+//      by swapping out the medoid of the worst cluster. For the current
+//      medoids, each medoid's locality (points within its nearest-medoid
+//      radius) selects the cluster's dimensions via the most negative
+//      standardized Z-scores of the per-axis average distances (k*l
+//      dimensions in total, at least 2 per cluster), then points are
+//      assigned by Manhattan segmental distance.
+//   3. Refinement: dimensions are recomputed from the final clusters and
+//      points farther from their medoid than the cluster's sphere of
+//      influence are marked as outliers.
+
+#ifndef MRCC_BASELINES_PROCLUS_H_
+#define MRCC_BASELINES_PROCLUS_H_
+
+#include <cstdint>
+
+#include "core/subspace_clusterer.h"
+
+namespace mrcc {
+
+struct ProclusParams {
+  /// Number of clusters (user parameter in the original method).
+  size_t num_clusters = 5;
+
+  /// Average cluster dimensionality l (>= 2). 0 = half the data dims.
+  size_t avg_dims = 0;
+
+  /// Sample-size multipliers from the original paper (A*k sampled,
+  /// B*k candidate medoids).
+  size_t sample_factor_a = 16;
+  size_t candidate_factor_b = 4;
+
+  /// Hill-climbing stops after this many non-improving swaps.
+  int max_bad_swaps = 20;
+
+  uint64_t seed = 7;
+};
+
+class Proclus : public SubspaceClusterer {
+ public:
+  explicit Proclus(ProclusParams params = ProclusParams());
+
+  std::string name() const override { return "PROCLUS"; }
+  Result<Clustering> Cluster(const Dataset& data) override;
+
+ private:
+  ProclusParams params_;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_BASELINES_PROCLUS_H_

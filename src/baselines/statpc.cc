@@ -1,0 +1,167 @@
+#include "baselines/statpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace mrcc {
+namespace {
+
+// An axis-parallel hyper-rectangle with per-axis activation.
+struct Rect {
+  std::vector<bool> active;
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::vector<uint32_t> support;  // Point ids inside.
+  double log_tail = 0.0;          // log P(X >= support) under uniformity.
+
+  double Volume() const {
+    double v = 1.0;
+    for (size_t j = 0; j < active.size(); ++j) {
+      if (active[j]) v *= upper[j] - lower[j];
+    }
+    return v;
+  }
+};
+
+// Support of `rect` restricted to `candidates`.
+std::vector<uint32_t> SupportOf(const Dataset& data, const Rect& rect,
+                                const std::vector<uint32_t>& candidates) {
+  std::vector<uint32_t> out;
+  for (uint32_t i : candidates) {
+    bool inside = true;
+    for (size_t j = 0; j < rect.active.size() && inside; ++j) {
+      if (!rect.active[j]) continue;
+      const double v = data(i, j);
+      inside = v >= rect.lower[j] && v <= rect.upper[j];
+    }
+    if (inside) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Statpc::Statpc(StatpcParams params) : params_(params) {}
+
+Result<Clustering> Statpc::Cluster(const Dataset& data) {
+  StartClock();
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  if (!(params_.alpha0 > 0.0 && params_.alpha0 < 1.0)) {
+    return Status::InvalidArgument("alpha0 must be in (0, 1)");
+  }
+  if (params_.window <= 0.0 || params_.window >= 0.5) {
+    return Status::InvalidArgument("window must be in (0, 0.5)");
+  }
+  const double log_alpha = std::log(params_.alpha0);
+
+  Rng rng(params_.seed);
+  const size_t anchors = std::min(params_.num_anchors, n);
+  std::vector<size_t> anchor_ids = rng.SampleWithoutReplacement(n, anchors);
+
+  std::vector<uint32_t> everyone(n);
+  for (size_t i = 0; i < n; ++i) everyone[i] = static_cast<uint32_t>(i);
+
+  // Candidate generation: greedy dimension-wise growth around each anchor.
+  std::vector<Rect> candidates;
+  for (size_t anchor : anchor_ids) {
+    if (TimeExpired()) return TimeoutStatus();
+    Rect rect;
+    rect.active.assign(d, false);
+    rect.lower.assign(d, 0.0);
+    rect.upper.assign(d, 1.0);
+    rect.support = everyone;
+
+    // Try dimensions in order of how tightly the anchor's neighborhood
+    // concentrates: smaller local spread first. (Deterministic greedy.)
+    std::vector<size_t> order(d);
+    for (size_t j = 0; j < d; ++j) order[j] = j;
+
+    bool grown = true;
+    while (grown) {
+      grown = false;
+      size_t best_dim = d;
+      double best_log_tail = 1.0;
+      // The extension must also improve on the rectangle's own tail.
+      const double incumbent =
+          rect.Volume() < 1.0
+              ? LogBinomialSurvival(
+                    static_cast<int64_t>(n), rect.Volume(),
+                    static_cast<int64_t>(rect.support.size()))
+              : 0.0;
+      std::vector<uint32_t> best_support;
+      Rect trial = rect;
+      for (size_t j : order) {
+        if (rect.active[j]) continue;
+        const double center = data(anchor, j);
+        trial.active = rect.active;
+        trial.lower = rect.lower;
+        trial.upper = rect.upper;
+        trial.active[j] = true;
+        trial.lower[j] = std::max(0.0, center - params_.window);
+        trial.upper[j] = std::min(1.0, center + params_.window);
+        std::vector<uint32_t> support = SupportOf(data, trial, rect.support);
+        // One-sided significance of the support against uniformity.
+        const double log_tail =
+            LogBinomialSurvival(static_cast<int64_t>(n), trial.Volume(),
+                                static_cast<int64_t>(support.size()));
+        if (log_tail <= log_alpha &&
+            (best_dim == d || log_tail < best_log_tail) &&
+            log_tail < incumbent) {
+          best_dim = j;
+          best_log_tail = log_tail;
+          best_support = std::move(support);
+        }
+      }
+      if (best_dim < d) {
+        rect.active[best_dim] = true;
+        rect.lower[best_dim] =
+            std::max(0.0, data(anchor, best_dim) - params_.window);
+        rect.upper[best_dim] =
+            std::min(1.0, data(anchor, best_dim) + params_.window);
+        rect.support = std::move(best_support);
+        rect.log_tail = best_log_tail;
+        grown = true;
+      }
+    }
+    if (std::count(rect.active.begin(), rect.active.end(), true) >= 2 &&
+        rect.log_tail <= log_alpha) {
+      candidates.push_back(std::move(rect));
+    }
+  }
+
+  // Greedy non-redundant selection: most significant first, must explain
+  // enough new points.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Rect& a, const Rect& b) {
+              return a.log_tail < b.log_tail;
+            });
+  Clustering out;
+  out.labels.assign(n, kNoiseLabel);
+  std::vector<bool> explained(n, false);
+  const size_t min_new = std::max<size_t>(
+      4, static_cast<size_t>(params_.min_new_fraction * static_cast<double>(n)));
+  for (const Rect& rect : candidates) {
+    if (TimeExpired()) return TimeoutStatus();
+    size_t fresh = 0;
+    for (uint32_t i : rect.support) fresh += !explained[i];
+    if (fresh < min_new) continue;
+    const int label = static_cast<int>(out.clusters.size());
+    ClusterInfo info;
+    info.relevant_axes = rect.active;
+    out.clusters.push_back(std::move(info));
+    for (uint32_t i : rect.support) {
+      if (!explained[i]) {
+        explained[i] = true;
+        out.labels[i] = label;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mrcc

@@ -1,0 +1,33 @@
+// Parameter grids from paper §IV-E ("System Configuration").
+//
+// The paper tunes every competitor over a grid of its own parameters and
+// reports the configuration achieving the best Quality per dataset; MrCC
+// runs a single fixed configuration (alpha = 1e-10, H = 4) everywhere.
+// TuningGrid reproduces those grids so the benches can do the same sweep.
+
+#ifndef MRCC_BASELINES_TUNING_GRID_H_
+#define MRCC_BASELINES_TUNING_GRID_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/clusterer.h"
+
+namespace mrcc {
+
+/// One grid entry: a configured method plus a short config label
+/// (e.g. "1/h=7" or "w=0.10,beta=0.25").
+struct TunedCandidate {
+  std::string label;
+  std::unique_ptr<SubspaceClusterer> method;
+};
+
+/// The paper's tuning grid for `name` (single entry for MrCC and HARP).
+/// Unknown names yield an empty vector.
+std::vector<TunedCandidate> TuningGrid(const std::string& name,
+                                       const MethodTuning& tuning);
+
+}  // namespace mrcc
+
+#endif  // MRCC_BASELINES_TUNING_GRID_H_

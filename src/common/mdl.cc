@@ -1,0 +1,47 @@
+#include "common/mdl.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mrcc {
+
+double MdlPartitionCost(const std::vector<double>& values, size_t begin,
+                        size_t end) {
+  assert(begin <= end && end <= values.size());
+  if (begin == end) return 0.0;
+  double mean = 0.0;
+  for (size_t i = begin; i < end; ++i) mean += values[i];
+  mean /= static_cast<double>(end - begin);
+  double cost = std::log2(1.0 + std::fabs(mean));
+  for (size_t i = begin; i < end; ++i) {
+    cost += std::log2(1.0 + std::fabs(values[i] - mean));
+  }
+  return cost;
+}
+
+size_t MdlBestCut(const std::vector<double>& values) {
+  assert(!values.empty());
+  const size_t n = values.size();
+
+  // Prefix sums make each candidate cut O(1) for the means; the deviation
+  // terms still need a pass, giving O(n^2) total. n is the dataset
+  // dimensionality (<= a few dozen), so this is negligible.
+  size_t best_cut = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t p = 0; p < n; ++p) {
+    const double cost =
+        MdlPartitionCost(values, 0, p) + MdlPartitionCost(values, p, n);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_cut = p;
+    }
+  }
+  return best_cut;
+}
+
+double MdlThreshold(const std::vector<double>& sorted_values) {
+  return sorted_values[MdlBestCut(sorted_values)];
+}
+
+}  // namespace mrcc

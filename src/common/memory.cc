@@ -1,0 +1,142 @@
+#include "common/memory.h"
+
+#include <malloc.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace mrcc {
+namespace {
+
+std::atomic<int64_t> g_current_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+
+void UpdatePeak(int64_t current) {
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (current > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, current,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int64_t MemoryTracker::CurrentBytes() {
+  return g_current_bytes.load(std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::PeakBytes() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::ResetPeak() {
+  g_peak_bytes.store(g_current_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+void MemoryTracker::RecordAlloc(size_t bytes) {
+  int64_t current = g_current_bytes.fetch_add(static_cast<int64_t>(bytes),
+                                              std::memory_order_relaxed) +
+                    static_cast<int64_t>(bytes);
+  UpdatePeak(current);
+}
+
+void MemoryTracker::RecordFree(size_t bytes) {
+  g_current_bytes.fetch_sub(static_cast<int64_t>(bytes),
+                            std::memory_order_relaxed);
+}
+
+int64_t PeakRssBytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoll(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace mrcc
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacements feeding the tracker. The actual
+// block size is recovered with malloc_usable_size so frees can be accounted
+// without a per-allocation header.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void* TrackedAlloc(size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  mrcc::MemoryTracker::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+
+void* TrackedAlignedAlloc(size_t size, std::align_val_t align) {
+  const size_t a = static_cast<size_t>(align);
+  // aligned_alloc requires size to be a multiple of alignment.
+  size_t rounded = (size + a - 1) / a * a;
+  void* p = std::aligned_alloc(a, rounded == 0 ? a : rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  mrcc::MemoryTracker::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+
+void TrackedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  mrcc::MemoryTracker::RecordFree(malloc_usable_size(p));
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return TrackedAlloc(size); }
+void* operator new[](size_t size) { return TrackedAlloc(size); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return TrackedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return TrackedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(size_t size, std::align_val_t align) {
+  return TrackedAlignedAlloc(size, align);
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return TrackedAlignedAlloc(size, align);
+}
+
+void operator delete(void* p) noexcept { TrackedFree(p); }
+void operator delete[](void* p) noexcept { TrackedFree(p); }
+void operator delete(void* p, size_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, size_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  TrackedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  TrackedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  TrackedFree(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  TrackedFree(p);
+}

@@ -1,0 +1,63 @@
+// Heap memory accounting for the experiment harness.
+//
+// The paper reports per-method memory consumption (Fig. 5, middle column).
+// We track heap usage two ways:
+//   1. MemoryTracker: a process-wide allocation counter fed by the
+//      overridden global operator new/delete (defined in memory.cc). It
+//      gives current and high-water heap bytes and can be reset between
+//      method runs, which is what the benches report.
+//   2. PeakRssBytes(): the kernel's VmHWM as a cross-check.
+
+#ifndef MRCC_COMMON_MEMORY_H_
+#define MRCC_COMMON_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mrcc {
+
+/// Process-wide heap accounting. All members are thread-safe.
+class MemoryTracker {
+ public:
+  /// Bytes currently allocated through operator new.
+  static int64_t CurrentBytes();
+
+  /// High-water mark of CurrentBytes() since the last ResetPeak().
+  static int64_t PeakBytes();
+
+  /// Resets the high-water mark to the current allocation level.
+  static void ResetPeak();
+
+  // Internal hooks called by the replaced operator new/delete.
+  static void RecordAlloc(size_t bytes);
+  static void RecordFree(size_t bytes);
+};
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or 0 if unavailable.
+int64_t PeakRssBytes();
+
+/// RAII scope that reports the extra peak heap consumed inside it.
+///
+///   MemoryUsageScope scope;
+///   ... run algorithm ...
+///   int64_t bytes = scope.PeakDeltaBytes();
+class MemoryUsageScope {
+ public:
+  MemoryUsageScope() : start_bytes_(MemoryTracker::CurrentBytes()) {
+    MemoryTracker::ResetPeak();
+  }
+
+  /// Peak heap growth (bytes) since construction; never negative.
+  int64_t PeakDeltaBytes() const {
+    int64_t delta = MemoryTracker::PeakBytes() - start_bytes_;
+    return delta > 0 ? delta : 0;
+  }
+
+ private:
+  int64_t start_bytes_;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_COMMON_MEMORY_H_

@@ -1,0 +1,207 @@
+#include "common/stats.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mrcc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTiny = 1e-300;   // Lentz guard against division by zero.
+constexpr double kEps = 1e-15;     // Continued-fraction convergence.
+constexpr int kMaxIter = 500;
+
+// Continued fraction for the incomplete beta function (Lentz's method).
+// Converges quickly when x < (a + 1) / (a + b + 2).
+double BetaContinuedFraction(double a, double b, double x) {
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    // Even step.
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    // Odd step.
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+// log of the front factor x^a (1-x)^b / (a B(a,b)) of the CF expansion.
+double LogBetaPrefactor(double a, double b, double x) {
+  return a * std::log(x) + b * std::log1p(-x) - std::log(a) - LogBeta(a, b);
+}
+
+// Series expansion for the regularized lower incomplete gamma P(a, x),
+// valid for x < a + 1.
+double GammaPSeries(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < kMaxIter; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued fraction for the regularized upper incomplete gamma Q(a, x),
+// valid for x >= a + 1 (Lentz's method).
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+}  // namespace
+
+double LogGamma(double x) {
+  assert(x > 0.0);
+  return std::lgamma(x);
+}
+
+double LogBeta(double a, double b) {
+  return LogGamma(a) + LogGamma(b) - LogGamma(a + b);
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  assert(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return std::exp(LogBetaPrefactor(a, b, x)) * BetaContinuedFraction(a, b, x);
+  }
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a), with the complement in the
+  // fast-converging regime.
+  return 1.0 - std::exp(LogBetaPrefactor(b, a, 1.0 - x)) *
+                   BetaContinuedFraction(b, a, 1.0 - x);
+}
+
+double LogRegularizedIncompleteBeta(double a, double b, double x) {
+  assert(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return -kInf;
+  if (x >= 1.0) return 0.0;
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return LogBetaPrefactor(a, b, x) +
+           std::log(BetaContinuedFraction(a, b, x));
+  }
+  // Complement underflows only when I_x is ~1, where log1p is exact enough.
+  const double comp = std::exp(LogBetaPrefactor(b, a, 1.0 - x)) *
+                      BetaContinuedFraction(b, a, 1.0 - x);
+  return std::log1p(-comp);
+}
+
+double RegularizedGammaP(double a, double x) {
+  assert(a > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  assert(a > 0.0);
+  if (x <= 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double BinomialSurvival(int64_t n, double p, int64_t k) {
+  assert(n >= 0 && p >= 0.0 && p <= 1.0);
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  return RegularizedIncompleteBeta(static_cast<double>(k),
+                                   static_cast<double>(n - k + 1), p);
+}
+
+double LogBinomialSurvival(int64_t n, double p, int64_t k) {
+  assert(n >= 0 && p >= 0.0 && p <= 1.0);
+  if (k <= 0) return 0.0;
+  if (k > n) return -kInf;
+  if (p <= 0.0) return -kInf;
+  if (p >= 1.0) return 0.0;
+  return LogRegularizedIncompleteBeta(static_cast<double>(k),
+                                      static_cast<double>(n - k + 1), p);
+}
+
+double BinomialPmf(int64_t n, double p, int64_t k) {
+  if (k < 0 || k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double lognck = LogGamma(n + 1.0) - LogGamma(k + 1.0) -
+                        LogGamma(static_cast<double>(n - k) + 1.0);
+  return std::exp(lognck + k * std::log(p) +
+                  static_cast<double>(n - k) * std::log1p(-p));
+}
+
+int64_t BinomialCriticalValue(int64_t n, double p, double alpha) {
+  assert(alpha > 0.0 && alpha < 1.0);
+  const double log_alpha = std::log(alpha);
+  // P(X >= t) is non-increasing in t; binary search for the first t whose
+  // log-survival drops to log(alpha) or below.
+  int64_t lo = 0;        // log-survival(lo) > log_alpha (P(X>=0)=1).
+  int64_t hi = n + 1;    // log-survival(hi) = -inf <= log_alpha.
+  while (hi - lo > 1) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (LogBinomialSurvival(n, p, mid) <= log_alpha) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double ChiSquareSurvival(double df, double x) {
+  assert(df > 0.0);
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(df / 2.0, x / 2.0);
+}
+
+double PoissonSurvival(double lambda, int64_t k) {
+  assert(lambda >= 0.0);
+  if (k <= 0) return 1.0;
+  if (lambda == 0.0) return 0.0;
+  // P(X >= k) = P(k, lambda) (regularized lower incomplete gamma).
+  return RegularizedGammaP(static_cast<double>(k), lambda);
+}
+
+}  // namespace mrcc

@@ -1,0 +1,64 @@
+// Statistical special functions used by the clustering algorithms.
+//
+// MrCC's β-cluster test needs the binomial survival function
+// P(X >= k), X ~ Binomial(n, p), for n up to several hundred thousand and
+// significance levels down to 1e-160 (the paper's sensitivity sweep).
+// Everything here is therefore computed in log space through the
+// regularized incomplete beta / gamma functions, evaluated with Lentz's
+// continued-fraction algorithm.
+//
+// P3C's bin-uniformity test additionally needs the chi-square and Poisson
+// survival functions, which reduce to the regularized incomplete gamma.
+
+#ifndef MRCC_COMMON_STATS_H_
+#define MRCC_COMMON_STATS_H_
+
+#include <cstdint>
+
+namespace mrcc {
+
+/// log Gamma(x), x > 0.
+double LogGamma(double x);
+
+/// log Beta(a, b) = log Gamma(a) + log Gamma(b) - log Gamma(a+b).
+double LogBeta(double a, double b);
+
+/// Regularized incomplete beta function I_x(a, b), for a, b > 0 and
+/// x in [0, 1]. Continued-fraction evaluation, accurate to ~1e-14.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// log I_x(a, b). Stable for extreme tails where I_x underflows a double.
+double LogRegularizedIncompleteBeta(double a, double b, double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a).
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Binomial survival function P(X >= k) for X ~ Binomial(n, p).
+/// Exact identity: P(X >= k) = I_p(k, n - k + 1) for 1 <= k <= n;
+/// 1 for k <= 0; 0 for k > n.
+double BinomialSurvival(int64_t n, double p, int64_t k);
+
+/// log P(X >= k) for X ~ Binomial(n, p). -inf when k > n, 0 when k <= 0.
+double LogBinomialSurvival(int64_t n, double p, int64_t k);
+
+/// Binomial probability mass P(X = k), computed in log space.
+double BinomialPmf(int64_t n, double p, int64_t k);
+
+/// Critical value of the one-sided binomial test at significance `alpha`:
+/// the smallest integer t with P(X >= t) <= alpha, X ~ Binomial(n, p).
+/// Returns n + 1 when even P(X >= n) > alpha (the test can never reject).
+/// This matches the paper's theta_j^alpha: alpha = P(cP_j >= theta_j^alpha).
+int64_t BinomialCriticalValue(int64_t n, double p, double alpha);
+
+/// Chi-square survival function P(X >= x) with `df` degrees of freedom.
+double ChiSquareSurvival(double df, double x);
+
+/// Poisson survival function P(X >= k) for X ~ Poisson(lambda).
+double PoissonSurvival(double lambda, int64_t k);
+
+}  // namespace mrcc
+
+#endif  // MRCC_COMMON_STATS_H_

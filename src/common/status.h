@@ -1,0 +1,125 @@
+// Lightweight Status / Result error-handling primitives, in the spirit of
+// the Status idiom used by database engines (RocksDB, LevelDB, Arrow).
+//
+// Fallible operations (file I/O, configuration validation) return a Status
+// or a Result<T>; pure in-memory algorithms return values directly and use
+// assertions for internal invariants.
+
+#ifndef MRCC_COMMON_STATUS_H_
+#define MRCC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mrcc {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// The outcome of an operation that can fail: a code plus a message.
+/// A default-constructed Status is OK. Statuses are cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or a non-OK Status.
+///
+/// Usage:
+///   Result<Dataset> r = LoadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Dataset d = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : inner_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : inner_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(inner_).ok() &&
+           "Result must not be built from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(inner_); }
+
+  /// The error status; OK when the result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(inner_);
+  }
+
+  /// Access the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(inner_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> inner_;
+};
+
+/// Propagates a non-OK status from an expression to the caller.
+#define MRCC_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::mrcc::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+}  // namespace mrcc
+
+#endif  // MRCC_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Monotonic wall-clock timing for the experiment harness.
+
+#ifndef MRCC_COMMON_TIMER_H_
+#define MRCC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace mrcc {
+
+/// Wall-clock stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_COMMON_TIMER_H_

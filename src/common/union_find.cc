@@ -1,0 +1,51 @@
+#include "common/union_find.h"
+
+#include <cassert>
+
+namespace mrcc {
+
+UnionFind::UnionFind(size_t size)
+    : parent_(size), rank_(size, 0), num_sets_(size) {
+  for (size_t i = 0; i < size; ++i) parent_[i] = i;
+}
+
+size_t UnionFind::Find(size_t x) {
+  assert(x < parent_.size());
+  // Iterative two-pass path compression.
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t x, size_t y) {
+  size_t rx = Find(x);
+  size_t ry = Find(y);
+  if (rx == ry) return false;
+  if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  if (rank_[rx] == rank_[ry]) ++rank_[rx];
+  --num_sets_;
+  return true;
+}
+
+bool UnionFind::Connected(size_t x, size_t y) { return Find(x) == Find(y); }
+
+std::vector<size_t> UnionFind::DenseIds() {
+  std::vector<size_t> ids(parent_.size());
+  constexpr size_t kUnset = static_cast<size_t>(-1);
+  std::vector<size_t> root_to_dense(parent_.size(), kUnset);
+  size_t next = 0;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    size_t r = Find(i);
+    if (root_to_dense[r] == kUnset) root_to_dense[r] = next++;
+    ids[i] = root_to_dense[r];
+  }
+  return ids;
+}
+
+}  // namespace mrcc

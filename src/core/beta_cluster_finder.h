@@ -1,0 +1,69 @@
+// β-cluster search (paper §III-B, Algorithm 2).
+//
+// Repeatedly sweeps Counting-tree levels 2..H-1, coarse to fine. At each
+// level the face-only Laplacian response selects the densest still-unused
+// cell that does not overlap a previously found β-cluster; a one-sided
+// binomial test on the parent-level neighborhood decides whether that
+// region stands out statistically. On success the per-axis relevances are
+// cut by MDL into relevant/irrelevant, the bounds are grown by populated
+// face neighbors, and the sweep restarts from level 2. The search ends
+// after a full sweep with no statistically significant candidate.
+
+#ifndef MRCC_CORE_BETA_CLUSTER_FINDER_H_
+#define MRCC_CORE_BETA_CLUSTER_FINDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counting_tree.h"
+
+namespace mrcc {
+
+/// A candidate correlation cluster: a hyper-box with per-axis relevance.
+/// Bounds on irrelevant axes span the whole cube [0, 1].
+struct BetaCluster {
+  /// Lower/upper bound per axis (the paper's L[k][j], U[k][j]).
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  /// relevant[j] == true when axis e_j is relevant (the paper's V[k][j]).
+  std::vector<bool> relevant;
+
+  /// Diagnostic: per-axis relevance r[j] = 100 * cP_j / nP_j.
+  std::vector<double> relevance;
+
+  /// Tree level where the center cell was found.
+  int level = 0;
+
+  /// Point count of the center cell.
+  uint32_t center_count = 0;
+
+  /// True when this β-cluster's box overlaps `other`'s box on every axis
+  /// (the paper's shares-space predicate over L and U).
+  bool SharesSpaceWith(const BetaCluster& other) const;
+
+  /// True when the point lies inside the box (inclusive bounds).
+  bool Contains(std::span<const double> point) const;
+};
+
+struct BetaFinderOptions {
+  /// Significance level of the one-sided binomial test (paper's alpha).
+  double alpha = 1e-10;
+
+  /// Ablation knob: convolve with the full order-3 Laplacian mask (all
+  /// 3^d - 1 neighbors at weight -1) instead of the production face-only
+  /// mask. The paper argues the full mask "improves a little" but costs
+  /// O(3^d) per cell. Above kMaxFullMaskDims, FindBetaClusters silently
+  /// falls back to the face-only mask (MrCC::Run rejects the combination
+  /// instead).
+  bool full_mask = false;
+};
+
+/// Runs Algorithm 2 over `tree`. Consumes the tree's usedCell flags (call
+/// tree.ResetUsedFlags() to reuse the tree). Deterministic.
+std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
+                                          const BetaFinderOptions& options);
+
+}  // namespace mrcc
+
+#endif  // MRCC_CORE_BETA_CLUSTER_FINDER_H_

@@ -1,0 +1,58 @@
+#include "core/cluster_builder.h"
+
+#include "common/union_find.h"
+
+namespace mrcc {
+
+Clustering BuildCorrelationClusters(const std::vector<BetaCluster>& betas,
+                                    const Dataset& data,
+                                    std::vector<int>* beta_to_cluster) {
+  const size_t bk = betas.size();
+  const size_t d = data.NumDims();
+
+  // Algorithm 3, lines 1-5: pairwise shared-space check, transitive merge.
+  UnionFind uf(bk);
+  for (size_t a = 0; a < bk; ++a) {
+    for (size_t b = a + 1; b < bk; ++b) {
+      if (betas[a].SharesSpaceWith(betas[b])) uf.Union(a, b);
+    }
+  }
+  const std::vector<size_t> dense = bk > 0 ? uf.DenseIds()
+                                           : std::vector<size_t>{};
+  const size_t gk = uf.NumSets();
+
+  Clustering out;
+  out.clusters.resize(gk);
+  for (ClusterInfo& info : out.clusters) info.relevant_axes.assign(d, false);
+
+  // Lines 6-8: a cluster's relevant axes are the union over its β-clusters.
+  for (size_t b = 0; b < bk; ++b) {
+    ClusterInfo& info = out.clusters[dense[b]];
+    for (size_t j = 0; j < d; ++j) {
+      if (betas[b].relevant[j]) info.relevant_axes[j] = true;
+    }
+  }
+
+  if (beta_to_cluster != nullptr) {
+    beta_to_cluster->resize(bk);
+    for (size_t b = 0; b < bk; ++b) {
+      (*beta_to_cluster)[b] = static_cast<int>(dense[b]);
+    }
+  }
+
+  // Label points by box membership. Correlation clusters are disjoint in
+  // space, so the first containing box determines the unique label.
+  out.labels.assign(data.NumPoints(), kNoiseLabel);
+  for (size_t i = 0; i < data.NumPoints(); ++i) {
+    const auto point = data.Point(i);
+    for (size_t b = 0; b < bk; ++b) {
+      if (betas[b].Contains(point)) {
+        out.labels[i] = static_cast<int>(dense[b]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mrcc

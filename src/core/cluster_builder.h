@@ -1,0 +1,31 @@
+// Correlation-cluster construction (paper §III-C, Algorithm 3).
+//
+// β-clusters whose hyper-boxes share space in the full d-dimensional cube
+// are merged (transitively) into one correlation cluster; a correlation
+// cluster's relevant axes are the union of its β-clusters' relevant axes.
+// Points covered by a cluster's boxes take its label; all others are noise.
+
+#ifndef MRCC_CORE_CLUSTER_BUILDER_H_
+#define MRCC_CORE_CLUSTER_BUILDER_H_
+
+#include <vector>
+
+#include "core/beta_cluster_finder.h"
+#include "data/dataset.h"
+
+namespace mrcc {
+
+/// Merges β-clusters into correlation clusters and labels `data`'s points.
+///
+/// Returns the final clustering. When `beta_to_cluster` is non-null it
+/// receives, per β-cluster, the index of the correlation cluster it was
+/// assigned to. Distinct correlation clusters never share space (otherwise
+/// they would have been merged), so every point lands in at most one
+/// cluster; points outside every box are labeled kNoiseLabel.
+Clustering BuildCorrelationClusters(const std::vector<BetaCluster>& betas,
+                                    const Dataset& data,
+                                    std::vector<int>* beta_to_cluster = nullptr);
+
+}  // namespace mrcc
+
+#endif  // MRCC_CORE_CLUSTER_BUILDER_H_

@@ -1,0 +1,251 @@
+#include "core/counting_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace mrcc {
+
+CountingTree::Builder::Builder(size_t num_dims, int num_resolutions) {
+  if (num_resolutions < 3) {
+    status_ = Status::InvalidArgument("num_resolutions (H) must be >= 3");
+    return;
+  }
+  if (num_dims == 0 || num_dims > kMaxDims) {
+    status_ = Status::InvalidArgument(
+        "dimensionality must be in [1, " + std::to_string(kMaxDims) + "]");
+    return;
+  }
+  // Clamp to the deepest meaningful resolution (see kMaxResolutions): the
+  // paper likewise allows truncating the tree to fit resources.
+  const int h_effective = std::min(num_resolutions, kMaxResolutions + 1);
+  tree_.reset(new CountingTree(num_dims, h_effective));
+  tree_->by_level_.resize(h_effective);
+  tree_->NewNode(1, std::vector<uint64_t>(num_dims, 0));
+}
+
+Status CountingTree::Builder::Add(std::span<const double> point) {
+  MRCC_RETURN_IF_ERROR(status_);
+  if (point.size() != tree_->num_dims_) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  for (double v : point) {
+    if (!(v >= 0.0 && v < 1.0)) {
+      return Status::InvalidArgument(
+          "points must be normalized to [0,1)^d before insertion");
+    }
+  }
+  tree_->InsertPoint(point);
+  return Status::OK();
+}
+
+Result<CountingTree> CountingTree::Builder::Finish() && {
+  MRCC_RETURN_IF_ERROR(status_);
+  return std::move(*tree_);
+}
+
+Result<CountingTree> CountingTree::Build(const Dataset& data,
+                                         int num_resolutions) {
+  if (!data.InUnitCube()) {
+    return Status::InvalidArgument(
+        "dataset must be normalized to [0,1)^d before building the tree");
+  }
+  Builder builder(data.NumDims(), num_resolutions);
+  MRCC_RETURN_IF_ERROR(builder.status());
+  for (size_t i = 0; i < data.NumPoints(); ++i) {
+    MRCC_RETURN_IF_ERROR(builder.Add(data.Point(i)));
+  }
+  return std::move(builder).Finish();
+}
+
+int64_t CountingTree::FindInNode(const Node& node, uint64_t loc) const {
+  if (node.index != nullptr) {
+    auto it = node.index->find(loc);
+    return it != node.index->end() ? static_cast<int64_t>(it->second) : -1;
+  }
+  for (size_t c = 0; c < node.cells.size(); ++c) {
+    if (node.cells[c].loc == loc) return static_cast<int64_t>(c);
+  }
+  return -1;
+}
+
+uint32_t CountingTree::FindOrCreateInNode(uint32_t node_idx, uint64_t loc) {
+  Node& node = nodes_[node_idx];
+  const int64_t existing = FindInNode(node, loc);
+  if (existing >= 0) return static_cast<uint32_t>(existing);
+
+  const uint32_t cell_idx = static_cast<uint32_t>(node.cells.size());
+  Cell cell;
+  cell.loc = loc;
+  node.cells.push_back(cell);
+  node.half.resize(node.half.size() + num_dims_, 0);
+  if (node.index != nullptr) {
+    node.index->emplace(loc, cell_idx);
+  } else if (node.cells.size() > kIndexThreshold) {
+    // The node outgrew linear search: build the loc index now.
+    node.index = std::make_unique<std::unordered_map<uint64_t, uint32_t>>();
+    node.index->reserve(node.cells.size() * 2);
+    for (uint32_t c = 0; c < node.cells.size(); ++c) {
+      node.index->emplace(node.cells[c].loc, c);
+    }
+  }
+  return cell_idx;
+}
+
+void CountingTree::InsertPoint(std::span<const double> point) {
+  const size_t d = num_dims_;
+  const int deepest = num_resolutions_ - 1;
+
+  // Binary expansion of each coordinate, one level beyond the deepest so
+  // half-space counts at the deepest level are available:
+  // bits[h-1][j] = h-th bit of point[j] (level-h position bit).
+  // Extracted by repeated doubling, which is exact for doubles.
+  std::vector<uint8_t> bits(static_cast<size_t>(deepest + 1) * d);
+  for (size_t j = 0; j < d; ++j) {
+    double r = point[j];
+    for (int h = 1; h <= deepest + 1; ++h) {
+      r *= 2.0;
+      const uint8_t bit = r >= 1.0 ? 1 : 0;
+      r -= bit;
+      bits[static_cast<size_t>(h - 1) * d + j] = bit;
+    }
+  }
+
+  uint32_t node_idx = 0;  // Root node (level-1 cells).
+  for (int h = 1; h <= deepest; ++h) {
+    const uint8_t* level_bits = &bits[static_cast<size_t>(h - 1) * d];
+    const uint8_t* next_bits = &bits[static_cast<size_t>(h) * d];
+
+    uint64_t loc = 0;
+    for (size_t j = 0; j < d; ++j) {
+      loc |= static_cast<uint64_t>(level_bits[j]) << j;
+    }
+
+    const uint32_t cell_idx = FindOrCreateInNode(node_idx, loc);
+    {
+      Node& node = nodes_[node_idx];
+      node.cells[cell_idx].n += 1;
+      // The point is in the lower half of this cell along e_j exactly when
+      // its next-level bit is 0.
+      uint32_t* half = &node.half[cell_idx * d];
+      for (size_t j = 0; j < d; ++j) {
+        if (next_bits[j] == 0) half[j] += 1;
+      }
+    }
+
+    if (h < deepest) {
+      int32_t child = nodes_[node_idx].cells[cell_idx].child_node;
+      if (child < 0) {
+        std::vector<uint64_t> child_base =
+            CellCoords(nodes_[node_idx], nodes_[node_idx].cells[cell_idx]);
+        child = static_cast<int32_t>(NewNode(h + 1, std::move(child_base)));
+        nodes_[node_idx].cells[cell_idx].child_node = child;
+      }
+      node_idx = static_cast<uint32_t>(child);
+    }
+  }
+  ++total_points_;
+}
+
+uint32_t CountingTree::NewNode(int level, std::vector<uint64_t> base_coords) {
+  const uint32_t idx = static_cast<uint32_t>(nodes_.size());
+  Node node;
+  node.level = level;
+  node.base_coords = std::move(base_coords);
+  nodes_.push_back(std::move(node));
+  by_level_[level].push_back(idx);
+  return idx;
+}
+
+const std::vector<uint32_t>& CountingTree::NodesAtLevel(int h) const {
+  assert(h >= 1 && h < num_resolutions_);
+  return by_level_[h];
+}
+
+size_t CountingTree::NumCellsAtLevel(int h) const {
+  size_t count = 0;
+  for (uint32_t idx : NodesAtLevel(h)) count += nodes_[idx].cells.size();
+  return count;
+}
+
+std::vector<uint64_t> CountingTree::CellCoords(const Node& node,
+                                               const Cell& cell) const {
+  std::vector<uint64_t> coords(num_dims_);
+  for (size_t j = 0; j < num_dims_; ++j) {
+    coords[j] = node.base_coords[j] * 2 + ((cell.loc >> j) & 1);
+  }
+  return coords;
+}
+
+bool CountingTree::FindCell(int level, const std::vector<uint64_t>& coords,
+                            CellRef* ref) const {
+  assert(level >= 1 && level < num_resolutions_);
+  uint32_t node_idx = 0;
+  for (int l = 1; l <= level; ++l) {
+    // Position bits of the level-l ancestor inside its parent.
+    uint64_t loc = 0;
+    const int shift = level - l;
+    for (size_t j = 0; j < num_dims_; ++j) {
+      loc |= ((coords[j] >> shift) & 1) << j;
+    }
+    const Node& node = nodes_[node_idx];
+    const int64_t cell_idx = FindInNode(node, loc);
+    if (cell_idx < 0) return false;
+    if (l == level) {
+      ref->node = node_idx;
+      ref->cell = static_cast<uint32_t>(cell_idx);
+      return true;
+    }
+    const Cell& cell = node.cells[static_cast<size_t>(cell_idx)];
+    if (cell.child_node < 0) return false;
+    node_idx = static_cast<uint32_t>(cell.child_node);
+  }
+  return false;  // Unreachable.
+}
+
+bool CountingTree::FaceNeighbor(int level,
+                                const std::vector<uint64_t>& coords,
+                                size_t axis, int dir, CellRef* ref) const {
+  assert(dir == -1 || dir == 1);
+  assert(axis < num_dims_);
+  const uint64_t max_coord = (uint64_t{1} << level) - 1;
+  if (dir < 0 && coords[axis] == 0) return false;
+  if (dir > 0 && coords[axis] == max_coord) return false;
+  std::vector<uint64_t> neighbor = coords;
+  neighbor[axis] += dir;
+  return FindCell(level, neighbor, ref);
+}
+
+uint32_t CountingTree::FaceNeighborCount(int level,
+                                         const std::vector<uint64_t>& coords,
+                                         size_t axis, int dir) const {
+  CellRef ref;
+  return FaceNeighbor(level, coords, axis, dir, &ref) ? cell(ref).n : 0;
+}
+
+void CountingTree::ResetUsedFlags() {
+  for (Node& node : nodes_) {
+    for (Cell& cell : node.cells) cell.used = false;
+  }
+}
+
+size_t CountingTree::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    bytes += node.cells.capacity() * sizeof(Cell);
+    bytes += node.half.capacity() * sizeof(uint32_t);
+    bytes += node.base_coords.capacity() * sizeof(uint64_t);
+    if (node.index != nullptr) {
+      // Rough hash-map footprint: buckets plus one heap node per entry.
+      bytes += node.index->bucket_count() * sizeof(void*) +
+               node.index->size() *
+                   (sizeof(std::pair<uint64_t, uint32_t>) + 2 * sizeof(void*));
+    }
+  }
+  for (const auto& level : by_level_) {
+    bytes += level.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace mrcc

@@ -1,0 +1,200 @@
+// The Counting-tree (paper §III-A): a sparse, quadtree-like multi-
+// resolution hyper-grid over [0,1)^d.
+//
+// Level h (1 <= h <= H-1) covers the unit cube with cells of side 1/2^h.
+// Only non-empty cells are materialized, so each level holds at most eta
+// cells regardless of the 2^(d h) nominal grid size. Each cell stores
+//   - loc:   its position inside the parent cell, one bit per axis
+//            (0 = lower half, 1 = upper half),
+//   - n:     the number of points in its space,
+//   - P[j]:  the half-space count — points in the lower half of the cell
+//            along axis e_j,
+//   - used:  the usedCell flag consumed by the β-cluster search,
+//   - child: the node refining this cell at level h+1 (if any).
+//
+// A node is the set of sibling cells sharing one parent cell (the paper's
+// linked list of cells). Storage is cache- and footprint-conscious: cells
+// live in a per-node vector, the d half-space counts of all sibling cells
+// share one contiguous array, and a loc -> index hash map is only built
+// for nodes with many cells (small nodes use a linear scan). The tree is
+// built in a single scan of the data: O(eta * H * d) time and
+// O(H * eta * d) space, matching Algorithm 1.
+
+#ifndef MRCC_CORE_COUNTING_TREE_H_
+#define MRCC_CORE_COUNTING_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace mrcc {
+
+/// Sparse multi-resolution grid of point counts (see file comment).
+class CountingTree {
+ public:
+  /// Deepest representable level. Beyond ~52 subdivisions cell boundaries
+  /// fall below the double mantissa, so deeper levels carry no information;
+  /// 62 keeps integer cell coordinates inside a uint64_t.
+  static constexpr int kMaxResolutions = 62;
+
+  /// Maximum dataset dimensionality (loc packs one bit per axis).
+  static constexpr size_t kMaxDims = 62;
+
+  /// Node size at which a loc -> index hash map replaces linear search.
+  static constexpr size_t kIndexThreshold = 16;
+
+  struct Cell {
+    /// Position inside the parent cell: bit j = upper (1) / lower (0) half
+    /// of the parent along axis e_j.
+    uint64_t loc = 0;
+
+    /// Number of points inside this cell's space.
+    uint32_t n = 0;
+
+    /// Index of the node refining this cell at the next level, or -1.
+    int32_t child_node = -1;
+
+    /// usedCell flag from Algorithm 2 (set by the β-cluster search).
+    bool used = false;
+  };
+
+  struct Node {
+    /// Resolution level of the cells in this node (1-based).
+    int level = 1;
+
+    /// Absolute integer coordinates of this node's parent cell at level
+    /// `level - 1` (all zeros for the root node). A cell in this node has
+    /// coordinates base_coords[j] * 2 + bit_j(loc) at `level`.
+    std::vector<uint64_t> base_coords;
+
+    std::vector<Cell> cells;
+
+    /// Half-space counts of every cell, d entries per cell:
+    /// half[c * d + j] = points of cells[c] in its lower half along e_j.
+    std::vector<uint32_t> half;
+
+    /// loc -> index into `cells`; built once the node outgrows linear scan.
+    std::unique_ptr<std::unordered_map<uint64_t, uint32_t>> index;
+  };
+
+  /// A located cell: node index + cell index within the node.
+  struct CellRef {
+    uint32_t node = 0;
+    uint32_t cell = 0;
+  };
+
+  /// Builds the tree over `data` with `num_resolutions` = H resolutions
+  /// (levels 1..H-1 are materialized; the paper requires H >= 3).
+  /// `data` must lie in [0,1)^d with d <= kMaxDims.
+  static Result<CountingTree> Build(const Dataset& data, int num_resolutions);
+
+  /// Incremental construction for streamed data (one point at a time, any
+  /// source). Points must lie in [0,1)^d.
+  class Builder {
+   public:
+    /// Validates (d, H) like Build(); check status() before adding.
+    Builder(size_t num_dims, int num_resolutions);
+
+    const Status& status() const { return status_; }
+
+    /// Counts one point into the tree. Rejects out-of-cube values.
+    Status Add(std::span<const double> point);
+
+    /// Finalizes and returns the tree. The builder is consumed.
+    Result<CountingTree> Finish() &&;
+
+   private:
+    Status status_;
+    std::unique_ptr<CountingTree> tree_;
+  };
+
+  /// Number of resolutions H (the root counts as resolution 0).
+  int num_resolutions() const { return num_resolutions_; }
+
+  /// Dataset dimensionality d.
+  size_t num_dims() const { return num_dims_; }
+
+  /// Total points counted (eta).
+  uint64_t total_points() const { return total_points_; }
+
+  /// Node indices whose cells live at level h (1 <= h <= H-1).
+  const std::vector<uint32_t>& NodesAtLevel(int h) const;
+
+  Node& node(uint32_t idx) { return nodes_[idx]; }
+  const Node& node(uint32_t idx) const { return nodes_[idx]; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  const Cell& cell(CellRef ref) const {
+    return nodes_[ref.node].cells[ref.cell];
+  }
+  Cell& cell(CellRef ref) { return nodes_[ref.node].cells[ref.cell]; }
+
+  /// Half-space count P[axis] of the referenced cell.
+  uint32_t HalfCount(CellRef ref, size_t axis) const {
+    return nodes_[ref.node].half[ref.cell * num_dims_ + axis];
+  }
+
+  /// Number of materialized (non-empty) cells at level h.
+  size_t NumCellsAtLevel(int h) const;
+
+  /// Absolute integer coordinates (in [0, 2^level)) of `cell` of `node`.
+  std::vector<uint64_t> CellCoords(const Node& node, const Cell& cell) const;
+
+  /// Locates the cell at `coords` on `level`. Returns true and fills `ref`
+  /// when that region holds points. Walks down from the root: O(level)
+  /// lookups.
+  bool FindCell(int level, const std::vector<uint64_t>& coords,
+                CellRef* ref) const;
+
+  /// The face neighbor of the cell at `coords` (level `level`) along
+  /// `axis`, in direction `dir` (-1 = lower, +1 = upper). Returns false
+  /// when outside the cube or not materialized. Covers both the paper's
+  /// internal neighbor (same parent) and external neighbor (adjacent
+  /// parent) transparently.
+  bool FaceNeighbor(int level, const std::vector<uint64_t>& coords,
+                    size_t axis, int dir, CellRef* ref) const;
+
+  /// Point count of the face neighbor, 0 when absent.
+  uint32_t FaceNeighborCount(int level, const std::vector<uint64_t>& coords,
+                             size_t axis, int dir) const;
+
+  /// Clears every usedCell flag (lets one tree serve several runs).
+  void ResetUsedFlags();
+
+  /// Approximate heap footprint of the tree in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  CountingTree(size_t num_dims, int num_resolutions)
+      : num_dims_(num_dims), num_resolutions_(num_resolutions) {}
+
+  // Persistence and merging need raw access to the node pool (tree_io.h).
+  friend Result<CountingTree> LoadTree(const std::string& path);
+  friend Status MergeTree(CountingTree* tree, const CountingTree& other);
+
+  /// Inserts one point given its per-level grid coordinates; see Build.
+  void InsertPoint(std::span<const double> point);
+
+  /// Index of the cell with position `loc` in `node`, or -1.
+  int64_t FindInNode(const Node& node, uint64_t loc) const;
+
+  /// Finds or creates the cell with position `loc`; returns its index.
+  uint32_t FindOrCreateInNode(uint32_t node_idx, uint64_t loc);
+
+  /// Creates an empty node at `level` under the given parent cell.
+  uint32_t NewNode(int level, std::vector<uint64_t> base_coords);
+
+  size_t num_dims_;
+  int num_resolutions_;
+  uint64_t total_points_ = 0;
+  std::vector<Node> nodes_;                      // nodes_[0] is the root.
+  std::vector<std::vector<uint32_t>> by_level_;  // level -> node indices.
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_CORE_COUNTING_TREE_H_

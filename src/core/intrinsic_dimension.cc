@@ -1,0 +1,69 @@
+#include "core/intrinsic_dimension.h"
+
+#include <cmath>
+
+namespace mrcc {
+
+std::vector<BoxCountPoint> BoxCountingCurve(const CountingTree& tree) {
+  std::vector<BoxCountPoint> curve;
+  const double eta = static_cast<double>(tree.total_points());
+  for (int h = 1; h < tree.num_resolutions(); ++h) {
+    BoxCountPoint point;
+    point.level = h;
+    double s2 = 0.0;
+    for (uint32_t node_idx : tree.NodesAtLevel(h)) {
+      const CountingTree::Node& node = tree.node(node_idx);
+      for (const CountingTree::Cell& cell : node.cells) {
+        const double p = static_cast<double>(cell.n) / eta;
+        s2 += p * p;
+        ++point.cells;
+      }
+    }
+    point.log2_s2 = std::log2(s2);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+Result<double> CorrelationFractalDimension(const CountingTree& tree) {
+  const std::vector<BoxCountPoint> curve = BoxCountingCurve(tree);
+
+  // Drop saturated levels: once nearly every occupied cell holds a single
+  // point, refining further only renames cells (S2 stops moving) and the
+  // flat tail would bias the slope toward zero.
+  const double eta = static_cast<double>(tree.total_points());
+  std::vector<const BoxCountPoint*> usable;
+  for (const BoxCountPoint& point : curve) {
+    if (static_cast<double>(point.cells) < 0.9 * eta) {
+      usable.push_back(&point);
+    }
+  }
+  if (usable.size() < 2) {
+    return Status::InvalidArgument(
+        "not enough unsaturated tree levels to fit D2 (deepen the tree or "
+        "add data)");
+  }
+
+  // Least squares of y = log2 S2 against x = -h; D2 is the slope.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const double m = static_cast<double>(usable.size());
+  for (const BoxCountPoint* point : usable) {
+    const double x = -static_cast<double>(point->level);
+    sx += x;
+    sy += point->log2_s2;
+    sxx += x * x;
+    sxy += x * point->log2_s2;
+  }
+  const double denom = m * sxx - sx * sx;
+  if (denom == 0.0) return Status::Internal("degenerate box-count fit");
+  return (m * sxy - sx * sy) / denom;
+}
+
+Result<double> EstimateIntrinsicDimension(const Dataset& data,
+                                          int num_resolutions) {
+  Result<CountingTree> tree = CountingTree::Build(data, num_resolutions);
+  if (!tree.ok()) return tree.status();
+  return CorrelationFractalDimension(*tree);
+}
+
+}  // namespace mrcc

@@ -1,0 +1,52 @@
+// Integer Laplacian convolution masks over Counting-tree levels (§III-B).
+//
+// MrCC spots density transitions by convolving each tree level with an
+// order-3 integer approximation of the Laplacian filter. The production
+// mask is the "face-only" variant — weight 2d at the center, -1 on the 2d
+// face elements, 0 on the 3^d - 2d - 1 corners — which convolves a cell in
+// O(d) instead of O(3^d).
+//
+// The full order-3 mask (center 3^d - 1, everything else -1, Fig. 2a) is
+// also provided for the ablation study and for testing the face-only
+// shortcut; it is exponential in d and gated to small dimensionalities.
+
+#ifndef MRCC_CORE_LAPLACIAN_MASK_H_
+#define MRCC_CORE_LAPLACIAN_MASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counting_tree.h"
+
+namespace mrcc {
+
+/// Face-only Laplacian response of the cell at `coords` on `level`:
+///   2d * n  -  sum over axes of (lower face neighbor count
+///                               + upper face neighbor count).
+/// Missing neighbors (border or empty space) contribute 0, consistent with
+/// the sparse tree storing only populated cells.
+int64_t FaceLaplacianConvolve(const CountingTree& tree, int level,
+                              const std::vector<uint64_t>& coords,
+                              uint32_t center_count);
+
+/// Maximum dimensionality accepted by the full-mask routines (3^d cells
+/// per convolution grows fast; 12 keeps it under ~0.5M neighbor probes).
+inline constexpr size_t kMaxFullMaskDims = 12;
+
+/// Full order-3 Laplacian response: (3^d - 1) * n - sum of all 3^d - 1
+/// neighbor counts (faces and corners). Requires d <= kMaxFullMaskDims.
+int64_t FullLaplacianConvolve(const CountingTree& tree, int level,
+                              const std::vector<uint64_t>& coords,
+                              uint32_t center_count);
+
+/// Materializes the face-only mask as a dense 3^d weight array in odometer
+/// order (offset vector in {-1,0,1}^d, last axis fastest). Test/debug aid;
+/// requires d <= kMaxFullMaskDims.
+std::vector<int64_t> DenseFaceMask(size_t d);
+
+/// Materializes the full order-3 mask the same way.
+std::vector<int64_t> DenseFullMask(size_t d);
+
+}  // namespace mrcc
+
+#endif  // MRCC_CORE_LAPLACIAN_MASK_H_

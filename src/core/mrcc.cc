@@ -1,0 +1,66 @@
+#include "core/mrcc.h"
+
+#include "common/timer.h"
+#include "core/laplacian_mask.h"
+
+namespace mrcc {
+
+Status MrCCParams::Validate() const {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (num_resolutions < 3) {
+    return Status::InvalidArgument("num_resolutions (H) must be >= 3");
+  }
+  return Status::OK();
+}
+
+MrCC::MrCC(MrCCParams params) : params_(params) {}
+
+Result<MrCCResult> MrCC::Run(const Dataset& data) const {
+  MRCC_RETURN_IF_ERROR(params_.Validate());
+  if (params_.full_mask && data.NumDims() > kMaxFullMaskDims) {
+    return Status::InvalidArgument(
+        "full_mask ablation supports at most " +
+        std::to_string(kMaxFullMaskDims) + " dimensions (O(3^d) cost)");
+  }
+
+  MrCCResult result;
+  Timer total;
+
+  // Phase 1: single-scan Counting-tree construction.
+  Timer phase;
+  Result<CountingTree> tree = CountingTree::Build(data, params_.num_resolutions);
+  if (!tree.ok()) return tree.status();
+  result.stats.tree_build_seconds = phase.ElapsedSeconds();
+  result.stats.tree_memory_bytes = tree->MemoryBytes();
+  result.stats.cells_per_level.assign(
+      static_cast<size_t>(tree->num_resolutions()), 0);
+  for (int h = 1; h < tree->num_resolutions(); ++h) {
+    result.stats.cells_per_level[h] = tree->NumCellsAtLevel(h);
+  }
+
+  // Phase 2: β-cluster search.
+  phase.Reset();
+  BetaFinderOptions finder_options;
+  finder_options.alpha = params_.alpha;
+  finder_options.full_mask = params_.full_mask;
+  result.beta_clusters = FindBetaClusters(*tree, finder_options);
+  result.stats.beta_search_seconds = phase.ElapsedSeconds();
+
+  // Phase 3: correlation clusters and point labels.
+  phase.Reset();
+  result.clustering = BuildCorrelationClusters(result.beta_clusters, data,
+                                               &result.beta_to_cluster);
+  result.stats.cluster_build_seconds = phase.ElapsedSeconds();
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+Result<Clustering> MrCC::Cluster(const Dataset& data) {
+  Result<MrCCResult> result = Run(data);
+  if (!result.ok()) return result.status();
+  return std::move(result->clustering);
+}
+
+}  // namespace mrcc

@@ -1,0 +1,89 @@
+// Public driver for the MrCC method (the paper's primary contribution).
+//
+// Pipeline: build the Counting-tree over the normalized dataset (§III-A),
+// search it for β-clusters with Laplacian masks + binomial tests + MDL
+// relevance cuts (§III-B), then merge overlapping β-clusters into the final
+// correlation clusters and label the points (§III-C).
+//
+// MrCC is deterministic, performs no distance computations, and does not
+// take the number of clusters as input. Its two parameters are the test
+// significance `alpha` and the number of resolutions `H`; the paper fixes
+// alpha = 1e-10 and H = 4 for all experiments (§IV-E).
+
+#ifndef MRCC_CORE_MRCC_H_
+#define MRCC_CORE_MRCC_H_
+
+#include <vector>
+
+#include "core/beta_cluster_finder.h"
+#include "core/cluster_builder.h"
+#include "core/counting_tree.h"
+#include "core/subspace_clusterer.h"
+
+namespace mrcc {
+
+/// Tunable parameters of MrCC (paper §IV-D/E defaults).
+struct MrCCParams {
+  /// Significance level of the β-cluster binomial test, in (0, 1).
+  double alpha = 1e-10;
+
+  /// Number of multi-resolution levels H (>= 3). Values beyond
+  /// CountingTree::kMaxResolutions + 1 are clamped when building the tree.
+  int num_resolutions = 4;
+
+  /// Ablation: use the full order-3 Laplacian mask instead of the O(d)
+  /// face-only mask. Exponential in d; requires d <= kMaxFullMaskDims.
+  bool full_mask = false;
+
+  Status Validate() const;
+};
+
+/// Timing and size measurements of one MrCC run.
+struct MrCCStats {
+  double tree_build_seconds = 0.0;
+  double beta_search_seconds = 0.0;
+  double cluster_build_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Heap footprint of the Counting-tree after construction.
+  size_t tree_memory_bytes = 0;
+
+  /// Materialized cells per level (index 0 unused; levels 1..H-1).
+  std::vector<size_t> cells_per_level;
+};
+
+/// Complete output of one MrCC run.
+struct MrCCResult {
+  /// Final correlation clusters and per-point labels.
+  Clustering clustering;
+
+  /// The β-clusters found, in discovery order.
+  std::vector<BetaCluster> beta_clusters;
+
+  /// Index of the correlation cluster each β-cluster was merged into.
+  std::vector<int> beta_to_cluster;
+
+  MrCCStats stats;
+};
+
+/// The Multi-resolution Correlation Clustering method.
+class MrCC : public SubspaceClusterer {
+ public:
+  explicit MrCC(MrCCParams params = MrCCParams());
+
+  const MrCCParams& params() const { return params_; }
+
+  /// Full run with β-cluster details and measurements.
+  Result<MrCCResult> Run(const Dataset& data) const;
+
+  // SubspaceClusterer interface.
+  std::string name() const override { return "MrCC"; }
+  Result<Clustering> Cluster(const Dataset& data) override;
+
+ private:
+  MrCCParams params_;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_CORE_MRCC_H_

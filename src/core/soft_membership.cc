@@ -1,0 +1,128 @@
+#include "core/soft_membership.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mrcc {
+
+std::vector<int> SoftClustering::HardLabels() const {
+  std::vector<int> labels(num_points_, kNoiseLabel);
+  for (size_t i = 0; i < num_points_; ++i) {
+    double best = 0.0;
+    for (size_t c = 0; c < num_clusters_; ++c) {
+      const double m = membership(i, c);
+      if (m > best) {
+        best = m;
+        labels[i] = static_cast<int>(c);
+      }
+    }
+  }
+  return labels;
+}
+
+double SoftClustering::Entropy(size_t i) const {
+  double h = 0.0;
+  for (size_t c = 0; c < num_clusters_; ++c) {
+    const double m = membership(i, c);
+    if (m > 0.0) h -= m * std::log(m);
+  }
+  return h;
+}
+
+Result<SoftClustering> ComputeSoftMembership(
+    const MrCCResult& result, const Dataset& data,
+    const SoftMembershipOptions& options) {
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  const size_t k = result.clustering.NumClusters();
+  if (result.clustering.labels.size() != n) {
+    return Status::InvalidArgument(
+        "MrCC result does not match the dataset size");
+  }
+  SoftClustering soft(n, k);
+  if (k == 0) return soft;
+
+  // Per-cluster diagonal Gaussian over relevant axes, fitted on the hard
+  // members of the MrCC partition.
+  std::vector<std::vector<double>> mean(k, std::vector<double>(d, 0.0));
+  std::vector<std::vector<double>> var(k, std::vector<double>(d, 0.0));
+  std::vector<size_t> count(k, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const int label = result.clustering.labels[i];
+    if (label == kNoiseLabel) continue;
+    const size_t c = static_cast<size_t>(label);
+    ++count[c];
+    for (size_t j = 0; j < d; ++j) mean[c][j] += data(i, j);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (count[c] == 0) continue;
+    for (size_t j = 0; j < d; ++j) mean[c][j] /= static_cast<double>(count[c]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int label = result.clustering.labels[i];
+    if (label == kNoiseLabel) continue;
+    const size_t c = static_cast<size_t>(label);
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = data(i, j) - mean[c][j];
+      var[c][j] += diff * diff;
+    }
+  }
+  const double min_var = options.min_stddev * options.min_stddev;
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      var[c][j] = count[c] > 1
+                      ? std::max(var[c][j] / static_cast<double>(count[c]),
+                                 min_var)
+                      : min_var;
+    }
+  }
+
+  // Responsibilities over relevant axes only, normalized per point.
+  // Squared radius beyond which a point cannot belong anywhere.
+  const double max_r2 = options.max_sigmas * options.max_sigmas;
+  std::vector<double> log_resp(k);
+  for (size_t i = 0; i < n; ++i) {
+    bool any = false;
+    for (size_t c = 0; c < k; ++c) {
+      log_resp[c] = -std::numeric_limits<double>::infinity();
+      if (count[c] < 2 && result.clustering.labels[i] != static_cast<int>(c)) {
+        continue;  // Degenerate cluster keeps only its hard members.
+      }
+      double r2 = 0.0;        // Normalized squared distance.
+      double log_norm = 0.0;  // Gaussian normalization over relevant axes.
+      size_t dims = 0;
+      const auto& relevant = result.clustering.clusters[c].relevant_axes;
+      for (size_t j = 0; j < d; ++j) {
+        if (!relevant[j]) continue;
+        const double diff = data(i, j) - mean[c][j];
+        r2 += diff * diff / var[c][j];
+        log_norm += 0.5 * std::log(var[c][j]);
+        ++dims;
+      }
+      if (dims == 0) continue;
+      // Average per-axis radius gate (points far on any profile are out).
+      if (r2 / static_cast<double>(dims) > max_r2) continue;
+      log_resp[c] = -0.5 * r2 - log_norm;
+      any = true;
+    }
+    if (!any) continue;  // Noise: all-zero row.
+    const double max_log =
+        *std::max_element(log_resp.begin(), log_resp.end());
+    double total = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (std::isfinite(log_resp[c])) {
+        log_resp[c] = std::exp(log_resp[c] - max_log);
+        total += log_resp[c];
+      } else {
+        log_resp[c] = 0.0;
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      soft.membership(i, c) = log_resp[c] / total;
+    }
+  }
+  return soft;
+}
+
+}  // namespace mrcc

@@ -1,0 +1,79 @@
+// Soft cluster membership on top of MrCC's hard partition.
+//
+// The journal successor of MrCC (Halite, TKDE 2013) extends the method
+// with *soft clustering*: instead of a hard label, every point receives a
+// membership degree per cluster, letting overlapping populations and
+// borderline points be analyzed probabilistically. This module implements
+// that extension over the MrCC result: each correlation cluster is
+// summarized by a per-axis Gaussian profile fitted to its members
+// (restricted to its relevant axes), and memberships are the normalized
+// Gaussian responsibilities, with a floor that sends far-away points to
+// noise (an all-zero row).
+
+#ifndef MRCC_CORE_SOFT_MEMBERSHIP_H_
+#define MRCC_CORE_SOFT_MEMBERSHIP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mrcc.h"
+#include "data/dataset.h"
+
+namespace mrcc {
+
+struct SoftMembershipOptions {
+  /// A point whose best unnormalized responsibility falls below
+  /// exp(-0.5 * max_sigma^2 distance) is treated as noise. Expressed as a
+  /// Mahalanobis-like radius in per-axis standard deviations.
+  double max_sigmas = 4.0;
+
+  /// Variance floor, preventing degenerate spikes on constant axes.
+  double min_stddev = 1e-4;
+};
+
+/// Soft assignment of every point to the correlation clusters.
+class SoftClustering {
+ public:
+  SoftClustering(size_t num_points, size_t num_clusters)
+      : num_points_(num_points),
+        num_clusters_(num_clusters),
+        memberships_(num_points * num_clusters, 0.0) {}
+
+  size_t num_points() const { return num_points_; }
+  size_t num_clusters() const { return num_clusters_; }
+
+  /// Membership of point i in cluster c, in [0, 1]. Rows sum to 1 for
+  /// covered points and to 0 for noise points.
+  double membership(size_t i, size_t c) const {
+    return memberships_[i * num_clusters_ + c];
+  }
+  double& membership(size_t i, size_t c) {
+    return memberships_[i * num_clusters_ + c];
+  }
+
+  /// Hard labels implied by the soft assignment (argmax; kNoiseLabel for
+  /// all-zero rows).
+  std::vector<int> HardLabels() const;
+
+  /// Shannon entropy (nats) of point i's membership row — 0 for clear-cut
+  /// points, larger for borderline ones. Noise rows return 0.
+  double Entropy(size_t i) const;
+
+ private:
+  size_t num_points_;
+  size_t num_clusters_;
+  std::vector<double> memberships_;
+};
+
+/// Computes soft memberships from a finished MrCC run on the same data.
+/// Per cluster, a diagonal Gaussian is fitted over its relevant axes from
+/// its hard members; every point then receives normalized
+/// responsibilities. Clusters with fewer than 2 members keep only their
+/// hard members.
+Result<SoftClustering> ComputeSoftMembership(
+    const MrCCResult& result, const Dataset& data,
+    const SoftMembershipOptions& options = SoftMembershipOptions());
+
+}  // namespace mrcc
+
+#endif  // MRCC_CORE_SOFT_MEMBERSHIP_H_

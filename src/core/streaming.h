@@ -1,0 +1,28 @@
+// Out-of-core MrCC: cluster a binary dataset file without loading it.
+//
+// MrCC touches the raw points exactly twice — once to count them into the
+// Counting-tree (§III-A's single data scan) and once to label them against
+// the final β-cluster boxes — so a dataset only needs to exist as a
+// stream. This driver runs the full pipeline over a file written by
+// SaveBinary() with O(tree + labels) memory instead of O(eta * d),
+// which is what makes the "very large datasets" of the paper's title
+// practical beyond RAM.
+
+#ifndef MRCC_CORE_STREAMING_H_
+#define MRCC_CORE_STREAMING_H_
+
+#include <string>
+
+#include "core/mrcc.h"
+
+namespace mrcc {
+
+/// Runs MrCC over the binary dataset at `path` in two streaming passes.
+/// The result is identical to MrCC::Run() on the loaded dataset. The file
+/// must contain data normalized to [0,1)^d.
+Result<MrCCResult> RunMrCCOnBinaryFile(const std::string& path,
+                                       const MrCCParams& params = MrCCParams());
+
+}  // namespace mrcc
+
+#endif  // MRCC_CORE_STREAMING_H_

@@ -1,0 +1,60 @@
+// Common interface implemented by MrCC and every baseline method, so the
+// evaluation harness and benches can drive all algorithms uniformly.
+
+#ifndef MRCC_CORE_SUBSPACE_CLUSTERER_H_
+#define MRCC_CORE_SUBSPACE_CLUSTERER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "data/dataset.h"
+
+namespace mrcc {
+
+/// A subspace / projected / correlation clustering algorithm: partitions a
+/// dataset into disjoint clusters plus noise, reporting per-cluster
+/// relevant axes (or soft axis weights for weighting methods).
+///
+/// Methods honor a cooperative time budget, mirroring the paper's timeout
+/// policy (LAC runs were capped at 3 hours, P3C at a week): iterative
+/// algorithms poll TimeExpired() and return Status::OutOfRange on expiry.
+class SubspaceClusterer {
+ public:
+  virtual ~SubspaceClusterer() = default;
+
+  /// Human-readable method name ("MrCC", "LAC", ...).
+  virtual std::string name() const = 0;
+
+  /// Clusters `data`, which must be normalized to [0,1)^d.
+  virtual Result<Clustering> Cluster(const Dataset& data) = 0;
+
+  /// Wall-clock budget for one Cluster() call; 0 disables the limit.
+  void set_time_budget_seconds(double seconds) {
+    time_budget_seconds_ = seconds;
+  }
+  double time_budget_seconds() const { return time_budget_seconds_; }
+
+ protected:
+  /// Implementations call this at the top of Cluster().
+  void StartClock() { clock_.Reset(); }
+
+  /// True once the budget is exhausted (never when the budget is 0).
+  bool TimeExpired() const {
+    return time_budget_seconds_ > 0.0 &&
+           clock_.ElapsedSeconds() > time_budget_seconds_;
+  }
+
+  /// The standard expiry status implementations return.
+  Status TimeoutStatus() const {
+    return Status::OutOfRange(name() + " exceeded its time budget");
+  }
+
+ private:
+  double time_budget_seconds_ = 0.0;
+  Timer clock_;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_CORE_SUBSPACE_CLUSTERER_H_

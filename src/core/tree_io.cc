@@ -1,0 +1,192 @@
+#include "core/tree_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace mrcc {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'R', 'T', 'R'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveTree(const CountingTree& tree, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(tree.num_dims()));
+  WritePod(out, static_cast<uint32_t>(tree.num_resolutions()));
+  WritePod(out, tree.total_points());
+  WritePod(out, static_cast<uint64_t>(tree.num_nodes()));
+  const size_t d = tree.num_dims();
+  for (size_t n = 0; n < tree.num_nodes(); ++n) {
+    const CountingTree::Node& node = tree.node(static_cast<uint32_t>(n));
+    WritePod(out, static_cast<int32_t>(node.level));
+    for (uint64_t c : node.base_coords) WritePod(out, c);
+    WritePod(out, static_cast<uint64_t>(node.cells.size()));
+    for (size_t c = 0; c < node.cells.size(); ++c) {
+      const CountingTree::Cell& cell = node.cells[c];
+      WritePod(out, cell.loc);
+      WritePod(out, cell.n);
+      WritePod(out, cell.child_node);
+      for (size_t j = 0; j < d; ++j) WritePod(out, node.half[c * d + j]);
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<CountingTree> LoadTree(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("bad magic in " + path);
+  }
+  uint32_t version = 0, dims = 0, resolutions = 0;
+  uint64_t total_points = 0, node_count = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::IOError("unsupported tree version in " + path);
+  }
+  if (!ReadPod(in, &dims) || !ReadPod(in, &resolutions) ||
+      !ReadPod(in, &total_points) || !ReadPod(in, &node_count)) {
+    return Status::IOError("truncated tree header in " + path);
+  }
+  if (dims == 0 || dims > CountingTree::kMaxDims || resolutions < 3) {
+    return Status::IOError("implausible tree header in " + path);
+  }
+
+  CountingTree tree(dims, static_cast<int>(resolutions));
+  tree.total_points_ = total_points;
+  tree.by_level_.resize(resolutions);
+  tree.nodes_.resize(node_count);
+  for (uint64_t n = 0; n < node_count; ++n) {
+    CountingTree::Node& node = tree.nodes_[n];
+    int32_t level = 0;
+    if (!ReadPod(in, &level) || level < 1 ||
+        level >= static_cast<int32_t>(resolutions)) {
+      return Status::IOError("bad node level in " + path);
+    }
+    node.level = level;
+    node.base_coords.resize(dims);
+    for (uint64_t& c : node.base_coords) {
+      if (!ReadPod(in, &c)) return Status::IOError("truncated: " + path);
+    }
+    uint64_t cell_count = 0;
+    if (!ReadPod(in, &cell_count)) {
+      return Status::IOError("truncated: " + path);
+    }
+    node.cells.resize(cell_count);
+    node.half.resize(cell_count * dims);
+    for (uint64_t c = 0; c < cell_count; ++c) {
+      CountingTree::Cell& cell = node.cells[c];
+      if (!ReadPod(in, &cell.loc) || !ReadPod(in, &cell.n) ||
+          !ReadPod(in, &cell.child_node)) {
+        return Status::IOError("truncated cell in " + path);
+      }
+      if (cell.child_node >= 0 &&
+          static_cast<uint64_t>(cell.child_node) >= node_count) {
+        return Status::IOError("dangling child pointer in " + path);
+      }
+      for (size_t j = 0; j < dims; ++j) {
+        if (!ReadPod(in, &node.half[c * dims + j])) {
+          return Status::IOError("truncated half counts in " + path);
+        }
+      }
+    }
+    if (cell_count > CountingTree::kIndexThreshold) {
+      node.index = std::make_unique<std::unordered_map<uint64_t, uint32_t>>();
+      node.index->reserve(cell_count * 2);
+      for (uint32_t c = 0; c < cell_count; ++c) {
+        node.index->emplace(node.cells[c].loc, c);
+      }
+    }
+    tree.by_level_[static_cast<size_t>(level)].push_back(
+        static_cast<uint32_t>(n));
+  }
+  return tree;
+}
+
+Status MergeTree(CountingTree* tree, const CountingTree& other) {
+  if (tree->num_dims() != other.num_dims()) {
+    return Status::InvalidArgument("tree dimensionality mismatch");
+  }
+  if (tree->num_resolutions() != other.num_resolutions()) {
+    return Status::InvalidArgument("tree resolution mismatch");
+  }
+
+  // Recursively folds `src_node` of `other` into `dst_node` of `tree`
+  // (defined here so the friendship of MergeTree grants pool access).
+  const size_t d = tree->num_dims();
+  const auto merge_node = [&](auto&& self, uint32_t dst_node,
+                              uint32_t src_node) -> void {
+    const CountingTree::Node& src = other.node(src_node);
+    for (size_t c = 0; c < src.cells.size(); ++c) {
+      const CountingTree::Cell& src_cell = src.cells[c];
+      const uint32_t dst_cell_idx =
+          tree->FindOrCreateInNode(dst_node, src_cell.loc);
+      CountingTree::Node& dst = tree->node(dst_node);
+      dst.cells[dst_cell_idx].n += src_cell.n;
+      for (size_t j = 0; j < d; ++j) {
+        dst.half[dst_cell_idx * d + j] += src.half[c * d + j];
+      }
+      if (src_cell.child_node >= 0) {
+        int32_t dst_child = dst.cells[dst_cell_idx].child_node;
+        if (dst_child < 0) {
+          std::vector<uint64_t> base =
+              tree->CellCoords(dst, dst.cells[dst_cell_idx]);
+          dst_child = static_cast<int32_t>(
+              tree->NewNode(dst.level + 1, std::move(base)));
+          tree->node(dst_node).cells[dst_cell_idx].child_node = dst_child;
+        }
+        self(self, static_cast<uint32_t>(dst_child),
+             static_cast<uint32_t>(src_cell.child_node));
+      }
+    }
+  };
+  merge_node(merge_node, 0, 0);
+  tree->total_points_ += other.total_points_;
+  tree->ResetUsedFlags();
+  return Status::OK();
+}
+
+bool TreesEquivalent(const CountingTree& a, const CountingTree& b) {
+  if (a.num_dims() != b.num_dims() ||
+      a.num_resolutions() != b.num_resolutions() ||
+      a.total_points() != b.total_points()) {
+    return false;
+  }
+  const size_t d = a.num_dims();
+  for (int h = 1; h < a.num_resolutions(); ++h) {
+    if (a.NumCellsAtLevel(h) != b.NumCellsAtLevel(h)) return false;
+    for (uint32_t node_idx : a.NodesAtLevel(h)) {
+      const CountingTree::Node& node = a.node(node_idx);
+      for (size_t c = 0; c < node.cells.size(); ++c) {
+        const auto coords = a.CellCoords(node, node.cells[c]);
+        CountingTree::CellRef ref;
+        if (!b.FindCell(h, coords, &ref)) return false;
+        if (b.cell(ref).n != node.cells[c].n) return false;
+        for (size_t j = 0; j < d; ++j) {
+          if (b.HalfCount(ref, j) != node.half[c * d + j]) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mrcc

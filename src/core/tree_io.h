@@ -1,0 +1,43 @@
+// Counting-tree persistence and merging.
+//
+// The Counting-tree is a pure count sketch of the data: cell counts are
+// additive, so trees built over disjoint chunks of a dataset can be merged
+// into the tree of the union — the natural substrate for distributing the
+// paper's single data scan over shards — and a built tree can be saved
+// and reloaded so repeated analyses (different alpha, soft membership,
+// intrinsic dimension) skip the scan entirely.
+//
+// Binary layout (little-endian host order):
+//   magic "MRTR" | u32 version | u32 d | u32 H | u64 total_points
+//   | u64 node_count | per node: i32 level, d*u64 base_coords,
+//     u64 cell_count, per cell: u64 loc, u32 n, i32 child_node,
+//     d*u32 half
+
+#ifndef MRCC_CORE_TREE_IO_H_
+#define MRCC_CORE_TREE_IO_H_
+
+#include <string>
+
+#include "core/counting_tree.h"
+
+namespace mrcc {
+
+/// Writes `tree` to `path` (usedCell flags are not persisted — they are
+/// search state, not data).
+Status SaveTree(const CountingTree& tree, const std::string& path);
+
+/// Reads a tree written by SaveTree.
+Result<CountingTree> LoadTree(const std::string& path);
+
+/// Merges `other` into `tree`: afterwards `tree` equals the tree built
+/// over the concatenation of both datasets. Requires equal
+/// dimensionality and resolution count. `other` is left untouched.
+Status MergeTree(CountingTree* tree, const CountingTree& other);
+
+/// True when the two trees hold identical counts everywhere (structure
+/// may differ in node ordering; comparison is by cell coordinates).
+bool TreesEquivalent(const CountingTree& a, const CountingTree& b);
+
+}  // namespace mrcc
+
+#endif  // MRCC_CORE_TREE_IO_H_

@@ -1,0 +1,140 @@
+#include "data/catalog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace mrcc {
+namespace {
+
+size_t Scaled(size_t n, double scale) {
+  return std::max<size_t>(100, static_cast<size_t>(std::llround(n * scale)));
+}
+
+// Distinct seeds per family keep the datasets independent.
+constexpr uint64_t kGroup1Seed = 0x6d01;
+constexpr uint64_t kBaseSeed = 0x14d0;
+constexpr uint64_t kRotatedSeed = 0x6d72;
+
+}  // namespace
+
+SyntheticConfig Group1Config(size_t i, double scale) {
+  assert(i < 7);
+  SyntheticConfig c;
+  const size_t d = 6 + 2 * i;
+  c.name = std::to_string(d) + "d";
+  c.num_dims = d;
+  // eta grows 12k -> 120k, k grows 2 -> 17, both linearly across the group.
+  c.num_points = Scaled(12000 + 18000 * i, scale);
+  c.num_clusters = 2 + (15 * i + 3) / 6;  // 2, 4, 7, 9, 12, 14, 17.
+  c.noise_fraction = 0.15;
+  // Cluster dimensionality 5..17 across the group = near d-1 per dataset
+  // (subspace clusters must occupy most axes to be visible at all in a
+  // full-space grid; see DESIGN.md on generator calibration).
+  c.min_cluster_dims = std::min(std::max<size_t>(5, d - 3), d - 1);
+  c.max_cluster_dims = d - 1;
+  c.seed = kGroup1Seed + i;
+  return c;
+}
+
+std::vector<SyntheticConfig> Group1Configs(double scale) {
+  std::vector<SyntheticConfig> out;
+  for (size_t i = 0; i < 7; ++i) out.push_back(Group1Config(i, scale));
+  return out;
+}
+
+SyntheticConfig Base14dConfig(double scale) {
+  SyntheticConfig c;
+  c.name = "14d";
+  c.num_dims = 14;
+  c.num_points = Scaled(90000, scale);
+  c.num_clusters = 17;
+  c.noise_fraction = 0.15;
+  c.min_cluster_dims = 11;
+  c.max_cluster_dims = 13;
+  c.seed = kBaseSeed;
+  return c;
+}
+
+std::vector<SyntheticConfig> PointsGroupConfigs(double scale) {
+  std::vector<SyntheticConfig> out;
+  for (size_t i = 0; i < 5; ++i) {
+    SyntheticConfig c = Base14dConfig(scale);
+    const size_t points = 50000 + 50000 * i;
+    c.num_points = Scaled(points, scale);
+    c.name = std::to_string(points / 1000) + "k";
+    c.seed = kBaseSeed + 0x100 + i;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<SyntheticConfig> ClustersGroupConfigs(double scale) {
+  std::vector<SyntheticConfig> out;
+  for (size_t i = 0; i < 5; ++i) {
+    SyntheticConfig c = Base14dConfig(scale);
+    c.num_clusters = 5 + 5 * i;
+    c.name = std::to_string(c.num_clusters) + "c";
+    c.seed = kBaseSeed + 0x200 + i;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<SyntheticConfig> DimsGroupConfigs(double scale) {
+  std::vector<SyntheticConfig> out;
+  for (size_t i = 0; i < 6; ++i) {
+    SyntheticConfig c = Base14dConfig(scale);
+    c.num_dims = 5 + 5 * i;
+    c.name = std::to_string(c.num_dims) + "d_s";
+    c.min_cluster_dims =
+        std::min(std::max<size_t>(4, c.num_dims - 3), c.num_dims - 1);
+    c.max_cluster_dims = c.num_dims - 1;
+    c.seed = kBaseSeed + 0x300 + i;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<SyntheticConfig> NoiseGroupConfigs(double scale) {
+  std::vector<SyntheticConfig> out;
+  for (size_t i = 0; i < 5; ++i) {
+    SyntheticConfig c = Base14dConfig(scale);
+    const size_t pct = 5 + 5 * i;
+    c.noise_fraction = static_cast<double>(pct) / 100.0;
+    c.name = std::to_string(pct) + "o";
+    c.seed = kBaseSeed + 0x400 + i;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<SyntheticConfig> RotatedGroupConfigs(double scale) {
+  std::vector<SyntheticConfig> out;
+  for (size_t i = 0; i < 7; ++i) {
+    SyntheticConfig c = Group1Config(i, scale);
+    c.name += "_r";
+    c.num_rotations = 4;
+    c.seed = kRotatedSeed + i;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Kdd08LikeConfig> Kdd08LikeConfigs(double scale) {
+  static const char* kNames[4] = {"left_cc", "left_mlo", "right_cc",
+                                  "right_mlo"};
+  std::vector<Kdd08LikeConfig> out;
+  for (size_t i = 0; i < 4; ++i) {
+    Kdd08LikeConfig c;
+    c.name = std::string("kdd08_") + kNames[i];
+    c.num_points = Scaled(25000, scale);
+    c.num_dims = 25;
+    c.seed = 2008 + i;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace mrcc

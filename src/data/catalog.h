@@ -1,0 +1,58 @@
+// Catalog of the paper's synthetic dataset families (§IV-B):
+//
+//   Group 1      7 datasets "6d".."18d" with dimensionality, points and
+//                clusters growing together: d 6..18, eta 12k..120k,
+//                k 2..17; cluster dims 5..17; 15% noise.
+//   Base "14d"   14 axes, 90k points, 17 clusters, 15% noise; the anchor
+//                of the four scaling groups.
+//   Xk group     points 50k..250k            ("50k".."250k")
+//   Xc group     clusters 5..25              ("5c".."25c")
+//   Xd_s group   dimensionality 5..30        ("5d_s".."30d_s")
+//   Xo group     noise percent 5..25         ("5o".."25o")
+//   Rotated      group 1 rotated 4 times in random planes ("6d_r"..)
+//
+// A global `scale` factor multiplies every point count so the full
+// experiment suite can run quickly (shape-preserving) or at paper scale.
+
+#ifndef MRCC_DATA_CATALOG_H_
+#define MRCC_DATA_CATALOG_H_
+
+#include <vector>
+
+#include "data/generator.h"
+
+namespace mrcc {
+
+/// Configuration of the paper's group-1 dataset with index i in [0, 7):
+/// ("6d", "8d", ..., "18d"). `scale` multiplies the point count.
+SyntheticConfig Group1Config(size_t i, double scale = 1.0);
+
+/// All seven group-1 configs.
+std::vector<SyntheticConfig> Group1Configs(double scale = 1.0);
+
+/// The base dataset "14d": 14 axes, 90k points, 17 clusters, 15% noise.
+SyntheticConfig Base14dConfig(double scale = 1.0);
+
+/// Scaling group varying the number of points: 50k..250k (5 datasets).
+std::vector<SyntheticConfig> PointsGroupConfigs(double scale = 1.0);
+
+/// Scaling group varying the number of clusters: 5..25 (5 datasets).
+std::vector<SyntheticConfig> ClustersGroupConfigs(double scale = 1.0);
+
+/// Scaling group varying the dimensionality: 5..30 (6 datasets,
+/// "5d_s".."30d_s" as in Fig. 5m-o).
+std::vector<SyntheticConfig> DimsGroupConfigs(double scale = 1.0);
+
+/// Scaling group varying the noise percentage: 5..25 (5 datasets).
+std::vector<SyntheticConfig> NoiseGroupConfigs(double scale = 1.0);
+
+/// Group 1 rotated 4 times in random planes and degrees ("6d_r"..).
+std::vector<SyntheticConfig> RotatedGroupConfigs(double scale = 1.0);
+
+/// The four KDD08-like sub-datasets (left/right breast x CC/MLO view),
+/// ~25k x 25 each at scale 1.
+std::vector<Kdd08LikeConfig> Kdd08LikeConfigs(double scale = 1.0);
+
+}  // namespace mrcc
+
+#endif  // MRCC_DATA_CATALOG_H_

@@ -1,0 +1,100 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mrcc {
+
+void Dataset::AppendPoint(std::span<const double> p) {
+  if (num_points_ == 0 && num_dims_ == 0) {
+    num_dims_ = p.size();
+  }
+  assert(p.size() == num_dims_);
+  values_.insert(values_.end(), p.begin(), p.end());
+  ++num_points_;
+}
+
+void Dataset::NormalizeToUnitCube() {
+  if (num_points_ == 0 || num_dims_ == 0) return;
+  // Shrink the top of the range slightly so max values stay below 1.0,
+  // keeping the dataset inside the half-open cube [0,1)^d.
+  constexpr double kShrink = 1.0 - 1e-9;
+  for (size_t j = 0; j < num_dims_; ++j) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < num_points_; ++i) {
+      lo = std::min(lo, (*this)(i, j));
+      hi = std::max(hi, (*this)(i, j));
+    }
+    const double range = hi - lo;
+    for (size_t i = 0; i < num_points_; ++i) {
+      double v = range > 0.0 ? ((*this)(i, j) - lo) / range * kShrink : 0.0;
+      (*this)(i, j) = v;
+    }
+  }
+}
+
+bool Dataset::InUnitCube() const {
+  for (double v : values_) {
+    if (!(v >= 0.0 && v < 1.0)) return false;
+  }
+  return true;
+}
+
+void Dataset::Transform(const Matrix& m) {
+  assert(m.rows() == num_dims_ && m.cols() == num_dims_);
+  std::vector<double> tmp(num_dims_);
+  for (size_t i = 0; i < num_points_; ++i) {
+    for (size_t r = 0; r < num_dims_; ++r) {
+      double acc = 0.0;
+      for (size_t c = 0; c < num_dims_; ++c) acc += m(r, c) * (*this)(i, c);
+      tmp[r] = acc;
+    }
+    for (size_t j = 0; j < num_dims_; ++j) (*this)(i, j) = tmp[j];
+  }
+}
+
+size_t ClusterInfo::Dimensionality() const {
+  return static_cast<size_t>(
+      std::count(relevant_axes.begin(), relevant_axes.end(), true));
+}
+
+size_t Clustering::NumNoisePoints() const {
+  return static_cast<size_t>(
+      std::count(labels.begin(), labels.end(), kNoiseLabel));
+}
+
+std::vector<size_t> Clustering::Members(int k) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == k) out.push_back(i);
+  }
+  return out;
+}
+
+Status Clustering::Validate(size_t num_points, size_t num_dims) const {
+  if (labels.size() != num_points) {
+    return Status::InvalidArgument("label count does not match point count");
+  }
+  const int k = static_cast<int>(clusters.size());
+  for (int label : labels) {
+    if (label != kNoiseLabel && (label < 0 || label >= k)) {
+      return Status::InvalidArgument("point label out of cluster range");
+    }
+  }
+  for (const ClusterInfo& c : clusters) {
+    if (c.relevant_axes.size() != num_dims) {
+      return Status::InvalidArgument(
+          "relevant_axes size does not match dimensionality");
+    }
+    if (!c.axis_weights.empty() && c.axis_weights.size() != num_dims) {
+      return Status::InvalidArgument(
+          "axis_weights size does not match dimensionality");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mrcc

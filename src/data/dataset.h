@@ -1,0 +1,118 @@
+// Dataset container and clustering result types.
+//
+// Following the paper's Definition 1, a dataset is a set of eta points in
+// [0,1)^d. The container is a flat row-major buffer; points are accessed by
+// (row, axis). Ground truth and algorithm output share the Clustering type
+// (Definition 2: disjoint point sets, each with a set of relevant axes;
+// remaining points are noise).
+
+#ifndef MRCC_DATA_DATASET_H_
+#define MRCC_DATA_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/linalg.h"
+#include "common/status.h"
+
+namespace mrcc {
+
+/// Label value for points not assigned to any cluster.
+inline constexpr int kNoiseLabel = -1;
+
+/// A set of d-dimensional points stored row-major.
+class Dataset {
+ public:
+  Dataset() : num_points_(0), num_dims_(0) {}
+
+  /// An empty dataset with room reserved for `num_points` points.
+  Dataset(size_t num_points, size_t num_dims)
+      : num_points_(num_points),
+        num_dims_(num_dims),
+        values_(num_points * num_dims, 0.0) {}
+
+  size_t NumPoints() const { return num_points_; }
+  size_t NumDims() const { return num_dims_; }
+
+  /// Value of point `i` on axis `j`.
+  double& operator()(size_t i, size_t j) {
+    return values_[i * num_dims_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    return values_[i * num_dims_ + j];
+  }
+
+  /// Read-only view of point `i`.
+  std::span<const double> Point(size_t i) const {
+    return {values_.data() + i * num_dims_, num_dims_};
+  }
+
+  /// Appends a point. `p.size()` must equal NumDims() (or set the dims on
+  /// the first append to an empty dataset).
+  void AppendPoint(std::span<const double> p);
+
+  /// Rescales every axis independently so all values land in [0, 1).
+  /// Degenerate axes (constant value) map to 0. The upper end is mapped
+  /// strictly below 1 to honor the paper's half-open cube.
+  void NormalizeToUnitCube();
+
+  /// True if every value is inside [0, 1).
+  bool InUnitCube() const;
+
+  /// Applies the linear map `m` (d x d) to every point, in place.
+  void Transform(const Matrix& m);
+
+  /// Approximate heap bytes held by this dataset.
+  size_t MemoryBytes() const { return values_.capacity() * sizeof(double); }
+
+ private:
+  size_t num_points_;
+  size_t num_dims_;
+  std::vector<double> values_;
+};
+
+/// Per-cluster metadata: which axes are relevant, and (optionally, for
+/// weighting methods such as LAC) soft per-axis weights.
+struct ClusterInfo {
+  /// relevant_axes[j] is true when axis e_j is relevant to this cluster.
+  std::vector<bool> relevant_axes;
+
+  /// Optional soft axis weights (empty unless the method produces them).
+  std::vector<double> axis_weights;
+
+  /// Number of relevant axes (the cluster dimensionality delta).
+  size_t Dimensionality() const;
+};
+
+/// A disjoint clustering of a dataset: a label per point (kNoiseLabel for
+/// noise, otherwise an index into `clusters`).
+struct Clustering {
+  std::vector<int> labels;
+  std::vector<ClusterInfo> clusters;
+
+  size_t NumClusters() const { return clusters.size(); }
+
+  /// Number of points labeled as noise.
+  size_t NumNoisePoints() const;
+
+  /// Point indices belonging to cluster k.
+  std::vector<size_t> Members(int k) const;
+
+  /// Validates internal consistency (labels in range, axis vectors sized
+  /// `num_dims`).
+  Status Validate(size_t num_points, size_t num_dims) const;
+};
+
+/// A dataset bundled with its ground-truth clustering (synthetic data) and
+/// a human-readable name (the paper's dataset ids: "14d", "100k", ...).
+struct LabeledDataset {
+  std::string name;
+  Dataset data;
+  Clustering truth;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_DATA_DATASET_H_

@@ -1,0 +1,154 @@
+#include "data/dataset_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace mrcc {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'R', 'C', 'C'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveCsv(const Dataset& data, const std::string& path,
+               const std::vector<int>* labels) {
+  if (labels != nullptr && labels->size() != data.NumPoints()) {
+    return Status::InvalidArgument("labels size != number of points");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.precision(17);
+  for (size_t i = 0; i < data.NumPoints(); ++i) {
+    for (size_t j = 0; j < data.NumDims(); ++j) {
+      if (j > 0) out << ',';
+      out << data(i, j);
+    }
+    if (labels != nullptr) out << ',' << (*labels)[i];
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadCsv(const std::string& path, bool has_label_column,
+                        std::vector<int>* labels) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  Dataset data;
+  if (labels != nullptr) labels->clear();
+
+  std::string line;
+  size_t line_no = 0;
+  std::vector<double> row;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    row.clear();
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      try {
+        row.push_back(std::stod(field));
+      } catch (const std::exception&) {
+        return Status::IOError("bad numeric field at " + path + ":" +
+                               std::to_string(line_no));
+      }
+    }
+    if (row.empty()) continue;
+    int label = kNoiseLabel;
+    if (has_label_column) {
+      label = static_cast<int>(row.back());
+      row.pop_back();
+    }
+    if (data.NumPoints() > 0 && row.size() != data.NumDims()) {
+      return Status::IOError("inconsistent column count at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    data.AppendPoint(row);
+    if (has_label_column && labels != nullptr) labels->push_back(label);
+  }
+  return data;
+}
+
+Status SaveBinary(const Dataset& data, const std::string& path,
+                  const std::vector<int>* labels) {
+  if (labels != nullptr && labels->size() != data.NumPoints()) {
+    return Status::InvalidArgument("labels size != number of points");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(data.NumPoints()));
+  WritePod(out, static_cast<uint64_t>(data.NumDims()));
+  for (size_t i = 0; i < data.NumPoints(); ++i) {
+    for (size_t j = 0; j < data.NumDims(); ++j) {
+      WritePod(out, data(i, j));
+    }
+  }
+  WritePod(out, static_cast<uint8_t>(labels != nullptr ? 1 : 0));
+  if (labels != nullptr) {
+    for (int label : *labels) WritePod(out, static_cast<int32_t>(label));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadBinary(const std::string& path, std::vector<int>* labels) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("bad magic in " + path);
+  }
+  uint32_t version = 0;
+  uint64_t num_points = 0, num_dims = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::IOError("unsupported version in " + path);
+  }
+  if (!ReadPod(in, &num_points) || !ReadPod(in, &num_dims)) {
+    return Status::IOError("truncated header in " + path);
+  }
+  Dataset data(num_points, num_dims);
+  for (size_t i = 0; i < num_points; ++i) {
+    for (size_t j = 0; j < num_dims; ++j) {
+      double v;
+      if (!ReadPod(in, &v)) return Status::IOError("truncated data: " + path);
+      data(i, j) = v;
+    }
+  }
+  uint8_t has_labels = 0;
+  if (!ReadPod(in, &has_labels)) {
+    return Status::IOError("truncated label flag: " + path);
+  }
+  if (has_labels != 0) {
+    std::vector<int> tmp(num_points);
+    for (size_t i = 0; i < num_points; ++i) {
+      int32_t label;
+      if (!ReadPod(in, &label)) {
+        return Status::IOError("truncated labels: " + path);
+      }
+      tmp[i] = label;
+    }
+    if (labels != nullptr) *labels = std::move(tmp);
+  }
+  return data;
+}
+
+}  // namespace mrcc

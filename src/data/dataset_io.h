@@ -1,0 +1,44 @@
+// Dataset serialization: CSV (interchange) and a compact binary format.
+//
+// CSV layout: one point per row, `d` comma-separated values; when a
+// clustering is saved alongside, a trailing integer column carries the
+// cluster label (-1 = noise).
+//
+// Binary layout (little-endian host order):
+//   magic "MRCC" | u32 version | u64 num_points | u64 num_dims
+//   | num_points * num_dims f64 values | u8 has_labels
+//   | (if has_labels) num_points i32 labels
+
+#ifndef MRCC_DATA_DATASET_IO_H_
+#define MRCC_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace mrcc {
+
+/// Writes `data` as CSV. When `labels` is non-null it must have one entry
+/// per point and is appended as the last column.
+Status SaveCsv(const Dataset& data, const std::string& path,
+               const std::vector<int>* labels = nullptr);
+
+/// Reads a CSV file written by SaveCsv (or any numeric CSV). When
+/// `has_label_column` is true the last column is parsed into `labels`.
+Result<Dataset> LoadCsv(const std::string& path,
+                        bool has_label_column = false,
+                        std::vector<int>* labels = nullptr);
+
+/// Writes the binary format described above.
+Status SaveBinary(const Dataset& data, const std::string& path,
+                  const std::vector<int>* labels = nullptr);
+
+/// Reads the binary format. Labels are returned through `labels` when
+/// present in the file and `labels` is non-null.
+Result<Dataset> LoadBinary(const std::string& path,
+                           std::vector<int>* labels = nullptr);
+
+}  // namespace mrcc
+
+#endif  // MRCC_DATA_DATASET_IO_H_

@@ -1,0 +1,65 @@
+#include "data/dataset_reader.h"
+
+#include <cstring>
+
+namespace mrcc {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'R', 'C', 'C'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Result<BinaryDatasetReader> BinaryDatasetReader::Open(
+    const std::string& path) {
+  BinaryDatasetReader reader;
+  reader.path_ = path;
+  reader.in_.open(path, std::ios::binary);
+  if (!reader.in_) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  char magic[4];
+  reader.in_.read(magic, sizeof(magic));
+  if (!reader.in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("bad magic in " + path);
+  }
+  uint32_t version = 0;
+  uint64_t num_points = 0, num_dims = 0;
+  reader.in_.read(reinterpret_cast<char*>(&version), sizeof(version));
+  reader.in_.read(reinterpret_cast<char*>(&num_points), sizeof(num_points));
+  reader.in_.read(reinterpret_cast<char*>(&num_dims), sizeof(num_dims));
+  if (!reader.in_ || version != kVersion) {
+    return Status::IOError("unsupported header in " + path);
+  }
+  reader.num_points_ = num_points;
+  reader.num_dims_ = num_dims;
+  reader.data_start_ = reader.in_.tellg();
+  return reader;
+}
+
+bool BinaryDatasetReader::Next(std::span<double> out) {
+  if (!status_.ok() || position_ >= num_points_) return false;
+  if (out.size() != num_dims_) {
+    status_ = Status::InvalidArgument("output span size != num_dims");
+    return false;
+  }
+  in_.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(num_dims_ * sizeof(double)));
+  if (!in_) {
+    status_ = Status::IOError("truncated data in " + path_);
+    return false;
+  }
+  ++position_;
+  return true;
+}
+
+Status BinaryDatasetReader::Rewind() {
+  in_.clear();
+  in_.seekg(data_start_);
+  if (!in_) return Status::IOError("seek failed on " + path_);
+  position_ = 0;
+  status_ = Status::OK();
+  return Status::OK();
+}
+
+}  // namespace mrcc

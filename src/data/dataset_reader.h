@@ -1,0 +1,59 @@
+// Streaming reader for the binary dataset format (see dataset_io.h).
+//
+// MrCC's Counting-tree is built in a single scan and the final labeling
+// needs one more scan — neither requires the dataset in memory. This
+// reader iterates a binary dataset file point by point so "very large"
+// datasets (the paper's title claim) can be clustered with O(tree) memory
+// instead of O(eta * d). See core/streaming.h for the driver.
+
+#ifndef MRCC_DATA_DATASET_READER_H_
+#define MRCC_DATA_DATASET_READER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrcc {
+
+/// Sequential point reader over a file written by SaveBinary().
+class BinaryDatasetReader {
+ public:
+  /// Opens `path` and parses the header.
+  static Result<BinaryDatasetReader> Open(const std::string& path);
+
+  size_t num_points() const { return num_points_; }
+  size_t num_dims() const { return num_dims_; }
+
+  /// Points read so far.
+  size_t position() const { return position_; }
+
+  /// Reads the next point into `out` (must hold num_dims() doubles).
+  /// Returns false at end of data; a short read yields an IOError through
+  /// status().
+  bool Next(std::span<double> out);
+
+  /// Restarts the scan at the first point.
+  Status Rewind();
+
+  /// Sticky error state of the reader (OK unless a read failed).
+  const Status& status() const { return status_; }
+
+ private:
+  BinaryDatasetReader() = default;
+
+  std::ifstream in_;
+  std::string path_;
+  size_t num_points_ = 0;
+  size_t num_dims_ = 0;
+  size_t position_ = 0;
+  std::streampos data_start_;
+  Status status_;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_DATA_DATASET_READER_H_

@@ -1,0 +1,208 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mrcc {
+
+Status SyntheticConfig::Validate() const {
+  if (num_dims == 0) return Status::InvalidArgument("num_dims must be > 0");
+  if (num_points == 0) {
+    return Status::InvalidArgument("num_points must be > 0");
+  }
+  if (noise_fraction < 0.0 || noise_fraction >= 1.0) {
+    return Status::InvalidArgument("noise_fraction must be in [0, 1)");
+  }
+  if (num_clusters == 0 && noise_fraction < 1.0) {
+    return Status::InvalidArgument(
+        "num_clusters must be > 0 unless all points are noise");
+  }
+  if (min_cluster_dims == 0 || min_cluster_dims > max_cluster_dims) {
+    return Status::InvalidArgument("bad cluster dimensionality range");
+  }
+  if (min_stddev <= 0.0 || min_stddev > max_stddev || max_stddev >= 0.125) {
+    return Status::InvalidArgument(
+        "cluster stddev range must satisfy 0 < min <= max < 0.125");
+  }
+  if (!cluster_weights.empty()) {
+    if (cluster_weights.size() != num_clusters) {
+      return Status::InvalidArgument(
+          "cluster_weights size must equal num_clusters");
+    }
+    for (double w : cluster_weights) {
+      if (w <= 0.0) {
+        return Status::InvalidArgument("cluster_weights must be positive");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<LabeledDataset> GenerateSynthetic(const SyntheticConfig& config) {
+  MRCC_RETURN_IF_ERROR(config.Validate());
+  Rng rng(config.seed);
+  const size_t d = config.num_dims;
+  const size_t n = config.num_points;
+  const size_t k = config.num_clusters;
+
+  const size_t num_noise =
+      static_cast<size_t>(std::llround(config.noise_fraction * n));
+  const size_t num_clustered = n - num_noise;
+
+  // Cluster sizes: explicit proportions when given, otherwise random
+  // proportions with a floor of 1% of the clustered mass per cluster.
+  std::vector<size_t> sizes(k, 0);
+  if (k > 0 && num_clustered > 0) {
+    std::vector<double> props(k);
+    size_t floor_size = 0;
+    if (!config.cluster_weights.empty()) {
+      props = config.cluster_weights;
+    } else {
+      floor_size = std::max<size_t>(1, num_clustered / (100 * k));
+      for (auto& p : props) p = rng.Uniform(0.2, 1.0);
+    }
+    double total = 0.0;
+    for (double p : props) total += p;
+    const size_t remaining =
+        num_clustered - std::min(num_clustered, floor_size * k);
+    size_t assigned = 0;
+    for (size_t c = 0; c < k; ++c) {
+      sizes[c] = floor_size +
+                 static_cast<size_t>(std::floor(props[c] / total *
+                                                static_cast<double>(remaining)));
+      assigned += sizes[c];
+    }
+    // Distribute rounding leftovers.
+    size_t c = 0;
+    while (assigned < num_clustered) {
+      ++sizes[c % k];
+      ++assigned;
+      ++c;
+    }
+  }
+
+  // Per-cluster subspace and Gaussian parameters.
+  const size_t min_delta = std::min(config.min_cluster_dims, d);
+  const size_t max_delta = std::min(config.max_cluster_dims, d);
+  LabeledDataset out;
+  out.name = config.name;
+  out.data = Dataset(0, d);
+  out.truth.clusters.resize(k);
+
+  std::vector<std::vector<double>> means(k, std::vector<double>(d));
+  std::vector<std::vector<double>> stddevs(k, std::vector<double>(d));
+  for (size_t c = 0; c < k; ++c) {
+    const size_t delta =
+        min_delta + rng.UniformInt(max_delta - min_delta + 1);
+    std::vector<size_t> axes = rng.SampleWithoutReplacement(d, delta);
+    ClusterInfo& info = out.truth.clusters[c];
+    info.relevant_axes.assign(d, false);
+    for (size_t a : axes) info.relevant_axes[a] = true;
+    for (size_t j = 0; j < d; ++j) {
+      const double sd = rng.Uniform(config.min_stddev, config.max_stddev);
+      stddevs[c][j] = sd;
+      // Keep the Gaussian mass inside the cube on relevant axes.
+      means[c][j] = rng.Uniform(4.0 * sd, 1.0 - 4.0 * sd);
+    }
+  }
+
+  // Emit cluster points.
+  std::vector<int> labels;
+  labels.reserve(n);
+  std::vector<double> p(d);
+  for (size_t c = 0; c < k; ++c) {
+    const ClusterInfo& info = out.truth.clusters[c];
+    for (size_t i = 0; i < sizes[c]; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        if (info.relevant_axes[j]) {
+          // Clamp the rare >4-sigma draw back into the cube.
+          double v = rng.Normal(means[c][j], stddevs[c][j]);
+          p[j] = std::clamp(v, 0.0, 1.0 - 1e-9);
+        } else {
+          p[j] = rng.UniformDouble();
+        }
+      }
+      out.data.AppendPoint(p);
+      labels.push_back(static_cast<int>(c));
+    }
+  }
+  // Emit noise points.
+  for (size_t i = 0; i < num_noise; ++i) {
+    for (size_t j = 0; j < d; ++j) p[j] = rng.UniformDouble();
+    out.data.AppendPoint(p);
+    labels.push_back(kNoiseLabel);
+  }
+
+  // Shuffle points so cluster members are not contiguous on disk.
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  rng.Shuffle(perm);
+  Dataset shuffled(n, d);
+  out.truth.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) shuffled(i, j) = out.data(perm[i], j);
+    out.truth.labels[i] = labels[perm[i]];
+  }
+  out.data = std::move(shuffled);
+
+  if (config.num_rotations > 0) {
+    Matrix rot = RandomPlaneRotations(d, config.num_rotations, rng);
+    out.data.Transform(rot);
+    out.data.NormalizeToUnitCube();
+  }
+
+  assert(out.truth.Validate(n, d).ok());
+  return out;
+}
+
+Result<Kdd08LikeDataset> GenerateKdd08Like(const Kdd08LikeConfig& config) {
+  // The substitute models the Cup data's structure: a dominant "normal"
+  // population organized in a few subspace clusters, a thin scatter of
+  // background ROIs, and a small "malignant" population forming two tight
+  // clusters in their own discriminative feature subspaces.
+  SyntheticConfig synth;
+  synth.name = config.name;
+  synth.num_dims = config.num_dims;
+  synth.num_points = config.num_points;
+  synth.num_clusters = config.normal_clusters + config.malignant_clusters;
+  synth.noise_fraction = config.background_fraction;
+  // Screening features are strongly correlated, so the population clusters
+  // occupy almost all of the 25 feature axes (high intrinsic correlation is
+  // what makes the Cup data clusterable at 25 dims in the first place).
+  synth.min_cluster_dims =
+      config.num_dims > 3 ? config.num_dims - 3 : config.num_dims - 1;
+  synth.max_cluster_dims = config.num_dims - 1;
+  synth.seed = config.seed;
+
+  // Explicit proportions: the malignant clusters split the malignant share
+  // of the clustered points; normal clusters split the rest evenly.
+  const double clustered_fraction = 1.0 - config.background_fraction;
+  const double malignant_share =
+      std::min(0.5, config.malignant_fraction / clustered_fraction);
+  synth.cluster_weights.assign(config.normal_clusters,
+                               (1.0 - malignant_share) /
+                                   static_cast<double>(config.normal_clusters));
+  for (size_t m = 0; m < config.malignant_clusters; ++m) {
+    synth.cluster_weights.push_back(
+        malignant_share / static_cast<double>(config.malignant_clusters));
+  }
+
+  Result<LabeledDataset> base = GenerateSynthetic(synth);
+  if (!base.ok()) return base.status();
+  Kdd08LikeDataset out;
+  out.labeled = std::move(base).value();
+
+  const int first_malignant = static_cast<int>(config.normal_clusters);
+  out.class_labels.assign(config.num_points, 0);
+  for (size_t i = 0; i < out.labeled.truth.labels.size(); ++i) {
+    if (out.labeled.truth.labels[i] >= first_malignant) {
+      out.class_labels[i] = 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace mrcc

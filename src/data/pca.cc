@@ -1,0 +1,83 @@
+#include "data/pca.h"
+
+#include <numeric>
+
+namespace mrcc {
+
+double PcaModel::ExplainedVarianceRatio() const {
+  if (total_variance <= 0.0) return 0.0;
+  const double kept =
+      std::accumulate(eigenvalues.begin(), eigenvalues.end(), 0.0);
+  return kept / total_variance;
+}
+
+Result<Dataset> PcaModel::Project(const Dataset& data) const {
+  if (data.NumDims() != mean.size()) {
+    return Status::InvalidArgument(
+        "dataset dimensionality does not match the fitted PCA model");
+  }
+  const size_t n = data.NumPoints();
+  const size_t d = mean.size();
+  const size_t k = components.cols();
+  Dataset out(n, k);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < k; ++c) {
+      double score = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        score += (data(i, j) - mean[j]) * components(j, c);
+      }
+      out(i, c) = score;
+    }
+  }
+  return out;
+}
+
+Result<PcaModel> FitPca(const Dataset& data, size_t target_dims) {
+  const size_t n = data.NumPoints();
+  const size_t d = data.NumDims();
+  if (n < 2) return Status::InvalidArgument("PCA needs at least 2 points");
+  if (target_dims == 0 || target_dims > d) {
+    return Status::InvalidArgument("target_dims must be in [1, d]");
+  }
+
+  Matrix points(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) points(i, j) = data(i, j);
+  }
+  const Matrix cov = Covariance(points);
+
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;
+  SymmetricEigen(cov, &eigenvalues, &eigenvectors);
+
+  PcaModel model;
+  model.mean.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) model.mean[j] += data(i, j);
+  }
+  for (double& m : model.mean) m /= static_cast<double>(n);
+
+  model.total_variance =
+      std::accumulate(eigenvalues.begin(), eigenvalues.end(), 0.0);
+  model.eigenvalues.assign(eigenvalues.begin(),
+                           eigenvalues.begin() +
+                               static_cast<int64_t>(target_dims));
+  model.components = Matrix(d, target_dims);
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t c = 0; c < target_dims; ++c) {
+      model.components(j, c) = eigenvectors(j, c);
+    }
+  }
+  return model;
+}
+
+Result<Dataset> PcaReduce(const Dataset& data, size_t target_dims) {
+  Result<PcaModel> model = FitPca(data, target_dims);
+  if (!model.ok()) return model.status();
+  Result<Dataset> projected = model->Project(data);
+  if (!projected.ok()) return projected.status();
+  projected->NormalizeToUnitCube();
+  return projected;
+}
+
+}  // namespace mrcc

@@ -1,0 +1,61 @@
+// PCA preprocessing for very high-dimensional inputs.
+//
+// The paper scopes MrCC to ~5-30 axes and recommends: "if a dataset has
+// more than 30 or so dimensions, it is possible to apply some distance
+// preserving dimensionality reduction or feature selection algorithm,
+// such as PCA or FDR, and then apply MrCC" (§I). This module provides that
+// preprocessing step: principal component analysis via the library's
+// Jacobi eigensolver, projecting onto the leading components and
+// re-normalizing into the unit cube MrCC expects.
+
+#ifndef MRCC_DATA_PCA_H_
+#define MRCC_DATA_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/linalg.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace mrcc {
+
+/// A fitted PCA transform.
+struct PcaModel {
+  /// Per-axis mean of the training data (d entries).
+  std::vector<double> mean;
+
+  /// d x k matrix whose columns are the leading principal axes, ordered by
+  /// decreasing eigenvalue.
+  Matrix components;
+
+  /// Variance along each kept component (k entries, descending).
+  std::vector<double> eigenvalues;
+
+  /// Sum of all d eigenvalues (total variance), for explained-variance
+  /// ratios.
+  double total_variance = 0.0;
+
+  /// Number of kept components k.
+  size_t num_components() const { return components.cols(); }
+
+  /// Fraction of total variance captured by the kept components.
+  double ExplainedVarianceRatio() const;
+
+  /// Projects `data` (same d as the training data) onto the k components.
+  /// The result is centered scores, NOT normalized — call
+  /// NormalizeToUnitCube() before handing it to MrCC.
+  Result<Dataset> Project(const Dataset& data) const;
+};
+
+/// Fits PCA on `data`, keeping `target_dims` components
+/// (1 <= target_dims <= d). Requires at least 2 points.
+Result<PcaModel> FitPca(const Dataset& data, size_t target_dims);
+
+/// Convenience: fit, project and normalize to [0,1)^target_dims — the
+/// exact preprocessing pipeline the paper suggests before MrCC.
+Result<Dataset> PcaReduce(const Dataset& data, size_t target_dims);
+
+}  // namespace mrcc
+
+#endif  // MRCC_DATA_PCA_H_

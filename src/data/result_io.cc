@@ -1,0 +1,136 @@
+#include "data/result_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mrcc {
+namespace {
+
+void AppendAxisArray(const std::vector<bool>& axes, std::string* out) {
+  *out += '[';
+  bool first = true;
+  for (size_t j = 0; j < axes.size(); ++j) {
+    if (axes[j]) {
+      if (!first) *out += ',';
+      *out += std::to_string(j);
+      first = false;
+    }
+  }
+  *out += ']';
+}
+
+void AppendDoubleArray(const std::vector<double>& values, std::string* out) {
+  char buf[32];
+  *out += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *out += ',';
+    std::snprintf(buf, sizeof(buf), "%.12g", values[i]);
+    *out += buf;
+  }
+  *out += ']';
+}
+
+void AppendClusters(const Clustering& clustering, std::string* out) {
+  *out += "\"clusters\":[";
+  for (size_t c = 0; c < clustering.NumClusters(); ++c) {
+    if (c > 0) *out += ',';
+    const ClusterInfo& info = clustering.clusters[c];
+    *out += "{\"id\":" + std::to_string(c) + ",\"relevant_axes\":";
+    AppendAxisArray(info.relevant_axes, out);
+    if (!info.axis_weights.empty()) {
+      *out += ",\"axis_weights\":";
+      AppendDoubleArray(info.axis_weights, out);
+    }
+    *out += '}';
+  }
+  *out += "],\"labels\":[";
+  for (size_t i = 0; i < clustering.labels.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += std::to_string(clustering.labels[i]);
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+std::string ClusteringToJson(const Clustering& clustering) {
+  std::string out = "{";
+  AppendClusters(clustering, &out);
+  out += '}';
+  return out;
+}
+
+std::string MrCCResultToJson(const MrCCResult& result) {
+  char buf[64];
+  std::string out = "{";
+  AppendClusters(result.clustering, &out);
+
+  out += ",\"beta_clusters\":[";
+  for (size_t b = 0; b < result.beta_clusters.size(); ++b) {
+    if (b > 0) out += ',';
+    const BetaCluster& beta = result.beta_clusters[b];
+    out += "{\"cluster\":" + std::to_string(result.beta_to_cluster[b]);
+    out += ",\"level\":" + std::to_string(beta.level);
+    out += ",\"center_count\":" + std::to_string(beta.center_count);
+    out += ",\"relevant_axes\":";
+    AppendAxisArray(beta.relevant, &out);
+    out += ",\"lower\":";
+    AppendDoubleArray(beta.lower, &out);
+    out += ",\"upper\":";
+    AppendDoubleArray(beta.upper, &out);
+    out += '}';
+  }
+  out += "]";
+
+  std::snprintf(buf, sizeof(buf), ",\"stats\":{\"total_seconds\":%.6f",
+                result.stats.total_seconds);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"tree_build_seconds\":%.6f",
+                result.stats.tree_build_seconds);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"beta_search_seconds\":%.6f",
+                result.stats.beta_search_seconds);
+  out += buf;
+  out += ",\"tree_memory_bytes\":" +
+         std::to_string(result.stats.tree_memory_bytes) + "}";
+  out += '}';
+  return out;
+}
+
+Status WriteJsonFile(const std::string& json, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << json << '\n';
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status SaveLabels(const std::vector<int>& labels, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  for (int label : labels) out << label << '\n';
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<int>> LoadLabels(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::vector<int> labels;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      labels.push_back(std::stoi(line));
+    } catch (const std::exception&) {
+      return Status::IOError("bad label at " + path + ":" +
+                             std::to_string(line_no));
+    }
+  }
+  return labels;
+}
+
+}  // namespace mrcc

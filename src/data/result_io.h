@@ -1,0 +1,38 @@
+// Serialization of clustering results for downstream consumption.
+//
+// JSON export covers the full MrCC result — clusters with relevant axes,
+// the underlying β-cluster boxes, per-point labels and the run statistics
+// — so notebooks and visualization tools can consume a run without
+// linking the library. Label I/O round-trips plain one-label-per-line
+// files for interop with external evaluation scripts.
+
+#ifndef MRCC_DATA_RESULT_IO_H_
+#define MRCC_DATA_RESULT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/mrcc.h"
+#include "data/dataset.h"
+
+namespace mrcc {
+
+/// Serializes a clustering (labels + per-cluster relevant axes) as JSON.
+std::string ClusteringToJson(const Clustering& clustering);
+
+/// Serializes a complete MrCC result (clusters, β-boxes, stats) as JSON.
+std::string MrCCResultToJson(const MrCCResult& result);
+
+/// Writes `json` to `path`.
+Status WriteJsonFile(const std::string& json, const std::string& path);
+
+/// Writes labels as one integer per line (-1 = noise).
+Status SaveLabels(const std::vector<int>& labels, const std::string& path);
+
+/// Reads a one-integer-per-line label file.
+Result<std::vector<int>> LoadLabels(const std::string& path);
+
+}  // namespace mrcc
+
+#endif  // MRCC_DATA_RESULT_IO_H_

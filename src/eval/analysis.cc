@@ -1,0 +1,198 @@
+#include "eval/analysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace mrcc {
+
+ConfusionTable BuildConfusionTable(const Clustering& found,
+                                   const Clustering& truth) {
+  assert(found.labels.size() == truth.labels.size());
+  ConfusionTable table;
+  table.num_found = found.NumClusters();
+  table.num_real = truth.NumClusters();
+  table.counts.assign(table.num_found + 1,
+                      std::vector<size_t>(table.num_real + 1, 0));
+  for (size_t i = 0; i < found.labels.size(); ++i) {
+    const size_t f = found.labels[i] == kNoiseLabel
+                         ? table.num_found
+                         : static_cast<size_t>(found.labels[i]);
+    const size_t r = truth.labels[i] == kNoiseLabel
+                         ? table.num_real
+                         : static_cast<size_t>(truth.labels[i]);
+    ++table.counts[f][r];
+  }
+  return table;
+}
+
+std::string ConfusionTable::ToString() const {
+  std::string out = "found\\real";
+  char buf[32];
+  for (size_t r = 0; r < num_real; ++r) {
+    std::snprintf(buf, sizeof(buf), "%8zu", r);
+    out += buf;
+  }
+  out += "   noise\n";
+  for (size_t f = 0; f <= num_found; ++f) {
+    if (f < num_found) {
+      std::snprintf(buf, sizeof(buf), "%-10zu", f);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%-10s", "noise");
+    }
+    out += buf;
+    for (size_t r = 0; r <= num_real; ++r) {
+      std::snprintf(buf, sizeof(buf), "%8zu", counts[f][r]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+// Hungarian algorithm (Jonker-style O(n^3) potentials) on a square cost
+// matrix; returns per-row the assigned column. Sizes here are cluster
+// counts (tiny), so clarity beats micro-optimization.
+std::vector<int> HungarianMinCost(const std::vector<std::vector<double>>& cost) {
+  const size_t n = cost.size();
+  if (n == 0) return {};
+  const double kInf = std::numeric_limits<double>::infinity();
+  // 1-based potentials over rows (u) and columns (v).
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> match(n + 1, 0);  // match[col] = row.
+  std::vector<size_t> way(n + 1, 0);
+
+  for (size_t row = 1; row <= n; ++row) {
+    match[0] = row;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = match[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> row_to_col(n, -1);
+  for (size_t j = 1; j <= n; ++j) {
+    if (match[j] != 0) row_to_col[match[j] - 1] = static_cast<int>(j - 1);
+  }
+  return row_to_col;
+}
+
+}  // namespace
+
+std::vector<int> OptimalMatching(const ConfusionTable& table) {
+  const size_t f = table.num_found;
+  const size_t r = table.num_real;
+  const size_t n = std::max(f, r);
+  if (n == 0) return std::vector<int>(f, -1);
+  // Maximize overlap = minimize negated overlap on a padded square matrix.
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  for (size_t a = 0; a < f; ++a) {
+    for (size_t b = 0; b < r; ++b) {
+      cost[a][b] = -static_cast<double>(table.counts[a][b]);
+    }
+  }
+  std::vector<int> assignment = HungarianMinCost(cost);
+  assignment.resize(f);
+  for (size_t a = 0; a < f; ++a) {
+    if (assignment[a] >= static_cast<int>(r)) assignment[a] = -1;
+  }
+  return assignment;
+}
+
+double ClusteringError(const Clustering& found, const Clustering& truth) {
+  const size_t n = found.labels.size();
+  if (n == 0) return 0.0;
+  const ConfusionTable table = BuildConfusionTable(found, truth);
+  const std::vector<int> matching = OptimalMatching(table);
+  size_t agreed = table.counts[table.num_found][table.num_real];  // Noise.
+  for (size_t f = 0; f < table.num_found; ++f) {
+    if (matching[f] >= 0) {
+      agreed += table.counts[f][static_cast<size_t>(matching[f])];
+    }
+  }
+  return 1.0 - static_cast<double>(agreed) / static_cast<double>(n);
+}
+
+std::vector<ClusterSummary> SummarizeClusters(const Dataset& data,
+                                              const Clustering& clustering) {
+  const size_t d = data.NumDims();
+  const size_t k = clustering.NumClusters();
+  std::vector<ClusterSummary> out(k);
+  for (size_t c = 0; c < k; ++c) {
+    out[c].mean.assign(d, 0.0);
+    out[c].stddev.assign(d, 0.0);
+    out[c].dimensionality = clustering.clusters[c].Dimensionality();
+  }
+  for (size_t i = 0; i < data.NumPoints(); ++i) {
+    const int label = clustering.labels[i];
+    if (label == kNoiseLabel) continue;
+    ClusterSummary& s = out[static_cast<size_t>(label)];
+    ++s.size;
+    for (size_t j = 0; j < d; ++j) s.mean[j] += data(i, j);
+  }
+  for (ClusterSummary& s : out) {
+    if (s.size == 0) continue;
+    for (double& m : s.mean) m /= static_cast<double>(s.size);
+  }
+  for (size_t i = 0; i < data.NumPoints(); ++i) {
+    const int label = clustering.labels[i];
+    if (label == kNoiseLabel) continue;
+    ClusterSummary& s = out[static_cast<size_t>(label)];
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = data(i, j) - s.mean[j];
+      s.stddev[j] += diff * diff;
+    }
+  }
+  for (size_t c = 0; c < k; ++c) {
+    ClusterSummary& s = out[c];
+    if (s.size == 0) continue;
+    double spread = 0.0;
+    size_t dims = 0;
+    for (size_t j = 0; j < d; ++j) {
+      s.stddev[j] = std::sqrt(s.stddev[j] / static_cast<double>(s.size));
+      if (clustering.clusters[c].relevant_axes[j]) {
+        spread += s.stddev[j];
+        ++dims;
+      }
+    }
+    s.mean_relevant_spread = dims > 0 ? spread / static_cast<double>(dims) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace mrcc

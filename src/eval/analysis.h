@@ -1,0 +1,56 @@
+// Clustering analysis utilities beyond the paper's Quality metric:
+// contingency/confusion tables, optimal-matching clustering error (CE, a
+// standard subspace-clustering measure), and per-cluster descriptive
+// statistics for result inspection.
+
+#ifndef MRCC_EVAL_ANALYSIS_H_
+#define MRCC_EVAL_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mrcc {
+
+/// counts[f][r] = number of points in found cluster f and real cluster r.
+/// The last row/column collect noise points of either side, so every point
+/// appears exactly once.
+struct ConfusionTable {
+  std::vector<std::vector<size_t>> counts;  // (F+1) x (R+1).
+  size_t num_found = 0;
+  size_t num_real = 0;
+
+  /// Pretty-prints the table with noise row/column labeled.
+  std::string ToString() const;
+};
+
+ConfusionTable BuildConfusionTable(const Clustering& found,
+                                   const Clustering& truth);
+
+/// Clustering Error: 1 - (max-weight one-to-one matching between found
+/// and real clusters) / eta, computed exactly with the Hungarian
+/// algorithm. 0 = perfect partition recovery (noise must map to noise).
+double ClusteringError(const Clustering& found, const Clustering& truth);
+
+/// Maximum-weight one-to-one assignment between found and real clusters:
+/// returns per-found-cluster the matched real cluster (-1 = unmatched).
+/// Exposed for tests and diagnostics.
+std::vector<int> OptimalMatching(const ConfusionTable& table);
+
+/// Descriptive statistics of one cluster, for result inspection.
+struct ClusterSummary {
+  size_t size = 0;
+  size_t dimensionality = 0;          // Relevant axes.
+  std::vector<double> mean;           // Per axis.
+  std::vector<double> stddev;         // Per axis.
+  double mean_relevant_spread = 0.0;  // Avg stddev over relevant axes.
+};
+
+/// Summaries for every cluster of `clustering` over `data`.
+std::vector<ClusterSummary> SummarizeClusters(const Dataset& data,
+                                              const Clustering& clustering);
+
+}  // namespace mrcc
+
+#endif  // MRCC_EVAL_ANALYSIS_H_

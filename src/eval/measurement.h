@@ -1,0 +1,56 @@
+// Experiment harness: runs one clustering method on one labeled dataset
+// and measures everything the paper's figures report — wall-clock time,
+// peak heap memory, Quality and Subspaces Quality.
+
+#ifndef MRCC_EVAL_MEASUREMENT_H_
+#define MRCC_EVAL_MEASUREMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/subspace_clusterer.h"
+#include "data/dataset.h"
+#include "eval/quality.h"
+
+namespace mrcc {
+
+/// Everything measured in one (method, dataset) run.
+struct RunMeasurement {
+  std::string method;
+  std::string dataset;
+
+  /// False when the method failed or timed out; `error` carries the cause.
+  bool completed = false;
+  std::string error;
+
+  double seconds = 0.0;
+  /// Peak extra heap while the method ran (what Fig. 5's KB column shows).
+  int64_t peak_heap_bytes = 0;
+
+  size_t clusters_found = 0;
+  QualityReport quality;
+};
+
+/// Runs `method` on `dataset` with an optional cooperative time budget
+/// (0 = unlimited) and scores the result against the dataset's truth.
+RunMeasurement MeasureRun(SubspaceClusterer& method,
+                          const LabeledDataset& dataset,
+                          double time_budget_seconds = 0.0);
+
+/// Same, but scores against a flat class labeling (real-data experiment).
+RunMeasurement MeasureRunAgainstClasses(SubspaceClusterer& method,
+                                        const Dataset& data,
+                                        const std::vector<int>& class_labels,
+                                        const std::string& dataset_name,
+                                        double time_budget_seconds = 0.0);
+
+/// Renders a row like the paper's tables: method, quality, KB, seconds.
+std::string FormatMeasurementRow(const RunMeasurement& m);
+
+/// CSV helpers for the bench binaries.
+std::string MeasurementCsvHeader();
+std::string MeasurementCsvRow(const RunMeasurement& m);
+
+}  // namespace mrcc
+
+#endif  // MRCC_EVAL_MEASUREMENT_H_

@@ -1,0 +1,149 @@
+#include "eval/quality.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace mrcc {
+namespace {
+
+double HarmonicMean(double a, double b) {
+  return (a + b) > 0.0 ? 2.0 * a * b / (a + b) : 0.0;
+}
+
+// |A ∩ B| / |A| for boolean axis sets; 0 when A is empty.
+double AxisOverlapRatio(const std::vector<bool>& a,
+                        const std::vector<bool>& b) {
+  size_t inter = 0, size_a = 0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (a[j]) {
+      ++size_a;
+      if (b[j]) ++inter;
+    }
+  }
+  return size_a > 0 ? static_cast<double>(inter) / size_a : 0.0;
+}
+
+struct Contingency {
+  // counts[f][r] = |S_found_f ∩ S_real_r|.
+  std::vector<std::vector<size_t>> counts;
+  std::vector<size_t> found_sizes;
+  std::vector<size_t> real_sizes;
+};
+
+Contingency BuildContingency(const std::vector<int>& found_labels,
+                             size_t num_found,
+                             const std::vector<int>& real_labels,
+                             size_t num_real) {
+  assert(found_labels.size() == real_labels.size());
+  Contingency c;
+  c.counts.assign(num_found, std::vector<size_t>(num_real, 0));
+  c.found_sizes.assign(num_found, 0);
+  c.real_sizes.assign(num_real, 0);
+  for (size_t i = 0; i < found_labels.size(); ++i) {
+    const int f = found_labels[i];
+    const int r = real_labels[i];
+    if (f != kNoiseLabel) ++c.found_sizes[f];
+    if (r != kNoiseLabel) ++c.real_sizes[r];
+    if (f != kNoiseLabel && r != kNoiseLabel) ++c.counts[f][r];
+  }
+  return c;
+}
+
+// Fills the point-based precision/recall and dominant maps of `report`.
+void ScorePoints(const Contingency& c, QualityReport* report) {
+  const size_t num_found = c.found_sizes.size();
+  const size_t num_real = c.real_sizes.size();
+  report->dominant_real.assign(num_found, -1);
+  report->dominant_found.assign(num_real, -1);
+  if (num_found == 0 || num_real == 0) return;
+
+  double precision_sum = 0.0;
+  for (size_t f = 0; f < num_found; ++f) {
+    size_t best = 0;
+    int best_r = -1;
+    for (size_t r = 0; r < num_real; ++r) {
+      if (c.counts[f][r] > best) {
+        best = c.counts[f][r];
+        best_r = static_cast<int>(r);
+      }
+    }
+    report->dominant_real[f] = best_r;
+    if (c.found_sizes[f] > 0) {
+      precision_sum += static_cast<double>(best) / c.found_sizes[f];
+    }
+  }
+  double recall_sum = 0.0;
+  for (size_t r = 0; r < num_real; ++r) {
+    size_t best = 0;
+    int best_f = -1;
+    for (size_t f = 0; f < num_found; ++f) {
+      if (c.counts[f][r] > best) {
+        best = c.counts[f][r];
+        best_f = static_cast<int>(f);
+      }
+    }
+    report->dominant_found[r] = best_f;
+    if (c.real_sizes[r] > 0) {
+      recall_sum += static_cast<double>(best) / c.real_sizes[r];
+    }
+  }
+  report->precision = precision_sum / static_cast<double>(num_found);
+  report->recall = recall_sum / static_cast<double>(num_real);
+  report->quality = HarmonicMean(report->precision, report->recall);
+}
+
+}  // namespace
+
+QualityReport EvaluateClustering(const Clustering& found,
+                                 const Clustering& truth) {
+  assert(found.labels.size() == truth.labels.size());
+  QualityReport report;
+  const Contingency c =
+      BuildContingency(found.labels, found.NumClusters(), truth.labels,
+                       truth.NumClusters());
+  ScorePoints(c, &report);
+  if (found.NumClusters() == 0 || truth.NumClusters() == 0) return report;
+
+  // Subspaces Quality: same pairing, axis sets instead of point sets.
+  double sub_precision = 0.0;
+  for (size_t f = 0; f < found.NumClusters(); ++f) {
+    const int r = report.dominant_real[f];
+    if (r >= 0) {
+      sub_precision +=
+          AxisOverlapRatio(found.clusters[f].relevant_axes,
+                           truth.clusters[static_cast<size_t>(r)].relevant_axes);
+    }
+  }
+  double sub_recall = 0.0;
+  for (size_t r = 0; r < truth.NumClusters(); ++r) {
+    const int f = report.dominant_found[r];
+    if (f >= 0) {
+      sub_recall +=
+          AxisOverlapRatio(truth.clusters[r].relevant_axes,
+                           found.clusters[static_cast<size_t>(f)].relevant_axes);
+    }
+  }
+  report.subspace_precision =
+      sub_precision / static_cast<double>(found.NumClusters());
+  report.subspace_recall =
+      sub_recall / static_cast<double>(truth.NumClusters());
+  report.subspace_quality =
+      HarmonicMean(report.subspace_precision, report.subspace_recall);
+  return report;
+}
+
+QualityReport EvaluateAgainstClasses(const Clustering& found,
+                                     const std::vector<int>& class_labels) {
+  assert(found.labels.size() == class_labels.size());
+  int max_class = -1;
+  for (int c : class_labels) max_class = std::max(max_class, c);
+  QualityReport report;
+  const Contingency c =
+      BuildContingency(found.labels, found.NumClusters(), class_labels,
+                       static_cast<size_t>(max_class + 1));
+  ScorePoints(c, &report);
+  return report;
+}
+
+}  // namespace mrcc

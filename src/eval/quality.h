@@ -1,0 +1,57 @@
+// Clustering quality measures from paper §IV-A.
+//
+// Found clusters are matched to real (ground-truth) clusters by point
+// overlap: each found cluster's "most dominant" real cluster maximizes
+// |S_found ∩ S_real|, and vice versa. Precision (Eq. 1) averages
+// |∩| / |S_found| over found clusters; recall (Eq. 2) averages
+// |∩| / |S_real| over real clusters. Quality is the harmonic mean of the
+// two averages. Subspaces Quality repeats the computation with the
+// relevant-axis sets (E sets) in place of the point sets, keeping the
+// point-overlap pairing. A result with no found clusters scores 0.
+
+#ifndef MRCC_EVAL_QUALITY_H_
+#define MRCC_EVAL_QUALITY_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mrcc {
+
+/// Full quality breakdown of one clustering result against ground truth.
+struct QualityReport {
+  /// Averaged precision over found clusters (∝ the dominant ratio).
+  double precision = 0.0;
+  /// Averaged recall over real clusters (∝ the coverage ratio).
+  double recall = 0.0;
+  /// Harmonic mean of precision and recall.
+  double quality = 0.0;
+
+  /// Same three values computed on relevant-axis sets.
+  double subspace_precision = 0.0;
+  double subspace_recall = 0.0;
+  double subspace_quality = 0.0;
+
+  /// dominant_real[f] = index of found cluster f's most dominant real
+  /// cluster, or -1 when f shares no point with any real cluster.
+  std::vector<int> dominant_real;
+  /// dominant_found[r] = index of real cluster r's most dominant found
+  /// cluster, or -1.
+  std::vector<int> dominant_found;
+};
+
+/// Scores `found` against `truth`. Both clusterings must label the same
+/// number of points; noise (kNoiseLabel) participates in no cluster.
+QualityReport EvaluateClustering(const Clustering& found,
+                                 const Clustering& truth);
+
+/// Quality of a clustering against a flat class labeling (e.g. the KDD Cup
+/// 2008 malignant/normal ground truth): classes act as real clusters with
+/// unknown subspaces, so only the point-based Quality is computed.
+/// `class_labels` uses kNoiseLabel for points outside every class.
+QualityReport EvaluateAgainstClasses(const Clustering& found,
+                                     const std::vector<int>& class_labels);
+
+}  // namespace mrcc
+
+#endif  // MRCC_EVAL_QUALITY_H_

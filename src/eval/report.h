@@ -1,0 +1,56 @@
+// Self-contained HTML/SVG reports of a clustering run.
+//
+// Renders what Fig. 1 of the paper shows for its toy examples — 2-d
+// projections of the data with clusters colored and β-cluster boxes
+// overlaid — plus per-cluster summary tables, as one dependency-free HTML
+// file a browser can open directly. Intended for eyeballing results
+// rather than publication plots.
+
+#ifndef MRCC_EVAL_REPORT_H_
+#define MRCC_EVAL_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/mrcc.h"
+#include "data/dataset.h"
+
+namespace mrcc {
+
+struct ReportOptions {
+  /// Pixel size of each projection panel.
+  int panel_size = 320;
+
+  /// At most this many points are drawn per panel (deterministic stride
+  /// subsampling keeps huge datasets renderable).
+  size_t max_points = 3000;
+
+  /// Maximum number of projection panels (axis pairs) in the report.
+  size_t max_panels = 6;
+
+  /// Draw the β-cluster boxes on top of the scatter.
+  bool draw_boxes = true;
+};
+
+/// SVG scatter plot of the (axis_x, axis_y) projection, points colored by
+/// cluster label (noise gray). When `result` is non-null its β-boxes are
+/// drawn. Returns a complete <svg> element.
+std::string RenderProjectionSvg(const Dataset& data,
+                                const Clustering& clustering, size_t axis_x,
+                                size_t axis_y, const MrCCResult* result,
+                                const ReportOptions& options);
+
+/// Full HTML report for an MrCC run: header stats, per-cluster table, and
+/// projection panels over the most frequently relevant axis pairs.
+std::string RenderRunReportHtml(const Dataset& data, const MrCCResult& result,
+                                const std::string& title,
+                                const ReportOptions& options = ReportOptions());
+
+/// Writes the report to `path`.
+Status WriteRunReport(const Dataset& data, const MrCCResult& result,
+                      const std::string& title, const std::string& path,
+                      const ReportOptions& options = ReportOptions());
+
+}  // namespace mrcc
+
+#endif  // MRCC_EVAL_REPORT_H_

@@ -1,0 +1,118 @@
+#include "eval/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mrcc.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+Clustering MakeClustering(std::vector<int> labels, size_t k, size_t dims) {
+  Clustering c;
+  c.labels = std::move(labels);
+  c.clusters.resize(k);
+  for (auto& info : c.clusters) info.relevant_axes.assign(dims, true);
+  return c;
+}
+
+TEST(ConfusionTableTest, CountsIncludingNoise) {
+  Clustering found = MakeClustering({0, 0, 1, kNoiseLabel, 1}, 2, 2);
+  Clustering truth = MakeClustering({0, 1, 1, kNoiseLabel, kNoiseLabel}, 2, 2);
+  const ConfusionTable t = BuildConfusionTable(found, truth);
+  EXPECT_EQ(t.counts[0][0], 1u);
+  EXPECT_EQ(t.counts[0][1], 1u);
+  EXPECT_EQ(t.counts[1][1], 1u);
+  EXPECT_EQ(t.counts[2][2], 1u);  // Noise-noise.
+  EXPECT_EQ(t.counts[1][2], 1u);  // Found 1, real noise.
+  size_t total = 0;
+  for (const auto& row : t.counts) {
+    for (size_t c : row) total += c;
+  }
+  EXPECT_EQ(total, 5u);  // Every point exactly once.
+  EXPECT_NE(t.ToString().find("noise"), std::string::npos);
+}
+
+TEST(OptimalMatchingTest, ResolvesPermutation) {
+  // Found 0 ~ real 1, found 1 ~ real 0.
+  Clustering found = MakeClustering({0, 0, 1, 1, 1}, 2, 2);
+  Clustering truth = MakeClustering({1, 1, 0, 0, 0}, 2, 2);
+  const ConfusionTable t = BuildConfusionTable(found, truth);
+  const std::vector<int> m = OptimalMatching(t);
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[1], 0);
+}
+
+TEST(OptimalMatchingTest, GreedyWouldFailButHungarianSucceeds) {
+  // Overlap matrix: found 0 overlaps real 0 by 5 and real 1 by 4;
+  // found 1 overlaps only real 0 by 4. Greedy (0 -> 0) strands found 1
+  // with nothing; optimal matching picks 0 -> 1 and 1 -> 0 (total 8 > 5).
+  ConfusionTable t;
+  t.num_found = 2;
+  t.num_real = 2;
+  t.counts = {{5, 4, 0}, {4, 0, 0}, {0, 0, 0}};
+  const std::vector<int> m = OptimalMatching(t);
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[1], 0);
+}
+
+TEST(ClusteringErrorTest, PerfectRecoveryIsZero) {
+  Clustering a = MakeClustering({0, 0, 1, kNoiseLabel}, 2, 2);
+  EXPECT_DOUBLE_EQ(ClusteringError(a, a), 0.0);
+}
+
+TEST(ClusteringErrorTest, PermutedLabelsStillZero) {
+  Clustering found = MakeClustering({1, 1, 0, kNoiseLabel}, 2, 2);
+  Clustering truth = MakeClustering({0, 0, 1, kNoiseLabel}, 2, 2);
+  EXPECT_DOUBLE_EQ(ClusteringError(found, truth), 0.0);
+}
+
+TEST(ClusteringErrorTest, HandComputedCase) {
+  // 6 points; found merges the two real clusters into one.
+  Clustering found = MakeClustering({0, 0, 0, 0, kNoiseLabel, kNoiseLabel},
+                                    1, 2);
+  Clustering truth = MakeClustering({0, 0, 1, 1, kNoiseLabel, kNoiseLabel},
+                                    2, 2);
+  // Best matching: found 0 -> either real (2 points) + 2 noise-noise.
+  EXPECT_DOUBLE_EQ(ClusteringError(found, truth), 1.0 - 4.0 / 6.0);
+}
+
+TEST(ClusteringErrorTest, AgreesWithQualityOnRealRun) {
+  LabeledDataset ds = testing::SmallClustered(6000, 8, 3, 3001);
+  MrCC method;
+  Result<MrCCResult> r = method.Run(ds.data);
+  ASSERT_TRUE(r.ok());
+  const double ce = ClusteringError(r->clustering, ds.truth);
+  // Good recovery -> small clustering error.
+  EXPECT_LT(ce, 0.25);
+}
+
+TEST(SummarizeClustersTest, StatisticsMatchConstruction) {
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 2, 3002, 0.1);
+  const auto summaries = SummarizeClusters(ds.data, ds.truth);
+  ASSERT_EQ(summaries.size(), 2u);
+  for (size_t c = 0; c < 2; ++c) {
+    const ClusterSummary& s = summaries[c];
+    EXPECT_EQ(s.size, ds.truth.Members(static_cast<int>(c)).size());
+    EXPECT_EQ(s.dimensionality, ds.truth.clusters[c].Dimensionality());
+    // Relevant axes are tight (generator sigma <= 0.025), irrelevant wide.
+    for (size_t j = 0; j < 8; ++j) {
+      if (ds.truth.clusters[c].relevant_axes[j]) {
+        EXPECT_LT(s.stddev[j], 0.05);
+      } else {
+        EXPECT_GT(s.stddev[j], 0.15);
+      }
+    }
+    EXPECT_LT(s.mean_relevant_spread, 0.05);
+  }
+}
+
+TEST(SummarizeClustersTest, EmptyClusteringYieldsNothing) {
+  Dataset d = testing::UniformDataset(10, 2, 1);
+  Clustering c;
+  c.labels.assign(10, kNoiseLabel);
+  EXPECT_TRUE(SummarizeClusters(d, c).empty());
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,138 @@
+#include "data/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace mrcc {
+namespace {
+
+TEST(CatalogTest, Group1MatchesPaperRanges) {
+  const auto configs = Group1Configs();
+  ASSERT_EQ(configs.size(), 7u);
+  // "numbers of axes, points and clusters growing together from 6 to 18,
+  // 12,000 to 120,000 and 2 to 17" with 15% noise (paper §IV-B).
+  EXPECT_EQ(configs.front().num_dims, 6u);
+  EXPECT_EQ(configs.back().num_dims, 18u);
+  EXPECT_EQ(configs.front().num_points, 12000u);
+  EXPECT_EQ(configs.back().num_points, 120000u);
+  EXPECT_EQ(configs.front().num_clusters, 2u);
+  EXPECT_EQ(configs.back().num_clusters, 17u);
+  for (const auto& c : configs) {
+    EXPECT_DOUBLE_EQ(c.noise_fraction, 0.15);
+    EXPECT_EQ(c.num_rotations, 0u);
+  }
+  EXPECT_EQ(configs[0].name, "6d");
+  EXPECT_EQ(configs[4].name, "14d");
+}
+
+TEST(CatalogTest, Group1GrowsMonotonically) {
+  const auto configs = Group1Configs();
+  for (size_t i = 1; i < configs.size(); ++i) {
+    EXPECT_GT(configs[i].num_dims, configs[i - 1].num_dims);
+    EXPECT_GT(configs[i].num_points, configs[i - 1].num_points);
+    EXPECT_GE(configs[i].num_clusters, configs[i - 1].num_clusters);
+  }
+}
+
+TEST(CatalogTest, Base14dMatchesPaper) {
+  const SyntheticConfig c = Base14dConfig();
+  // "the 14d has 14 axes, 90,000 data points, 17 correlation clusters and
+  // 15 percent of noise."
+  EXPECT_EQ(c.num_dims, 14u);
+  EXPECT_EQ(c.num_points, 90000u);
+  EXPECT_EQ(c.num_clusters, 17u);
+  EXPECT_DOUBLE_EQ(c.noise_fraction, 0.15);
+}
+
+TEST(CatalogTest, PointsGroupSpans50kTo250k) {
+  const auto configs = PointsGroupConfigs();
+  ASSERT_EQ(configs.size(), 5u);
+  EXPECT_EQ(configs.front().num_points, 50000u);
+  EXPECT_EQ(configs.back().num_points, 250000u);
+  EXPECT_EQ(configs.front().name, "50k");
+  EXPECT_EQ(configs.back().name, "250k");
+  for (const auto& c : configs) {
+    EXPECT_EQ(c.num_dims, 14u);
+    EXPECT_EQ(c.num_clusters, 17u);
+  }
+}
+
+TEST(CatalogTest, ClustersGroupSpans5To25) {
+  const auto configs = ClustersGroupConfigs();
+  ASSERT_EQ(configs.size(), 5u);
+  EXPECT_EQ(configs.front().num_clusters, 5u);
+  EXPECT_EQ(configs.back().num_clusters, 25u);
+  EXPECT_EQ(configs[2].name, "15c");
+}
+
+TEST(CatalogTest, DimsGroupSpans5To30) {
+  const auto configs = DimsGroupConfigs();
+  ASSERT_EQ(configs.size(), 6u);
+  EXPECT_EQ(configs.front().num_dims, 5u);
+  EXPECT_EQ(configs.back().num_dims, 30u);
+  EXPECT_EQ(configs.back().name, "30d_s");
+  for (const auto& c : configs) {
+    EXPECT_LT(c.max_cluster_dims, c.num_dims);
+  }
+}
+
+TEST(CatalogTest, NoiseGroupSpans5To25Percent) {
+  const auto configs = NoiseGroupConfigs();
+  ASSERT_EQ(configs.size(), 5u);
+  EXPECT_DOUBLE_EQ(configs.front().noise_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(configs.back().noise_fraction, 0.25);
+  EXPECT_EQ(configs[1].name, "10o");
+}
+
+TEST(CatalogTest, RotatedGroupMirrorsGroup1WithRotations) {
+  const auto rotated = RotatedGroupConfigs();
+  const auto plain = Group1Configs();
+  ASSERT_EQ(rotated.size(), plain.size());
+  for (size_t i = 0; i < rotated.size(); ++i) {
+    EXPECT_EQ(rotated[i].num_dims, plain[i].num_dims);
+    EXPECT_EQ(rotated[i].num_points, plain[i].num_points);
+    EXPECT_EQ(rotated[i].num_rotations, 4u);
+    EXPECT_EQ(rotated[i].name, plain[i].name + "_r");
+  }
+}
+
+TEST(CatalogTest, ScaleFactorShrinksPointsOnly) {
+  const auto full = Group1Configs(1.0);
+  const auto scaled = Group1Configs(0.125);
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(scaled[i].num_dims, full[i].num_dims);
+    EXPECT_EQ(scaled[i].num_clusters, full[i].num_clusters);
+    EXPECT_NEAR(static_cast<double>(scaled[i].num_points),
+                static_cast<double>(full[i].num_points) / 8.0, 1.0);
+  }
+}
+
+TEST(CatalogTest, ScaleNeverDropsBelowFloor) {
+  const auto configs = Group1Configs(1e-9);
+  for (const auto& c : configs) EXPECT_GE(c.num_points, 100u);
+}
+
+TEST(CatalogTest, Kdd08FourSubDatasets) {
+  const auto configs = Kdd08LikeConfigs();
+  ASSERT_EQ(configs.size(), 4u);
+  for (const auto& c : configs) {
+    EXPECT_EQ(c.num_points, 25000u);
+    EXPECT_EQ(c.num_dims, 25u);
+  }
+  EXPECT_EQ(configs[1].name, "kdd08_left_mlo");
+}
+
+TEST(CatalogTest, AllCatalogConfigsValidate) {
+  for (const auto& c : Group1Configs(0.1)) EXPECT_TRUE(c.Validate().ok());
+  for (const auto& c : PointsGroupConfigs(0.1)) EXPECT_TRUE(c.Validate().ok());
+  for (const auto& c : ClustersGroupConfigs(0.1)) {
+    EXPECT_TRUE(c.Validate().ok());
+  }
+  for (const auto& c : DimsGroupConfigs(0.1)) EXPECT_TRUE(c.Validate().ok());
+  for (const auto& c : NoiseGroupConfigs(0.1)) EXPECT_TRUE(c.Validate().ok());
+  for (const auto& c : RotatedGroupConfigs(0.1)) {
+    EXPECT_TRUE(c.Validate().ok());
+  }
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,120 @@
+#include "baselines/clique.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/quality.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+// Two axis-aligned dense blobs in 2-d with light noise: the classic CLIQUE
+// showcase.
+Dataset TwoBlobs2d(uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(2200, 2);
+  for (size_t i = 0; i < 1000; ++i) {
+    d(i, 0) = 0.2 + rng.Normal(0.0, 0.02);
+    d(i, 1) = 0.3 + rng.Normal(0.0, 0.02);
+  }
+  for (size_t i = 1000; i < 2000; ++i) {
+    d(i, 0) = 0.7 + rng.Normal(0.0, 0.02);
+    d(i, 1) = 0.8 + rng.Normal(0.0, 0.02);
+  }
+  for (size_t i = 2000; i < 2200; ++i) {
+    d(i, 0) = rng.UniformDouble();
+    d(i, 1) = rng.UniformDouble();
+  }
+  return d;
+}
+
+TEST(CliqueTest, SeparatesTwoBlobs) {
+  Dataset d = TwoBlobs2d(1);
+  CliqueParams p;
+  p.grid_partitions = 10;
+  p.density_threshold = 0.02;
+  Clique clique(p);
+  Result<Clustering> r = clique.Cluster(d);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->NumClusters(), 2u);
+  // The two blob cores must land in different clusters.
+  EXPECT_NE(r->labels[0], kNoiseLabel);
+  EXPECT_NE(r->labels[1500], kNoiseLabel);
+  EXPECT_NE(r->labels[0], r->labels[1500]);
+}
+
+TEST(CliqueTest, FindsSubspaceOfBlobInHigherDims) {
+  // Blob dense on axes {0, 1} of a 5-d space, uniform elsewhere.
+  Rng rng(2);
+  Dataset d(3000, 5);
+  for (size_t i = 0; i < 2500; ++i) {
+    for (size_t j = 0; j < 5; ++j) d(i, j) = rng.UniformDouble();
+    d(i, 0) = 0.4 + rng.Normal(0.0, 0.02);
+    d(i, 1) = 0.6 + rng.Normal(0.0, 0.02);
+  }
+  for (size_t i = 2500; i < 3000; ++i) {
+    for (size_t j = 0; j < 5; ++j) d(i, j) = rng.UniformDouble();
+  }
+  CliqueParams p;
+  p.grid_partitions = 8;
+  p.density_threshold = 0.05;
+  Clique clique(p);
+  Result<Clustering> r = clique.Cluster(d);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->NumClusters(), 1u);
+  // The cluster covering the blob must be restricted to axes 0 and 1.
+  const int label = r->labels[100];
+  ASSERT_NE(label, kNoiseLabel);
+  const auto& axes = r->clusters[static_cast<size_t>(label)].relevant_axes;
+  EXPECT_TRUE(axes[0]);
+  EXPECT_TRUE(axes[1]);
+  EXPECT_FALSE(axes[2] && axes[3] && axes[4]);
+}
+
+TEST(CliqueTest, UniformNoiseHasNoDeepClusters) {
+  Dataset d = testing::UniformDataset(2000, 4, 3);
+  CliqueParams p;
+  p.grid_partitions = 6;
+  p.density_threshold = 0.05;
+  Clique clique(p);
+  Result<Clustering> r = clique.Cluster(d);
+  ASSERT_TRUE(r.ok());
+  // Nothing clears a 5% density bar in 2+ dims on uniform data.
+  for (const ClusterInfo& info : r->clusters) {
+    EXPECT_LE(info.Dimensionality(), 1u);
+  }
+}
+
+TEST(CliqueTest, RejectsDegenerateGrid) {
+  Dataset d = testing::UniformDataset(100, 2, 1);
+  CliqueParams p;
+  p.grid_partitions = 1;
+  EXPECT_FALSE(Clique(p).Cluster(d).ok());
+}
+
+TEST(CliqueTest, DeterministicAcrossRuns) {
+  Dataset d = TwoBlobs2d(4);
+  CliqueParams p;
+  p.density_threshold = 0.02;
+  Result<Clustering> a = Clique(p).Cluster(d);
+  Result<Clustering> b = Clique(p).Cluster(d);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(CliqueTest, MaxSubspaceDimsBoundsClusterDimensionality) {
+  LabeledDataset ds = testing::SmallClustered(3000, 6, 2, 5);
+  CliqueParams p;
+  p.max_subspace_dims = 2;
+  p.density_threshold = 0.01;
+  Clique clique(p);
+  Result<Clustering> r = clique.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  for (const ClusterInfo& info : r->clusters) {
+    EXPECT_LE(info.Dimensionality(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace mrcc

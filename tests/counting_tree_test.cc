@@ -1,0 +1,306 @@
+#include "core/counting_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+using CellRef = CountingTree::CellRef;
+
+// Convenience: count of the cell at coords, or -1 if absent.
+int64_t CountAt(const CountingTree& tree, int level,
+                const std::vector<uint64_t>& coords) {
+  CellRef ref;
+  if (!tree.FindCell(level, coords, &ref)) return -1;
+  return tree.cell(ref).n;
+}
+
+// Convenience: half-space count, requires the cell to exist.
+uint32_t HalfAt(const CountingTree& tree, int level,
+                const std::vector<uint64_t>& coords, size_t axis) {
+  CellRef ref;
+  EXPECT_TRUE(tree.FindCell(level, coords, &ref));
+  return tree.HalfCount(ref, axis);
+}
+
+// Brute-force count of points inside the cell at `coords` on `level`.
+uint32_t BruteCount(const Dataset& data, int level,
+                    const std::vector<uint64_t>& coords) {
+  const double width = std::ldexp(1.0, -level);
+  uint32_t count = 0;
+  for (size_t i = 0; i < data.NumPoints(); ++i) {
+    bool inside = true;
+    for (size_t j = 0; j < data.NumDims(); ++j) {
+      const double lo = static_cast<double>(coords[j]) * width;
+      if (data(i, j) < lo || data(i, j) >= lo + width) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) ++count;
+  }
+  return count;
+}
+
+// Brute-force half-space count (lower half along `axis`).
+uint32_t BruteHalfCount(const Dataset& data, int level,
+                        const std::vector<uint64_t>& coords, size_t axis) {
+  const double width = std::ldexp(1.0, -level);
+  uint32_t count = 0;
+  for (size_t i = 0; i < data.NumPoints(); ++i) {
+    bool inside = true;
+    for (size_t j = 0; j < data.NumDims(); ++j) {
+      const double lo = static_cast<double>(coords[j]) * width;
+      if (data(i, j) < lo || data(i, j) >= lo + width) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) {
+      const double mid = (static_cast<double>(coords[axis]) + 0.5) * width;
+      if (data(i, axis) < mid) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(CountingTreeTest, RejectsBadArguments) {
+  Dataset d = testing::UniformDataset(10, 3, 1);
+  EXPECT_FALSE(CountingTree::Build(d, 2).ok());  // H < 3.
+  Dataset out_of_cube = testing::MakeDataset({{1.5, 0.2}});
+  EXPECT_FALSE(CountingTree::Build(out_of_cube, 4).ok());
+  Dataset too_wide(2, 63);
+  EXPECT_FALSE(CountingTree::Build(too_wide, 4).ok());
+}
+
+TEST(CountingTreeTest, ClampsExcessiveResolutions) {
+  Dataset d = testing::UniformDataset(20, 2, 3);
+  Result<CountingTree> tree = CountingTree::Build(d, 80);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->num_resolutions(), CountingTree::kMaxResolutions + 1);
+}
+
+TEST(CountingTreeTest, HandCraftedTwoDimensionalExample) {
+  // Four points in known quadrants (Fig. 3 style).
+  Dataset d = testing::MakeDataset({
+      {0.1, 0.1},   // Lower-left quadrant.
+      {0.2, 0.2},   // Lower-left quadrant.
+      {0.9, 0.1},   // Lower-right quadrant.
+      {0.6, 0.7},   // Upper-right quadrant.
+  });
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->total_points(), 4u);
+
+  // Level 1 (2x2 grid): cells (0,0):2, (1,0):1, (1,1):1.
+  EXPECT_EQ(CountAt(*tree, 1, {0, 0}), 2);
+  EXPECT_EQ(CountAt(*tree, 1, {1, 0}), 1);
+  EXPECT_EQ(CountAt(*tree, 1, {1, 1}), 1);
+  EXPECT_EQ(CountAt(*tree, 1, {0, 1}), -1);  // Empty quadrant.
+
+  // Half-space counts of the lower-left cell: both (0.1,0.1) and
+  // (0.2,0.2) lie in the lower half along both axes (0 <= v < 0.25).
+  EXPECT_EQ(HalfAt(*tree, 1, {0, 0}, 0), 2u);
+  EXPECT_EQ(HalfAt(*tree, 1, {0, 0}, 1), 2u);
+  // The lower-right cell's point (0.9, 0.1) is in the upper half along
+  // axis 0 (0.75 <= v < 1) and the lower half along axis 1.
+  EXPECT_EQ(HalfAt(*tree, 1, {1, 0}, 0), 0u);
+  EXPECT_EQ(HalfAt(*tree, 1, {1, 0}, 1), 1u);
+
+  // Level 2 (4x4): point (0.6, 0.7) sits in cell (2, 2).
+  EXPECT_EQ(CountAt(*tree, 2, {2, 2}), 1);
+}
+
+TEST(CountingTreeTest, FaceNeighborsInHandCraftedExample) {
+  Dataset d = testing::MakeDataset({
+      {0.1, 0.1},
+      {0.9, 0.1},
+  });
+  Result<CountingTree> tree = CountingTree::Build(d, 3);
+  ASSERT_TRUE(tree.ok());
+  CellRef ref;
+  // At level 1, (0,0) and (1,0) are face neighbors along axis 0.
+  ASSERT_TRUE(tree->FaceNeighbor(1, {0, 0}, 0, +1, &ref));
+  EXPECT_EQ(tree->cell(ref).n, 1u);
+  // Border: no neighbor below coordinate 0 / above the maximum.
+  EXPECT_FALSE(tree->FaceNeighbor(1, {0, 0}, 0, -1, &ref));
+  EXPECT_FALSE(tree->FaceNeighbor(1, {1, 0}, 0, +1, &ref));
+  // Empty space: (0,1) holds no points.
+  EXPECT_FALSE(tree->FaceNeighbor(1, {0, 0}, 1, +1, &ref));
+  EXPECT_EQ(tree->FaceNeighborCount(1, {0, 0}, 1, +1), 0u);
+}
+
+TEST(CountingTreeTest, ResetUsedFlags) {
+  Dataset d = testing::UniformDataset(50, 2, 5);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  tree->node(0).cells[0].used = true;
+  tree->ResetUsedFlags();
+  for (size_t n = 0; n < tree->num_nodes(); ++n) {
+    for (const auto& c : tree->node(n).cells) EXPECT_FALSE(c.used);
+  }
+}
+
+TEST(CountingTreeTest, MemoryGrowsWithData) {
+  Dataset small = testing::UniformDataset(100, 4, 1);
+  Dataset large = testing::UniformDataset(10000, 4, 1);
+  Result<CountingTree> ts = CountingTree::Build(small, 4);
+  Result<CountingTree> tl = CountingTree::Build(large, 4);
+  ASSERT_TRUE(ts.ok() && tl.ok());
+  EXPECT_GT(tl->MemoryBytes(), ts->MemoryBytes());
+}
+
+// Property sweep over dimensionality, depth and size: structural
+// invariants of the tree hold for arbitrary uniform data.
+class CountingTreeParam
+    : public ::testing::TestWithParam<std::tuple<size_t, int, size_t>> {};
+
+TEST_P(CountingTreeParam, StructuralInvariants) {
+  const auto [dims, resolutions, points] = GetParam();
+  Dataset d = testing::UniformDataset(points, dims, 40 + dims);
+  Result<CountingTree> tree = CountingTree::Build(d, resolutions);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->total_points(), points);
+
+  for (int h = 1; h < tree->num_resolutions(); ++h) {
+    uint64_t level_total = 0;
+    size_t cells = 0;
+    for (uint32_t node_idx : tree->NodesAtLevel(h)) {
+      const CountingTree::Node& node = tree->node(node_idx);
+      EXPECT_EQ(node.level, h);
+      EXPECT_EQ(node.half.size(), node.cells.size() * dims);
+      for (uint32_t c = 0; c < node.cells.size(); ++c) {
+        const CountingTree::Cell& cell = node.cells[c];
+        ++cells;
+        level_total += cell.n;
+        EXPECT_GT(cell.n, 0u);  // Sparse: only populated cells stored.
+        // Half-space counts never exceed the cell count.
+        for (size_t j = 0; j < dims; ++j) {
+          EXPECT_LE(node.half[c * dims + j], cell.n);
+        }
+        // Children sum to the parent count.
+        if (cell.child_node >= 0) {
+          const CountingTree::Node& child =
+              tree->node(static_cast<uint32_t>(cell.child_node));
+          uint64_t child_sum = 0;
+          for (const auto& cc : child.cells) child_sum += cc.n;
+          EXPECT_EQ(child_sum, cell.n);
+        }
+        // Coordinates round-trip through FindCell.
+        const auto coords = tree->CellCoords(node, cell);
+        for (size_t j = 0; j < dims; ++j) {
+          EXPECT_LT(coords[j], uint64_t{1} << h);
+        }
+        CellRef found;
+        ASSERT_TRUE(tree->FindCell(h, coords, &found));
+        EXPECT_EQ(found.node, node_idx);
+        EXPECT_EQ(found.cell, c);
+      }
+    }
+    // Every level counts every point exactly once.
+    EXPECT_EQ(level_total, points);
+    EXPECT_EQ(tree->NumCellsAtLevel(h), cells);
+    EXPECT_LE(cells, points);  // At most eta cells per level.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CountingTreeParam,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 5, 14),
+                       ::testing::Values(3, 4, 6),
+                       ::testing::Values<size_t>(64, 1000)));
+
+// Counts match brute force for every stored cell on a small dataset.
+TEST(CountingTreeTest, CountsMatchBruteForce) {
+  Dataset d = testing::UniformDataset(300, 3, 77);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  for (int h = 1; h < 4; ++h) {
+    for (uint32_t node_idx : tree->NodesAtLevel(h)) {
+      const CountingTree::Node& node = tree->node(node_idx);
+      for (uint32_t c = 0; c < node.cells.size(); ++c) {
+        const auto coords = tree->CellCoords(node, node.cells[c]);
+        EXPECT_EQ(node.cells[c].n, BruteCount(d, h, coords));
+        for (size_t j = 0; j < 3; ++j) {
+          EXPECT_EQ(node.half[c * 3 + j], BruteHalfCount(d, h, coords, j));
+        }
+      }
+    }
+  }
+}
+
+TEST(CountingTreeTest, FaceNeighborsMatchBruteForce) {
+  Dataset d = testing::UniformDataset(200, 2, 13);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  for (int h = 1; h < 4; ++h) {
+    for (uint32_t node_idx : tree->NodesAtLevel(h)) {
+      const CountingTree::Node& node = tree->node(node_idx);
+      for (const CountingTree::Cell& cell : node.cells) {
+        const auto coords = tree->CellCoords(node, cell);
+        for (size_t j = 0; j < 2; ++j) {
+          for (int dir : {-1, +1}) {
+            std::vector<uint64_t> neighbor = coords;
+            const uint64_t max_coord = (uint64_t{1} << h) - 1;
+            uint32_t expected = 0;
+            if (!(dir < 0 && coords[j] == 0) &&
+                !(dir > 0 && coords[j] == max_coord)) {
+              neighbor[j] += dir;
+              expected = BruteCount(d, h, neighbor);
+            }
+            EXPECT_EQ(tree->FaceNeighborCount(h, coords, j, dir), expected);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CountingTreeTest, BoundaryValuesNearOne) {
+  // Values just below 1.0 land in the last cell at every level.
+  Dataset d = testing::MakeDataset({{1.0 - 1e-12}});
+  Result<CountingTree> tree = CountingTree::Build(d, 5);
+  ASSERT_TRUE(tree.ok());
+  for (int h = 1; h < 5; ++h) {
+    const uint64_t last = (uint64_t{1} << h) - 1;
+    EXPECT_EQ(CountAt(*tree, h, {last}), 1) << "level " << h;
+  }
+}
+
+TEST(CountingTreeTest, ZeroIsInFirstCell) {
+  Dataset d = testing::MakeDataset({{0.0, 0.0}});
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(CountAt(*tree, 3, {0, 0}), 1);
+}
+
+// The loc index kicks in above kIndexThreshold cells per node; lookups
+// must behave identically on either side of the switch.
+TEST(CountingTreeTest, DenseNodeIndexSwitchIsTransparent) {
+  // 1-d data spread over all 32 level-5 leaves forces the root's
+  // descendants through the threshold.
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 64; ++i) {
+    points.push_back({(i + 0.5) / 64.0});
+  }
+  Dataset d = testing::MakeDataset(points);
+  Result<CountingTree> tree = CountingTree::Build(d, 7);
+  ASSERT_TRUE(tree.ok());
+  for (int h = 1; h < 7; ++h) {
+    const uint64_t cells = uint64_t{1} << std::min(h, 6);
+    for (uint64_t c = 0; c < cells; ++c) {
+      const int64_t expected =
+          static_cast<int64_t>(64 >> std::min(h, 6));
+      EXPECT_EQ(CountAt(*tree, h, {c}), expected) << "h=" << h << " c=" << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrcc

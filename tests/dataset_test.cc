@@ -1,0 +1,115 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/linalg.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(DatasetTest, AppendInfersDimsFromFirstPoint) {
+  Dataset d;
+  d.AppendPoint(std::vector<double>{0.1, 0.2, 0.3});
+  EXPECT_EQ(d.NumPoints(), 1u);
+  EXPECT_EQ(d.NumDims(), 3u);
+  d.AppendPoint(std::vector<double>{0.4, 0.5, 0.6});
+  EXPECT_EQ(d.NumPoints(), 2u);
+  EXPECT_DOUBLE_EQ(d(1, 2), 0.6);
+}
+
+TEST(DatasetTest, PointViewMatchesStorage) {
+  Dataset d = testing::MakeDataset({{0.1, 0.9}, {0.5, 0.4}});
+  auto p = d.Point(1);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.4);
+}
+
+TEST(DatasetTest, NormalizeMapsToUnitCube) {
+  Dataset d = testing::MakeDataset({{-10.0, 5.0}, {10.0, 15.0}, {0.0, 10.0}});
+  EXPECT_FALSE(d.InUnitCube());
+  d.NormalizeToUnitCube();
+  EXPECT_TRUE(d.InUnitCube());
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  EXPECT_NEAR(d(1, 0), 1.0, 1e-8);
+  EXPECT_LT(d(1, 0), 1.0);  // Strictly below 1 (half-open cube).
+  EXPECT_NEAR(d(2, 0), 0.5, 1e-8);
+}
+
+TEST(DatasetTest, NormalizeDegenerateAxisGoesToZero) {
+  Dataset d = testing::MakeDataset({{3.0, 1.0}, {3.0, 2.0}});
+  d.NormalizeToUnitCube();
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+}
+
+TEST(DatasetTest, TransformAppliesLinearMap) {
+  Dataset d = testing::MakeDataset({{1.0, 0.0}});
+  Matrix swap(2, 2);
+  swap(0, 1) = 1.0;
+  swap(1, 0) = 1.0;
+  d.Transform(swap);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 1.0);
+}
+
+TEST(ClusterInfoTest, DimensionalityCountsRelevantAxes) {
+  ClusterInfo info;
+  info.relevant_axes = {true, false, true, true};
+  EXPECT_EQ(info.Dimensionality(), 3u);
+}
+
+TEST(ClusteringTest, MembersAndNoiseCount) {
+  Clustering c;
+  c.labels = {0, kNoiseLabel, 1, 0, kNoiseLabel};
+  c.clusters.resize(2);
+  EXPECT_EQ(c.NumClusters(), 2u);
+  EXPECT_EQ(c.NumNoisePoints(), 2u);
+  EXPECT_EQ(c.Members(0), (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(c.Members(1), (std::vector<size_t>{2}));
+}
+
+TEST(ClusteringTest, ValidateAcceptsConsistentClustering) {
+  Clustering c;
+  c.labels = {0, 1, kNoiseLabel};
+  c.clusters.resize(2);
+  for (auto& info : c.clusters) info.relevant_axes.assign(4, true);
+  EXPECT_TRUE(c.Validate(3, 4).ok());
+}
+
+TEST(ClusteringTest, ValidateRejectsBadLabelRange) {
+  Clustering c;
+  c.labels = {0, 5};
+  c.clusters.resize(2);
+  for (auto& info : c.clusters) info.relevant_axes.assign(2, true);
+  EXPECT_FALSE(c.Validate(2, 2).ok());
+}
+
+TEST(ClusteringTest, ValidateRejectsWrongLabelCount) {
+  Clustering c;
+  c.labels = {0};
+  c.clusters.resize(1);
+  c.clusters[0].relevant_axes.assign(2, true);
+  EXPECT_FALSE(c.Validate(2, 2).ok());
+}
+
+TEST(ClusteringTest, ValidateRejectsWrongAxisVectorSize) {
+  Clustering c;
+  c.labels = {0};
+  c.clusters.resize(1);
+  c.clusters[0].relevant_axes.assign(3, true);
+  EXPECT_FALSE(c.Validate(1, 2).ok());
+}
+
+TEST(DatasetTest, MemoryBytesScalesWithSize) {
+  Dataset small(10, 4);
+  Dataset large(10000, 4);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+  EXPECT_GE(large.MemoryBytes(), 10000u * 4u * sizeof(double));
+}
+
+}  // namespace
+}  // namespace mrcc

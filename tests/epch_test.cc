@@ -1,0 +1,102 @@
+#include "baselines/epch.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/quality.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(EpchTest, RecoversEasyClustersWith1dHistograms) {
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 3, 301);
+  EpchParams p;
+  p.histogram_dims = 1;
+  p.max_clusters = 3;
+  Epch epch(p);
+  Result<Clustering> r = epch.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  const QualityReport q = EvaluateClustering(*r, ds.truth);
+  EXPECT_GT(q.quality, 0.55);
+}
+
+TEST(EpchTest, RecoversEasyClustersWith2dHistograms) {
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 3, 302);
+  EpchParams p;
+  p.histogram_dims = 2;
+  p.max_clusters = 3;
+  Epch epch(p);
+  Result<Clustering> r = epch.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  const QualityReport q = EvaluateClustering(*r, ds.truth);
+  EXPECT_GT(q.quality, 0.6);
+}
+
+TEST(EpchTest, RespectsMaxClusters) {
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 5, 303);
+  EpchParams p;
+  p.max_clusters = 2;
+  Epch epch(p);
+  Result<Clustering> r = epch.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->NumClusters(), 2u);
+}
+
+TEST(EpchTest, UniformNoiseGivesEmptyOrTinyClusters) {
+  Dataset d = testing::UniformDataset(4000, 6, 304);
+  EpchParams p;
+  p.max_clusters = 3;
+  Epch epch(p);
+  Result<Clustering> r = epch.Cluster(d);
+  ASSERT_TRUE(r.ok());
+  // Without dense regions most points must stay unassigned.
+  EXPECT_GT(r->NumNoisePoints(), d.NumPoints() / 2);
+}
+
+TEST(EpchTest, RelevantAxesReflectDenseHistograms) {
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 1, 305, 0.1);
+  EpchParams p;
+  p.histogram_dims = 1;
+  p.max_clusters = 1;
+  Epch epch(p);
+  Result<Clustering> r = epch.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumClusters(), 1u);
+  const auto& found = r->clusters[0].relevant_axes;
+  const auto& truth = ds.truth.clusters[0].relevant_axes;
+  size_t hits = 0, truth_count = 0;
+  for (size_t j = 0; j < 8; ++j) {
+    if (truth[j]) {
+      ++truth_count;
+      if (found[j]) ++hits;
+    }
+  }
+  EXPECT_GE(hits * 2, truth_count);  // At least half the true axes found.
+}
+
+TEST(EpchTest, DeterministicAcrossRuns) {
+  LabeledDataset ds = testing::SmallClustered(3000, 6, 2, 306);
+  EpchParams p;
+  p.max_clusters = 2;
+  Result<Clustering> a = Epch(p).Cluster(ds.data);
+  Result<Clustering> b = Epch(p).Cluster(ds.data);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(EpchTest, ParameterValidation) {
+  Dataset d = testing::UniformDataset(100, 3, 1);
+  EpchParams p;
+  p.histogram_dims = 3;
+  EXPECT_FALSE(Epch(p).Cluster(d).ok());
+  p.histogram_dims = 2;
+  p.bins_per_axis = 1;
+  EXPECT_FALSE(Epch(p).Cluster(d).ok());
+  EpchParams too_many;
+  too_many.histogram_dims = 2;
+  Dataset d1 = testing::UniformDataset(100, 1, 1);
+  EXPECT_FALSE(Epch(too_many).Cluster(d1).ok());
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,88 @@
+#include "baselines/harp.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/quality.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(HarpTest, RecoversEasyClusters) {
+  LabeledDataset ds = testing::SmallClustered(2500, 8, 3, 401);
+  HarpParams p;
+  p.num_clusters = 3;
+  p.max_base_clusters = 1200;
+  Harp harp(p);
+  Result<Clustering> r = harp.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->NumClusters(), 3u);
+  const QualityReport q = EvaluateClustering(*r, ds.truth);
+  EXPECT_GT(q.quality, 0.5);
+}
+
+TEST(HarpTest, ReportsRelevantAxes) {
+  LabeledDataset ds = testing::SmallClustered(2000, 8, 2, 402, 0.05);
+  HarpParams p;
+  p.num_clusters = 2;
+  p.max_base_clusters = 1000;
+  Harp harp(p);
+  Result<Clustering> r = harp.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  for (const ClusterInfo& info : r->clusters) {
+    EXPECT_GE(info.Dimensionality(), 1u);
+    EXPECT_LE(info.Dimensionality(), 8u);
+  }
+}
+
+TEST(HarpTest, AssignsNonSamplePoints) {
+  LabeledDataset ds = testing::SmallClustered(4000, 6, 2, 403, 0.1);
+  HarpParams p;
+  p.num_clusters = 2;
+  p.max_base_clusters = 500;  // Forces sampling + out-of-sample assignment.
+  Harp harp(p);
+  Result<Clustering> r = harp.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  // A healthy majority of all points must be assigned, far more than the
+  // 500 base points.
+  const size_t assigned = ds.data.NumPoints() - r->NumNoisePoints();
+  EXPECT_GT(assigned, 2000u);
+}
+
+TEST(HarpTest, DeterministicAcrossRuns) {
+  LabeledDataset ds = testing::SmallClustered(1500, 6, 2, 404);
+  HarpParams p;
+  p.num_clusters = 2;
+  p.max_base_clusters = 800;
+  Result<Clustering> a = Harp(p).Cluster(ds.data);
+  Result<Clustering> b = Harp(p).Cluster(ds.data);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(HarpTest, ParameterValidation) {
+  Dataset d = testing::UniformDataset(100, 3, 1);
+  HarpParams p;
+  p.num_clusters = 0;
+  EXPECT_FALSE(Harp(p).Cluster(d).ok());
+  p.num_clusters = 2;
+  p.loosening_steps = -1;
+  EXPECT_FALSE(Harp(p).Cluster(d).ok());
+  // 0 selects the faithful one-dimension-per-round schedule.
+  p.loosening_steps = 0;
+  EXPECT_TRUE(Harp(p).Cluster(d).ok());
+}
+
+TEST(HarpTest, HonorsTimeBudget) {
+  LabeledDataset ds = testing::SmallClustered(6000, 10, 4, 405);
+  HarpParams p;
+  p.num_clusters = 4;
+  Harp harp(p);
+  harp.set_time_budget_seconds(1e-9);
+  Result<Clustering> r = harp.Cluster(ds.data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,85 @@
+#include "core/intrinsic_dimension.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(BoxCountingTest, CurveHasOneEntryPerLevel) {
+  Dataset d = testing::UniformDataset(5000, 3, 1);
+  Result<CountingTree> tree = CountingTree::Build(d, 6);
+  ASSERT_TRUE(tree.ok());
+  const auto curve = BoxCountingCurve(*tree);
+  ASSERT_EQ(curve.size(), 5u);
+  for (size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].level, static_cast<int>(i + 1));
+    EXPECT_GT(curve[i].cells, 0u);
+    // S2 is a sum of squared probabilities: log2 S2 <= 0.
+    EXPECT_LE(curve[i].log2_s2, 1e-12);
+  }
+  // S2 decreases (finer cells -> smaller occupancies).
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].log2_s2, curve[i - 1].log2_s2 + 1e-12);
+  }
+}
+
+TEST(IntrinsicDimensionTest, UniformSquareIsTwoDimensional) {
+  Dataset d = testing::UniformDataset(60000, 2, 7);
+  Result<double> d2 = EstimateIntrinsicDimension(d, 6);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_NEAR(*d2, 2.0, 0.25);
+}
+
+TEST(IntrinsicDimensionTest, DiagonalLineInTheSquareIsOneDimensional) {
+  Rng rng(9);
+  Dataset d(40000, 2);
+  for (size_t i = 0; i < d.NumPoints(); ++i) {
+    const double t = rng.UniformDouble();
+    d(i, 0) = t;
+    d(i, 1) = t;
+  }
+  Result<double> d2 = EstimateIntrinsicDimension(d, 6);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_NEAR(*d2, 1.0, 0.2);
+}
+
+TEST(IntrinsicDimensionTest, PlaneEmbeddedInFiveDimsIsTwoDimensional) {
+  // Points uniform on a 2-d coordinate plane of a 5-d space.
+  Rng rng(11);
+  Dataset d(60000, 5);
+  for (size_t i = 0; i < d.NumPoints(); ++i) {
+    d(i, 0) = rng.UniformDouble();
+    d(i, 1) = rng.UniformDouble();
+    d(i, 2) = 0.37;
+    d(i, 3) = 0.52;
+    d(i, 4) = 0.81;
+  }
+  Result<double> d2 = EstimateIntrinsicDimension(d, 6);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_NEAR(*d2, 2.0, 0.3);
+}
+
+TEST(IntrinsicDimensionTest, BelowEmbeddingDimForClusteredData) {
+  // The paper's premise: correlated cluster data has intrinsic
+  // dimensionality well below the embedding dimensionality.
+  LabeledDataset ds = testing::SmallClustered(40000, 10, 4, 13, 0.0);
+  Result<double> d2 = EstimateIntrinsicDimension(ds.data, 6);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_LT(*d2, 9.0);
+  EXPECT_GT(*d2, 0.5);
+}
+
+TEST(IntrinsicDimensionTest, TooFewPointsRejected) {
+  Dataset d = testing::UniformDataset(3, 2, 17);
+  Result<double> d2 = EstimateIntrinsicDimension(d, 4);
+  // 3 points saturate every level: no usable slope.
+  EXPECT_FALSE(d2.ok());
+}
+
+}  // namespace
+}  // namespace mrcc

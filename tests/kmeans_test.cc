@@ -1,0 +1,93 @@
+#include "baselines/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/quality.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(KMeansTest, RecoversFullDimensionalClusters) {
+  // Near-full-dimensional tight clusters: classic k-means territory.
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 3, 1101, 0.0);
+  KMeansParams p;
+  p.num_clusters = 3;
+  KMeans kmeans(p);
+  Result<Clustering> r = kmeans.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumClusters(), 3u);
+  const QualityReport q = EvaluateClustering(*r, ds.truth);
+  // A couple of uniform axes per cluster already cost k-means some
+  // accuracy — the §I effect this baseline exists to demonstrate.
+  EXPECT_GT(q.quality, 0.75);
+}
+
+TEST(KMeansTest, AssignsEveryPoint) {
+  LabeledDataset ds = testing::SmallClustered(3000, 6, 2, 1102);
+  KMeansParams p;
+  p.num_clusters = 2;
+  KMeans kmeans(p);
+  Result<Clustering> r = kmeans.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumNoisePoints(), 0u);  // No noise concept.
+}
+
+TEST(KMeansTest, AllAxesMarkedRelevant) {
+  LabeledDataset ds = testing::SmallClustered(2000, 5, 2, 1103);
+  KMeansParams p;
+  p.num_clusters = 2;
+  KMeans kmeans(p);
+  Result<Clustering> r = kmeans.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  for (const ClusterInfo& info : r->clusters) {
+    EXPECT_EQ(info.Dimensionality(), 5u);
+  }
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  LabeledDataset ds = testing::SmallClustered(2000, 6, 3, 1104);
+  KMeansParams p;
+  p.num_clusters = 3;
+  p.seed = 31;
+  Result<Clustering> a = KMeans(p).Cluster(ds.data);
+  Result<Clustering> b = KMeans(p).Cluster(ds.data);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(KMeansTest, NoiseDilutesQuality) {
+  // The §I motivation: with heavy background noise, k-means (no noise
+  // concept) must score clearly below a clean run.
+  LabeledDataset clean = testing::SmallClustered(6000, 10, 4, 1105, 0.0);
+  LabeledDataset noisy = testing::SmallClustered(6000, 10, 4, 1105, 0.35);
+  KMeansParams p;
+  p.num_clusters = 4;
+  Result<Clustering> rc = KMeans(p).Cluster(clean.data);
+  Result<Clustering> rn = KMeans(p).Cluster(noisy.data);
+  ASSERT_TRUE(rc.ok() && rn.ok());
+  const double qc = EvaluateClustering(*rc, clean.truth).quality;
+  const double qn = EvaluateClustering(*rn, noisy.truth).quality;
+  EXPECT_LT(qn, qc - 0.05);
+}
+
+TEST(KMeansTest, RejectsZeroClusters) {
+  Dataset d = testing::UniformDataset(100, 3, 1);
+  KMeansParams p;
+  p.num_clusters = 0;
+  EXPECT_FALSE(KMeans(p).Cluster(d).ok());
+}
+
+TEST(KMeansTest, HonorsTimeBudget) {
+  LabeledDataset ds = testing::SmallClustered(20000, 10, 6, 1106);
+  KMeansParams p;
+  p.num_clusters = 6;
+  KMeans kmeans(p);
+  kmeans.set_time_budget_seconds(1e-9);
+  Result<Clustering> r = kmeans.Cluster(ds.data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace mrcc

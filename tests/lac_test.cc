@@ -1,0 +1,115 @@
+#include "baselines/lac.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/quality.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(LacTest, RecoversEasyClusters) {
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 3, 42);
+  LacParams p;
+  p.num_clusters = 3;
+  Lac lac(p);
+  Result<Clustering> r = lac.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumClusters(), 3u);
+  const QualityReport q = EvaluateClustering(*r, ds.truth);
+  EXPECT_GT(q.quality, 0.7);
+}
+
+TEST(LacTest, PartitionsEveryPoint) {
+  // LAC finds disjoint groups but not noise (paper §IV).
+  LabeledDataset ds = testing::SmallClustered(3000, 6, 2, 43);
+  LacParams p;
+  p.num_clusters = 2;
+  Lac lac(p);
+  Result<Clustering> r = lac.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumNoisePoints(), 0u);
+}
+
+TEST(LacTest, WeightsArePerClusterDistributions) {
+  LabeledDataset ds = testing::SmallClustered(3000, 6, 2, 44);
+  LacParams p;
+  p.num_clusters = 2;
+  Lac lac(p);
+  Result<Clustering> r = lac.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  for (const ClusterInfo& info : r->clusters) {
+    ASSERT_EQ(info.axis_weights.size(), 6u);
+    double total = 0.0;
+    for (double w : info.axis_weights) {
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(LacTest, WeightsConcentrateOnClusterAxes) {
+  // One tight cluster: its weight mass must sit on the relevant axes.
+  LabeledDataset ds = testing::SmallClustered(4000, 8, 1, 45, 0.05);
+  LacParams p;
+  p.num_clusters = 1;
+  Lac lac(p);
+  Result<Clustering> r = lac.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  const auto& weights = r->clusters[0].axis_weights;
+  const auto& truth_axes = ds.truth.clusters[0].relevant_axes;
+  double relevant_mass = 0.0, irrelevant_mass = 0.0;
+  size_t relevant_count = 0, irrelevant_count = 0;
+  for (size_t j = 0; j < 8; ++j) {
+    if (truth_axes[j]) {
+      relevant_mass += weights[j];
+      ++relevant_count;
+    } else {
+      irrelevant_mass += weights[j];
+      ++irrelevant_count;
+    }
+  }
+  ASSERT_GT(relevant_count, 0u);
+  ASSERT_GT(irrelevant_count, 0u);
+  // Average weight on a relevant axis clearly exceeds an irrelevant one.
+  EXPECT_GT(relevant_mass / static_cast<double>(relevant_count),
+            2.0 * irrelevant_mass / static_cast<double>(irrelevant_count));
+}
+
+TEST(LacTest, DeterministicForSeed) {
+  LabeledDataset ds = testing::SmallClustered(3000, 6, 3, 46);
+  LacParams p;
+  p.num_clusters = 3;
+  p.seed = 5;
+  Result<Clustering> a = Lac(p).Cluster(ds.data);
+  Result<Clustering> b = Lac(p).Cluster(ds.data);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(LacTest, RejectsBadParams) {
+  Dataset d = testing::UniformDataset(100, 3, 1);
+  LacParams p;
+  p.num_clusters = 0;
+  EXPECT_FALSE(Lac(p).Cluster(d).ok());
+  p.num_clusters = 2;
+  p.one_over_h = 0;
+  EXPECT_FALSE(Lac(p).Cluster(d).ok());
+}
+
+TEST(LacTest, HonorsTimeBudget) {
+  LabeledDataset ds = testing::SmallClustered(20000, 10, 5, 47);
+  LacParams p;
+  p.num_clusters = 5;
+  Lac lac(p);
+  lac.set_time_budget_seconds(1e-9);
+  Result<Clustering> r = lac.Cluster(ds.data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,73 @@
+#include "common/mdl.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace mrcc {
+namespace {
+
+TEST(MdlTest, EmptyPartitionCostsNothing) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(MdlPartitionCost(v, 1, 1), 0.0);
+  EXPECT_EQ(MdlPartitionCost(v, 3, 3), 0.0);
+}
+
+TEST(MdlTest, HomogeneousPartitionIsCheap) {
+  std::vector<double> same{5.0, 5.0, 5.0, 5.0};
+  std::vector<double> spread{1.0, 4.0, 7.0, 10.0};
+  EXPECT_LT(MdlPartitionCost(same, 0, 4), MdlPartitionCost(spread, 0, 4));
+}
+
+TEST(MdlTest, CostIsNonNegativeForNonNegativeValues) {
+  std::vector<double> v{0.0, 1.5, 88.0, 100.0};
+  EXPECT_GE(MdlPartitionCost(v, 0, v.size()), 0.0);
+}
+
+TEST(MdlTest, CutSeparatesTwoClearGroups) {
+  // Low group {1,2,3}, high group {90, 92, 95} (sorted ascending).
+  std::vector<double> v{1.0, 2.0, 3.0, 90.0, 92.0, 95.0};
+  EXPECT_EQ(MdlBestCut(v), 3u);
+  EXPECT_EQ(MdlThreshold(v), 90.0);
+}
+
+TEST(MdlTest, CutOnUniformValuesKeepsOnePartition) {
+  std::vector<double> v{10.0, 10.0, 10.0, 10.0, 10.0};
+  // All values identical: the single-partition encoding (p = 0) is optimal.
+  EXPECT_EQ(MdlBestCut(v), 0u);
+}
+
+TEST(MdlTest, SingleElement) {
+  std::vector<double> v{42.0};
+  EXPECT_EQ(MdlBestCut(v), 0u);
+  EXPECT_EQ(MdlThreshold(v), 42.0);
+}
+
+TEST(MdlTest, OneOutlierOnTop) {
+  std::vector<double> v{1.0, 1.1, 0.9, 1.05, 50.0};
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(MdlBestCut(v), 4u);
+  EXPECT_EQ(MdlThreshold(v), 50.0);
+}
+
+TEST(MdlTest, RelevanceLikeVectorsFromThePaper) {
+  // Relevances in (0, 100]: a cluster tight on 3 of 8 axes produces three
+  // high relevances over a uniform baseline near 100/6 ~ 16.7.
+  std::vector<double> v{15.2, 16.1, 16.8, 17.4, 18.0, 85.0, 90.0, 96.0};
+  const size_t cut = MdlBestCut(v);
+  EXPECT_EQ(cut, 5u);
+  EXPECT_EQ(MdlThreshold(v), 85.0);
+}
+
+TEST(MdlTest, CutIndexAlwaysValid) {
+  // Property: for any sorted array, the cut is a valid index.
+  std::vector<double> v;
+  for (int i = 0; i < 64; ++i) v.push_back(static_cast<double>(i * i % 97));
+  std::sort(v.begin(), v.end());
+  const size_t cut = MdlBestCut(v);
+  EXPECT_LT(cut, v.size());
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,85 @@
+#include "eval/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/harp.h"
+#include "core/mrcc.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(MeasurementTest, SuccessfulRunPopulatesEverything) {
+  LabeledDataset ds = testing::SmallClustered(4000, 8, 3, 5);
+  ds.name = "unit";
+  MrCC method;
+  const RunMeasurement m = MeasureRun(method, ds);
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.method, "MrCC");
+  EXPECT_EQ(m.dataset, "unit");
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_GT(m.peak_heap_bytes, 0);
+  EXPECT_GT(m.clusters_found, 0u);
+  EXPECT_GT(m.quality.quality, 0.5);
+  EXPECT_TRUE(m.error.empty());
+}
+
+TEST(MeasurementTest, TimeBudgetExpiryReported) {
+  // HARP on a few thousand points cannot finish in a microsecond budget.
+  LabeledDataset ds = testing::SmallClustered(4000, 8, 3, 6);
+  HarpParams params;
+  params.num_clusters = 3;
+  Harp harp(params);
+  const RunMeasurement m = MeasureRun(harp, ds, /*time_budget_seconds=*/1e-6);
+  EXPECT_FALSE(m.completed);
+  EXPECT_NE(m.error.find("OutOfRange"), std::string::npos);
+  EXPECT_EQ(m.quality.quality, 0.0);
+}
+
+TEST(MeasurementTest, AgainstClassesVariant) {
+  LabeledDataset ds = testing::SmallClustered(3000, 6, 2, 9);
+  std::vector<int> classes(ds.truth.labels);
+  MrCC method;
+  const RunMeasurement m =
+      MeasureRunAgainstClasses(method, ds.data, classes, "classes");
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.dataset, "classes");
+  EXPECT_GT(m.quality.quality, 0.5);
+}
+
+TEST(MeasurementTest, CsvRowHasAllFields) {
+  RunMeasurement m;
+  m.method = "MrCC";
+  m.dataset = "14d";
+  m.completed = true;
+  m.seconds = 1.25;
+  m.peak_heap_bytes = 2048;
+  m.quality.quality = 0.9876;
+  m.quality.subspace_quality = 0.5;
+  m.clusters_found = 17;
+  const std::string row = MeasurementCsvRow(m);
+  EXPECT_NE(row.find("MrCC,14d,1,1.25"), std::string::npos);
+  EXPECT_NE(row.find("0.987600"), std::string::npos);
+  EXPECT_NE(row.find(",17,"), std::string::npos);
+  // Header and row have the same comma count.
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(MeasurementCsvHeader()), commas(row));
+}
+
+TEST(MeasurementTest, FormatRowMentionsFailure) {
+  RunMeasurement m;
+  m.method = "P3C";
+  m.dataset = "18d";
+  m.completed = false;
+  m.error = "OutOfRange: P3C exceeded its time budget";
+  const std::string row = FormatMeasurementRow(m);
+  EXPECT_NE(row.find("P3C"), std::string::npos);
+  EXPECT_NE(row.find("OutOfRange"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrcc

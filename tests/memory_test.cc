@@ -1,0 +1,78 @@
+#include "common/memory.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace mrcc {
+namespace {
+
+TEST(MemoryTrackerTest, AllocationRaisesCurrentBytes) {
+  const int64_t before = MemoryTracker::CurrentBytes();
+  auto block = std::make_unique<std::vector<char>>(1 << 20);
+  const int64_t during = MemoryTracker::CurrentBytes();
+  EXPECT_GE(during - before, 1 << 20);
+  block.reset();
+  const int64_t after = MemoryTracker::CurrentBytes();
+  EXPECT_LT(after - before, 1 << 18);  // Back near the baseline.
+}
+
+TEST(MemoryTrackerTest, PeakTracksHighWaterMark) {
+  MemoryTracker::ResetPeak();
+  const int64_t base = MemoryTracker::PeakBytes();
+  {
+    std::vector<char> big(8 << 20);
+    // Touch so the optimizer cannot elide the allocation.
+    big[0] = 1;
+    big[big.size() - 1] = 2;
+    EXPECT_GE(MemoryTracker::PeakBytes() - base, 8 << 20);
+  }
+  // Peak persists after the free...
+  EXPECT_GE(MemoryTracker::PeakBytes() - base, 8 << 20);
+  // ...until reset.
+  MemoryTracker::ResetPeak();
+  EXPECT_LT(MemoryTracker::PeakBytes() - base, 8 << 20);
+}
+
+TEST(MemoryUsageScopeTest, ReportsPeakDelta) {
+  MemoryUsageScope scope;
+  {
+    std::vector<double> v(1 << 18);  // 2 MiB.
+    v[123] = 1.0;
+    (void)v;
+  }
+  EXPECT_GE(scope.PeakDeltaBytes(), static_cast<int64_t>((1 << 18) * 8));
+}
+
+TEST(MemoryUsageScopeTest, NeverNegative) {
+  // Free memory allocated before the scope: delta must clamp at zero.
+  auto block = std::make_unique<std::vector<char>>(4 << 20);
+  (*block)[0] = 1;
+  MemoryUsageScope scope;
+  block.reset();
+  EXPECT_GE(scope.PeakDeltaBytes(), 0);
+}
+
+TEST(PeakRssTest, ReturnsPositiveOnLinux) {
+  EXPECT_GT(PeakRssBytes(), 0);
+}
+
+TEST(MemoryTrackerTest, ArrayAndAlignedForms) {
+  const int64_t before = MemoryTracker::CurrentBytes();
+  char* arr = new char[4096];
+  arr[0] = 1;
+  EXPECT_GE(MemoryTracker::CurrentBytes() - before, 4096);
+  delete[] arr;
+  struct alignas(64) Wide {
+    double values[16];
+  };
+  auto wide = std::make_unique<Wide>();
+  wide->values[0] = 1.0;
+  EXPECT_GE(MemoryTracker::CurrentBytes() - before, 64);
+  wide.reset();
+  EXPECT_LT(MemoryTracker::CurrentBytes() - before, 4096);
+}
+
+}  // namespace
+}  // namespace mrcc

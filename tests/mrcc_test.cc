@@ -1,0 +1,229 @@
+#include "core/mrcc.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "data/generator.h"
+#include "eval/quality.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(MrCCParamsTest, Validation) {
+  MrCCParams p;
+  EXPECT_TRUE(p.Validate().ok());
+  p.alpha = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p.alpha = 1.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p.alpha = 1e-10;
+  p.num_resolutions = 2;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(MrCCTest, RecoversPlantedClusters) {
+  LabeledDataset ds = testing::SmallClustered(8000, 10, 5, 123);
+  MrCC method;
+  Result<MrCCResult> r = method.Run(ds.data);
+  ASSERT_TRUE(r.ok());
+  const QualityReport q = EvaluateClustering(r->clustering, ds.truth);
+  EXPECT_GT(q.quality, 0.85);
+  EXPECT_GT(q.subspace_quality, 0.7);
+  EXPECT_GE(r->clustering.NumClusters(), 4u);
+  EXPECT_LE(r->clustering.NumClusters(), 7u);
+}
+
+TEST(MrCCTest, DeterministicLabels) {
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 3, 55);
+  MrCC method;
+  Result<MrCCResult> a = method.Run(ds.data);
+  Result<MrCCResult> b = method.Run(ds.data);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->clustering.labels, b->clustering.labels);
+  EXPECT_EQ(a->beta_clusters.size(), b->beta_clusters.size());
+}
+
+TEST(MrCCTest, DoesNotNeedNumberOfClusters) {
+  // The same MrCC instance handles datasets with different cluster counts.
+  MrCC method;
+  for (size_t k : {2u, 5u}) {
+    LabeledDataset ds = testing::SmallClustered(6000, 8, k, 60 + k);
+    Result<MrCCResult> r = method.Run(ds.data);
+    ASSERT_TRUE(r.ok());
+    const QualityReport q = EvaluateClustering(r->clustering, ds.truth);
+    EXPECT_GT(q.quality, 0.8) << "k=" << k;
+  }
+}
+
+TEST(MrCCTest, StatsArePopulated) {
+  LabeledDataset ds = testing::SmallClustered(3000, 6, 3, 71);
+  MrCC method;
+  Result<MrCCResult> r = method.Run(ds.data);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.tree_memory_bytes, 0u);
+  EXPECT_GE(r->stats.total_seconds, r->stats.tree_build_seconds);
+  ASSERT_EQ(r->stats.cells_per_level.size(), 4u);
+  for (int h = 1; h < 4; ++h) {
+    EXPECT_GT(r->stats.cells_per_level[h], 0u);
+    EXPECT_LE(r->stats.cells_per_level[h], ds.data.NumPoints());
+  }
+  EXPECT_EQ(r->beta_to_cluster.size(), r->beta_clusters.size());
+}
+
+TEST(MrCCTest, ClusterInterfaceMatchesRun) {
+  LabeledDataset ds = testing::SmallClustered(4000, 8, 3, 81);
+  MrCC method;
+  Result<MrCCResult> run = method.Run(ds.data);
+  Result<Clustering> cluster = method.Cluster(ds.data);
+  ASSERT_TRUE(run.ok() && cluster.ok());
+  EXPECT_EQ(run->clustering.labels, cluster->labels);
+  EXPECT_EQ(method.name(), "MrCC");
+}
+
+TEST(MrCCTest, RobustToNoiseSweep) {
+  for (double noise : {0.05, 0.15, 0.25}) {
+    LabeledDataset ds = testing::SmallClustered(8000, 8, 4, 90, noise);
+    MrCC method;
+    Result<MrCCResult> r = method.Run(ds.data);
+    ASSERT_TRUE(r.ok());
+    const QualityReport q = EvaluateClustering(r->clustering, ds.truth);
+    EXPECT_GT(q.quality, 0.8) << "noise=" << noise;
+  }
+}
+
+TEST(MrCCTest, RobustToRotation) {
+  SyntheticConfig cfg;
+  cfg.num_points = 8000;
+  cfg.num_dims = 8;
+  cfg.num_clusters = 4;
+  cfg.min_cluster_dims = 4;
+  cfg.max_cluster_dims = 7;
+  cfg.seed = 1001;
+  Result<LabeledDataset> plain = GenerateSynthetic(cfg);
+  cfg.num_rotations = 4;
+  Result<LabeledDataset> rotated = GenerateSynthetic(cfg);
+  ASSERT_TRUE(plain.ok() && rotated.ok());
+
+  MrCC method;
+  Result<MrCCResult> rp = method.Run(plain->data);
+  Result<MrCCResult> rr = method.Run(rotated->data);
+  ASSERT_TRUE(rp.ok() && rr.ok());
+  const double qp = EvaluateClustering(rp->clustering, plain->truth).quality;
+  const double qr =
+      EvaluateClustering(rr->clustering, rotated->truth).quality;
+  EXPECT_GT(qp, 0.8);
+  // The paper reports at most ~5% Quality variation under rotation; allow
+  // a slightly wider band for the smaller test datasets.
+  EXPECT_GT(qr, qp - 0.15);
+}
+
+TEST(MrCCTest, NumResolutionsBeyondFourChangesLittle) {
+  LabeledDataset ds = testing::SmallClustered(6000, 8, 4, 2020);
+  MrCCParams p4;
+  p4.num_resolutions = 4;
+  MrCCParams p6;
+  p6.num_resolutions = 6;
+  Result<MrCCResult> r4 = MrCC(p4).Run(ds.data);
+  Result<MrCCResult> r6 = MrCC(p6).Run(ds.data);
+  ASSERT_TRUE(r4.ok() && r6.ok());
+  const double q4 = EvaluateClustering(r4->clustering, ds.truth).quality;
+  const double q6 = EvaluateClustering(r6->clustering, ds.truth).quality;
+  EXPECT_NEAR(q4, q6, 0.1);
+}
+
+TEST(MrCCTest, FullMaskAblationMatchesFaceMaskQuality) {
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 3, 2024);
+  MrCCParams face;
+  MrCCParams full;
+  full.full_mask = true;
+  Result<MrCCResult> rf = MrCC(face).Run(ds.data);
+  Result<MrCCResult> ru = MrCC(full).Run(ds.data);
+  ASSERT_TRUE(rf.ok() && ru.ok());
+  const double qf = EvaluateClustering(rf->clustering, ds.truth).quality;
+  const double qu = EvaluateClustering(ru->clustering, ds.truth).quality;
+  // The paper: the full mask improves things only "a little".
+  EXPECT_NEAR(qf, qu, 0.15);
+  EXPECT_GT(qu, 0.7);
+}
+
+TEST(MrCCTest, FullMaskRejectsHighDimensionality) {
+  Dataset d = testing::UniformDataset(100, 20, 3);
+  MrCCParams params;
+  params.full_mask = true;
+  Result<MrCCResult> r = MrCC(params).Run(d);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MrCCTest, InvalidParamsReported) {
+  MrCCParams p;
+  p.alpha = 2.0;
+  MrCC method(p);
+  Dataset d = testing::UniformDataset(100, 3, 1);
+  Result<MrCCResult> r = method.Run(d);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MrCCTest, UnnormalizedDataRejected) {
+  Dataset d = testing::MakeDataset({{2.0, 3.0}});
+  MrCC method;
+  Result<MrCCResult> r = method.Run(d);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(MrCCTest, BetaClustersOfOneClusterShareItsSpace) {
+  LabeledDataset ds = testing::SmallClustered(6000, 8, 3, 33);
+  MrCC method;
+  Result<MrCCResult> r = method.Run(ds.data);
+  ASSERT_TRUE(r.ok());
+  // Every beta-cluster maps to a valid correlation cluster id.
+  for (int c : r->beta_to_cluster) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, static_cast<int>(r->clustering.NumClusters()));
+  }
+  // Beta-clusters mapped to different correlation clusters never share
+  // space; the merge is exactly the transitive closure of sharing.
+  for (size_t a = 0; a < r->beta_clusters.size(); ++a) {
+    for (size_t b = a + 1; b < r->beta_clusters.size(); ++b) {
+      if (r->beta_to_cluster[a] != r->beta_to_cluster[b]) {
+        EXPECT_FALSE(r->beta_clusters[a].SharesSpaceWith(r->beta_clusters[b]));
+      }
+    }
+  }
+}
+
+// Parameterized sweep: recovery holds across dimensionalities and sizes.
+// Cluster counts follow the paper's regime, where k grows with d (at 6
+// axes group 1 plants only 2 clusters — many coarse clusters in a low-
+// dimensional space inevitably share grid cells).
+class MrCCRecoveryParam
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(MrCCRecoveryParam, QualityAboveThreshold) {
+  const auto [dims, k] = GetParam();
+  LabeledDataset ds =
+      testing::SmallClustered(6000 + 500 * dims, dims, k, 7 * dims + k);
+  MrCC method;
+  Result<MrCCResult> r = method.Run(ds.data);
+  ASSERT_TRUE(r.ok());
+  const QualityReport q = EvaluateClustering(r->clustering, ds.truth);
+  EXPECT_GT(q.quality, 0.75) << "dims=" << dims << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MrCCRecoveryParam,
+    ::testing::Values(std::tuple<size_t, size_t>{6, 2},
+                      std::tuple<size_t, size_t>{8, 3},
+                      std::tuple<size_t, size_t>{8, 4},
+                      std::tuple<size_t, size_t>{10, 2},
+                      std::tuple<size_t, size_t>{10, 4},
+                      std::tuple<size_t, size_t>{10, 6},
+                      std::tuple<size_t, size_t>{14, 2},
+                      std::tuple<size_t, size_t>{14, 4},
+                      std::tuple<size_t, size_t>{14, 6}));
+
+}  // namespace
+}  // namespace mrcc

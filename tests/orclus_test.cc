@@ -1,0 +1,111 @@
+#include "baselines/orclus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/linalg.h"
+#include "common/rng.h"
+#include "eval/quality.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(OrclusTest, RecoversEasyClusters) {
+  LabeledDataset ds = testing::SmallClustered(4000, 8, 3, 601);
+  OrclusParams p;
+  p.num_clusters = 3;
+  Orclus orclus(p);
+  Result<Clustering> r = orclus.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumClusters(), 3u);
+  const QualityReport q = EvaluateClustering(*r, ds.truth);
+  EXPECT_GT(q.quality, 0.55);
+}
+
+TEST(OrclusTest, HandlesArbitrarilyOrientedClusters) {
+  // Two thin oriented clusters: Gaussian pancakes rotated off-axis.
+  Rng rng(602);
+  Dataset d(3000, 4);
+  const Matrix rot = RandomPlaneRotations(4, 3, rng);
+  for (size_t i = 0; i < 3000; ++i) {
+    std::vector<double> p(4);
+    const bool first = i < 1500;
+    p[0] = (first ? 0.3 : 0.7) + rng.Normal(0.0, 0.15);
+    p[1] = (first ? 0.3 : 0.7) + rng.Normal(0.0, 0.01);
+    p[2] = (first ? 0.4 : 0.6) + rng.Normal(0.0, 0.01);
+    p[3] = (first ? 0.4 : 0.6) + rng.Normal(0.0, 0.01);
+    const std::vector<double> q = rot.Apply(p);
+    for (size_t j = 0; j < 4; ++j) d(i, j) = q[j];
+  }
+  d.NormalizeToUnitCube();
+  OrclusParams params;
+  params.num_clusters = 2;
+  params.subspace_dims = 2;
+  Orclus orclus(params);
+  Result<Clustering> r = orclus.Cluster(d);
+  ASSERT_TRUE(r.ok());
+  // Count split fidelity: most of each half in one cluster.
+  size_t first_in_0 = 0, second_in_0 = 0;
+  for (size_t i = 0; i < 1500; ++i) first_in_0 += (r->labels[i] == 0);
+  for (size_t i = 1500; i < 3000; ++i) second_in_0 += (r->labels[i] == 0);
+  const double purity =
+      std::fabs(static_cast<double>(first_in_0) - second_in_0) / 1500.0;
+  EXPECT_GT(purity, 0.7);
+}
+
+TEST(OrclusTest, ReportsAxisEnergyWeights) {
+  LabeledDataset ds = testing::SmallClustered(2000, 6, 2, 603);
+  OrclusParams p;
+  p.num_clusters = 2;
+  p.subspace_dims = 3;
+  Orclus orclus(p);
+  Result<Clustering> r = orclus.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  for (const ClusterInfo& info : r->clusters) {
+    ASSERT_EQ(info.axis_weights.size(), 6u);
+    double total = 0.0;
+    for (double w : info.axis_weights) {
+      EXPECT_GE(w, -1e-9);
+      total += w;
+    }
+    // The basis has l orthonormal columns: total energy = l.
+    EXPECT_NEAR(total, 3.0, 1e-6);
+  }
+}
+
+TEST(OrclusTest, DeterministicForSeed) {
+  LabeledDataset ds = testing::SmallClustered(2000, 6, 2, 604);
+  OrclusParams p;
+  p.num_clusters = 2;
+  p.seed = 11;
+  Result<Clustering> a = Orclus(p).Cluster(ds.data);
+  Result<Clustering> b = Orclus(p).Cluster(ds.data);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(OrclusTest, ParameterValidation) {
+  Dataset d = testing::UniformDataset(100, 3, 1);
+  OrclusParams p;
+  p.num_clusters = 0;
+  EXPECT_FALSE(Orclus(p).Cluster(d).ok());
+  p.num_clusters = 2;
+  p.merge_factor = 1.5;
+  EXPECT_FALSE(Orclus(p).Cluster(d).ok());
+}
+
+TEST(OrclusTest, HonorsTimeBudget) {
+  LabeledDataset ds = testing::SmallClustered(10000, 10, 5, 605);
+  OrclusParams p;
+  p.num_clusters = 5;
+  Orclus orclus(p);
+  orclus.set_time_budget_seconds(1e-9);
+  Result<Clustering> r = orclus.Cluster(ds.data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,86 @@
+#include "baselines/p3c.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/quality.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(P3cTest, RecoversWellSeparatedClusters) {
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 3, 501);
+  P3c p3c;
+  Result<Clustering> r = p3c.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  const QualityReport q = EvaluateClustering(*r, ds.truth);
+  EXPECT_GT(q.quality, 0.5);
+}
+
+TEST(P3cTest, UniformDataYieldsNoClusters) {
+  Dataset d = testing::UniformDataset(5000, 6, 502);
+  P3c p3c;
+  Result<Clustering> r = p3c.Cluster(d);
+  ASSERT_TRUE(r.ok());
+  // The chi-square uniformity test accepts every attribute as uniform, so
+  // no relevant intervals and no signatures exist.
+  EXPECT_EQ(r->NumClusters(), 0u);
+  EXPECT_EQ(r->NumNoisePoints(), 5000u);
+}
+
+TEST(P3cTest, SignatureAxesMatchPlantedCluster) {
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 1, 503, 0.1);
+  P3c p3c;
+  Result<Clustering> r = p3c.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->NumClusters(), 1u);
+  const auto& found = r->clusters[0].relevant_axes;
+  const auto& truth = ds.truth.clusters[0].relevant_axes;
+  size_t spurious = 0;
+  for (size_t j = 0; j < 8; ++j) {
+    if (found[j] && !truth[j]) ++spurious;
+  }
+  EXPECT_LE(spurious, 1u);
+}
+
+TEST(P3cTest, DeterministicAcrossRuns) {
+  LabeledDataset ds = testing::SmallClustered(3000, 6, 2, 504);
+  P3c a, b;
+  Result<Clustering> ra = a.Cluster(ds.data);
+  Result<Clustering> rb = b.Cluster(ds.data);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->labels, rb->labels);
+}
+
+TEST(P3cTest, StricterPoissonThresholdFindsFewerOrEqualCores) {
+  LabeledDataset ds = testing::SmallClustered(5000, 8, 4, 505);
+  P3cParams loose;
+  loose.poisson_threshold = 1e-2;
+  P3cParams strict;
+  strict.poisson_threshold = 1e-12;
+  Result<Clustering> rl = P3c(loose).Cluster(ds.data);
+  Result<Clustering> rs = P3c(strict).Cluster(ds.data);
+  ASSERT_TRUE(rl.ok() && rs.ok());
+  EXPECT_GE(rl->NumClusters() + 1, rs->NumClusters());
+}
+
+TEST(P3cTest, HonorsTimeBudget) {
+  LabeledDataset ds = testing::SmallClustered(20000, 12, 8, 506);
+  P3c p3c;
+  p3c.set_time_budget_seconds(1e-9);
+  Result<Clustering> r = p3c.Cluster(ds.data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(P3cTest, ResultValidates) {
+  LabeledDataset ds = testing::SmallClustered(3000, 6, 2, 507);
+  P3c p3c;
+  Result<Clustering> r = p3c.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Validate(ds.data.NumPoints(), ds.data.NumDims()).ok());
+}
+
+}  // namespace
+}  // namespace mrcc

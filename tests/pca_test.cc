@@ -1,0 +1,117 @@
+#include "data/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/mrcc.h"
+#include "data/generator.h"
+#include "eval/quality.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(PcaTest, RejectsBadArguments) {
+  Dataset d = testing::UniformDataset(100, 4, 1);
+  EXPECT_FALSE(FitPca(d, 0).ok());
+  EXPECT_FALSE(FitPca(d, 5).ok());
+  Dataset single = testing::MakeDataset({{0.1, 0.2}});
+  EXPECT_FALSE(FitPca(single, 1).ok());
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along the diagonal y = x with small orthogonal jitter: the
+  // first component must be ~(1,1)/sqrt(2).
+  Rng rng(5);
+  Dataset d(2000, 2);
+  for (size_t i = 0; i < 2000; ++i) {
+    const double t = rng.UniformDouble();
+    const double jitter = rng.Normal(0.0, 0.01);
+    d(i, 0) = t + jitter;
+    d(i, 1) = t - jitter;
+  }
+  Result<PcaModel> model = FitPca(d, 1);
+  ASSERT_TRUE(model.ok());
+  const double c0 = model->components(0, 0);
+  const double c1 = model->components(1, 0);
+  EXPECT_NEAR(std::fabs(c0), std::sqrt(0.5), 0.01);
+  EXPECT_NEAR(std::fabs(c1), std::sqrt(0.5), 0.01);
+  EXPECT_GT(c0 * c1, 0.0);  // Same sign: the diagonal, not the anti-diagonal.
+  EXPECT_GT(model->ExplainedVarianceRatio(), 0.99);
+}
+
+TEST(PcaTest, EigenvaluesDescendAndExplainAllVarianceAtFullRank) {
+  Dataset d = testing::UniformDataset(500, 6, 9);
+  Result<PcaModel> model = FitPca(d, 6);
+  ASSERT_TRUE(model.ok());
+  for (size_t i = 1; i < model->eigenvalues.size(); ++i) {
+    EXPECT_GE(model->eigenvalues[i - 1], model->eigenvalues[i]);
+  }
+  EXPECT_NEAR(model->ExplainedVarianceRatio(), 1.0, 1e-9);
+}
+
+TEST(PcaTest, ProjectionPreservesPairwiseDistancesAtFullRank) {
+  Dataset d = testing::UniformDataset(50, 4, 11);
+  Result<PcaModel> model = FitPca(d, 4);
+  ASSERT_TRUE(model.ok());
+  Result<Dataset> p = model->Project(d);
+  ASSERT_TRUE(p.ok());
+  // Orthonormal change of basis: distances are invariant.
+  for (size_t a = 0; a < 10; ++a) {
+    for (size_t b = a + 1; b < 10; ++b) {
+      double orig = 0.0, proj = 0.0;
+      for (size_t j = 0; j < 4; ++j) {
+        orig += (d(a, j) - d(b, j)) * (d(a, j) - d(b, j));
+        proj += ((*p)(a, j) - (*p)(b, j)) * ((*p)(a, j) - (*p)(b, j));
+      }
+      EXPECT_NEAR(orig, proj, 1e-9);
+    }
+  }
+}
+
+TEST(PcaTest, ProjectRejectsMismatchedDims) {
+  Dataset d = testing::UniformDataset(100, 4, 1);
+  Result<PcaModel> model = FitPca(d, 2);
+  ASSERT_TRUE(model.ok());
+  Dataset other = testing::UniformDataset(10, 3, 2);
+  EXPECT_FALSE(model->Project(other).ok());
+}
+
+TEST(PcaTest, ReduceProducesUnitCubeData) {
+  Dataset d = testing::UniformDataset(300, 8, 21);
+  Result<Dataset> reduced = PcaReduce(d, 3);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->NumDims(), 3u);
+  EXPECT_EQ(reduced->NumPoints(), 300u);
+  EXPECT_TRUE(reduced->InUnitCube());
+}
+
+// The paper's pipeline: >30-d data -> PCA -> MrCC. Clusters planted in a
+// 40-d space with strong global correlation survive the reduction.
+TEST(PcaTest, PaperPipelineClustersHighDimensionalData) {
+  SyntheticConfig cfg;
+  cfg.num_points = 10000;
+  cfg.num_dims = 40;
+  cfg.num_clusters = 4;
+  cfg.noise_fraction = 0.1;
+  cfg.min_cluster_dims = 37;
+  cfg.max_cluster_dims = 39;
+  cfg.seed = 4040;
+  Result<LabeledDataset> ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+
+  Result<Dataset> reduced = PcaReduce(ds->data, 15);
+  ASSERT_TRUE(reduced.ok());
+  MrCC method;
+  Result<MrCCResult> r = method.Run(*reduced);
+  ASSERT_TRUE(r.ok());
+  // Point-quality against the original ground truth (subspaces change
+  // under projection, so only the partition is scored).
+  const QualityReport q = EvaluateClustering(r->clustering, ds->truth);
+  EXPECT_GT(q.quality, 0.8);
+}
+
+}  // namespace
+}  // namespace mrcc

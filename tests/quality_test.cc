@@ -1,0 +1,128 @@
+#include "eval/quality.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mrcc {
+namespace {
+
+Clustering MakeClustering(std::vector<int> labels, size_t k, size_t dims,
+                          std::vector<std::vector<bool>> axes = {}) {
+  Clustering c;
+  c.labels = std::move(labels);
+  c.clusters.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    c.clusters[i].relevant_axes =
+        axes.empty() ? std::vector<bool>(dims, true) : axes[i];
+  }
+  return c;
+}
+
+TEST(QualityTest, PerfectMatchScoresOne) {
+  Clustering truth = MakeClustering({0, 0, 1, 1, kNoiseLabel}, 2, 3);
+  Clustering found = MakeClustering({0, 0, 1, 1, kNoiseLabel}, 2, 3);
+  const QualityReport q = EvaluateClustering(found, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.quality, 1.0);
+  EXPECT_DOUBLE_EQ(q.subspace_quality, 1.0);
+}
+
+TEST(QualityTest, PermutedLabelsStillPerfect) {
+  Clustering truth = MakeClustering({0, 0, 1, 1}, 2, 2);
+  Clustering found = MakeClustering({1, 1, 0, 0}, 2, 2);
+  const QualityReport q = EvaluateClustering(found, truth);
+  EXPECT_DOUBLE_EQ(q.quality, 1.0);
+}
+
+TEST(QualityTest, NoFoundClustersScoresZero) {
+  Clustering truth = MakeClustering({0, 0, 1}, 2, 2);
+  Clustering found = MakeClustering({kNoiseLabel, kNoiseLabel, kNoiseLabel},
+                                    0, 2);
+  const QualityReport q = EvaluateClustering(found, truth);
+  EXPECT_DOUBLE_EQ(q.quality, 0.0);
+  EXPECT_DOUBLE_EQ(q.subspace_quality, 0.0);
+}
+
+TEST(QualityTest, HandComputedPrecisionRecall) {
+  // Truth: cluster 0 = {0,1,2,3}, cluster 1 = {4,5}.
+  // Found: cluster 0 = {0,1,4} (3 pts: 2 from real 0, 1 from real 1),
+  //        cluster 1 = {2,3,5} (2 from real 0, 1 from real 1).
+  Clustering truth = MakeClustering({0, 0, 0, 0, 1, 1}, 2, 2);
+  Clustering found = MakeClustering({0, 0, 1, 1, 0, 1}, 2, 2);
+  const QualityReport q = EvaluateClustering(found, truth);
+  // Found 0 dominant real: 0 (|∩|=2), precision 2/3.
+  // Found 1 dominant real: 0 (|∩|=2), precision 2/3.
+  EXPECT_NEAR(q.precision, 2.0 / 3.0, 1e-12);
+  // Real 0 dominant found: 0 or 1 (|∩|=2), recall 2/4.
+  // Real 1 dominant found: 0 or 1 (|∩|=1), recall 1/2.
+  EXPECT_NEAR(q.recall, 0.5, 1e-12);
+  EXPECT_NEAR(q.quality,
+              2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5), 1e-12);
+}
+
+TEST(QualityTest, NoiseDoesNotContributeToIntersections) {
+  Clustering truth = MakeClustering({0, 0, kNoiseLabel, kNoiseLabel}, 1, 2);
+  Clustering found = MakeClustering({0, 0, 0, 0}, 1, 2);
+  const QualityReport q = EvaluateClustering(found, truth);
+  // Found cluster holds 4 points but only 2 real: precision 0.5.
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+}
+
+TEST(QualityTest, SubspaceQualityUsesAxisSets) {
+  // Points match perfectly, axes half-match.
+  std::vector<std::vector<bool>> truth_axes{{true, true, false, false}};
+  std::vector<std::vector<bool>> found_axes{{true, false, true, false}};
+  Clustering truth = MakeClustering({0, 0}, 1, 4, truth_axes);
+  Clustering found = MakeClustering({0, 0}, 1, 4, found_axes);
+  const QualityReport q = EvaluateClustering(found, truth);
+  EXPECT_DOUBLE_EQ(q.quality, 1.0);
+  // |found ∩ truth| = 1; |found| = 2; |truth| = 2.
+  EXPECT_DOUBLE_EQ(q.subspace_precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.subspace_recall, 0.5);
+  EXPECT_DOUBLE_EQ(q.subspace_quality, 0.5);
+}
+
+TEST(QualityTest, DominantMapsExposed) {
+  Clustering truth = MakeClustering({0, 0, 1}, 2, 2);
+  Clustering found = MakeClustering({1, 1, 0}, 2, 2);
+  const QualityReport q = EvaluateClustering(found, truth);
+  ASSERT_EQ(q.dominant_real.size(), 2u);
+  ASSERT_EQ(q.dominant_found.size(), 2u);
+  EXPECT_EQ(q.dominant_real[1], 0);  // Found 1 dominated by real 0.
+  EXPECT_EQ(q.dominant_real[0], 1);
+  EXPECT_EQ(q.dominant_found[0], 1);
+  EXPECT_EQ(q.dominant_found[1], 0);
+}
+
+TEST(QualityTest, FoundClusterWithNoRealOverlapHasNoDominant) {
+  // Found cluster 1 contains only noise points.
+  Clustering truth = MakeClustering({0, 0, kNoiseLabel, kNoiseLabel}, 1, 2);
+  Clustering found = MakeClustering({0, 0, 1, 1}, 2, 2);
+  const QualityReport q = EvaluateClustering(found, truth);
+  EXPECT_EQ(q.dominant_real[1], -1);
+  // Its precision contribution is zero: average = (1 + 0) / 2.
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+}
+
+TEST(QualityTest, AgainstClassesUsesClassLabels) {
+  Clustering found = MakeClustering({0, 0, 1, 1, kNoiseLabel}, 2, 3);
+  const std::vector<int> classes{0, 0, 1, 1, 1};
+  const QualityReport q = EvaluateAgainstClasses(found, classes);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  // Class 0 fully covered; class 1 covered 2/3.
+  EXPECT_NEAR(q.recall, (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(QualityTest, HarmonicMeanIsZeroWhenEitherSideZero) {
+  Clustering truth = MakeClustering({0}, 1, 2);
+  // One found cluster consisting solely of a noise point.
+  Clustering found = MakeClustering({kNoiseLabel}, 1, 2);
+  const QualityReport q = EvaluateClustering(found, truth);
+  EXPECT_DOUBLE_EQ(q.quality, 0.0);
+}
+
+}  // namespace
+}  // namespace mrcc

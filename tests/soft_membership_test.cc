@@ -1,0 +1,119 @@
+#include "core/soft_membership.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/quality.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+struct Fixture {
+  LabeledDataset dataset;
+  MrCCResult result;
+  SoftClustering soft;
+};
+
+Fixture MakeFixture(size_t n = 6000, size_t dims = 8, size_t k = 3,
+                    uint64_t seed = 71) {
+  LabeledDataset ds = testing::SmallClustered(n, dims, k, seed);
+  MrCC method;
+  Result<MrCCResult> r = method.Run(ds.data);
+  EXPECT_TRUE(r.ok());
+  Result<SoftClustering> soft = ComputeSoftMembership(*r, ds.data);
+  EXPECT_TRUE(soft.ok());
+  return {std::move(ds), std::move(r).value(), std::move(soft).value()};
+}
+
+TEST(SoftMembershipTest, RowsSumToOneOrZero) {
+  Fixture f = MakeFixture();
+  for (size_t i = 0; i < f.soft.num_points(); ++i) {
+    double total = 0.0;
+    for (size_t c = 0; c < f.soft.num_clusters(); ++c) {
+      const double m = f.soft.membership(i, c);
+      ASSERT_GE(m, 0.0);
+      ASSERT_LE(m, 1.0 + 1e-12);
+      total += m;
+    }
+    ASSERT_TRUE(std::fabs(total - 1.0) < 1e-9 || total == 0.0)
+        << "row " << i << " sums to " << total;
+  }
+}
+
+TEST(SoftMembershipTest, HardMembersGetTheirOwnClusterAsArgmax) {
+  Fixture f = MakeFixture();
+  const std::vector<int> hard = f.soft.HardLabels();
+  size_t agree = 0, assigned = 0;
+  for (size_t i = 0; i < hard.size(); ++i) {
+    const int mrcc_label = f.result.clustering.labels[i];
+    if (mrcc_label == kNoiseLabel) continue;
+    ++assigned;
+    agree += (hard[i] == mrcc_label);
+  }
+  ASSERT_GT(assigned, 0u);
+  // The Gaussian profiles are fitted on the hard partition, so almost all
+  // members keep their cluster as the argmax.
+  EXPECT_GT(static_cast<double>(agree) / assigned, 0.95);
+}
+
+TEST(SoftMembershipTest, SoftLabelsScoreAsWellAsHardOnes) {
+  Fixture f = MakeFixture();
+  Clustering soft_clustering = f.result.clustering;
+  soft_clustering.labels = f.soft.HardLabels();
+  const double q_hard =
+      EvaluateClustering(f.result.clustering, f.dataset.truth).quality;
+  const double q_soft =
+      EvaluateClustering(soft_clustering, f.dataset.truth).quality;
+  EXPECT_GT(q_soft, q_hard - 0.1);
+}
+
+TEST(SoftMembershipTest, EntropyIsLowForClusterCores) {
+  Fixture f = MakeFixture();
+  // Average entropy of assigned points is far below the maximum log(k).
+  double total = 0.0;
+  size_t assigned = 0;
+  for (size_t i = 0; i < f.soft.num_points(); ++i) {
+    if (f.result.clustering.labels[i] == kNoiseLabel) continue;
+    total += f.soft.Entropy(i);
+    ++assigned;
+  }
+  ASSERT_GT(assigned, 0u);
+  EXPECT_LT(total / static_cast<double>(assigned),
+            0.25 * std::log(static_cast<double>(f.soft.num_clusters())));
+}
+
+TEST(SoftMembershipTest, FarAwayPointsAreNoise) {
+  Fixture f = MakeFixture();
+  // Count noise rows: must include a healthy share of the 15% planted
+  // noise (uniform points far from every cluster profile).
+  size_t zero_rows = 0;
+  for (size_t i = 0; i < f.soft.num_points(); ++i) {
+    double total = 0.0;
+    for (size_t c = 0; c < f.soft.num_clusters(); ++c) {
+      total += f.soft.membership(i, c);
+    }
+    zero_rows += (total == 0.0);
+  }
+  EXPECT_GT(zero_rows, f.soft.num_points() / 20);
+}
+
+TEST(SoftMembershipTest, SizeMismatchRejected) {
+  Fixture f = MakeFixture(2000, 6, 2, 5);
+  Dataset other = testing::UniformDataset(10, 6, 1);
+  EXPECT_FALSE(ComputeSoftMembership(f.result, other).ok());
+}
+
+TEST(SoftMembershipTest, EmptyClusteringGivesAllNoise) {
+  Dataset d = testing::UniformDataset(100, 4, 2);
+  MrCCResult result;
+  result.clustering.labels.assign(100, kNoiseLabel);
+  Result<SoftClustering> soft = ComputeSoftMembership(result, d);
+  ASSERT_TRUE(soft.ok());
+  EXPECT_EQ(soft->num_clusters(), 0u);
+  EXPECT_EQ(soft->HardLabels(), std::vector<int>(100, kNoiseLabel));
+}
+
+}  // namespace
+}  // namespace mrcc

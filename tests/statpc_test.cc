@@ -1,0 +1,80 @@
+#include "baselines/statpc.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/quality.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(StatpcTest, FindsSignificantRegions) {
+  LabeledDataset ds = testing::SmallClustered(4000, 8, 3, 901);
+  Statpc statpc;
+  Result<Clustering> r = statpc.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->NumClusters(), 2u);
+  const QualityReport q = EvaluateClustering(*r, ds.truth);
+  EXPECT_GT(q.quality, 0.4);
+}
+
+TEST(StatpcTest, UniformDataYieldsNothingSignificant) {
+  Dataset d = testing::UniformDataset(4000, 6, 902);
+  StatpcParams p;
+  p.num_anchors = 50;
+  Statpc statpc(p);
+  Result<Clustering> r = statpc.Cluster(d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumClusters(), 0u);
+}
+
+TEST(StatpcTest, RegionsHaveAtLeastTwoActiveDims) {
+  LabeledDataset ds = testing::SmallClustered(3000, 8, 2, 903);
+  Statpc statpc;
+  Result<Clustering> r = statpc.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  for (const ClusterInfo& info : r->clusters) {
+    EXPECT_GE(info.Dimensionality(), 2u);
+  }
+}
+
+TEST(StatpcTest, DeterministicForSeed) {
+  LabeledDataset ds = testing::SmallClustered(2000, 6, 2, 904);
+  StatpcParams p;
+  p.seed = 3;
+  Result<Clustering> a = Statpc(p).Cluster(ds.data);
+  Result<Clustering> b = Statpc(p).Cluster(ds.data);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(StatpcTest, ParameterValidation) {
+  Dataset d = testing::UniformDataset(100, 3, 1);
+  StatpcParams p;
+  p.alpha0 = 0.0;
+  EXPECT_FALSE(Statpc(p).Cluster(d).ok());
+  p.alpha0 = 1e-10;
+  p.window = 0.6;
+  EXPECT_FALSE(Statpc(p).Cluster(d).ok());
+}
+
+TEST(StatpcTest, HonorsTimeBudget) {
+  LabeledDataset ds = testing::SmallClustered(20000, 12, 6, 905);
+  Statpc statpc;
+  statpc.set_time_budget_seconds(1e-9);
+  Result<Clustering> r = statpc.Cluster(ds.data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatpcTest, NonRedundantRegionsAreDisjointEnough) {
+  LabeledDataset ds = testing::SmallClustered(3000, 8, 2, 906, 0.1);
+  Statpc statpc;
+  Result<Clustering> r = statpc.Cluster(ds.data);
+  ASSERT_TRUE(r.ok());
+  // The greedy cover assigns each point at most once.
+  EXPECT_TRUE(r->Validate(ds.data.NumPoints(), ds.data.NumDims()).ok());
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,221 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+namespace mrcc {
+namespace {
+
+// Brute-force binomial survival for small n, in long double.
+double BruteBinomialSurvival(int64_t n, double p, int64_t k) {
+  long double total = 0.0L;
+  for (int64_t x = std::max<int64_t>(k, 0); x <= n; ++x) {
+    long double term = 1.0L;
+    for (int64_t i = 0; i < x; ++i) {
+      term *= static_cast<long double>(n - i) / (x - i);
+    }
+    term *= std::pow(static_cast<long double>(p), static_cast<double>(x));
+    term *= std::pow(1.0L - static_cast<long double>(p),
+                     static_cast<double>(n - x));
+    total += term;
+  }
+  return static_cast<double>(std::min(total, 1.0L));
+}
+
+TEST(LogGammaTest, MatchesFactorials) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogBetaTest, MatchesClosedForm) {
+  // B(2,3) = 1/12.
+  EXPECT_NEAR(LogBeta(2.0, 3.0), std::log(1.0 / 12.0), 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(LogBeta(3.5, 1.25), LogBeta(1.25, 3.5), 1e-12);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, ClosedForms) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.35, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+  // I_x(a, 1) = x^a.
+  EXPECT_NEAR(RegularizedIncompleteBeta(3.0, 1.0, 0.5), 0.125, 1e-12);
+  // I_x(1, b) = 1 - (1-x)^b.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 4.0, 0.25),
+              1.0 - std::pow(0.75, 4.0), 1e-12);
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.0, x),
+                1.0 - RegularizedIncompleteBeta(4.0, 2.5, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, LogVersionConsistent) {
+  for (double x : {0.05, 0.3, 0.7, 0.95}) {
+    const double direct = RegularizedIncompleteBeta(3.0, 7.0, x);
+    EXPECT_NEAR(std::exp(LogRegularizedIncompleteBeta(3.0, 7.0, x)), direct,
+                1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, LogVersionSurvivesExtremeTails) {
+  // P(X >= 400), X ~ Binomial(1000, 1/6): a ~1e-68 tail, plus a deeper one
+  // that underflows linear-space doubles entirely.
+  const double lg = LogRegularizedIncompleteBeta(400.0, 601.0, 1.0 / 6.0);
+  EXPECT_TRUE(std::isfinite(lg));
+  EXPECT_NEAR(lg, -156.4, 1.0);
+  const double deeper =
+      LogRegularizedIncompleteBeta(4000.0, 6001.0, 1.0 / 6.0);
+  EXPECT_TRUE(std::isfinite(deeper));
+  EXPECT_LT(deeper, -700.0);  // exp() of this is 0.0 in double.
+}
+
+TEST(GammaTest, PPlusQIsOne) {
+  for (double a : {0.5, 2.0, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12);
+    }
+  }
+}
+
+TEST(GammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(ChiSquareTest, KnownCriticalValues) {
+  // Classic table values.
+  EXPECT_NEAR(ChiSquareSurvival(1.0, 3.841), 0.05, 5e-4);
+  EXPECT_NEAR(ChiSquareSurvival(5.0, 11.070), 0.05, 5e-4);
+  // df = 2: survival = exp(-x/2).
+  EXPECT_NEAR(ChiSquareSurvival(2.0, 4.0), std::exp(-2.0), 1e-10);
+  EXPECT_EQ(ChiSquareSurvival(3.0, 0.0), 1.0);
+}
+
+TEST(PoissonTest, MatchesDirectSum) {
+  for (double lambda : {0.5, 2.0, 10.0}) {
+    for (int64_t k : {1, 3, 8}) {
+      long double below = 0.0L;
+      long double term = std::exp(-static_cast<long double>(lambda));
+      for (int64_t x = 0; x < k; ++x) {
+        below += term;
+        term *= lambda / static_cast<long double>(x + 1);
+      }
+      EXPECT_NEAR(PoissonSurvival(lambda, k),
+                  static_cast<double>(1.0L - below), 1e-10)
+          << "lambda=" << lambda << " k=" << k;
+    }
+  }
+  EXPECT_EQ(PoissonSurvival(3.0, 0), 1.0);
+  EXPECT_EQ(PoissonSurvival(0.0, 2), 0.0);
+}
+
+TEST(BinomialTest, EdgeCases) {
+  EXPECT_EQ(BinomialSurvival(10, 0.3, 0), 1.0);
+  EXPECT_EQ(BinomialSurvival(10, 0.3, -2), 1.0);
+  EXPECT_EQ(BinomialSurvival(10, 0.3, 11), 0.0);
+  EXPECT_EQ(BinomialSurvival(10, 0.0, 1), 0.0);
+  EXPECT_EQ(BinomialSurvival(10, 1.0, 10), 1.0);
+}
+
+TEST(BinomialTest, PmfSumsToOne) {
+  for (int64_t n : {5, 20}) {
+    double total = 0.0;
+    for (int64_t k = 0; k <= n; ++k) total += BinomialPmf(n, 1.0 / 6.0, k);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+// Property sweep: survival matches a brute-force sum for many (n, p, k).
+class BinomialSurvivalParam
+    : public ::testing::TestWithParam<std::tuple<int64_t, double>> {};
+
+TEST_P(BinomialSurvivalParam, MatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  for (int64_t k = 0; k <= n; ++k) {
+    const double expected = BruteBinomialSurvival(n, p, k);
+    EXPECT_NEAR(BinomialSurvival(n, p, k), expected, 1e-9)
+        << "n=" << n << " p=" << p << " k=" << k;
+    if (expected > 0.0) {
+      EXPECT_NEAR(LogBinomialSurvival(n, p, k), std::log(expected),
+                  1e-6 + 1e-6 * std::fabs(std::log(expected)))
+          << "n=" << n << " p=" << p << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialSurvivalParam,
+    ::testing::Combine(::testing::Values<int64_t>(1, 2, 5, 12, 30),
+                       ::testing::Values(1.0 / 6.0, 0.25, 0.5, 0.9)));
+
+// The critical value definition: smallest t with P(X >= t) <= alpha.
+class CriticalValueParam
+    : public ::testing::TestWithParam<std::tuple<int64_t, double>> {};
+
+TEST_P(CriticalValueParam, IsTheSmallestRejectingValue) {
+  const auto [n, alpha] = GetParam();
+  const double p = 1.0 / 6.0;
+  const int64_t theta = BinomialCriticalValue(n, p, alpha);
+  ASSERT_GE(theta, 0);
+  ASSERT_LE(theta, n + 1);
+  if (theta <= n) {
+    EXPECT_LE(BruteBinomialSurvival(n, p, theta), alpha);
+  }
+  if (theta >= 1) {
+    EXPECT_GT(BruteBinomialSurvival(n, p, theta - 1), alpha);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CriticalValueParam,
+    ::testing::Combine(::testing::Values<int64_t>(1, 6, 12, 40),
+                       ::testing::Values(0.05, 1e-3, 1e-6, 1e-10)));
+
+TEST(CriticalValueTest, MonotoneInAlpha) {
+  const int64_t n = 100000;
+  int64_t prev = 0;
+  for (double alpha : {1e-2, 1e-5, 1e-10, 1e-40, 1e-120, 1e-160}) {
+    const int64_t theta = BinomialCriticalValue(n, 1.0 / 6.0, alpha);
+    EXPECT_GE(theta, prev);
+    EXPECT_TRUE(theta <= n + 1);
+    prev = theta;
+  }
+}
+
+TEST(CriticalValueTest, ExtremeAlphaOnLargeNIsFiniteAndSane) {
+  // The paper's sensitivity sweep goes to alpha = 1e-160 on 250k points.
+  const int64_t n = 250000;
+  const int64_t theta = BinomialCriticalValue(n, 1.0 / 6.0, 1e-160);
+  const double mean = static_cast<double>(n) / 6.0;
+  EXPECT_GT(theta, static_cast<int64_t>(mean));
+  EXPECT_LT(theta, n);
+  // Rough Gaussian sanity: 1e-160 is ~27 sigma.
+  const double sigma = std::sqrt(n * (1.0 / 6.0) * (5.0 / 6.0));
+  EXPECT_NEAR(static_cast<double>(theta), mean + 27.0 * sigma, 3.0 * sigma);
+}
+
+TEST(CriticalValueTest, TinyNCannotReject) {
+  // With n = 3 and alpha = 1e-10, even all points in the center region
+  // is not significant: theta = n + 1.
+  EXPECT_EQ(BinomialCriticalValue(3, 1.0 / 6.0, 1e-10), 4);
+}
+
+}  // namespace
+}  // namespace mrcc

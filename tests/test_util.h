@@ -1,0 +1,53 @@
+// Shared helpers for the test suite.
+
+#ifndef MRCC_TESTS_TEST_UTIL_H_
+#define MRCC_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+
+namespace mrcc::testing {
+
+/// A dataset from an explicit list of points (row-major initializer).
+inline Dataset MakeDataset(const std::vector<std::vector<double>>& points) {
+  Dataset d;
+  for (const auto& p : points) d.AppendPoint(p);
+  return d;
+}
+
+/// Uniform random dataset in [0,1)^dims.
+inline Dataset UniformDataset(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dims; ++j) d(i, j) = rng.UniformDouble();
+  }
+  return d;
+}
+
+/// A quick planted-cluster dataset: `k` Gaussian subspace clusters plus
+/// noise; small enough for unit tests. Cluster dimensionality is kept
+/// near d (as in the paper's data) so the clusters are statistically
+/// detectable at test-sized point counts.
+inline LabeledDataset SmallClustered(size_t n = 4000, size_t dims = 8,
+                                     size_t k = 3, uint64_t seed = 7,
+                                     double noise = 0.15) {
+  SyntheticConfig cfg;
+  cfg.name = "test";
+  cfg.num_points = n;
+  cfg.num_dims = dims;
+  cfg.num_clusters = k;
+  cfg.noise_fraction = noise;
+  cfg.min_cluster_dims = dims > 3 ? dims - 3 : 1;
+  cfg.max_cluster_dims = dims > 1 ? dims - 1 : 1;
+  cfg.seed = seed;
+  Result<LabeledDataset> r = GenerateSynthetic(cfg);
+  return std::move(r).value();
+}
+
+}  // namespace mrcc::testing
+
+#endif  // MRCC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,38 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace mrcc {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // Sanity upper bound even on loaded machines.
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedSeconds() * 100);
+}
+
+TEST(TimerTest, ResetRestartsTheClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(TimerTest, MonotoneNonDecreasing) {
+  Timer timer;
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = timer.ElapsedSeconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,142 @@
+#include "core/tree_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/beta_cluster_finder.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+TEST(TreeIoTest, SaveLoadRoundTrip) {
+  LabeledDataset ds = testing::SmallClustered(3000, 6, 3, 71);
+  Result<CountingTree> tree = CountingTree::Build(ds.data, 5);
+  ASSERT_TRUE(tree.ok());
+  const std::string path = ::testing::TempDir() + "mrcc_tree.bin";
+  ASSERT_TRUE(SaveTree(*tree, path).ok());
+  Result<CountingTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(TreesEquivalent(*tree, *loaded));
+  EXPECT_EQ(loaded->total_points(), tree->total_points());
+  std::remove(path.c_str());
+}
+
+TEST(TreeIoTest, LoadedTreeProducesIdenticalBetaClusters) {
+  LabeledDataset ds = testing::SmallClustered(4000, 8, 3, 72);
+  Result<CountingTree> tree = CountingTree::Build(ds.data, 4);
+  ASSERT_TRUE(tree.ok());
+  const std::string path = ::testing::TempDir() + "mrcc_tree_beta.bin";
+  ASSERT_TRUE(SaveTree(*tree, path).ok());
+  Result<CountingTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok());
+
+  BetaFinderOptions options;
+  const auto from_original = FindBetaClusters(*tree, options);
+  const auto from_loaded = FindBetaClusters(*loaded, options);
+  ASSERT_EQ(from_original.size(), from_loaded.size());
+  for (size_t b = 0; b < from_original.size(); ++b) {
+    EXPECT_EQ(from_original[b].lower, from_loaded[b].lower);
+    EXPECT_EQ(from_original[b].upper, from_loaded[b].upper);
+    EXPECT_EQ(from_original[b].relevant, from_loaded[b].relevant);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TreeIoTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "mrcc_tree_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a tree at all";
+  }
+  EXPECT_FALSE(LoadTree(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadTree("/nonexistent/tree.bin").ok());
+}
+
+TEST(TreeIoTest, LoadRejectsTruncation) {
+  Dataset d = testing::UniformDataset(500, 4, 3);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  const std::string path = ::testing::TempDir() + "mrcc_tree_trunc.bin";
+  ASSERT_TRUE(SaveTree(*tree, path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 3));
+  }
+  EXPECT_FALSE(LoadTree(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TreeMergeTest, ShardedBuildEqualsMonolithicBuild) {
+  // Build one tree over the full dataset and two trees over disjoint
+  // halves; the merged halves must equal the monolithic tree.
+  LabeledDataset ds = testing::SmallClustered(5000, 7, 3, 73);
+  const size_t n = ds.data.NumPoints();
+  Dataset first(0, 7), second(0, 7);
+  for (size_t i = 0; i < n; ++i) {
+    auto p = ds.data.Point(i);
+    (i < n / 2 ? first : second).AppendPoint(p);
+  }
+  Result<CountingTree> whole = CountingTree::Build(ds.data, 4);
+  Result<CountingTree> a = CountingTree::Build(first, 4);
+  Result<CountingTree> b = CountingTree::Build(second, 4);
+  ASSERT_TRUE(whole.ok() && a.ok() && b.ok());
+  ASSERT_TRUE(MergeTree(&*a, *b).ok());
+  EXPECT_EQ(a->total_points(), whole->total_points());
+  EXPECT_TRUE(TreesEquivalent(*a, *whole));
+  EXPECT_TRUE(TreesEquivalent(*whole, *a));  // Symmetric check.
+}
+
+TEST(TreeMergeTest, MergedTreeClusterSearchMatches) {
+  LabeledDataset ds = testing::SmallClustered(6000, 8, 3, 74);
+  const size_t n = ds.data.NumPoints();
+  Dataset first(0, 8), second(0, 8);
+  for (size_t i = 0; i < n; ++i) {
+    (i % 2 == 0 ? first : second).AppendPoint(ds.data.Point(i));
+  }
+  Result<CountingTree> whole = CountingTree::Build(ds.data, 4);
+  Result<CountingTree> a = CountingTree::Build(first, 4);
+  Result<CountingTree> b = CountingTree::Build(second, 4);
+  ASSERT_TRUE(whole.ok() && a.ok() && b.ok());
+  ASSERT_TRUE(MergeTree(&*a, *b).ok());
+
+  BetaFinderOptions options;
+  const auto from_whole = FindBetaClusters(*whole, options);
+  const auto from_merged = FindBetaClusters(*a, options);
+  ASSERT_EQ(from_whole.size(), from_merged.size());
+  for (size_t i = 0; i < from_whole.size(); ++i) {
+    EXPECT_EQ(from_whole[i].lower, from_merged[i].lower);
+    EXPECT_EQ(from_whole[i].upper, from_merged[i].upper);
+  }
+}
+
+TEST(TreeMergeTest, RejectsIncompatibleTrees) {
+  Dataset d1 = testing::UniformDataset(100, 3, 1);
+  Dataset d2 = testing::UniformDataset(100, 4, 2);
+  Result<CountingTree> a = CountingTree::Build(d1, 4);
+  Result<CountingTree> b = CountingTree::Build(d2, 4);
+  Result<CountingTree> c = CountingTree::Build(d1, 5);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_FALSE(MergeTree(&*a, *b).ok());  // Dim mismatch.
+  EXPECT_FALSE(MergeTree(&*a, *c).ok());  // Resolution mismatch.
+}
+
+TEST(TreeMergeTest, EquivalenceDetectsDifferences) {
+  Dataset d1 = testing::UniformDataset(300, 3, 5);
+  Dataset d2 = testing::UniformDataset(300, 3, 6);
+  Result<CountingTree> a = CountingTree::Build(d1, 4);
+  Result<CountingTree> b = CountingTree::Build(d2, 4);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(TreesEquivalent(*a, *a));
+  EXPECT_FALSE(TreesEquivalent(*a, *b));
+}
+
+}  // namespace
+}  // namespace mrcc

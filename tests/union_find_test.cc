@@ -1,0 +1,87 @@
+#include "common/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mrcc {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(uf.Find(i), i);
+}
+
+TEST(UnionFindTest, UnionMergesAndReports) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // Already merged.
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_FALSE(uf.Connected(0, 4));
+  EXPECT_EQ(uf.NumSets(), 3u);
+}
+
+TEST(UnionFindTest, DenseIdsAreContiguousAndOrderedByFirstAppearance) {
+  UnionFind uf(5);
+  uf.Union(3, 4);
+  uf.Union(1, 3);
+  std::vector<size_t> ids = uf.DenseIds();
+  // Element 0 appears first -> id 0; element 1's set next -> id 1;
+  // element 2 -> id 2; 3 and 4 share set with 1.
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 1u);
+  EXPECT_EQ(ids[2], 2u);
+  EXPECT_EQ(ids[3], 1u);
+  EXPECT_EQ(ids[4], 1u);
+}
+
+TEST(UnionFindTest, MatchesNaiveImplementationOnRandomOperations) {
+  const size_t n = 200;
+  UnionFind uf(n);
+  std::vector<size_t> naive(n);  // naive[i] = set label.
+  for (size_t i = 0; i < n; ++i) naive[i] = i;
+
+  Rng rng(99);
+  for (int op = 0; op < 500; ++op) {
+    const size_t a = rng.UniformInt(n);
+    const size_t b = rng.UniformInt(n);
+    uf.Union(a, b);
+    const size_t la = naive[a], lb = naive[b];
+    if (la != lb) {
+      for (size_t i = 0; i < n; ++i) {
+        if (naive[i] == lb) naive[i] = la;
+      }
+    }
+  }
+  std::set<size_t> labels(naive.begin(), naive.end());
+  EXPECT_EQ(uf.NumSets(), labels.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      EXPECT_EQ(uf.Connected(i, j), naive[i] == naive[j])
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(UnionFindTest, SizeAccessor) {
+  UnionFind uf(17);
+  EXPECT_EQ(uf.Size(), 17u);
+}
+
+}  // namespace
+}  // namespace mrcc
