@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_first_group.dir/bench_first_group.cc.o"
+  "CMakeFiles/bench_first_group.dir/bench_first_group.cc.o.d"
+  "bench_first_group"
+  "bench_first_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_first_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

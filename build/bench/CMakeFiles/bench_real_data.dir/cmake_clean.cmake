@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_real_data.dir/bench_real_data.cc.o"
+  "CMakeFiles/bench_real_data.dir/bench_real_data.cc.o.d"
+  "bench_real_data"
+  "bench_real_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_real_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

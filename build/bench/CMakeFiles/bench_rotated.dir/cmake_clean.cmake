@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rotated.dir/bench_rotated.cc.o"
+  "CMakeFiles/bench_rotated.dir/bench_rotated.cc.o.d"
+  "bench_rotated"
+  "bench_rotated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rotated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

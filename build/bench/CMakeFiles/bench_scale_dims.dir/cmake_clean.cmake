@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_dims.dir/bench_scale_dims.cc.o"
+  "CMakeFiles/bench_scale_dims.dir/bench_scale_dims.cc.o.d"
+  "bench_scale_dims"
+  "bench_scale_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

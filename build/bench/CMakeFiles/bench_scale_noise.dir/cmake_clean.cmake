@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_noise.dir/bench_scale_noise.cc.o"
+  "CMakeFiles/bench_scale_noise.dir/bench_scale_noise.cc.o.d"
+  "bench_scale_noise"
+  "bench_scale_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

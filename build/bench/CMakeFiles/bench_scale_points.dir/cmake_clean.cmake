@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_points.dir/bench_scale_points.cc.o"
+  "CMakeFiles/bench_scale_points.dir/bench_scale_points.cc.o.d"
+  "bench_scale_points"
+  "bench_scale_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subspace_quality.dir/bench_subspace_quality.cc.o"
+  "CMakeFiles/bench_subspace_quality.dir/bench_subspace_quality.cc.o.d"
+  "bench_subspace_quality"
+  "bench_subspace_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subspace_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

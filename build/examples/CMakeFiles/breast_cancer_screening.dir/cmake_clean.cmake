@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breast_cancer_screening.dir/breast_cancer_screening.cpp.o"
+  "CMakeFiles/breast_cancer_screening.dir/breast_cancer_screening.cpp.o.d"
+  "breast_cancer_screening"
+  "breast_cancer_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breast_cancer_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_csv.dir/cluster_csv.cpp.o"
+  "CMakeFiles/cluster_csv.dir/cluster_csv.cpp.o.d"
+  "cluster_csv"
+  "cluster_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

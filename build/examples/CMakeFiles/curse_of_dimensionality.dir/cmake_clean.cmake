@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curse_of_dimensionality.dir/curse_of_dimensionality.cpp.o"
+  "CMakeFiles/curse_of_dimensionality.dir/curse_of_dimensionality.cpp.o.d"
+  "curse_of_dimensionality"
+  "curse_of_dimensionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curse_of_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

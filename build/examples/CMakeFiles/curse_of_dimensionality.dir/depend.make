@@ -1,0 +1,2 @@
+# Empty dependencies file for curse_of_dimensionality.
+# This may be replaced when dependencies are built.

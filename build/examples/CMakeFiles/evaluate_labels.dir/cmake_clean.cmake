@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluate_labels.dir/evaluate_labels.cpp.o"
+  "CMakeFiles/evaluate_labels.dir/evaluate_labels.cpp.o.d"
+  "evaluate_labels"
+  "evaluate_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluate_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

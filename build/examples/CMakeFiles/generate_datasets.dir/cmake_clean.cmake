@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_datasets.dir/generate_datasets.cpp.o"
+  "CMakeFiles/generate_datasets.dir/generate_datasets.cpp.o.d"
+  "generate_datasets"
+  "generate_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

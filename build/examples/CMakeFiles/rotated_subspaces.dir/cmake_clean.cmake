@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotated_subspaces.dir/rotated_subspaces.cpp.o"
+  "CMakeFiles/rotated_subspaces.dir/rotated_subspaces.cpp.o.d"
+  "rotated_subspaces"
+  "rotated_subspaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotated_subspaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rotated_subspaces.
+# This may be replaced when dependencies are built.

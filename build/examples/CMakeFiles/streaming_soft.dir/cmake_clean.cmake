@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_soft.dir/streaming_soft.cpp.o"
+  "CMakeFiles/streaming_soft.dir/streaming_soft.cpp.o.d"
+  "streaming_soft"
+  "streaming_soft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_soft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

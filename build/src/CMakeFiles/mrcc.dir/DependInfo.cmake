@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/clique.cc" "src/CMakeFiles/mrcc.dir/baselines/clique.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/clique.cc.o.d"
+  "/root/repo/src/baselines/clusterer.cc" "src/CMakeFiles/mrcc.dir/baselines/clusterer.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/clusterer.cc.o.d"
+  "/root/repo/src/baselines/doc.cc" "src/CMakeFiles/mrcc.dir/baselines/doc.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/doc.cc.o.d"
+  "/root/repo/src/baselines/epch.cc" "src/CMakeFiles/mrcc.dir/baselines/epch.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/epch.cc.o.d"
+  "/root/repo/src/baselines/harp.cc" "src/CMakeFiles/mrcc.dir/baselines/harp.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/harp.cc.o.d"
+  "/root/repo/src/baselines/kmeans.cc" "src/CMakeFiles/mrcc.dir/baselines/kmeans.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/kmeans.cc.o.d"
+  "/root/repo/src/baselines/lac.cc" "src/CMakeFiles/mrcc.dir/baselines/lac.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/lac.cc.o.d"
+  "/root/repo/src/baselines/orclus.cc" "src/CMakeFiles/mrcc.dir/baselines/orclus.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/orclus.cc.o.d"
+  "/root/repo/src/baselines/p3c.cc" "src/CMakeFiles/mrcc.dir/baselines/p3c.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/p3c.cc.o.d"
+  "/root/repo/src/baselines/proclus.cc" "src/CMakeFiles/mrcc.dir/baselines/proclus.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/proclus.cc.o.d"
+  "/root/repo/src/baselines/statpc.cc" "src/CMakeFiles/mrcc.dir/baselines/statpc.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/statpc.cc.o.d"
+  "/root/repo/src/baselines/tuning_grid.cc" "src/CMakeFiles/mrcc.dir/baselines/tuning_grid.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/baselines/tuning_grid.cc.o.d"
+  "/root/repo/src/common/linalg.cc" "src/CMakeFiles/mrcc.dir/common/linalg.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/common/linalg.cc.o.d"
+  "/root/repo/src/common/mdl.cc" "src/CMakeFiles/mrcc.dir/common/mdl.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/common/mdl.cc.o.d"
+  "/root/repo/src/common/memory.cc" "src/CMakeFiles/mrcc.dir/common/memory.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/common/memory.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/mrcc.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/mrcc.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mrcc.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/common/status.cc.o.d"
+  "/root/repo/src/common/union_find.cc" "src/CMakeFiles/mrcc.dir/common/union_find.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/common/union_find.cc.o.d"
+  "/root/repo/src/core/beta_cluster_finder.cc" "src/CMakeFiles/mrcc.dir/core/beta_cluster_finder.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/core/beta_cluster_finder.cc.o.d"
+  "/root/repo/src/core/cluster_builder.cc" "src/CMakeFiles/mrcc.dir/core/cluster_builder.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/core/cluster_builder.cc.o.d"
+  "/root/repo/src/core/counting_tree.cc" "src/CMakeFiles/mrcc.dir/core/counting_tree.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/core/counting_tree.cc.o.d"
+  "/root/repo/src/core/intrinsic_dimension.cc" "src/CMakeFiles/mrcc.dir/core/intrinsic_dimension.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/core/intrinsic_dimension.cc.o.d"
+  "/root/repo/src/core/laplacian_mask.cc" "src/CMakeFiles/mrcc.dir/core/laplacian_mask.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/core/laplacian_mask.cc.o.d"
+  "/root/repo/src/core/mrcc.cc" "src/CMakeFiles/mrcc.dir/core/mrcc.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/core/mrcc.cc.o.d"
+  "/root/repo/src/core/soft_membership.cc" "src/CMakeFiles/mrcc.dir/core/soft_membership.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/core/soft_membership.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/CMakeFiles/mrcc.dir/core/streaming.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/core/streaming.cc.o.d"
+  "/root/repo/src/core/tree_io.cc" "src/CMakeFiles/mrcc.dir/core/tree_io.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/core/tree_io.cc.o.d"
+  "/root/repo/src/data/catalog.cc" "src/CMakeFiles/mrcc.dir/data/catalog.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/data/catalog.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/mrcc.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/mrcc.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/dataset_reader.cc" "src/CMakeFiles/mrcc.dir/data/dataset_reader.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/data/dataset_reader.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/mrcc.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/pca.cc" "src/CMakeFiles/mrcc.dir/data/pca.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/data/pca.cc.o.d"
+  "/root/repo/src/data/result_io.cc" "src/CMakeFiles/mrcc.dir/data/result_io.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/data/result_io.cc.o.d"
+  "/root/repo/src/eval/analysis.cc" "src/CMakeFiles/mrcc.dir/eval/analysis.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/eval/analysis.cc.o.d"
+  "/root/repo/src/eval/measurement.cc" "src/CMakeFiles/mrcc.dir/eval/measurement.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/eval/measurement.cc.o.d"
+  "/root/repo/src/eval/quality.cc" "src/CMakeFiles/mrcc.dir/eval/quality.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/eval/quality.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/mrcc.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/mrcc.dir/eval/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
