@@ -3,14 +3,91 @@
 //
 // Expected shape: MrCC/LAC/EPCH Quality stays high and flat; MrCC time and
 // memory grow linearly with the point count and MrCC stays fastest.
+//
+// Beyond the paper, this bench also reports the parallel engine's thread
+// scaling: MrCC is rerun on the largest dataset of the group at 1, 2, 4
+// and 8 threads (override with MRCC_BENCH_THREADS=t1,t2,...) and the
+// per-stage timings plus the speedup over the serial run are printed.
+// Labels are asserted bit-identical to the serial run at every thread
+// count — the engine's determinism contract.
+
+#include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_common.h"
+#include "core/mrcc.h"
 #include "data/catalog.h"
+
+namespace {
+
+void RunThreadScaling(const mrcc::bench::BenchOptions& options) {
+  using namespace mrcc;
+
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  if (const char* raw = std::getenv("MRCC_BENCH_THREADS")) {
+    thread_counts.clear();
+    for (const std::string& token : bench::SplitCsvList(raw)) {
+      const int t = std::atoi(token.c_str());
+      if (t >= 0) thread_counts.push_back(t);
+    }
+    if (thread_counts.empty()) return;
+  }
+
+  // The largest dataset of the group is where parallelism matters most.
+  std::vector<SyntheticConfig> configs = PointsGroupConfigs(options.scale);
+  size_t largest = 0;
+  for (size_t i = 1; i < configs.size(); ++i) {
+    if (configs[i].num_points > configs[largest].num_points) largest = i;
+  }
+  const LabeledDataset dataset = bench::MustGenerate(configs[largest]);
+
+  std::printf("\n== MrCC thread scaling on %s (%zu points x %zu dims) ==\n",
+              dataset.name.c_str(), dataset.data.NumPoints(),
+              dataset.data.NumDims());
+  std::printf("%8s %10s %10s %10s %10s %10s %9s\n", "threads", "tree(s)",
+              "merge(s)", "search(s)", "label(s)", "total(s)", "speedup");
+
+  std::vector<int> serial_labels;
+  double serial_core_seconds = 0.0;
+  for (int threads : thread_counts) {
+    MrCCParams params;
+    params.num_threads = threads;
+    Result<MrCCResult> r = MrCC(params).Run(dataset.data);
+    if (!r.ok()) {
+      std::fprintf(stderr, "MrCC(threads=%d): %s\n", threads,
+                   r.status().ToString().c_str());
+      return;
+    }
+    // tree build + β-search: the two stages the paper's O(η·H·d) claim
+    // covers and the ones the engine shards.
+    const double core_seconds =
+        r->stats.tree_build_seconds + r->stats.beta_search_seconds;
+    if (serial_labels.empty()) {
+      serial_labels = r->clustering.labels;
+      serial_core_seconds = core_seconds;
+    } else if (r->clustering.labels != serial_labels) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: threads=%d labels differ from "
+                   "the serial run\n",
+                   threads);
+      std::exit(1);
+    }
+    std::printf("%8d %10.3f %10.3f %10.3f %10.3f %10.3f %8.2fx\n",
+                r->stats.num_threads, r->stats.tree_build_seconds,
+                r->stats.tree_merge_seconds, r->stats.beta_search_seconds,
+                r->stats.cluster_build_seconds, r->stats.total_seconds,
+                core_seconds > 0.0 ? serial_core_seconds / core_seconds
+                                   : 0.0);
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace mrcc::bench;
   const BenchOptions options = OptionsFromEnv();
   PrintHeader("points scaling (50k..250k)", "Fig. 5g-i", options);
   RunMatrix("scale_points", mrcc::PointsGroupConfigs(options.scale), options);
+  RunThreadScaling(options);
   return 0;
 }

@@ -1,11 +1,12 @@
 // Demonstrates the two extensions built on top of the paper:
-//   1. Out-of-core clustering — the dataset lives in a binary file and is
-//      scanned twice (tree build + labeling) with O(tree) memory.
+//   1. Out-of-core clustering — the dataset lives in a binary file behind
+//      the DataSource API and is scanned twice (tree build + labeling)
+//      with O(tree) memory, each scan sharded across worker threads.
 //   2. Soft membership (the Halite follow-up's headline feature): per
 //      point membership degrees over the correlation clusters, with
 //      entropy highlighting borderline points.
 //
-//   ./examples/streaming_soft [num_points]
+//   ./examples/streaming_soft [num_points] [threads]
 
 #include <algorithm>
 #include <cstdio>
@@ -13,8 +14,9 @@
 #include <string>
 
 #include "common/memory.h"
+#include "core/mrcc.h"
 #include "core/soft_membership.h"
-#include "core/streaming.h"
+#include "data/data_source.h"
 #include "data/dataset_io.h"
 #include "data/generator.h"
 
@@ -37,18 +39,30 @@ int main(int argc, char** argv) {
               config.num_points, config.num_dims,
               config.num_points * config.num_dims * 8 / 1024, path.c_str());
 
-  // Out-of-core run: only the tree and the labels are in memory.
+  // Out-of-core run through the unified DataSource entry point: only the
+  // tree and the labels are in memory, and both file scans are sharded
+  // across the configured worker threads.
+  mrcc::MrCCParams params;
+  params.num_threads = argc > 2 ? std::atoi(argv[2]) : 0;
   mrcc::MemoryUsageScope memory;
-  mrcc::Result<mrcc::MrCCResult> result = mrcc::RunMrCCOnBinaryFile(path);
+  mrcc::Result<mrcc::BinaryFileDataSource> source =
+      mrcc::BinaryFileDataSource::Open(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 source.status().ToString().c_str());
+    return 1;
+  }
+  mrcc::Result<mrcc::MrCCResult> result = mrcc::MrCC(params).Run(*source);
   if (!result.ok()) {
     std::fprintf(stderr, "streaming run failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
   std::printf(
-      "streamed MrCC: %zu clusters in %.3f s, peak heap %.1f KB "
-      "(tree %.1f KB) — the %zu KB of raw points never loaded\n",
+      "streamed MrCC: %zu clusters in %.3f s on %d threads, peak heap "
+      "%.1f KB (tree %.1f KB) — the %zu KB of raw points never loaded\n",
       result->clustering.NumClusters(), result->stats.total_seconds,
+      result->stats.num_threads,
       static_cast<double>(memory.PeakDeltaBytes()) / 1024.0,
       static_cast<double>(result->stats.tree_memory_bytes) / 1024.0,
       config.num_points * config.num_dims * 8 / 1024);

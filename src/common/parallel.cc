@@ -1,0 +1,82 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace mrcc {
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(int, size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (num_threads_ == 1) {
+    body(0, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n_ = n;
+    body_ = &body;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The caller is worker 0.
+  const size_t begin = SliceBegin(n, num_threads_, 0);
+  const size_t end = SliceEnd(n, num_threads_, 0);
+  if (begin < end) body(0, begin, end);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int thread_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int, size_t, size_t)>* body = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      body = body_;
+      n = n_;
+    }
+    const size_t begin = SliceBegin(n, num_threads_, thread_index);
+    const size_t end = SliceEnd(n, num_threads_, thread_index);
+    if (begin < end) (*body)(thread_index, begin, end);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace mrcc

@@ -1,0 +1,89 @@
+// Thread-pool and parallel-for primitives for the execution engine.
+//
+// Every parallel stage in MrCC follows the same discipline: the index
+// range [0, n) is cut into num_threads contiguous slices whose boundaries
+// depend only on (n, num_threads), each worker owns one slice, and the
+// per-slice results are reduced on the calling thread in slice order.
+// Combined with order-invariant reductions (additive counts, min-index
+// argmax) this makes every pipeline stage bit-deterministic: the result is
+// a pure function of the input, not of the thread count or scheduling.
+//
+// A ThreadPool built with one thread spawns no workers and runs bodies
+// inline on the caller — num_threads == 1 is exactly the serial code path.
+
+#ifndef MRCC_COMMON_PARALLEL_H_
+#define MRCC_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrcc {
+
+/// Maps a user-facing thread-count knob to an actual worker count:
+/// 0 selects std::thread::hardware_concurrency(), anything else is taken
+/// verbatim; the result is always >= 1.
+int ResolveThreadCount(int requested);
+
+/// Slice boundaries of the contiguous block owned by `thread_index` when
+/// [0, n) is split across `num_threads` workers. Deterministic in
+/// (n, num_threads) only; every index is covered exactly once.
+inline size_t SliceBegin(size_t n, int num_threads, int thread_index) {
+  return n * static_cast<size_t>(thread_index) /
+         static_cast<size_t>(num_threads);
+}
+inline size_t SliceEnd(size_t n, int num_threads, int thread_index) {
+  return n * (static_cast<size_t>(thread_index) + 1) /
+         static_cast<size_t>(num_threads);
+}
+
+/// A fixed set of worker threads executing parallel-for bodies.
+///
+/// The pool keeps num_threads - 1 blocked workers; the calling thread acts
+/// as worker 0 so a ParallelFor never pays a context switch when the pool
+/// has one thread. ParallelFor blocks until every slice completed, so a
+/// pool can be reused across many (sequential) parallel regions cheaply —
+/// the β-cluster search issues thousands per run.
+///
+/// ParallelFor calls must not be nested or issued from two threads at
+/// once; the engine only ever runs one parallel stage at a time.
+class ThreadPool {
+ public:
+  /// `num_threads` must be >= 1 (use ResolveThreadCount to map the 0 =
+  /// auto knob). One thread means no workers and inline execution.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(thread_index, begin, end) for every non-empty slice of
+  /// [0, n), slice t on thread t, and returns when all slices finished.
+  /// The body must confine writes to slice-owned (or thread-owned) state.
+  void ParallelFor(size_t n,
+                   const std::function<void(int, size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop(int thread_index);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;  // Bumped once per ParallelFor.
+  int pending_ = 0;          // Workers still running the current body.
+  bool shutdown_ = false;
+  size_t n_ = 0;
+  const std::function<void(int, size_t, size_t)>* body_ = nullptr;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_COMMON_PARALLEL_H_

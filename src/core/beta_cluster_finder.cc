@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/mdl.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "core/laplacian_mask.h"
 
@@ -40,6 +41,7 @@ class BetaClusterFinder {
       : tree_(tree),
         d_(tree.num_dims()),
         options_(options),
+        pool_(ResolveThreadCount(options.num_threads)),
         levels_(static_cast<size_t>(std::max(0, tree.num_resolutions()))) {}
 
   std::vector<BetaCluster> Run() {
@@ -81,41 +83,77 @@ class BetaClusterFinder {
     return tree_.node(level.node[i]).cells[level.cell[i]];
   }
 
-  // Convolves every cell of level h once and caches the responses.
+  // Convolves every cell of level h once and caches the responses. The
+  // cell enumeration (tree pool order) is serial and cheap; the Laplacian
+  // responses — the expensive part — are computed in parallel, each worker
+  // filling a disjoint slice of the result arrays.
   void EnsureLevel(int h) {
     LevelData& level = levels_[h];
     if (level.ready) return;
     for (uint32_t node_idx : tree_.NodesAtLevel(h)) {
       const CountingTree::Node& node = tree_.node(node_idx);
       for (uint32_t c = 0; c < node.cells.size(); ++c) {
-        const CountingTree::Cell& cell = node.cells[c];
-        std::vector<uint64_t> coords = tree_.CellCoords(node, cell);
         level.node.push_back(node_idx);
         level.cell.push_back(c);
-        level.conv.push_back(
-            options_.full_mask
-                ? FullLaplacianConvolve(tree_, h, coords, cell.n)
-                : FaceLaplacianConvolve(tree_, h, coords, cell.n));
-        level.coords.insert(level.coords.end(), coords.begin(), coords.end());
       }
     }
+    const size_t cells = level.node.size();
+    level.conv.assign(cells, 0);
+    level.coords.assign(cells * d_, 0);
+    pool_.ParallelFor(cells, [&](int, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const CountingTree::Node& node = tree_.node(level.node[i]);
+        const CountingTree::Cell& cell = node.cells[level.cell[i]];
+        const std::vector<uint64_t> coords = tree_.CellCoords(node, cell);
+        std::copy(coords.begin(), coords.end(),
+                  level.coords.begin() + static_cast<int64_t>(i * d_));
+        level.conv[i] =
+            options_.full_mask
+                ? FullLaplacianConvolve(tree_, h, coords, cell.n)
+                : FaceLaplacianConvolve(tree_, h, coords, cell.n);
+      }
+    });
     level.ready = true;
   }
 
   // Index of the eligible cell with the largest convolution response at
   // level h, or -1 when every cell is used or overlaps a found β-cluster.
+  // Each worker scans one contiguous slice; the slice winners are reduced
+  // on the calling thread in slice order with ties broken by the lowest
+  // cell index — exactly the cell the serial first-max scan would pick, so
+  // the selection is identical for every thread count.
   int64_t SelectBestCell(int h, const std::vector<BetaCluster>& betas) {
     const LevelData& level = levels_[h];
+    const double width = std::ldexp(1.0, -h);  // Cell side 1/2^h.
+    const int num_threads = pool_.num_threads();
+    std::vector<int64_t> slice_best(static_cast<size_t>(num_threads), -1);
+    std::vector<int64_t> slice_val(static_cast<size_t>(num_threads),
+                                   std::numeric_limits<int64_t>::min());
+    pool_.ParallelFor(
+        level.conv.size(), [&](int t, size_t begin, size_t end) {
+          int64_t best = -1;
+          int64_t best_val = std::numeric_limits<int64_t>::min();
+          for (size_t i = begin; i < end; ++i) {
+            if (CellAt(h, i).used) continue;
+            if (level.conv[i] <= best_val && best >= 0) continue;
+            const uint64_t* coords = &level.coords[i * d_];
+            if (SharesSpaceWithAny(coords, width, betas)) continue;
+            best = static_cast<int64_t>(i);
+            best_val = level.conv[i];
+          }
+          slice_best[static_cast<size_t>(t)] = best;
+          slice_val[static_cast<size_t>(t)] = best_val;
+        });
     int64_t best = -1;
     int64_t best_val = std::numeric_limits<int64_t>::min();
-    const double width = std::ldexp(1.0, -h);  // Cell side 1/2^h.
-    for (size_t i = 0; i < level.conv.size(); ++i) {
-      if (CellAt(h, i).used) continue;
-      if (level.conv[i] <= best_val && best >= 0) continue;  // Fast reject.
-      const uint64_t* coords = &level.coords[i * d_];
-      if (SharesSpaceWithAny(coords, width, betas)) continue;
-      best = static_cast<int64_t>(i);
-      best_val = level.conv[i];
+    for (int t = 0; t < num_threads; ++t) {
+      const size_t st = static_cast<size_t>(t);
+      // Slices cover ascending index ranges, so requiring a strictly
+      // greater value keeps the lowest-index cell on ties.
+      if (slice_best[st] >= 0 && (best < 0 || slice_val[st] > best_val)) {
+        best = slice_best[st];
+        best_val = slice_val[st];
+      }
     }
     return best;
   }
@@ -239,6 +277,7 @@ class BetaClusterFinder {
   CountingTree& tree_;
   const size_t d_;
   const BetaFinderOptions options_;
+  ThreadPool pool_;
   std::vector<LevelData> levels_;
 };
 

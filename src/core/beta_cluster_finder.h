@@ -57,6 +57,12 @@ struct BetaFinderOptions {
   /// falls back to the face-only mask (MrCC::Run rejects the combination
   /// instead).
   bool full_mask = false;
+
+  /// Worker threads for the convolution sweep and the per-level argmax
+  /// (1 = serial, 0 = hardware concurrency). Per-cell convolutions are
+  /// independent and the argmax reduction breaks ties by the lowest cell
+  /// index, so every thread count yields bit-identical β-clusters.
+  int num_threads = 1;
 };
 
 /// Runs Algorithm 2 over `tree`. Consumes the tree's usedCell flags (call

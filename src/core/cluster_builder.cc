@@ -1,14 +1,19 @@
 #include "core/cluster_builder.h"
 
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <mutex>
+
+#include "common/parallel.h"
 #include "common/union_find.h"
 
 namespace mrcc {
 
-Clustering BuildCorrelationClusters(const std::vector<BetaCluster>& betas,
-                                    const Dataset& data,
-                                    std::vector<int>* beta_to_cluster) {
+Clustering MergeBetaClusters(const std::vector<BetaCluster>& betas,
+                             size_t num_dims,
+                             std::vector<int>* beta_to_cluster) {
   const size_t bk = betas.size();
-  const size_t d = data.NumDims();
 
   // Algorithm 3, lines 1-5: pairwise shared-space check, transitive merge.
   UnionFind uf(bk);
@@ -23,12 +28,14 @@ Clustering BuildCorrelationClusters(const std::vector<BetaCluster>& betas,
 
   Clustering out;
   out.clusters.resize(gk);
-  for (ClusterInfo& info : out.clusters) info.relevant_axes.assign(d, false);
+  for (ClusterInfo& info : out.clusters) {
+    info.relevant_axes.assign(num_dims, false);
+  }
 
   // Lines 6-8: a cluster's relevant axes are the union over its β-clusters.
   for (size_t b = 0; b < bk; ++b) {
     ClusterInfo& info = out.clusters[dense[b]];
-    for (size_t j = 0; j < d; ++j) {
+    for (size_t j = 0; j < num_dims; ++j) {
       if (betas[b].relevant[j]) info.relevant_axes[j] = true;
     }
   }
@@ -39,19 +46,67 @@ Clustering BuildCorrelationClusters(const std::vector<BetaCluster>& betas,
       (*beta_to_cluster)[b] = static_cast<int>(dense[b]);
     }
   }
+  return out;
+}
 
-  // Label points by box membership. Correlation clusters are disjoint in
-  // space, so the first containing box determines the unique label.
-  out.labels.assign(data.NumPoints(), kNoiseLabel);
-  for (size_t i = 0; i < data.NumPoints(); ++i) {
-    const auto point = data.Point(i);
-    for (size_t b = 0; b < bk; ++b) {
-      if (betas[b].Contains(point)) {
-        out.labels[i] = static_cast<int>(dense[b]);
-        break;
+Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
+                                     const std::vector<int>& beta_to_cluster,
+                                     const DataSource& source,
+                                     int num_threads) {
+  const size_t n = source.NumPoints();
+  std::vector<int> labels(n, kNoiseLabel);
+  // Every worker labels one contiguous slice through its own cursor;
+  // writes are disjoint, so the result does not depend on the thread
+  // count. Cap the workers so each slice amortizes its cursor (for a file
+  // source: an open + seek) over a reasonable number of points.
+  constexpr size_t kMinPointsPerSlice = 1024;
+  ThreadPool pool(std::min<int>(
+      ResolveThreadCount(num_threads),
+      static_cast<int>(std::max<size_t>(1, n / kMinPointsPerSlice))));
+
+  std::mutex status_mu;
+  Status first_error;
+  pool.ParallelFor(n, [&](int, size_t begin, size_t end) {
+    Result<std::unique_ptr<DataSource::Cursor>> cursor =
+        source.Scan(begin, end);
+    Status slice_status = cursor.status();
+    if (cursor.ok()) {
+      std::span<const double> point;
+      for (size_t i = begin; i < end && (*cursor)->Next(&point); ++i) {
+        for (size_t b = 0; b < betas.size(); ++b) {
+          if (betas[b].Contains(point)) {
+            labels[i] = beta_to_cluster[b];
+            break;
+          }
+        }
       }
+      slice_status = (*cursor)->status();
     }
-  }
+    if (!slice_status.ok()) {
+      std::lock_guard<std::mutex> lock(status_mu);
+      if (first_error.ok()) first_error = slice_status;
+    }
+  });
+  MRCC_RETURN_IF_ERROR(first_error);
+  return labels;
+}
+
+Clustering BuildCorrelationClusters(const std::vector<BetaCluster>& betas,
+                                    const Dataset& data,
+                                    std::vector<int>* beta_to_cluster,
+                                    int num_threads) {
+  std::vector<int> dense;
+  Clustering out = MergeBetaClusters(betas, data.NumDims(), &dense);
+  if (beta_to_cluster != nullptr) *beta_to_cluster = dense;
+
+  const MemoryDataSource source(data);
+  // Label points by box membership. Correlation clusters are disjoint in
+  // space, so the first containing box determines the unique label. The
+  // memory source never fails, so the labeling result is always ok.
+  Result<std::vector<int>> labels =
+      LabelPoints(betas, dense, source, num_threads);
+  assert(labels.ok());
+  out.labels = std::move(*labels);
   return out;
 }
 

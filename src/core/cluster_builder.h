@@ -4,6 +4,13 @@
 // are merged (transitively) into one correlation cluster; a correlation
 // cluster's relevant axes are the union of its β-clusters' relevant axes.
 // Points covered by a cluster's boxes take its label; all others are noise.
+//
+// The two halves are exposed separately: MergeBetaClusters is pure
+// geometry over the β-boxes, LabelPoints streams any DataSource through
+// the boxes. BuildCorrelationClusters composes them over an in-memory
+// dataset. Per-point labels are independent, so labeling parallelizes
+// over contiguous point slices with bit-identical output at any thread
+// count.
 
 #ifndef MRCC_CORE_CLUSTER_BUILDER_H_
 #define MRCC_CORE_CLUSTER_BUILDER_H_
@@ -11,20 +18,37 @@
 #include <vector>
 
 #include "core/beta_cluster_finder.h"
+#include "data/data_source.h"
 #include "data/dataset.h"
 
 namespace mrcc {
 
-/// Merges β-clusters into correlation clusters and labels `data`'s points.
-///
-/// Returns the final clustering. When `beta_to_cluster` is non-null it
-/// receives, per β-cluster, the index of the correlation cluster it was
-/// assigned to. Distinct correlation clusters never share space (otherwise
-/// they would have been merged), so every point lands in at most one
-/// cluster; points outside every box are labeled kNoiseLabel.
+/// Algorithm 3 lines 1-8: merges β-clusters into correlation clusters by
+/// the transitive closure of the shares-space relation and unions their
+/// relevant axes. Returns a Clustering with `clusters` filled and `labels`
+/// empty. When `beta_to_cluster` is non-null it receives, per β-cluster,
+/// the index of the correlation cluster it was assigned to.
+Clustering MergeBetaClusters(const std::vector<BetaCluster>& betas,
+                             size_t num_dims,
+                             std::vector<int>* beta_to_cluster = nullptr);
+
+/// Labels every point of `source` by box membership: the first β-box (in
+/// discovery order) containing the point determines its cluster via
+/// `beta_to_cluster`; points outside every box get kNoiseLabel. Distinct
+/// correlation clusters never share space, so the label is unique.
+/// `num_threads` (0 = hardware concurrency) splits the points into
+/// contiguous slices, one cursor per worker.
+Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
+                                     const std::vector<int>& beta_to_cluster,
+                                     const DataSource& source,
+                                     int num_threads = 1);
+
+/// Merges β-clusters and labels `data`'s points in one call (the
+/// in-memory composition of the two functions above).
 Clustering BuildCorrelationClusters(const std::vector<BetaCluster>& betas,
                                     const Dataset& data,
-                                    std::vector<int>* beta_to_cluster = nullptr);
+                                    std::vector<int>* beta_to_cluster = nullptr,
+                                    int num_threads = 1);
 
 }  // namespace mrcc
 

@@ -1,9 +1,87 @@
 #include "core/mrcc.h"
 
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "core/laplacian_mask.h"
+#include "core/tree_io.h"
 
 namespace mrcc {
+namespace {
+
+/// Shards below this size are not worth a thread: slicing a tiny dataset
+/// into per-thread partial trees costs more in merge work than the scan
+/// saves, and the thread count never changes the result anyway.
+constexpr size_t kMinPointsPerShard = 2048;
+
+/// Builds the Counting-tree over `source`, sharded across `num_threads`
+/// workers. Each worker counts one contiguous point slice into a private
+/// partial tree; the partial trees are then folded left-to-right with the
+/// layout-preserving MergeTree, which reproduces — node for node, cell for
+/// cell — the tree a serial scan of the whole source would have built.
+/// Counts are additive, so the merge is exact, and the layout preservation
+/// makes every downstream stage bit-identical to the serial run.
+Result<CountingTree> BuildTreeSharded(const DataSource& source,
+                                      int num_resolutions, int num_threads,
+                                      int* threads_used,
+                                      double* merge_seconds) {
+  const size_t n = source.NumPoints();
+  const int shards = std::max(
+      1, std::min<int>(num_threads,
+                       static_cast<int>(n / kMinPointsPerShard)));
+  *threads_used = shards;
+  *merge_seconds = 0.0;
+
+  if (n == 0) {
+    CountingTree::Builder builder(source.NumDims(), num_resolutions);
+    MRCC_RETURN_IF_ERROR(builder.status());
+    return std::move(builder).Finish();
+  }
+
+  std::vector<Result<CountingTree>> partial;
+  partial.reserve(static_cast<size_t>(shards));
+  for (int t = 0; t < shards; ++t) {
+    partial.emplace_back(Status::Internal("shard not executed"));
+  }
+  {
+    ThreadPool pool(shards);
+    pool.ParallelFor(n, [&](int t, size_t begin, size_t end) {
+      Result<std::unique_ptr<DataSource::Cursor>> cursor =
+          source.Scan(begin, end);
+      if (!cursor.ok()) {
+        partial[static_cast<size_t>(t)] = cursor.status();
+        return;
+      }
+      CountingTree::Builder builder(source.NumDims(), num_resolutions);
+      std::span<const double> point;
+      Status status = builder.status();
+      while (status.ok() && (*cursor)->Next(&point)) {
+        status = builder.Add(point);
+      }
+      if (status.ok()) status = (*cursor)->status();
+      partial[static_cast<size_t>(t)] =
+          status.ok() ? std::move(builder).Finish() : Result<CountingTree>(status);
+    });
+  }
+  for (const Result<CountingTree>& shard : partial) {
+    if (!shard.ok()) return shard.status();
+  }
+
+  Timer merge_timer;
+  CountingTree tree = std::move(*partial[0]);
+  for (size_t t = 1; t < partial.size(); ++t) {
+    MRCC_RETURN_IF_ERROR(MergeTree(&tree, *partial[t]));
+  }
+  if (shards > 1) *merge_seconds = merge_timer.ElapsedSeconds();
+  return tree;
+}
+
+}  // namespace
 
 Status MrCCParams::Validate() const {
   if (!(alpha > 0.0 && alpha < 1.0)) {
@@ -12,25 +90,33 @@ Status MrCCParams::Validate() const {
   if (num_resolutions < 3) {
     return Status::InvalidArgument("num_resolutions (H) must be >= 3");
   }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0 (0 = hardware concurrency)");
+  }
   return Status::OK();
 }
 
 MrCC::MrCC(MrCCParams params) : params_(params) {}
 
-Result<MrCCResult> MrCC::Run(const Dataset& data) const {
+Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   MRCC_RETURN_IF_ERROR(params_.Validate());
-  if (params_.full_mask && data.NumDims() > kMaxFullMaskDims) {
+  if (params_.full_mask && source.NumDims() > kMaxFullMaskDims) {
     return Status::InvalidArgument(
         "full_mask ablation supports at most " +
         std::to_string(kMaxFullMaskDims) + " dimensions (O(3^d) cost)");
   }
+  const int num_threads = ResolveThreadCount(params_.num_threads);
 
   MrCCResult result;
+  result.stats.num_threads = num_threads;
   Timer total;
 
-  // Phase 1: single-scan Counting-tree construction.
+  // Phase 1: single-scan Counting-tree construction, sharded by points.
   Timer phase;
-  Result<CountingTree> tree = CountingTree::Build(data, params_.num_resolutions);
+  Result<CountingTree> tree = BuildTreeSharded(
+      source, params_.num_resolutions, num_threads,
+      &result.stats.tree_build_threads, &result.stats.tree_merge_seconds);
   if (!tree.ok()) return tree.status();
   result.stats.tree_build_seconds = phase.ElapsedSeconds();
   result.stats.tree_memory_bytes = tree->MemoryBytes();
@@ -40,21 +126,40 @@ Result<MrCCResult> MrCC::Run(const Dataset& data) const {
     result.stats.cells_per_level[h] = tree->NumCellsAtLevel(h);
   }
 
-  // Phase 2: β-cluster search.
+  // Phase 2: β-cluster search, parallel over the cells of each level.
   phase.Reset();
   BetaFinderOptions finder_options;
   finder_options.alpha = params_.alpha;
   finder_options.full_mask = params_.full_mask;
+  finder_options.num_threads = num_threads;
+  result.stats.beta_search_threads = num_threads;
   result.beta_clusters = FindBetaClusters(*tree, finder_options);
   result.stats.beta_search_seconds = phase.ElapsedSeconds();
 
-  // Phase 3: correlation clusters and point labels.
+  // Phase 3: merge β-clusters (geometry only), then label every point in
+  // a second scan of the source, parallel over point slices.
   phase.Reset();
-  result.clustering = BuildCorrelationClusters(result.beta_clusters, data,
-                                               &result.beta_to_cluster);
+  result.clustering = MergeBetaClusters(
+      result.beta_clusters, source.NumDims(), &result.beta_to_cluster);
+  result.stats.labeling_threads = num_threads;
+  Result<std::vector<int>> labels = LabelPoints(
+      result.beta_clusters, result.beta_to_cluster, source, num_threads);
+  if (!labels.ok()) return labels.status();
+  result.clustering.labels = std::move(*labels);
   result.stats.cluster_build_seconds = phase.ElapsedSeconds();
   result.stats.total_seconds = total.ElapsedSeconds();
   return result;
+}
+
+Result<MrCCResult> MrCC::Run(const Dataset& data) const {
+  // Preserve the historical contract of the in-memory driver: reject a
+  // non-normalized dataset up front with one clear error instead of a
+  // mid-scan per-point failure.
+  if (!data.InUnitCube()) {
+    return Status::InvalidArgument(
+        "dataset must be normalized to [0,1)^d before building the tree");
+  }
+  return Run(MemoryDataSource(data));
 }
 
 Result<Clustering> MrCC::Cluster(const Dataset& data) {

@@ -9,6 +9,12 @@
 // take the number of clusters as input. Its two parameters are the test
 // significance `alpha` and the number of resolutions `H`; the paper fixes
 // alpha = 1e-10 and H = 4 for all experiments (§IV-E).
+//
+// Run(const DataSource&) is the single pipeline entry point: in-memory
+// datasets and out-of-core binary files run the same code through the
+// DataSource abstraction. Every stage is parallel over contiguous point /
+// cell slices with order-invariant reductions, so any `num_threads`
+// produces bit-identical results to the serial run (see DESIGN.md §8).
 
 #ifndef MRCC_CORE_MRCC_H_
 #define MRCC_CORE_MRCC_H_
@@ -19,6 +25,7 @@
 #include "core/cluster_builder.h"
 #include "core/counting_tree.h"
 #include "core/subspace_clusterer.h"
+#include "data/data_source.h"
 
 namespace mrcc {
 
@@ -35,15 +42,36 @@ struct MrCCParams {
   /// face-only mask. Exponential in d; requires d <= kMaxFullMaskDims.
   bool full_mask = false;
 
+  /// Worker threads for every pipeline stage: 0 = hardware concurrency,
+  /// 1 = the serial code path, n = exactly n threads. All thread counts
+  /// produce bit-identical results; stages additionally cap their own
+  /// counts so tiny inputs are not oversharded (see MrCCStats).
+  int num_threads = 1;
+
   Status Validate() const;
 };
 
 /// Timing and size measurements of one MrCC run.
 struct MrCCStats {
   double tree_build_seconds = 0.0;
+
+  /// Portion of tree_build_seconds spent merging the per-shard partial
+  /// trees (0 for a serial build).
+  double tree_merge_seconds = 0.0;
+
   double beta_search_seconds = 0.0;
   double cluster_build_seconds = 0.0;
   double total_seconds = 0.0;
+
+  /// Resolved engine-wide thread budget (params.num_threads after the
+  /// 0 = hardware-concurrency mapping).
+  int num_threads = 1;
+
+  /// Threads actually used per stage (each stage caps the budget by the
+  /// work available: shards by points, labeling by slice size).
+  int tree_build_threads = 1;
+  int beta_search_threads = 1;
+  int labeling_threads = 1;
 
   /// Heap footprint of the Counting-tree after construction.
   size_t tree_memory_bytes = 0;
@@ -73,7 +101,11 @@ class MrCC : public SubspaceClusterer {
 
   const MrCCParams& params() const { return params_; }
 
-  /// Full run with β-cluster details and measurements.
+  /// Full run over any DataSource backend — the single pipeline entry
+  /// point. The source must provide points normalized to [0,1)^d.
+  Result<MrCCResult> Run(const DataSource& source) const;
+
+  /// Full run over an in-memory dataset (a MemoryDataSource wrapper).
   Result<MrCCResult> Run(const Dataset& data) const;
 
   // SubspaceClusterer interface.

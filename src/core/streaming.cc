@@ -1,77 +1,14 @@
 #include "core/streaming.h"
 
-#include <vector>
-
-#include "common/timer.h"
-#include "core/beta_cluster_finder.h"
-#include "core/laplacian_mask.h"
-#include "data/dataset_reader.h"
+#include "data/data_source.h"
 
 namespace mrcc {
 
 Result<MrCCResult> RunMrCCOnBinaryFile(const std::string& path,
                                        const MrCCParams& params) {
-  MRCC_RETURN_IF_ERROR(params.Validate());
-
-  Result<BinaryDatasetReader> reader = BinaryDatasetReader::Open(path);
-  if (!reader.ok()) return reader.status();
-  if (params.full_mask && reader->num_dims() > kMaxFullMaskDims) {
-    return Status::InvalidArgument("full_mask unsupported at this d");
-  }
-
-  MrCCResult result;
-  Timer total;
-
-  // Pass 1: stream points into the Counting-tree.
-  Timer phase;
-  CountingTree::Builder builder(reader->num_dims(), params.num_resolutions);
-  MRCC_RETURN_IF_ERROR(builder.status());
-  std::vector<double> point(reader->num_dims());
-  while (reader->Next(point)) {
-    MRCC_RETURN_IF_ERROR(builder.Add(point));
-  }
-  MRCC_RETURN_IF_ERROR(reader->status());
-  Result<CountingTree> tree = std::move(builder).Finish();
-  if (!tree.ok()) return tree.status();
-  result.stats.tree_build_seconds = phase.ElapsedSeconds();
-  result.stats.tree_memory_bytes = tree->MemoryBytes();
-  result.stats.cells_per_level.assign(
-      static_cast<size_t>(tree->num_resolutions()), 0);
-  for (int h = 1; h < tree->num_resolutions(); ++h) {
-    result.stats.cells_per_level[h] = tree->NumCellsAtLevel(h);
-  }
-
-  // Phase 2: β-cluster search (tree only, no data access).
-  phase.Reset();
-  BetaFinderOptions finder_options;
-  finder_options.alpha = params.alpha;
-  finder_options.full_mask = params.full_mask;
-  result.beta_clusters = FindBetaClusters(*tree, finder_options);
-  result.stats.beta_search_seconds = phase.ElapsedSeconds();
-
-  // Phase 3a: merge β-clusters (geometry only).
-  phase.Reset();
-  Dataset empty(0, reader->num_dims());
-  result.clustering = BuildCorrelationClusters(result.beta_clusters, empty,
-                                               &result.beta_to_cluster);
-
-  // Phase 3b: second streaming pass labels every point.
-  MRCC_RETURN_IF_ERROR(reader->Rewind());
-  result.clustering.labels.assign(reader->num_points(), kNoiseLabel);
-  size_t i = 0;
-  while (reader->Next(point)) {
-    for (size_t b = 0; b < result.beta_clusters.size(); ++b) {
-      if (result.beta_clusters[b].Contains(point)) {
-        result.clustering.labels[i] = result.beta_to_cluster[b];
-        break;
-      }
-    }
-    ++i;
-  }
-  MRCC_RETURN_IF_ERROR(reader->status());
-  result.stats.cluster_build_seconds = phase.ElapsedSeconds();
-  result.stats.total_seconds = total.ElapsedSeconds();
-  return result;
+  Result<BinaryFileDataSource> source = BinaryFileDataSource::Open(path);
+  if (!source.ok()) return source.status();
+  return MrCC(params).Run(*source);
 }
 
 }  // namespace mrcc

@@ -3,10 +3,11 @@
 // MrCC touches the raw points exactly twice — once to count them into the
 // Counting-tree (§III-A's single data scan) and once to label them against
 // the final β-cluster boxes — so a dataset only needs to exist as a
-// stream. This driver runs the full pipeline over a file written by
-// SaveBinary() with O(tree + labels) memory instead of O(eta * d),
-// which is what makes the "very large datasets" of the paper's title
-// practical beyond RAM.
+// stream. Both passes now run through the unified DataSource pipeline
+// (MrCC::Run over a BinaryFileDataSource), which shards each pass across
+// worker threads with O(tree + labels) memory instead of O(eta * d) —
+// what makes the "very large datasets" of the paper's title practical
+// beyond RAM.
 
 #ifndef MRCC_CORE_STREAMING_H_
 #define MRCC_CORE_STREAMING_H_
@@ -18,8 +19,11 @@
 namespace mrcc {
 
 /// Runs MrCC over the binary dataset at `path` in two streaming passes.
-/// The result is identical to MrCC::Run() on the loaded dataset. The file
-/// must contain data normalized to [0,1)^d.
+/// The result is bit-identical to MrCC::Run() on the loaded dataset. The
+/// file must contain data normalized to [0,1)^d.
+///
+/// Deprecated: construct a BinaryFileDataSource and call MrCC::Run on it
+/// directly; this wrapper remains for source compatibility only.
 Result<MrCCResult> RunMrCCOnBinaryFile(const std::string& path,
                                        const MrCCParams& params = MrCCParams());
 

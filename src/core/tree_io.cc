@@ -129,12 +129,51 @@ Status MergeTree(CountingTree* tree, const CountingTree& other) {
     return Status::InvalidArgument("tree resolution mismatch");
   }
 
-  // Recursively folds `src_node` of `other` into `dst_node` of `tree`
-  // (defined here so the friendship of MergeTree grants pool access).
+  // Layout-preserving merge: iterate `other`'s node pool in index order —
+  // which is creation order, i.e. the order in which `other`'s point
+  // stream first touched each region — and only create a missing
+  // destination node at the moment its source counterpart is reached.
+  // Because InsertPoint creates a cell and its child node at the same
+  // point (the first one landing there), this reproduces exactly the node
+  // and cell ordering a serial build over the concatenated point streams
+  // would have produced. Downstream consumers that iterate the pool (the
+  // β-cluster search, persistence) therefore cannot tell a sharded build
+  // from a serial one — the trees are identical, not merely equivalent.
   const size_t d = tree->num_dims();
-  const auto merge_node = [&](auto&& self, uint32_t dst_node,
-                              uint32_t src_node) -> void {
-    const CountingTree::Node& src = other.node(src_node);
+  // parent_slot[s]: destination (node, cell) refined by source node s,
+  // recorded while merging the parent's cells; -1 node = not yet seen.
+  struct Slot {
+    int64_t node = -1;
+    uint32_t cell = 0;
+  };
+  std::vector<Slot> parent_slot(other.nodes_.size());
+  for (size_t m = 0; m < other.nodes_.size(); ++m) {
+    uint32_t dst_node = 0;
+    if (m != 0) {
+      const Slot& slot = parent_slot[m];
+      if (slot.node < 0) {
+        // A child preceding its parent in the pool never comes out of
+        // Builder or LoadTree; a tree that does is corrupt.
+        return Status::Internal("merge source tree is not in creation order");
+      }
+      // Create the destination counterpart only now, when the source pool
+      // scan reaches this node, so new destination nodes appear in source
+      // creation order (not in parent-cell order).
+      CountingTree::Node& parent =
+          tree->node(static_cast<uint32_t>(slot.node));
+      int32_t dst_child = parent.cells[slot.cell].child_node;
+      if (dst_child < 0) {
+        std::vector<uint64_t> base =
+            tree->CellCoords(parent, parent.cells[slot.cell]);
+        dst_child = static_cast<int32_t>(
+            tree->NewNode(parent.level + 1, std::move(base)));
+        tree->node(static_cast<uint32_t>(slot.node))
+            .cells[slot.cell]
+            .child_node = dst_child;
+      }
+      dst_node = static_cast<uint32_t>(dst_child);
+    }
+    const CountingTree::Node& src = other.nodes_[m];
     for (size_t c = 0; c < src.cells.size(); ++c) {
       const CountingTree::Cell& src_cell = src.cells[c];
       const uint32_t dst_cell_idx =
@@ -145,20 +184,11 @@ Status MergeTree(CountingTree* tree, const CountingTree& other) {
         dst.half[dst_cell_idx * d + j] += src.half[c * d + j];
       }
       if (src_cell.child_node >= 0) {
-        int32_t dst_child = dst.cells[dst_cell_idx].child_node;
-        if (dst_child < 0) {
-          std::vector<uint64_t> base =
-              tree->CellCoords(dst, dst.cells[dst_cell_idx]);
-          dst_child = static_cast<int32_t>(
-              tree->NewNode(dst.level + 1, std::move(base)));
-          tree->node(dst_node).cells[dst_cell_idx].child_node = dst_child;
-        }
-        self(self, static_cast<uint32_t>(dst_child),
-             static_cast<uint32_t>(src_cell.child_node));
+        parent_slot[static_cast<size_t>(src_cell.child_node)] = {
+            static_cast<int64_t>(dst_node), dst_cell_idx};
       }
     }
-  };
-  merge_node(merge_node, 0, 0);
+  }
   tree->total_points_ += other.total_points_;
   tree->ResetUsedFlags();
   return Status::OK();

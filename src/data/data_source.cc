@@ -1,0 +1,86 @@
+#include "data/data_source.h"
+
+namespace mrcc {
+namespace {
+
+Status CheckRange(size_t begin, size_t end, size_t num_points) {
+  if (begin > end || end > num_points) {
+    return Status::OutOfRange("scan range [" + std::to_string(begin) + ", " +
+                              std::to_string(end) + ") outside dataset of " +
+                              std::to_string(num_points) + " points");
+  }
+  return Status::OK();
+}
+
+class MemoryCursor : public DataSource::Cursor {
+ public:
+  MemoryCursor(const Dataset& data, size_t begin, size_t end)
+      : data_(data), next_(begin), end_(end) {}
+
+  bool Next(std::span<const double>* point) override {
+    if (next_ >= end_) return false;
+    *point = data_.Point(next_++);
+    return true;
+  }
+
+  const Status& status() const override { return status_; }
+
+ private:
+  const Dataset& data_;
+  size_t next_;
+  const size_t end_;
+  Status status_;
+};
+
+class FileCursor : public DataSource::Cursor {
+ public:
+  FileCursor(BinaryDatasetReader reader, size_t end)
+      : reader_(std::move(reader)),
+        end_(end),
+        buffer_(reader_.num_dims()) {}
+
+  bool Next(std::span<const double>* point) override {
+    if (reader_.position() >= end_) return false;
+    if (!reader_.Next(buffer_)) return false;
+    *point = buffer_;
+    return true;
+  }
+
+  const Status& status() const override { return reader_.status(); }
+
+ private:
+  BinaryDatasetReader reader_;
+  const size_t end_;
+  std::vector<double> buffer_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<DataSource::Cursor>> MemoryDataSource::Scan(
+    size_t begin, size_t end) const {
+  MRCC_RETURN_IF_ERROR(CheckRange(begin, end, NumPoints()));
+  return std::unique_ptr<Cursor>(new MemoryCursor(*data_, begin, end));
+}
+
+Result<BinaryFileDataSource> BinaryFileDataSource::Open(
+    const std::string& path) {
+  Result<BinaryDatasetReader> reader = BinaryDatasetReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  BinaryFileDataSource source;
+  source.path_ = path;
+  source.num_points_ = reader->num_points();
+  source.num_dims_ = reader->num_dims();
+  return source;
+}
+
+Result<std::unique_ptr<DataSource::Cursor>> BinaryFileDataSource::Scan(
+    size_t begin, size_t end) const {
+  MRCC_RETURN_IF_ERROR(CheckRange(begin, end, num_points_));
+  Result<BinaryDatasetReader> reader = BinaryDatasetReader::Open(path_);
+  if (!reader.ok()) return reader.status();
+  MRCC_RETURN_IF_ERROR(reader->SeekTo(begin));
+  return std::unique_ptr<Cursor>(
+      new FileCursor(std::move(*reader), end));
+}
+
+}  // namespace mrcc

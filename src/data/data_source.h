@@ -1,0 +1,114 @@
+// The DataSource abstraction: one point-stream interface for every
+// dataset backend.
+//
+// MrCC reads its input exactly twice — once to count points into the
+// Counting-tree and once to label them against the final β-cluster boxes —
+// and both reads are plain sequential scans. A DataSource captures just
+// that contract: it knows its shape (η points × d axes) and can hand out
+// independent cursors over contiguous point ranges. Cursors over disjoint
+// ranges may run on different threads concurrently, which is what the
+// parallel engine shards on.
+//
+// Two backends ship here:
+//   - MemoryDataSource: a zero-copy view over an in-memory Dataset.
+//   - BinaryFileDataSource: an out-of-core view over a file written by
+//     SaveBinary(); every cursor owns its own file handle, so parallel
+//     slice scans do not contend on a shared stream position.
+//
+// MrCC::Run(const DataSource&) is the single pipeline entry point; the
+// in-memory and streaming drivers are thin wrappers over it.
+
+#ifndef MRCC_DATA_DATA_SOURCE_H_
+#define MRCC_DATA_DATA_SOURCE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/dataset_reader.h"
+
+namespace mrcc {
+
+/// A readable collection of η points in d dimensions (see file comment).
+class DataSource {
+ public:
+  /// Sequential view over one contiguous range of points.
+  class Cursor {
+   public:
+    virtual ~Cursor() = default;
+
+    /// Advances to the next point and exposes it through `point`. The view
+    /// stays valid until the next call or the cursor's destruction.
+    /// Returns false at the end of the range or on error — check status().
+    virtual bool Next(std::span<const double>* point) = 0;
+
+    /// Sticky error state (OK unless a read failed mid-scan).
+    virtual const Status& status() const = 0;
+  };
+
+  virtual ~DataSource() = default;
+
+  /// Human-readable origin of the data ("memory", a file path, ...).
+  virtual std::string Name() const = 0;
+
+  virtual size_t NumPoints() const = 0;
+  virtual size_t NumDims() const = 0;
+
+  /// Opens an independent cursor over points [begin, end). Requires
+  /// begin <= end <= NumPoints(). Cursors over disjoint ranges are safe to
+  /// drive from different threads concurrently.
+  virtual Result<std::unique_ptr<Cursor>> Scan(size_t begin,
+                                               size_t end) const = 0;
+
+  /// Cursor over the whole source.
+  Result<std::unique_ptr<Cursor>> ScanAll() const {
+    return Scan(0, NumPoints());
+  }
+};
+
+/// Zero-copy DataSource over an in-memory Dataset. Non-owning: the
+/// dataset must outlive the source and every cursor.
+class MemoryDataSource : public DataSource {
+ public:
+  explicit MemoryDataSource(const Dataset& data) : data_(&data) {}
+
+  std::string Name() const override { return "memory"; }
+  size_t NumPoints() const override { return data_->NumPoints(); }
+  size_t NumDims() const override { return data_->NumDims(); }
+  Result<std::unique_ptr<Cursor>> Scan(size_t begin,
+                                       size_t end) const override;
+
+  const Dataset& data() const { return *data_; }
+
+ private:
+  const Dataset* data_;
+};
+
+/// Out-of-core DataSource over a binary dataset file (SaveBinary format).
+/// Construction validates the header once; each Scan opens its own
+/// reader so slices stream independently.
+class BinaryFileDataSource : public DataSource {
+ public:
+  /// Opens `path` and reads the header.
+  static Result<BinaryFileDataSource> Open(const std::string& path);
+
+  std::string Name() const override { return path_; }
+  size_t NumPoints() const override { return num_points_; }
+  size_t NumDims() const override { return num_dims_; }
+  Result<std::unique_ptr<Cursor>> Scan(size_t begin,
+                                       size_t end) const override;
+
+ private:
+  BinaryFileDataSource() = default;
+
+  std::string path_;
+  size_t num_points_ = 0;
+  size_t num_dims_ = 0;
+};
+
+}  // namespace mrcc
+
+#endif  // MRCC_DATA_DATA_SOURCE_H_

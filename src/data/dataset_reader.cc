@@ -53,11 +53,18 @@ bool BinaryDatasetReader::Next(std::span<double> out) {
   return true;
 }
 
-Status BinaryDatasetReader::Rewind() {
+Status BinaryDatasetReader::Rewind() { return SeekTo(0); }
+
+Status BinaryDatasetReader::SeekTo(size_t point_index) {
+  if (point_index > num_points_) {
+    return Status::OutOfRange("seek beyond end of " + path_);
+  }
   in_.clear();
-  in_.seekg(data_start_);
+  in_.seekg(data_start_ +
+            static_cast<std::streamoff>(point_index * num_dims_ *
+                                        sizeof(double)));
   if (!in_) return Status::IOError("seek failed on " + path_);
-  position_ = 0;
+  position_ = point_index;
   status_ = Status::OK();
   return Status::OK();
 }

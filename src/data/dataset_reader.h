@@ -39,6 +39,12 @@ class BinaryDatasetReader {
   /// Restarts the scan at the first point.
   Status Rewind();
 
+  /// Positions the scan on point `point_index` (0-based; num_points() is
+  /// allowed and leaves the reader at end of data). Clears a sticky error.
+  /// This is what lets several readers scan disjoint slices of one file in
+  /// parallel — each thread opens its own reader and seeks to its slice.
+  Status SeekTo(size_t point_index);
+
   /// Sticky error state of the reader (OK unless a read failed).
   const Status& status() const { return status_; }
 

@@ -93,7 +93,14 @@ std::string MrCCResultToJson(const MrCCResult& result) {
                 result.stats.beta_search_seconds);
   out += buf;
   out += ",\"tree_memory_bytes\":" +
-         std::to_string(result.stats.tree_memory_bytes) + "}";
+         std::to_string(result.stats.tree_memory_bytes);
+  out += ",\"num_threads\":" + std::to_string(result.stats.num_threads);
+  out += ",\"tree_build_threads\":" +
+         std::to_string(result.stats.tree_build_threads);
+  out += ",\"beta_search_threads\":" +
+         std::to_string(result.stats.beta_search_threads);
+  out += ",\"labeling_threads\":" +
+         std::to_string(result.stats.labeling_threads) + "}";
   out += '}';
   return out;
 }

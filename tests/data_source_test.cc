@@ -1,0 +1,150 @@
+#include "data/data_source.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "data/dataset_io.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+std::vector<std::vector<double>> Drain(DataSource::Cursor& cursor) {
+  std::vector<std::vector<double>> out;
+  std::span<const double> point;
+  while (cursor.Next(&point)) {
+    out.emplace_back(point.begin(), point.end());
+  }
+  return out;
+}
+
+TEST(MemoryDataSourceTest, ScansAllPointsInOrder) {
+  Dataset d = testing::UniformDataset(100, 4, 11);
+  MemoryDataSource source(d);
+  EXPECT_EQ(source.NumPoints(), 100u);
+  EXPECT_EQ(source.NumDims(), 4u);
+  EXPECT_EQ(source.Name(), "memory");
+
+  auto cursor = source.ScanAll();
+  ASSERT_TRUE(cursor.ok());
+  const auto points = Drain(**cursor);
+  ASSERT_EQ(points.size(), 100u);
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(points[i][j], d(i, j)) << i << "," << j;
+    }
+  }
+  EXPECT_TRUE((*cursor)->status().ok());
+}
+
+TEST(MemoryDataSourceTest, ScanRangeIsHalfOpen) {
+  Dataset d = testing::UniformDataset(50, 3, 12);
+  MemoryDataSource source(d);
+  auto cursor = source.Scan(10, 20);
+  ASSERT_TRUE(cursor.ok());
+  const auto points = Drain(**cursor);
+  ASSERT_EQ(points.size(), 10u);
+  EXPECT_DOUBLE_EQ(points[0][0], d(10, 0));
+  EXPECT_DOUBLE_EQ(points[9][0], d(19, 0));
+}
+
+TEST(MemoryDataSourceTest, EmptyRangeAndBadRange) {
+  Dataset d = testing::UniformDataset(10, 2, 13);
+  MemoryDataSource source(d);
+  auto empty = source.Scan(5, 5);
+  ASSERT_TRUE(empty.ok());
+  std::span<const double> point;
+  EXPECT_FALSE((*empty)->Next(&point));
+
+  EXPECT_FALSE(source.Scan(5, 11).ok());  // end > NumPoints.
+  EXPECT_FALSE(source.Scan(7, 5).ok());   // begin > end.
+  EXPECT_EQ(source.Scan(5, 11).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BinaryFileDataSourceTest, MatchesMemorySource) {
+  Dataset d = testing::UniformDataset(300, 6, 14);
+  const std::string path = ::testing::TempDir() + "mrcc_source_eq.bin";
+  ASSERT_TRUE(SaveBinary(d, path).ok());
+
+  Result<BinaryFileDataSource> file = BinaryFileDataSource::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->NumPoints(), 300u);
+  EXPECT_EQ(file->NumDims(), 6u);
+  EXPECT_EQ(file->Name(), path);
+
+  MemoryDataSource memory(d);
+  // Whole-scan equivalence plus several sub-ranges, including the ends.
+  const std::pair<size_t, size_t> ranges[] = {
+      {0, 300}, {0, 1}, {299, 300}, {100, 200}, {42, 43}, {150, 150}};
+  for (const auto& [begin, end] : ranges) {
+    auto from_file = file->Scan(begin, end);
+    auto from_memory = memory.Scan(begin, end);
+    ASSERT_TRUE(from_file.ok() && from_memory.ok());
+    EXPECT_EQ(Drain(**from_file), Drain(**from_memory))
+        << "range [" << begin << ", " << end << ")";
+    EXPECT_TRUE((*from_file)->status().ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFileDataSourceTest, ConcurrentCursorsSeeTheirOwnSlices) {
+  Dataset d = testing::UniformDataset(1000, 3, 15);
+  const std::string path = ::testing::TempDir() + "mrcc_source_mt.bin";
+  ASSERT_TRUE(SaveBinary(d, path).ok());
+  Result<BinaryFileDataSource> file = BinaryFileDataSource::Open(path);
+  ASSERT_TRUE(file.ok());
+
+  // Four threads scan disjoint slices through independent cursors; every
+  // value must land at its own global index.
+  std::vector<double> first_axis(1000, -1.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      const size_t begin = 250 * static_cast<size_t>(t);
+      const size_t end = begin + 250;
+      auto cursor = file->Scan(begin, end);
+      ASSERT_TRUE(cursor.ok());
+      std::span<const double> point;
+      size_t i = begin;
+      while ((*cursor)->Next(&point)) first_axis[i++] = point[0];
+      EXPECT_EQ(i, end);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t i = 0; i < 1000; ++i) {
+    ASSERT_DOUBLE_EQ(first_axis[i], d(i, 0)) << "point " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFileDataSourceTest, MissingFileFailsOnOpen) {
+  EXPECT_FALSE(BinaryFileDataSource::Open("/nonexistent/x.bin").ok());
+}
+
+TEST(DatasetReaderSeekTest, SeekToJumpsToPoint) {
+  Dataset d = testing::UniformDataset(64, 5, 16);
+  const std::string path = ::testing::TempDir() + "mrcc_seek.bin";
+  ASSERT_TRUE(SaveBinary(d, path).ok());
+  Result<BinaryDatasetReader> reader = BinaryDatasetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+
+  std::vector<double> point(5);
+  ASSERT_TRUE(reader->SeekTo(40).ok());
+  EXPECT_EQ(reader->position(), 40u);
+  ASSERT_TRUE(reader->Next(point));
+  EXPECT_DOUBLE_EQ(point[2], d(40, 2));
+
+  // Seeking to the end is allowed and yields no further points.
+  ASSERT_TRUE(reader->SeekTo(64).ok());
+  EXPECT_FALSE(reader->Next(point));
+  EXPECT_TRUE(reader->status().ok());
+
+  EXPECT_EQ(reader->SeekTo(65).code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,128 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mrcc {
+namespace {
+
+TEST(ResolveThreadCountTest, ZeroMapsToHardwareConcurrency) {
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+}
+
+TEST(SliceTest, SlicesPartitionTheRange) {
+  for (size_t n : {0u, 1u, 5u, 16u, 1000u, 1001u}) {
+    for (int threads : {1, 2, 3, 8, 17}) {
+      size_t covered = 0;
+      for (int t = 0; t < threads; ++t) {
+        const size_t begin = SliceBegin(n, threads, t);
+        const size_t end = SliceEnd(n, threads, t);
+        ASSERT_LE(begin, end);
+        // Slices are contiguous and ascending.
+        if (t > 0) ASSERT_EQ(begin, SliceEnd(n, threads, t - 1));
+        covered += end - begin;
+      }
+      ASSERT_EQ(SliceBegin(n, threads, 0), 0u);
+      ASSERT_EQ(SliceEnd(n, threads, threads - 1), n);
+      ASSERT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    const size_t n = 10000;
+    std::vector<std::atomic<int>> visits(n);
+    pool.ParallelFor(n, [&](int, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  pool.ParallelFor(3, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](int, size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRegions) {
+  // The β-search issues thousands of small ParallelFor calls on one pool;
+  // exercise that pattern and check the reductions stay correct.
+  ThreadPool pool(4);
+  const size_t n = 257;
+  std::vector<int64_t> data(n);
+  std::iota(data.begin(), data.end(), 1);
+  int64_t expected = 0;
+  for (int64_t v : data) expected += v;
+
+  for (int round = 0; round < 500; ++round) {
+    std::vector<int64_t> partial(static_cast<size_t>(pool.num_threads()), 0);
+    pool.ParallelFor(n, [&](int t, size_t begin, size_t end) {
+      int64_t sum = 0;
+      for (size_t i = begin; i < end; ++i) sum += data[i];
+      partial[static_cast<size_t>(t)] = sum;
+    });
+    int64_t total = 0;
+    for (int64_t v : partial) total += v;
+    ASSERT_EQ(total, expected) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, SliceReductionIsThreadCountInvariant) {
+  // Min-index argmax reduced in slice order must match the serial first-
+  // max scan for every thread count — the engine's determinism recipe.
+  const size_t n = 999;
+  std::vector<int> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = static_cast<int>(i % 7);
+
+  size_t serial_best = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (values[i] > values[serial_best]) serial_best = i;
+  }
+
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<int64_t> slice_best(static_cast<size_t>(threads), -1);
+    pool.ParallelFor(n, [&](int t, size_t begin, size_t end) {
+      int64_t best = -1;
+      for (size_t i = begin; i < end; ++i) {
+        if (best < 0 || values[i] > values[static_cast<size_t>(best)]) {
+          best = static_cast<int64_t>(i);
+        }
+      }
+      slice_best[static_cast<size_t>(t)] = best;
+    });
+    int64_t best = -1;
+    for (int t = 0; t < threads; ++t) {
+      const int64_t candidate = slice_best[static_cast<size_t>(t)];
+      if (candidate < 0) continue;
+      if (best < 0 || values[static_cast<size_t>(candidate)] >
+                          values[static_cast<size_t>(best)]) {
+        best = candidate;
+      }
+    }
+    EXPECT_EQ(static_cast<size_t>(best), serial_best) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace mrcc
