@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beta_cluster_finder_test.dir/beta_cluster_finder_test.cc.o"
+  "CMakeFiles/beta_cluster_finder_test.dir/beta_cluster_finder_test.cc.o.d"
+  "beta_cluster_finder_test"
+  "beta_cluster_finder_test.pdb"
+  "beta_cluster_finder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beta_cluster_finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clusterer_factory_test.dir/clusterer_factory_test.cc.o"
+  "CMakeFiles/clusterer_factory_test.dir/clusterer_factory_test.cc.o.d"
+  "clusterer_factory_test"
+  "clusterer_factory_test.pdb"
+  "clusterer_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clusterer_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counting_tree_test.dir/counting_tree_test.cc.o"
+  "CMakeFiles/counting_tree_test.dir/counting_tree_test.cc.o.d"
+  "counting_tree_test"
+  "counting_tree_test.pdb"
+  "counting_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_source_test.dir/data_source_test.cc.o"
+  "CMakeFiles/data_source_test.dir/data_source_test.cc.o.d"
+  "data_source_test"
+  "data_source_test.pdb"
+  "data_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epch_test.dir/epch_test.cc.o"
+  "CMakeFiles/epch_test.dir/epch_test.cc.o.d"
+  "epch_test"
+  "epch_test.pdb"
+  "epch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_property_test.dir/geometry_property_test.cc.o"
+  "CMakeFiles/geometry_property_test.dir/geometry_property_test.cc.o.d"
+  "geometry_property_test"
+  "geometry_property_test.pdb"
+  "geometry_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_test.dir/harp_test.cc.o"
+  "CMakeFiles/harp_test.dir/harp_test.cc.o.d"
+  "harp_test"
+  "harp_test.pdb"
+  "harp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

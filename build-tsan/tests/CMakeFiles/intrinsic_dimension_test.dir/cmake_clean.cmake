@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrinsic_dimension_test.dir/intrinsic_dimension_test.cc.o"
+  "CMakeFiles/intrinsic_dimension_test.dir/intrinsic_dimension_test.cc.o.d"
+  "intrinsic_dimension_test"
+  "intrinsic_dimension_test.pdb"
+  "intrinsic_dimension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrinsic_dimension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

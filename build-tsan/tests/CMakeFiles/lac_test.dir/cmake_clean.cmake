@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lac_test.dir/lac_test.cc.o"
+  "CMakeFiles/lac_test.dir/lac_test.cc.o.d"
+  "lac_test"
+  "lac_test.pdb"
+  "lac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplacian_mask_test.dir/laplacian_mask_test.cc.o"
+  "CMakeFiles/laplacian_mask_test.dir/laplacian_mask_test.cc.o.d"
+  "laplacian_mask_test"
+  "laplacian_mask_test.pdb"
+  "laplacian_mask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplacian_mask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

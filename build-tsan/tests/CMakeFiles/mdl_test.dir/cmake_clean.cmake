@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_test.dir/mdl_test.cc.o"
+  "CMakeFiles/mdl_test.dir/mdl_test.cc.o.d"
+  "mdl_test"
+  "mdl_test.pdb"
+  "mdl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_test.dir/measurement_test.cc.o"
+  "CMakeFiles/measurement_test.dir/measurement_test.cc.o.d"
+  "measurement_test"
+  "measurement_test.pdb"
+  "measurement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrcc_test.dir/mrcc_test.cc.o"
+  "CMakeFiles/mrcc_test.dir/mrcc_test.cc.o.d"
+  "mrcc_test"
+  "mrcc_test.pdb"
+  "mrcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orclus_test.dir/orclus_test.cc.o"
+  "CMakeFiles/orclus_test.dir/orclus_test.cc.o.d"
+  "orclus_test"
+  "orclus_test.pdb"
+  "orclus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orclus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3c_test.dir/p3c_test.cc.o"
+  "CMakeFiles/p3c_test.dir/p3c_test.cc.o.d"
+  "p3c_test"
+  "p3c_test.pdb"
+  "p3c_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3c_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_test.dir/proclus_test.cc.o"
+  "CMakeFiles/proclus_test.dir/proclus_test.cc.o.d"
+  "proclus_test"
+  "proclus_test.pdb"
+  "proclus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_test.dir/quality_test.cc.o"
+  "CMakeFiles/quality_test.dir/quality_test.cc.o.d"
+  "quality_test"
+  "quality_test.pdb"
+  "quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

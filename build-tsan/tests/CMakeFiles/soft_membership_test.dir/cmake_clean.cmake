@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_membership_test.dir/soft_membership_test.cc.o"
+  "CMakeFiles/soft_membership_test.dir/soft_membership_test.cc.o.d"
+  "soft_membership_test"
+  "soft_membership_test.pdb"
+  "soft_membership_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

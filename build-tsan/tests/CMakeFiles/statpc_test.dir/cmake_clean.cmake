@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statpc_test.dir/statpc_test.cc.o"
+  "CMakeFiles/statpc_test.dir/statpc_test.cc.o.d"
+  "statpc_test"
+  "statpc_test.pdb"
+  "statpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_io_test.dir/tree_io_test.cc.o"
+  "CMakeFiles/tree_io_test.dir/tree_io_test.cc.o.d"
+  "tree_io_test"
+  "tree_io_test.pdb"
+  "tree_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_grid_test.dir/tuning_grid_test.cc.o"
+  "CMakeFiles/tuning_grid_test.dir/tuning_grid_test.cc.o.d"
+  "tuning_grid_test"
+  "tuning_grid_test.pdb"
+  "tuning_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

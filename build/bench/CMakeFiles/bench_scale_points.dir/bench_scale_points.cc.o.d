@@ -1,6 +1,6 @@
 bench/CMakeFiles/bench_scale_points.dir/bench_scale_points.cc.o: \
  /root/repo/bench/bench_scale_points.cc /usr/include/stdc-predef.h \
- /root/repo/bench/../bench/bench_common.h /usr/include/c++/12/cstdio \
+ /usr/include/c++/12/cstdio \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -57,7 +57,8 @@ bench/CMakeFiles/bench_scale_points.dir/bench_scale_points.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/std_abs.h \
+ /root/repo/bench/../bench/bench_common.h /usr/include/c++/12/fstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/iosfwd /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h /usr/include/c++/12/bits/postypes.h \
@@ -215,4 +216,13 @@ bench/CMakeFiles/bench_scale_points.dir/bench_scale_points.cc.o: \
  /usr/include/c++/12/array /root/repo/src/common/linalg.h \
  /root/repo/src/common/rng.h /root/repo/src/baselines/tuning_grid.h \
  /root/repo/src/data/generator.h /root/repo/src/eval/measurement.h \
- /root/repo/src/eval/quality.h /root/repo/src/data/catalog.h
+ /root/repo/src/eval/quality.h /root/repo/src/core/mrcc.h \
+ /root/repo/src/core/beta_cluster_finder.h \
+ /root/repo/src/core/counting_tree.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /root/repo/src/core/cluster_builder.h /root/repo/src/data/data_source.h \
+ /root/repo/src/data/dataset_reader.h /root/repo/src/data/catalog.h

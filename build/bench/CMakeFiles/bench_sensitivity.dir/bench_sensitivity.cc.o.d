@@ -224,4 +224,5 @@ bench/CMakeFiles/bench_sensitivity.dir/bench_sensitivity.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h \
- /root/repo/src/core/cluster_builder.h /root/repo/src/data/catalog.h
+ /root/repo/src/core/cluster_builder.h /root/repo/src/data/data_source.h \
+ /root/repo/src/data/dataset_reader.h /root/repo/src/data/catalog.h

@@ -211,11 +211,16 @@ examples/CMakeFiles/breast_cancer_screening.dir/breast_cancer_screening.cpp.o: \
  /root/repo/src/data/dataset.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/common/linalg.h /root/repo/src/common/rng.h \
- /root/repo/src/core/cluster_builder.h \
+ /root/repo/src/core/cluster_builder.h /root/repo/src/data/data_source.h \
+ /root/repo/src/data/dataset_reader.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/core/subspace_clusterer.h /root/repo/src/common/timer.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/data/catalog.h \
  /root/repo/src/data/generator.h /root/repo/src/eval/quality.h

@@ -128,11 +128,11 @@ examples/CMakeFiles/streaming_soft.dir/streaming_soft.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/common/memory.h \
- /usr/include/c++/12/cstddef /root/repo/src/core/soft_membership.h \
+ /usr/include/c++/12/cstddef /root/repo/src/core/mrcc.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/mrcc.h \
+ /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/beta_cluster_finder.h \
  /root/repo/src/core/counting_tree.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -219,10 +219,16 @@ examples/CMakeFiles/streaming_soft.dir/streaming_soft.cpp.o: \
  /root/repo/src/data/dataset.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/common/linalg.h \
  /root/repo/src/common/rng.h /root/repo/src/core/cluster_builder.h \
+ /root/repo/src/data/data_source.h /root/repo/src/data/dataset_reader.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/core/subspace_clusterer.h /root/repo/src/common/timer.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/streaming.h \
- /root/repo/src/data/dataset_io.h /root/repo/src/data/generator.h
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/core/soft_membership.h /root/repo/src/data/dataset_io.h \
+ /root/repo/src/data/generator.h

@@ -301,7 +301,8 @@ tests/CMakeFiles/edge_cases_test.dir/edge_cases_test.cc.o: \
  /root/repo/src/core/counting_tree.h /root/repo/src/common/status.h \
  /root/repo/src/data/dataset.h /usr/include/c++/12/span \
  /root/repo/src/common/linalg.h /root/repo/src/common/rng.h \
- /root/repo/src/core/cluster_builder.h \
+ /root/repo/src/core/cluster_builder.h /root/repo/src/data/data_source.h \
+ /root/repo/src/data/dataset_reader.h \
  /root/repo/src/core/subspace_clusterer.h /root/repo/src/common/timer.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /root/repo/src/data/dataset_io.h \

@@ -319,4 +319,9 @@ tests/CMakeFiles/geometry_property_test.dir/geometry_property_test.cc.o: \
  /root/repo/src/core/counting_tree.h /root/repo/src/common/status.h \
  /root/repo/src/data/dataset.h /usr/include/c++/12/span \
  /root/repo/src/common/linalg.h /root/repo/src/core/cluster_builder.h \
- /root/repo/tests/test_util.h /root/repo/src/data/generator.h
+ /root/repo/src/data/data_source.h /root/repo/src/data/dataset_reader.h \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/tests/test_util.h \
+ /root/repo/src/data/generator.h

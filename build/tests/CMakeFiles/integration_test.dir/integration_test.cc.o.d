@@ -323,7 +323,11 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/common/linalg.h /root/repo/src/common/rng.h \
  /root/repo/src/core/mrcc.h /root/repo/src/core/beta_cluster_finder.h \
  /root/repo/src/core/counting_tree.h \
- /root/repo/src/core/cluster_builder.h /root/repo/src/data/catalog.h \
+ /root/repo/src/core/cluster_builder.h /root/repo/src/data/data_source.h \
+ /root/repo/src/data/dataset_reader.h /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/data/catalog.h \
  /root/repo/src/data/generator.h /root/repo/src/data/dataset_io.h \
  /root/repo/src/eval/measurement.h /root/repo/src/eval/quality.h \
  /root/repo/tests/test_util.h
