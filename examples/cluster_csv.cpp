@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
     std::string axes;
     for (size_t j = 0; j < data->NumDims(); ++j) {
       if (clustering.clusters[c].relevant_axes[j]) {
-        axes += (axes.empty() ? "" : ",") + std::to_string(j);
+        if (!axes.empty()) axes += ',';
+        axes += std::to_string(j);
       }
     }
     std::printf("  cluster %zu: %zu points, relevant axes {%s}\n", c,

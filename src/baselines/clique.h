@@ -14,8 +14,7 @@
 // assigned to the containing cluster of highest dimensionality (ties:
 // larger cluster), a standard adaptation.
 
-#ifndef MRCC_BASELINES_CLIQUE_H_
-#define MRCC_BASELINES_CLIQUE_H_
+#pragma once
 
 #include "core/subspace_clusterer.h"
 
@@ -50,4 +49,3 @@ class Clique : public SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_CLIQUE_H_

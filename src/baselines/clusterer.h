@@ -7,8 +7,7 @@
 // the number of clusters receive the ground-truth k, HARP additionally
 // receives the known noise percentage.
 
-#ifndef MRCC_BASELINES_CLUSTERER_H_
-#define MRCC_BASELINES_CLUSTERER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -49,4 +48,3 @@ Result<std::unique_ptr<SubspaceClusterer>> MakeClusterer(
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_CLUSTERER_H_

@@ -13,8 +13,7 @@
 //
 // All three variants share this implementation, selected by `variant`.
 
-#ifndef MRCC_BASELINES_DOC_H_
-#define MRCC_BASELINES_DOC_H_
+#pragma once
 
 #include <cstdint>
 
@@ -62,4 +61,3 @@ class Doc : public SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_DOC_H_

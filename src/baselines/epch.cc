@@ -99,7 +99,9 @@ double SignatureSimilarity(const std::vector<int16_t>& a,
       if (a[h] >= 0 && a[h] == b[h]) ++match;
     }
   }
-  return active > 0 ? static_cast<double>(match) / active : 0.0;
+  return active > 0
+             ? static_cast<double>(match) / static_cast<double>(active)
+             : 0.0;
 }
 
 }  // namespace

@@ -14,8 +14,7 @@
 // gives EPCH its large memory footprint in the paper's Fig. 5 — preserved
 // here by materializing all C(d, d0) histograms and per-point signatures.
 
-#ifndef MRCC_BASELINES_EPCH_H_
-#define MRCC_BASELINES_EPCH_H_
+#pragma once
 
 #include "core/subspace_clusterer.h"
 
@@ -53,4 +52,3 @@ class Epch : public SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_EPCH_H_

@@ -136,7 +136,8 @@ Result<Clustering> Harp::Cluster(const Dataset& data) {
     const double frac =
         steps > 1 ? static_cast<double>(step) / (steps - 1) : 1.0;
     const size_t d_min = std::max<size_t>(
-        1, d - static_cast<size_t>(std::llround(frac * (d - 1))));
+        1, d - static_cast<size_t>(
+               std::llround(frac * static_cast<double>(d - 1))));
     const double r_min = 0.9 * (1.0 - frac);
 
     // Thresholds changed: all cached partners are stale.

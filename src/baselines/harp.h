@@ -16,8 +16,7 @@
 // candidate structure (we implement the linear-space "conga line"-style
 // best-partner caching the authors used under memory limits).
 
-#ifndef MRCC_BASELINES_HARP_H_
-#define MRCC_BASELINES_HARP_H_
+#pragma once
 
 #include "core/subspace_clusterer.h"
 
@@ -53,4 +52,3 @@ class Harp : public SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_HARP_H_

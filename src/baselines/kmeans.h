@@ -8,8 +8,7 @@
 // seeding, all axes weighted equally) exists to make that argument
 // measurable: see examples/curse_of_dimensionality.cpp.
 
-#ifndef MRCC_BASELINES_KMEANS_H_
-#define MRCC_BASELINES_KMEANS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -37,4 +36,3 @@ class KMeans : public SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_KMEANS_H_

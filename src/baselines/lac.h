@@ -11,8 +11,7 @@
 // rather than hard relevant-axis sets — exactly how the paper treats it
 // (it is excluded from Subspaces Quality).
 
-#ifndef MRCC_BASELINES_LAC_H_
-#define MRCC_BASELINES_LAC_H_
+#pragma once
 
 #include <cstdint>
 
@@ -49,4 +48,3 @@ class Lac : public SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_LAC_H_

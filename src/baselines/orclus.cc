@@ -145,7 +145,9 @@ Result<Clustering> Orclus::Cluster(const Dataset& data) {
     const size_t l_next = std::max(
         l, static_cast<size_t>(std::llround(
                static_cast<double>(d) -
-               static_cast<double>(d - l) * (iter + 1.0) / iterations)));
+               static_cast<double>(d - l) *
+                   (static_cast<double>(iter) + 1.0) /
+                   static_cast<double>(iterations))));
     while (seeds.size() > k_next) {
       double best = std::numeric_limits<double>::infinity();
       size_t best_a = 0, best_b = 1;

@@ -17,8 +17,7 @@
 // axes are not well-defined; like LAC, ORCLUS is excluded from Subspaces
 // Quality and reports per-axis weights (energy of the subspace basis).
 
-#ifndef MRCC_BASELINES_ORCLUS_H_
-#define MRCC_BASELINES_ORCLUS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -55,4 +54,3 @@ class Orclus : public SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_ORCLUS_H_

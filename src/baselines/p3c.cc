@@ -48,7 +48,8 @@ double UniformityPValue(const std::vector<uint32_t>& counts,
     }
   }
   if (bins < 2 || total == 0) return 1.0;
-  const double expected = static_cast<double>(total) / bins;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(bins);
   double chi2 = 0.0;
   for (size_t b = 0; b < counts.size(); ++b) {
     if (active[b]) {
@@ -114,8 +115,8 @@ Result<Clustering> P3c::Cluster(const Dataset& data) {
       while (end + 1 < bins && marked[end + 1]) ++end;
       Interval iv;
       iv.attr = j;
-      iv.lo = static_cast<double>(b) / bins;
-      iv.hi = static_cast<double>(end + 1) / bins;
+      iv.lo = static_cast<double>(b) / static_cast<double>(bins);
+      iv.hi = static_cast<double>(end + 1) / static_cast<double>(bins);
       for (size_t bb = b; bb <= end; ++bb) {
         iv.members.insert(iv.members.end(), bin_members[bb].begin(),
                           bin_members[bb].end());

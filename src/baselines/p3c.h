@@ -11,8 +11,7 @@
 // become cluster cores; points are assigned to the most specific core that
 // contains them, the rest is noise.
 
-#ifndef MRCC_BASELINES_P3C_H_
-#define MRCC_BASELINES_P3C_H_
+#pragma once
 
 #include "core/subspace_clusterer.h"
 
@@ -45,4 +44,3 @@ class P3c : public SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_P3C_H_

@@ -123,7 +123,8 @@ DimensionSelection FindDimensions(const Dataset& data,
       const double diff = x[i][j] - mean;
       var += diff * diff;
     }
-    const double sigma = std::sqrt(var / std::max<size_t>(1, d - 1));
+    const double sigma = std::sqrt(
+        var / static_cast<double>(std::max<size_t>(1, d - 1)));
     for (size_t j = 0; j < d; ++j) {
       const double z = sigma > 0.0 ? (x[i][j] - mean) / sigma : 0.0;
       scores.push_back({z, i, j});

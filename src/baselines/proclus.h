@@ -16,8 +16,7 @@
 //      points farther from their medoid than the cluster's sphere of
 //      influence are marked as outliers.
 
-#ifndef MRCC_BASELINES_PROCLUS_H_
-#define MRCC_BASELINES_PROCLUS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -56,4 +55,3 @@ class Proclus : public SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_PROCLUS_H_

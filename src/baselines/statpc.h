@@ -22,8 +22,7 @@
 //      yielding the non-redundant result set.
 //   3. Points inside a kept rectangle take its cluster; the rest is noise.
 
-#ifndef MRCC_BASELINES_STATPC_H_
-#define MRCC_BASELINES_STATPC_H_
+#pragma once
 
 #include <cstdint>
 
@@ -63,4 +62,3 @@ class Statpc : public SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_STATPC_H_

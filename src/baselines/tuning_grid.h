@@ -5,8 +5,7 @@
 // runs a single fixed configuration (alpha = 1e-10, H = 4) everywhere.
 // TuningGrid reproduces those grids so the benches can do the same sweep.
 
-#ifndef MRCC_BASELINES_TUNING_GRID_H_
-#define MRCC_BASELINES_TUNING_GRID_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -30,4 +29,3 @@ std::vector<TunedCandidate> TuningGrid(const std::string& name,
 
 }  // namespace mrcc
 
-#endif  // MRCC_BASELINES_TUNING_GRID_H_

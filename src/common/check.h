@@ -1,0 +1,146 @@
+// Contract-checking macros for internal invariants.
+//
+// The MrCC core rests on tight structural invariants — half-space counts
+// P[j] <= n, d-bit loc codes, binomial-test inputs cP_j <= nP_j, MDL cut
+// indices inside the sorted relevance array. A violated invariant means
+// the in-memory structures are corrupt and every downstream number is
+// garbage, so the only safe response is to stop immediately with a
+// message that names the values involved.
+//
+// Two severity tiers:
+//   MRCC_CHECK*  — always on, including release builds. For invariants
+//                  whose violation corrupts results silently and whose
+//                  cost is negligible (O(1) checks off the hot path).
+//   MRCC_DCHECK* — compiled out under NDEBUG. For exhaustive
+//                  preconditions and O(n) structure walks that are too
+//                  expensive for production but invaluable in debug and
+//                  sanitizer builds.
+//
+// Fallible *external* input (files, user parameters) must keep returning
+// Status — CHECK is for bugs, not for bad input. See tree_io.cc for the
+// boundary: corrupt bytes on disk yield Status::IOError; a corrupt
+// in-memory tree trips ValidateInvariants.
+//
+// The failure handler prints file:line, the stringified condition and the
+// operand values (for the comparison forms) to stderr, then aborts — no
+// exceptions, no iostream, safe from any thread.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mrcc::internal {
+
+/// Formats one operand of a failed comparison check. Overloads cover the
+/// arithmetic types the invariants use; everything else prints as "?" —
+/// the stringified expression in the message still identifies it.
+inline void AppendValue(char* buf, size_t cap, long long v) {
+  std::snprintf(buf, cap, "%lld", v);
+}
+inline void AppendValue(char* buf, size_t cap, unsigned long long v) {
+  std::snprintf(buf, cap, "%llu", v);
+}
+inline void AppendValue(char* buf, size_t cap, long v) {
+  AppendValue(buf, cap, static_cast<long long>(v));
+}
+inline void AppendValue(char* buf, size_t cap, unsigned long v) {
+  AppendValue(buf, cap, static_cast<unsigned long long>(v));
+}
+inline void AppendValue(char* buf, size_t cap, int v) {
+  AppendValue(buf, cap, static_cast<long long>(v));
+}
+inline void AppendValue(char* buf, size_t cap, unsigned int v) {
+  AppendValue(buf, cap, static_cast<unsigned long long>(v));
+}
+inline void AppendValue(char* buf, size_t cap, double v) {
+  std::snprintf(buf, cap, "%g", v);
+}
+inline void AppendValue(char* buf, size_t cap, float v) {
+  AppendValue(buf, cap, static_cast<double>(v));
+}
+inline void AppendValue(char* buf, size_t cap, bool v) {
+  std::snprintf(buf, cap, "%s", v ? "true" : "false");
+}
+inline void AppendValue(char* buf, size_t cap, const void* v) {
+  std::snprintf(buf, cap, "%p", v);
+}
+template <typename T>
+inline void AppendValue(char* buf, size_t cap, const T&) {
+  std::snprintf(buf, cap, "?");
+}
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const char* detail) {
+  std::fprintf(stderr, "MRCC_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, detail[0] != '\0' ? " " : "", detail);
+  std::fflush(stderr);
+  std::abort();
+}
+
+template <typename A, typename B>
+[[noreturn]] void ComparisonFailed(const char* file, int line,
+                                   const char* condition, const A& a,
+                                   const B& b) {
+  char va[64];
+  char vb[64];
+  AppendValue(va, sizeof(va), a);
+  AppendValue(vb, sizeof(vb), b);
+  char detail[160];
+  std::snprintf(detail, sizeof(detail), "(values: %s vs %s)", va, vb);
+  CheckFailed(file, line, condition, detail);
+}
+
+}  // namespace mrcc::internal
+
+/// Aborts with file:line and the condition text unless `cond` holds.
+/// Always active, release builds included.
+#define MRCC_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::mrcc::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                 \
+  } while (0)
+
+// Comparison forms print both operand values on failure. Operands are
+// evaluated exactly once.
+#define MRCC_CHECK_OP_IMPL(a, b, op)                                       \
+  do {                                                                     \
+    const auto& _mrcc_a = (a);                                             \
+    const auto& _mrcc_b = (b);                                             \
+    if (!(_mrcc_a op _mrcc_b)) {                                           \
+      ::mrcc::internal::ComparisonFailed(__FILE__, __LINE__,               \
+                                         #a " " #op " " #b, _mrcc_a,       \
+                                         _mrcc_b);                         \
+    }                                                                      \
+  } while (0)
+
+#define MRCC_CHECK_EQ(a, b) MRCC_CHECK_OP_IMPL(a, b, ==)
+#define MRCC_CHECK_NE(a, b) MRCC_CHECK_OP_IMPL(a, b, !=)
+#define MRCC_CHECK_LE(a, b) MRCC_CHECK_OP_IMPL(a, b, <=)
+#define MRCC_CHECK_LT(a, b) MRCC_CHECK_OP_IMPL(a, b, <)
+#define MRCC_CHECK_GE(a, b) MRCC_CHECK_OP_IMPL(a, b, >=)
+#define MRCC_CHECK_GT(a, b) MRCC_CHECK_OP_IMPL(a, b, >)
+
+// Debug-only variants: identical behavior in debug builds, compiled out
+// (operands unevaluated) under NDEBUG.
+#ifdef NDEBUG
+#define MRCC_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#define MRCC_DCHECK_OP_IMPL(a, b, op) \
+  do {                                \
+  } while (0)
+#else
+#define MRCC_DCHECK(cond) MRCC_CHECK(cond)
+#define MRCC_DCHECK_OP_IMPL(a, b, op) MRCC_CHECK_OP_IMPL(a, b, op)
+#endif
+
+#define MRCC_DCHECK_EQ(a, b) MRCC_DCHECK_OP_IMPL(a, b, ==)
+#define MRCC_DCHECK_NE(a, b) MRCC_DCHECK_OP_IMPL(a, b, !=)
+#define MRCC_DCHECK_LE(a, b) MRCC_DCHECK_OP_IMPL(a, b, <=)
+#define MRCC_DCHECK_LT(a, b) MRCC_DCHECK_OP_IMPL(a, b, <)
+#define MRCC_DCHECK_GE(a, b) MRCC_DCHECK_OP_IMPL(a, b, >=)
+#define MRCC_DCHECK_GT(a, b) MRCC_DCHECK_OP_IMPL(a, b, >)

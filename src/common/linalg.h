@@ -6,8 +6,7 @@
 // per-cluster orientation analysis and PCA-style preprocessing).
 // Dimensionalities are small (d <= ~50), so O(d^3) routines are fine.
 
-#ifndef MRCC_COMMON_LINALG_H_
-#define MRCC_COMMON_LINALG_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -79,4 +78,3 @@ void SymmetricEigen(const Matrix& m, std::vector<double>* eigenvalues,
 
 }  // namespace mrcc
 
-#endif  // MRCC_COMMON_LINALG_H_

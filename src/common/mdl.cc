@@ -1,14 +1,17 @@
 #include "common/mdl.h"
 
-#include <cassert>
+#include <algorithm>
 #include <cmath>
 #include <limits>
+
+#include "common/check.h"
 
 namespace mrcc {
 
 double MdlPartitionCost(const std::vector<double>& values, size_t begin,
                         size_t end) {
-  assert(begin <= end && end <= values.size());
+  MRCC_DCHECK_LE(begin, end);
+  MRCC_DCHECK_LE(end, values.size());
   if (begin == end) return 0.0;
   double mean = 0.0;
   for (size_t i = begin; i < end; ++i) mean += values[i];
@@ -21,7 +24,7 @@ double MdlPartitionCost(const std::vector<double>& values, size_t begin,
 }
 
 size_t MdlBestCut(const std::vector<double>& values) {
-  assert(!values.empty());
+  MRCC_CHECK(!values.empty());
   const size_t n = values.size();
 
   // Prefix sums make each candidate cut O(1) for the means; the deviation
@@ -41,7 +44,12 @@ size_t MdlBestCut(const std::vector<double>& values) {
 }
 
 double MdlThreshold(const std::vector<double>& sorted_values) {
-  return sorted_values[MdlBestCut(sorted_values)];
+  // The caller contract is ascending order — on unsorted input the cut
+  // index is still in range but the threshold is meaningless.
+  MRCC_DCHECK(std::is_sorted(sorted_values.begin(), sorted_values.end()));
+  const size_t cut = MdlBestCut(sorted_values);
+  MRCC_CHECK_LT(cut, sorted_values.size());
+  return sorted_values[cut];
 }
 
 }  // namespace mrcc

@@ -7,8 +7,7 @@
 // as the paper phrases it). The same primitive is used by CLIQUE to select
 // interesting subspaces.
 
-#ifndef MRCC_COMMON_MDL_H_
-#define MRCC_COMMON_MDL_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -35,4 +34,3 @@ double MdlThreshold(const std::vector<double>& sorted_values);
 
 }  // namespace mrcc
 
-#endif  // MRCC_COMMON_MDL_H_

@@ -8,8 +8,7 @@
 //      method runs, which is what the benches report.
 //   2. PeakRssBytes(): the kernel's VmHWM as a cross-check.
 
-#ifndef MRCC_COMMON_MEMORY_H_
-#define MRCC_COMMON_MEMORY_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -60,4 +59,3 @@ class MemoryUsageScope {
 
 }  // namespace mrcc
 
-#endif  // MRCC_COMMON_MEMORY_H_

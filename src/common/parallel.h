@@ -11,8 +11,7 @@
 // A ThreadPool built with one thread spawns no workers and runs bodies
 // inline on the caller — num_threads == 1 is exactly the serial code path.
 
-#ifndef MRCC_COMMON_PARALLEL_H_
-#define MRCC_COMMON_PARALLEL_H_
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -86,4 +85,3 @@ class ThreadPool {
 
 }  // namespace mrcc
 
-#endif  // MRCC_COMMON_PARALLEL_H_

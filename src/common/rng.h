@@ -5,8 +5,7 @@
 // experiment is exactly reproducible. The engine is SplitMix64 feeding
 // xoshiro256**, a small, fast, statistically strong generator.
 
-#ifndef MRCC_COMMON_RNG_H_
-#define MRCC_COMMON_RNG_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -70,4 +69,3 @@ class Rng {
 
 }  // namespace mrcc
 
-#endif  // MRCC_COMMON_RNG_H_

@@ -166,9 +166,10 @@ double BinomialPmf(int64_t n, double p, int64_t k) {
   if (k < 0 || k > n) return 0.0;
   if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
   if (p >= 1.0) return k == n ? 1.0 : 0.0;
-  const double lognck = LogGamma(n + 1.0) - LogGamma(k + 1.0) -
+  const double lognck = LogGamma(static_cast<double>(n) + 1.0) -
+                        LogGamma(static_cast<double>(k) + 1.0) -
                         LogGamma(static_cast<double>(n - k) + 1.0);
-  return std::exp(lognck + k * std::log(p) +
+  return std::exp(lognck + static_cast<double>(k) * std::log(p) +
                   static_cast<double>(n - k) * std::log1p(-p));
 }
 

@@ -10,8 +10,7 @@
 // P3C's bin-uniformity test additionally needs the chi-square and Poisson
 // survival functions, which reduce to the regularized incomplete gamma.
 
-#ifndef MRCC_COMMON_STATS_H_
-#define MRCC_COMMON_STATS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -61,4 +60,3 @@ double PoissonSurvival(double lambda, int64_t k);
 
 }  // namespace mrcc
 
-#endif  // MRCC_COMMON_STATS_H_

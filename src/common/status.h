@@ -5,8 +5,7 @@
 // or a Result<T>; pure in-memory algorithms return values directly and use
 // assertions for internal invariants.
 
-#ifndef MRCC_COMMON_STATUS_H_
-#define MRCC_COMMON_STATUS_H_
+#pragma once
 
 #include <cassert>
 #include <string>
@@ -122,4 +121,3 @@ class Result {
 
 }  // namespace mrcc
 
-#endif  // MRCC_COMMON_STATUS_H_

@@ -1,7 +1,6 @@
 // Monotonic wall-clock timing for the experiment harness.
 
-#ifndef MRCC_COMMON_TIMER_H_
-#define MRCC_COMMON_TIMER_H_
+#pragma once
 
 #include <chrono>
 
@@ -30,4 +29,3 @@ class Timer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_COMMON_TIMER_H_

@@ -3,8 +3,7 @@
 // Used by MrCC's final phase to merge β-clusters that share data space into
 // correlation clusters, and by CLIQUE to connect adjacent dense units.
 
-#ifndef MRCC_COMMON_UNION_FIND_H_
-#define MRCC_COMMON_UNION_FIND_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -46,4 +45,3 @@ class UnionFind {
 
 }  // namespace mrcc
 
-#endif  // MRCC_COMMON_UNION_FIND_H_

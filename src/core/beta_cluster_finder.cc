@@ -1,10 +1,10 @@
 #include "core/beta_cluster_finder.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "common/mdl.h"
 #include "common/parallel.h"
 #include "common/stats.h"
@@ -88,6 +88,8 @@ class BetaClusterFinder {
   // responses — the expensive part — are computed in parallel, each worker
   // filling a disjoint slice of the result arrays.
   void EnsureLevel(int h) {
+    MRCC_DCHECK_GE(h, 2);
+    MRCC_DCHECK_LT(static_cast<size_t>(h), levels_.size());
     LevelData& level = levels_[h];
     if (level.ready) return;
     for (uint32_t node_idx : tree_.NodesAtLevel(h)) {
@@ -186,8 +188,9 @@ class BetaClusterFinder {
     for (size_t j = 0; j < d_; ++j) parent_coords[j] = coords[j] >> 1;
     CountingTree::CellRef parent_ref;
     const bool have_parent = tree_.FindCell(h - 1, parent_coords, &parent_ref);
-    assert(have_parent);  // The center cell's ancestor always exists.
-    (void)have_parent;
+    // The center cell's ancestor always exists in a structurally valid
+    // tree; a miss here means the tree is corrupt.
+    MRCC_CHECK(have_parent);
     const uint32_t parent_n = tree_.cell(parent_ref).n;
 
     const uint64_t parent_max = (uint64_t{1} << (h - 1)) - 1;
@@ -214,6 +217,12 @@ class BetaClusterFinder {
       // axis. Keeping 1/6 there would reject uniform data whenever counts
       // are large (every low-dimensional level-2 candidate would "stand
       // out"), flooding the result with fat spurious boxes.
+      // Binomial-test preconditions (paper §III-B): the central region is
+      // a subset of the neighborhood, so 0 <= cP_j <= nP_j must hold
+      // before asking for a critical value — a violation means the
+      // half-space counts or neighbor counts are corrupt.
+      MRCC_DCHECK_GE(cp[j], 0);
+      MRCC_DCHECK_LE(cp[j], np[j]);
       const int regions =
           (parent_coords[j] == 0 ? 4 : 6) -
           (parent_coords[j] == parent_max ? 2 : 0);
@@ -227,7 +236,9 @@ class BetaClusterFinder {
     std::vector<double> relevance(d_);
     for (size_t j = 0; j < d_; ++j) {
       relevance[j] =
-          np[j] > 0 ? 100.0 * static_cast<double>(cp[j]) / np[j] : 0.0;
+          np[j] > 0 ? 100.0 * static_cast<double>(cp[j]) /
+                          static_cast<double>(np[j])
+                    : 0.0;
     }
     std::vector<double> sorted = relevance;
     std::sort(sorted.begin(), sorted.end());
@@ -242,8 +253,7 @@ class BetaClusterFinder {
     const std::vector<uint64_t> self(coords, coords + d_);
     CountingTree::CellRef center;
     const bool have_center = tree_.FindCell(h, self, &center);
-    assert(have_center);
-    (void)have_center;
+    MRCC_CHECK(have_center);  // The candidate came from this level's cells.
     out->center_count = tree_.cell(center).n;
     // Growth floor: the paper grows toward any neighbor "containing at
     // least one point"; we additionally require a non-negligible share of

@@ -9,8 +9,7 @@
 // face neighbors, and the sweep restarts from level 2. The search ends
 // after a full sweep with no statistically significant candidate.
 
-#ifndef MRCC_CORE_BETA_CLUSTER_FINDER_H_
-#define MRCC_CORE_BETA_CLUSTER_FINDER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -72,4 +71,3 @@ std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
 
 }  // namespace mrcc
 
-#endif  // MRCC_CORE_BETA_CLUSTER_FINDER_H_

@@ -1,10 +1,10 @@
 #include "core/cluster_builder.h"
 
 #include <algorithm>
-#include <cassert>
 #include <memory>
 #include <mutex>
 
+#include "common/check.h"
 #include "common/parallel.h"
 #include "common/union_find.h"
 
@@ -34,6 +34,8 @@ Clustering MergeBetaClusters(const std::vector<BetaCluster>& betas,
 
   // Lines 6-8: a cluster's relevant axes are the union over its β-clusters.
   for (size_t b = 0; b < bk; ++b) {
+    MRCC_DCHECK_LT(dense[b], gk);
+    MRCC_DCHECK_EQ(betas[b].relevant.size(), num_dims);
     ClusterInfo& info = out.clusters[dense[b]];
     for (size_t j = 0; j < num_dims; ++j) {
       if (betas[b].relevant[j]) info.relevant_axes[j] = true;
@@ -53,6 +55,9 @@ Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
                                      const std::vector<int>& beta_to_cluster,
                                      const DataSource& source,
                                      int num_threads) {
+  // Each contained point is labeled beta_to_cluster[b] — a short map
+  // silently mislabels, a long one reads out of the betas' range.
+  MRCC_CHECK_EQ(beta_to_cluster.size(), betas.size());
   const size_t n = source.NumPoints();
   std::vector<int> labels(n, kNoiseLabel);
   // Every worker labels one contiguous slice through its own cursor;
@@ -105,7 +110,7 @@ Clustering BuildCorrelationClusters(const std::vector<BetaCluster>& betas,
   // memory source never fails, so the labeling result is always ok.
   Result<std::vector<int>> labels =
       LabelPoints(betas, dense, source, num_threads);
-  assert(labels.ok());
+  MRCC_CHECK(labels.ok());
   out.labels = std::move(*labels);
   return out;
 }

@@ -12,8 +12,7 @@
 // over contiguous point slices with bit-identical output at any thread
 // count.
 
-#ifndef MRCC_CORE_CLUSTER_BUILDER_H_
-#define MRCC_CORE_CLUSTER_BUILDER_H_
+#pragma once
 
 #include <vector>
 
@@ -52,4 +51,3 @@ Clustering BuildCorrelationClusters(const std::vector<BetaCluster>& betas,
 
 }  // namespace mrcc
 
-#endif  // MRCC_CORE_CLUSTER_BUILDER_H_

@@ -1,10 +1,31 @@
 #include "core/counting_tree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
+#include <unordered_set>
+
+#include "common/check.h"
 
 namespace mrcc {
+namespace {
+
+// Debug-build hook shared by Builder::Finish and MergeTree: a structural
+// violation at these points is a construction bug, so abort with the
+// invariant's message rather than return a Status the caller would have
+// to treat as an input error.
+void DCheckInvariants(const CountingTree& tree) {
+#ifndef NDEBUG
+  const Status v = tree.ValidateInvariants();
+  if (!v.ok()) {
+    internal::CheckFailed(__FILE__, __LINE__, "ValidateInvariants()",
+                          v.message().c_str());
+  }
+#else
+  (void)tree;
+#endif
+}
+
+}  // namespace
 
 CountingTree::Builder::Builder(size_t num_dims, int num_resolutions) {
   if (num_resolutions < 3) {
@@ -41,6 +62,7 @@ Status CountingTree::Builder::Add(std::span<const double> point) {
 
 Result<CountingTree> CountingTree::Builder::Finish() && {
   MRCC_RETURN_IF_ERROR(status_);
+  DCheckInvariants(*tree_);
   return std::move(*tree_);
 }
 
@@ -158,7 +180,8 @@ uint32_t CountingTree::NewNode(int level, std::vector<uint64_t> base_coords) {
 }
 
 const std::vector<uint32_t>& CountingTree::NodesAtLevel(int h) const {
-  assert(h >= 1 && h < num_resolutions_);
+  MRCC_DCHECK_GE(h, 1);
+  MRCC_DCHECK_LT(h, num_resolutions_);
   return by_level_[h];
 }
 
@@ -179,7 +202,9 @@ std::vector<uint64_t> CountingTree::CellCoords(const Node& node,
 
 bool CountingTree::FindCell(int level, const std::vector<uint64_t>& coords,
                             CellRef* ref) const {
-  assert(level >= 1 && level < num_resolutions_);
+  MRCC_DCHECK_GE(level, 1);
+  MRCC_DCHECK_LT(level, num_resolutions_);
+  MRCC_DCHECK_EQ(coords.size(), num_dims_);
   uint32_t node_idx = 0;
   for (int l = 1; l <= level; ++l) {
     // Position bits of the level-l ancestor inside its parent.
@@ -206,8 +231,8 @@ bool CountingTree::FindCell(int level, const std::vector<uint64_t>& coords,
 bool CountingTree::FaceNeighbor(int level,
                                 const std::vector<uint64_t>& coords,
                                 size_t axis, int dir, CellRef* ref) const {
-  assert(dir == -1 || dir == 1);
-  assert(axis < num_dims_);
+  MRCC_DCHECK(dir == -1 || dir == 1);
+  MRCC_DCHECK_LT(axis, num_dims_);
   const uint64_t max_coord = (uint64_t{1} << level) - 1;
   if (dir < 0 && coords[axis] == 0) return false;
   if (dir > 0 && coords[axis] == max_coord) return false;
@@ -227,6 +252,124 @@ void CountingTree::ResetUsedFlags() {
   for (Node& node : nodes_) {
     for (Cell& cell : node.cells) cell.used = false;
   }
+}
+
+Status CountingTree::ValidateInvariants() const {
+  const auto fail = [](std::string msg) {
+    return Status::Internal("tree invariant violated: " + std::move(msg));
+  };
+  const size_t d = num_dims_;
+  if (d == 0 || d > kMaxDims) return fail("dimensionality out of range");
+  if (num_resolutions_ < 3) return fail("fewer than 3 resolutions");
+  if (nodes_.empty()) return fail("no root node");
+  if (by_level_.size() != static_cast<size_t>(num_resolutions_)) {
+    return fail("by-level index has wrong resolution count");
+  }
+
+  const Node& root = nodes_[0];
+  if (root.level != 1) return fail("root node is not at level 1");
+  for (uint64_t c : root.base_coords) {
+    if (c != 0) return fail("root base coordinates are not zero");
+  }
+
+  // parent_refs[m]: number of cells pointing at node m as their child.
+  std::vector<uint32_t> parent_refs(nodes_.size(), 0);
+  uint64_t root_points = 0;
+  std::unordered_set<uint64_t> locs;
+  for (size_t m = 0; m < nodes_.size(); ++m) {
+    const Node& node = nodes_[m];
+    const std::string where = "node " + std::to_string(m) + ": ";
+    if (node.level < 1 || node.level >= num_resolutions_) {
+      return fail(where + "level " + std::to_string(node.level) +
+                  " out of range");
+    }
+    if (node.base_coords.size() != d) {
+      return fail(where + "base coordinate dimensionality mismatch");
+    }
+    const uint64_t max_base = uint64_t{1} << (node.level - 1);
+    for (uint64_t c : node.base_coords) {
+      if (c >= max_base) return fail(where + "base coordinate out of range");
+    }
+    if (node.half.size() != node.cells.size() * d) {
+      return fail(where + "half-space count array has wrong size");
+    }
+    locs.clear();
+    for (size_t c = 0; c < node.cells.size(); ++c) {
+      const Cell& cell = node.cells[c];
+      const std::string cell_where =
+          where + "cell " + std::to_string(c) + ": ";
+      if (d < 64 && (cell.loc >> d) != 0) {
+        return fail(cell_where + "loc has bits above dimension " +
+                    std::to_string(d));
+      }
+      if (!locs.insert(cell.loc).second) {
+        return fail(cell_where + "duplicate loc among siblings");
+      }
+      if (cell.n == 0) return fail(cell_where + "materialized cell is empty");
+      for (size_t j = 0; j < d; ++j) {
+        if (node.half[c * d + j] > cell.n) {
+          return fail(cell_where + "half-space count " +
+                      std::to_string(node.half[c * d + j]) +
+                      " exceeds cell count " + std::to_string(cell.n) +
+                      " on axis " + std::to_string(j));
+        }
+      }
+      if (cell.child_node >= 0) {
+        const auto child_idx = static_cast<size_t>(cell.child_node);
+        if (child_idx >= nodes_.size()) {
+          return fail(cell_where + "dangling child pointer");
+        }
+        if (child_idx == 0) return fail(cell_where + "root used as child");
+        const Node& child = nodes_[child_idx];
+        if (child.level != node.level + 1) {
+          return fail(cell_where + "child level is not parent level + 1");
+        }
+        const std::vector<uint64_t> coords = CellCoords(node, cell);
+        if (child.base_coords != coords) {
+          return fail(cell_where + "child base coordinates do not match");
+        }
+        uint64_t child_sum = 0;
+        for (const Cell& cc : child.cells) child_sum += cc.n;
+        if (child_sum != cell.n) {
+          return fail(cell_where + "child counts sum to " +
+                      std::to_string(child_sum) + ", expected " +
+                      std::to_string(cell.n));
+        }
+        parent_refs[child_idx] += 1;
+      }
+      if (m == 0) root_points += cell.n;
+    }
+  }
+  for (size_t m = 1; m < nodes_.size(); ++m) {
+    if (parent_refs[m] != 1) {
+      return fail("node " + std::to_string(m) + " referenced by " +
+                  std::to_string(parent_refs[m]) + " parent cells");
+    }
+  }
+  if (root_points != total_points_) {
+    return fail("root counts sum to " + std::to_string(root_points) +
+                ", total_points is " + std::to_string(total_points_));
+  }
+
+  // Every node must be registered exactly once, at its own level.
+  std::vector<uint32_t> level_refs(nodes_.size(), 0);
+  for (size_t h = 0; h < by_level_.size(); ++h) {
+    for (uint32_t idx : by_level_[h]) {
+      if (idx >= nodes_.size()) return fail("by-level index out of range");
+      if (nodes_[idx].level != static_cast<int>(h)) {
+        return fail("node " + std::to_string(idx) +
+                    " registered at the wrong level");
+      }
+      level_refs[idx] += 1;
+    }
+  }
+  for (size_t m = 0; m < nodes_.size(); ++m) {
+    if (level_refs[m] != 1) {
+      return fail("node " + std::to_string(m) + " appears " +
+                  std::to_string(level_refs[m]) + " times in by-level index");
+    }
+  }
+  return Status::OK();
 }
 
 size_t CountingTree::MemoryBytes() const {

@@ -20,8 +20,7 @@
 // built in a single scan of the data: O(eta * H * d) time and
 // O(H * eta * d) space, matching Algorithm 1.
 
-#ifndef MRCC_CORE_COUNTING_TREE_H_
-#define MRCC_CORE_COUNTING_TREE_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -165,6 +164,16 @@ class CountingTree {
   /// Clears every usedCell flag (lets one tree serve several runs).
   void ResetUsedFlags();
 
+  /// Full structural walk of every invariant the core relies on: d-bit
+  /// loc codes, half-space counts P[j] <= n, child levels/base
+  /// coordinates, child count sums equal to the parent cell count,
+  /// single-parent linkage, by-level index consistency and the
+  /// total-point count. O(nodes * cells * d) — debug/validation tool,
+  /// not a hot-path call. Returns OK or Internal naming the first
+  /// violated invariant. Builder::Finish and MergeTree run it in debug
+  /// builds; LoadTree runs it unconditionally to reject corrupt files.
+  Status ValidateInvariants() const;
+
   /// Approximate heap footprint of the tree in bytes.
   size_t MemoryBytes() const;
 
@@ -197,4 +206,3 @@ class CountingTree {
 
 }  // namespace mrcc
 
-#endif  // MRCC_CORE_COUNTING_TREE_H_

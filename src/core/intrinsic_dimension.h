@@ -16,8 +16,7 @@
 // levels — one more reason the multi-resolution grid is the right
 // substrate for this kind of data.
 
-#ifndef MRCC_CORE_INTRINSIC_DIMENSION_H_
-#define MRCC_CORE_INTRINSIC_DIMENSION_H_
+#pragma once
 
 #include <vector>
 
@@ -54,4 +53,3 @@ Result<double> EstimateIntrinsicDimension(const Dataset& data,
 
 }  // namespace mrcc
 
-#endif  // MRCC_CORE_INTRINSIC_DIMENSION_H_

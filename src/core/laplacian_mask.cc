@@ -1,7 +1,8 @@
 #include "core/laplacian_mask.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace mrcc {
 namespace {
@@ -18,6 +19,9 @@ int64_t FaceLaplacianConvolve(const CountingTree& tree, int level,
                               const std::vector<uint64_t>& coords,
                               uint32_t center_count) {
   const size_t d = tree.num_dims();
+  MRCC_DCHECK_GE(level, 1);
+  MRCC_DCHECK_LT(level, tree.num_resolutions());
+  MRCC_DCHECK_EQ(coords.size(), d);
   int64_t acc = 2 * static_cast<int64_t>(d) * center_count;
   for (size_t j = 0; j < d; ++j) {
     acc -= tree.FaceNeighborCount(level, coords, j, -1);
@@ -30,7 +34,10 @@ int64_t FullLaplacianConvolve(const CountingTree& tree, int level,
                               const std::vector<uint64_t>& coords,
                               uint32_t center_count) {
   const size_t d = tree.num_dims();
-  assert(d <= kMaxFullMaskDims);
+  MRCC_DCHECK_LE(d, kMaxFullMaskDims);
+  MRCC_DCHECK_GE(level, 1);
+  MRCC_DCHECK_LT(level, tree.num_resolutions());
+  MRCC_DCHECK_EQ(coords.size(), d);
   const uint64_t max_coord = (uint64_t{1} << level) - 1;
 
   const size_t cells = Pow3(d);
@@ -58,7 +65,8 @@ int64_t FullLaplacianConvolve(const CountingTree& tree, int level,
 }
 
 std::vector<int64_t> DenseFaceMask(size_t d) {
-  assert(d > 0 && d <= kMaxFullMaskDims);
+  MRCC_DCHECK_GT(d, 0u);
+  MRCC_DCHECK_LE(d, kMaxFullMaskDims);
   const size_t cells = Pow3(d);
   std::vector<int64_t> mask(cells, 0);
   for (size_t code = 0; code < cells; ++code) {
@@ -78,7 +86,8 @@ std::vector<int64_t> DenseFaceMask(size_t d) {
 }
 
 std::vector<int64_t> DenseFullMask(size_t d) {
-  assert(d > 0 && d <= kMaxFullMaskDims);
+  MRCC_DCHECK_GT(d, 0u);
+  MRCC_DCHECK_LE(d, kMaxFullMaskDims);
   const size_t cells = Pow3(d);
   std::vector<int64_t> mask(cells, -1);
   // Center index: offset 0 on every axis -> digit 1 everywhere.

@@ -10,8 +10,7 @@
 // also provided for the ablation study and for testing the face-only
 // shortcut; it is exponential in d and gated to small dimensionalities.
 
-#ifndef MRCC_CORE_LAPLACIAN_MASK_H_
-#define MRCC_CORE_LAPLACIAN_MASK_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -49,4 +48,3 @@ std::vector<int64_t> DenseFullMask(size_t d);
 
 }  // namespace mrcc
 
-#endif  // MRCC_CORE_LAPLACIAN_MASK_H_

@@ -16,8 +16,7 @@
 // cell slices with order-invariant reductions, so any `num_threads`
 // produces bit-identical results to the serial run (see DESIGN.md §8).
 
-#ifndef MRCC_CORE_MRCC_H_
-#define MRCC_CORE_MRCC_H_
+#pragma once
 
 #include <vector>
 
@@ -118,4 +117,3 @@ class MrCC : public SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_CORE_MRCC_H_

@@ -10,8 +10,7 @@
 // Gaussian responsibilities, with a floor that sends far-away points to
 // noise (an all-zero row).
 
-#ifndef MRCC_CORE_SOFT_MEMBERSHIP_H_
-#define MRCC_CORE_SOFT_MEMBERSHIP_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -76,4 +75,3 @@ Result<SoftClustering> ComputeSoftMembership(
 
 }  // namespace mrcc
 
-#endif  // MRCC_CORE_SOFT_MEMBERSHIP_H_

@@ -9,8 +9,7 @@
 // what makes the "very large datasets" of the paper's title practical
 // beyond RAM.
 
-#ifndef MRCC_CORE_STREAMING_H_
-#define MRCC_CORE_STREAMING_H_
+#pragma once
 
 #include <string>
 
@@ -29,4 +28,3 @@ Result<MrCCResult> RunMrCCOnBinaryFile(const std::string& path,
 
 }  // namespace mrcc
 
-#endif  // MRCC_CORE_STREAMING_H_

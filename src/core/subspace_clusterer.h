@@ -1,8 +1,7 @@
 // Common interface implemented by MrCC and every baseline method, so the
 // evaluation harness and benches can drive all algorithms uniformly.
 
-#ifndef MRCC_CORE_SUBSPACE_CLUSTERER_H_
-#define MRCC_CORE_SUBSPACE_CLUSTERER_H_
+#pragma once
 
 #include <string>
 
@@ -57,4 +56,3 @@ class SubspaceClusterer {
 
 }  // namespace mrcc
 
-#endif  // MRCC_CORE_SUBSPACE_CLUSTERER_H_

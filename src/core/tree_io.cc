@@ -3,6 +3,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/check.h"
+
 namespace mrcc {
 namespace {
 
@@ -50,8 +52,15 @@ Status SaveTree(const CountingTree& tree, const std::string& path) {
 }
 
 Result<CountingTree> LoadTree(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::IOError("cannot open for reading: " + path);
+  // The counts in the header and the per-node records drive allocations,
+  // so never trust them further than the file size: a record of k
+  // elements needs at least k * sizeof(element) bytes of payload. This
+  // turns a corrupt or truncated file into a clean IOError instead of a
+  // multi-gigabyte resize.
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -66,8 +75,18 @@ Result<CountingTree> LoadTree(const std::string& path) {
       !ReadPod(in, &total_points) || !ReadPod(in, &node_count)) {
     return Status::IOError("truncated tree header in " + path);
   }
-  if (dims == 0 || dims > CountingTree::kMaxDims || resolutions < 3) {
+  if (dims == 0 || dims > CountingTree::kMaxDims || resolutions < 3 ||
+      resolutions > CountingTree::kMaxResolutions + 1) {
     return Status::IOError("implausible tree header in " + path);
+  }
+  // Per-record minimum sizes in the serialized layout (see tree_io.h).
+  const uint64_t d = dims;
+  const uint64_t node_bytes = sizeof(int32_t) + d * sizeof(uint64_t) +
+                              sizeof(uint64_t);
+  const uint64_t cell_bytes = sizeof(uint64_t) + sizeof(uint32_t) +
+                              sizeof(int32_t) + d * sizeof(uint32_t);
+  if (node_count > file_size / node_bytes) {
+    return Status::IOError("implausible node count in " + path);
   }
 
   CountingTree tree(dims, static_cast<int>(resolutions));
@@ -89,6 +108,9 @@ Result<CountingTree> LoadTree(const std::string& path) {
     uint64_t cell_count = 0;
     if (!ReadPod(in, &cell_count)) {
       return Status::IOError("truncated: " + path);
+    }
+    if (cell_count > file_size / cell_bytes) {
+      return Status::IOError("implausible cell count in " + path);
     }
     node.cells.resize(cell_count);
     node.half.resize(cell_count * dims);
@@ -117,6 +139,14 @@ Result<CountingTree> LoadTree(const std::string& path) {
     }
     tree.by_level_[static_cast<size_t>(level)].push_back(
         static_cast<uint32_t>(n));
+  }
+  // Field-level reads above only prove the bytes parse; a well-formed
+  // stream can still encode a structurally corrupt tree (half counts
+  // exceeding the cell count, child sums that do not add up, duplicate
+  // sibling locs). MergeTree and the β-search would turn such a tree
+  // into silent nonsense, so reject it at the I/O boundary.
+  if (Status v = tree.ValidateInvariants(); !v.ok()) {
+    return Status::IOError("corrupt tree in " + path + ": " + v.message());
   }
   return tree;
 }
@@ -184,6 +214,8 @@ Status MergeTree(CountingTree* tree, const CountingTree& other) {
         dst.half[dst_cell_idx * d + j] += src.half[c * d + j];
       }
       if (src_cell.child_node >= 0) {
+        MRCC_DCHECK_LT(static_cast<size_t>(src_cell.child_node),
+                       other.nodes_.size());
         parent_slot[static_cast<size_t>(src_cell.child_node)] = {
             static_cast<int64_t>(dst_node), dst_cell_idx};
       }
@@ -191,6 +223,14 @@ Status MergeTree(CountingTree* tree, const CountingTree& other) {
   }
   tree->total_points_ += other.total_points_;
   tree->ResetUsedFlags();
+#ifndef NDEBUG
+  // A merge that breaks structure is a bug in this function, not bad
+  // input — abort with the violated invariant rather than return it.
+  if (Status v = tree->ValidateInvariants(); !v.ok()) {
+    internal::CheckFailed(__FILE__, __LINE__, "ValidateInvariants()",
+                          v.message().c_str());
+  }
+#endif
   return Status::OK();
 }
 

@@ -13,8 +13,7 @@
 //     u64 cell_count, per cell: u64 loc, u32 n, i32 child_node,
 //     d*u32 half
 
-#ifndef MRCC_CORE_TREE_IO_H_
-#define MRCC_CORE_TREE_IO_H_
+#pragma once
 
 #include <string>
 
@@ -40,4 +39,3 @@ bool TreesEquivalent(const CountingTree& a, const CountingTree& b);
 
 }  // namespace mrcc
 
-#endif  // MRCC_CORE_TREE_IO_H_

@@ -9,7 +9,7 @@ namespace mrcc {
 namespace {
 
 size_t Scaled(size_t n, double scale) {
-  return std::max<size_t>(100, static_cast<size_t>(std::llround(n * scale)));
+  return std::max<size_t>(100, static_cast<size_t>(std::llround(static_cast<double>(n) * scale)));
 }
 
 // Distinct seeds per family keep the datasets independent.

@@ -14,8 +14,7 @@
 // A global `scale` factor multiplies every point count so the full
 // experiment suite can run quickly (shape-preserving) or at paper scale.
 
-#ifndef MRCC_DATA_CATALOG_H_
-#define MRCC_DATA_CATALOG_H_
+#pragma once
 
 #include <vector>
 
@@ -55,4 +54,3 @@ std::vector<Kdd08LikeConfig> Kdd08LikeConfigs(double scale = 1.0);
 
 }  // namespace mrcc
 
-#endif  // MRCC_DATA_CATALOG_H_

@@ -18,8 +18,7 @@
 // MrCC::Run(const DataSource&) is the single pipeline entry point; the
 // in-memory and streaming drivers are thin wrappers over it.
 
-#ifndef MRCC_DATA_DATA_SOURCE_H_
-#define MRCC_DATA_DATA_SOURCE_H_
+#pragma once
 
 #include <memory>
 #include <span>
@@ -111,4 +110,3 @@ class BinaryFileDataSource : public DataSource {
 
 }  // namespace mrcc
 
-#endif  // MRCC_DATA_DATA_SOURCE_H_

@@ -6,8 +6,7 @@
 // (Definition 2: disjoint point sets, each with a set of relevant axes;
 // remaining points are noise).
 
-#ifndef MRCC_DATA_DATASET_H_
-#define MRCC_DATA_DATASET_H_
+#pragma once
 
 #include <cstddef>
 #include <span>
@@ -115,4 +114,3 @@ struct LabeledDataset {
 
 }  // namespace mrcc
 
-#endif  // MRCC_DATA_DATASET_H_

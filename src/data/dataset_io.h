@@ -9,8 +9,7 @@
 //   | num_points * num_dims f64 values | u8 has_labels
 //   | (if has_labels) num_points i32 labels
 
-#ifndef MRCC_DATA_DATASET_IO_H_
-#define MRCC_DATA_DATASET_IO_H_
+#pragma once
 
 #include <string>
 
@@ -41,4 +40,3 @@ Result<Dataset> LoadBinary(const std::string& path,
 
 }  // namespace mrcc
 
-#endif  // MRCC_DATA_DATASET_IO_H_

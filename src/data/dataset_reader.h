@@ -6,8 +6,7 @@
 // datasets (the paper's title claim) can be clustered with O(tree) memory
 // instead of O(eta * d). See core/streaming.h for the driver.
 
-#ifndef MRCC_DATA_DATASET_READER_H_
-#define MRCC_DATA_DATASET_READER_H_
+#pragma once
 
 #include <cstdint>
 #include <fstream>
@@ -62,4 +61,3 @@ class BinaryDatasetReader {
 
 }  // namespace mrcc
 
-#endif  // MRCC_DATA_DATASET_READER_H_

@@ -49,7 +49,7 @@ Result<LabeledDataset> GenerateSynthetic(const SyntheticConfig& config) {
   const size_t k = config.num_clusters;
 
   const size_t num_noise =
-      static_cast<size_t>(std::llround(config.noise_fraction * n));
+      static_cast<size_t>(std::llround(config.noise_fraction * static_cast<double>(n)));
   const size_t num_clustered = n - num_noise;
 
   // Cluster sizes: explicit proportions when given, otherwise random

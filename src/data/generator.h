@@ -3,8 +3,7 @@
 // uniform background noise, optional rotation in random planes, everything
 // embedded in [0,1)^d.
 
-#ifndef MRCC_DATA_GENERATOR_H_
-#define MRCC_DATA_GENERATOR_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -106,4 +105,3 @@ Result<Kdd08LikeDataset> GenerateKdd08Like(const Kdd08LikeConfig& config);
 
 }  // namespace mrcc
 
-#endif  // MRCC_DATA_GENERATOR_H_

@@ -8,8 +8,7 @@
 // Jacobi eigensolver, projecting onto the leading components and
 // re-normalizing into the unit cube MrCC expects.
 
-#ifndef MRCC_DATA_PCA_H_
-#define MRCC_DATA_PCA_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -58,4 +57,3 @@ Result<Dataset> PcaReduce(const Dataset& data, size_t target_dims);
 
 }  // namespace mrcc
 
-#endif  // MRCC_DATA_PCA_H_

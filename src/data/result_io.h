@@ -6,8 +6,7 @@
 // linking the library. Label I/O round-trips plain one-label-per-line
 // files for interop with external evaluation scripts.
 
-#ifndef MRCC_DATA_RESULT_IO_H_
-#define MRCC_DATA_RESULT_IO_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -35,4 +34,3 @@ Result<std::vector<int>> LoadLabels(const std::string& path);
 
 }  // namespace mrcc
 
-#endif  // MRCC_DATA_RESULT_IO_H_

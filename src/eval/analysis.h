@@ -3,8 +3,7 @@
 // standard subspace-clustering measure), and per-cluster descriptive
 // statistics for result inspection.
 
-#ifndef MRCC_EVAL_ANALYSIS_H_
-#define MRCC_EVAL_ANALYSIS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -53,4 +52,3 @@ std::vector<ClusterSummary> SummarizeClusters(const Dataset& data,
 
 }  // namespace mrcc
 
-#endif  // MRCC_EVAL_ANALYSIS_H_

@@ -2,8 +2,7 @@
 // and measures everything the paper's figures report — wall-clock time,
 // peak heap memory, Quality and Subspaces Quality.
 
-#ifndef MRCC_EVAL_MEASUREMENT_H_
-#define MRCC_EVAL_MEASUREMENT_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -53,4 +52,3 @@ std::string MeasurementCsvRow(const RunMeasurement& m);
 
 }  // namespace mrcc
 
-#endif  // MRCC_EVAL_MEASUREMENT_H_

@@ -21,7 +21,9 @@ double AxisOverlapRatio(const std::vector<bool>& a,
       if (b[j]) ++inter;
     }
   }
-  return size_a > 0 ? static_cast<double>(inter) / size_a : 0.0;
+  return size_a > 0
+             ? static_cast<double>(inter) / static_cast<double>(size_a)
+             : 0.0;
 }
 
 struct Contingency {
@@ -70,7 +72,8 @@ void ScorePoints(const Contingency& c, QualityReport* report) {
     }
     report->dominant_real[f] = best_r;
     if (c.found_sizes[f] > 0) {
-      precision_sum += static_cast<double>(best) / c.found_sizes[f];
+      precision_sum += static_cast<double>(best) /
+                       static_cast<double>(c.found_sizes[f]);
     }
   }
   double recall_sum = 0.0;
@@ -85,7 +88,8 @@ void ScorePoints(const Contingency& c, QualityReport* report) {
     }
     report->dominant_found[r] = best_f;
     if (c.real_sizes[r] > 0) {
-      recall_sum += static_cast<double>(best) / c.real_sizes[r];
+      recall_sum += static_cast<double>(best) /
+                    static_cast<double>(c.real_sizes[r]);
     }
   }
   report->precision = precision_sum / static_cast<double>(num_found);

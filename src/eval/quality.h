@@ -9,8 +9,7 @@
 // relevant-axis sets (E sets) in place of the point sets, keeping the
 // point-overlap pairing. A result with no found clusters scores 0.
 
-#ifndef MRCC_EVAL_QUALITY_H_
-#define MRCC_EVAL_QUALITY_H_
+#pragma once
 
 #include <vector>
 
@@ -54,4 +53,3 @@ QualityReport EvaluateAgainstClasses(const Clustering& found,
 
 }  // namespace mrcc
 
-#endif  // MRCC_EVAL_QUALITY_H_

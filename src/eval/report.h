@@ -6,8 +6,7 @@
 // file a browser can open directly. Intended for eyeballing results
 // rather than publication plots.
 
-#ifndef MRCC_EVAL_REPORT_H_
-#define MRCC_EVAL_REPORT_H_
+#pragma once
 
 #include <string>
 
@@ -53,4 +52,3 @@ Status WriteRunReport(const Dataset& data, const MrCCResult& result,
 
 }  // namespace mrcc
 
-#endif  // MRCC_EVAL_REPORT_H_

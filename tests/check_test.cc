@@ -1,0 +1,73 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace mrcc {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  MRCC_CHECK(true);
+  MRCC_CHECK_EQ(1, 1);
+  MRCC_CHECK_NE(1, 2);
+  MRCC_CHECK_LE(1, 1);
+  MRCC_CHECK_LT(1, 2);
+  MRCC_CHECK_GE(2, 2);
+  MRCC_CHECK_GT(2, 1);
+  MRCC_DCHECK(true);
+  MRCC_DCHECK_EQ(uint64_t{7}, uint64_t{7});
+}
+
+TEST(CheckTest, OperandsEvaluateExactlyOnce) {
+  int calls = 0;
+  const auto next = [&calls] { return ++calls; };
+  MRCC_CHECK_LE(next(), 10);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, CheckAbortsWithConditionText) {
+  EXPECT_DEATH(MRCC_CHECK(2 + 2 == 5),
+               "MRCC_CHECK failed at .*check_test.cc:[0-9]+: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, ComparisonPrintsBothValues) {
+  const int64_t cp = 12;
+  const int64_t np = 7;
+  EXPECT_DEATH(MRCC_CHECK_LE(cp, np), "cp <= np.*values: 12 vs 7");
+}
+
+TEST(CheckDeathTest, UnsignedValuesPrintUnsigned) {
+  const uint64_t big = 0xFFFFFFFFFFFFFFFFull;
+  EXPECT_DEATH(MRCC_CHECK_EQ(big, uint64_t{0}),
+               "values: 18446744073709551615 vs 0");
+}
+
+TEST(CheckDeathTest, DoubleValuesPrint) {
+  const double alpha = 0.25;
+  EXPECT_DEATH(MRCC_CHECK_GT(alpha, 1.0), "values: 0.25 vs 1");
+}
+
+// MRCC_DCHECK is active exactly when NDEBUG is not defined. Release
+// builds (the default, including the tier-1 suite) compile it out —
+// operands are not even evaluated.
+TEST(CheckDeathTest, DcheckMatchesBuildMode) {
+#ifdef NDEBUG
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  MRCC_DCHECK(count());
+  (void)count;
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_DEATH(MRCC_DCHECK(false), "MRCC_CHECK failed");
+  EXPECT_DEATH(MRCC_DCHECK_EQ(3, 4), "values: 3 vs 4");
+#endif
+}
+
+}  // namespace
+}  // namespace mrcc

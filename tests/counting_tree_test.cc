@@ -302,5 +302,58 @@ TEST(CountingTreeTest, DenseNodeIndexSwitchIsTransparent) {
   }
 }
 
+TEST(CountingTreeInvariantsTest, FreshTreeValidates) {
+  Dataset d = testing::UniformDataset(2000, 5, 11);
+  Result<CountingTree> tree = CountingTree::Build(d, 5);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->ValidateInvariants().ok());
+}
+
+TEST(CountingTreeInvariantsTest, DetectsHalfCountAboveCellCount) {
+  Dataset d = testing::UniformDataset(1000, 4, 12);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  // P[j] counts a subset of the cell's points, so P[j] > n is impossible
+  // in a correct tree.
+  CountingTree::Node& root = tree->node(0);
+  root.half[0] = root.cells[0].n + 1;
+  const Status v = tree->ValidateInvariants();
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.message().find("half-space"), std::string::npos)
+      << v.ToString();
+}
+
+TEST(CountingTreeInvariantsTest, DetectsLocBitsAboveDimension) {
+  Dataset d = testing::UniformDataset(1000, 4, 13);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  tree->node(0).cells[0].loc |= uint64_t{1} << 60;  // d = 4: bit 60 invalid.
+  const Status v = tree->ValidateInvariants();
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.message().find("loc"), std::string::npos) << v.ToString();
+}
+
+TEST(CountingTreeInvariantsTest, DetectsChildSumMismatch) {
+  Dataset d = testing::UniformDataset(1000, 4, 14);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  // Inflating one level-1 cell breaks "child counts sum to the parent"
+  // (and the root total): every point in a cell is also counted in its
+  // child node.
+  tree->node(0).cells[0].n += 5;
+  EXPECT_FALSE(tree->ValidateInvariants().ok());
+}
+
+TEST(CountingTreeInvariantsTest, DetectsDanglingChildPointer) {
+  Dataset d = testing::UniformDataset(1000, 4, 15);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  tree->node(0).cells[0].child_node =
+      static_cast<int32_t>(tree->num_nodes() + 100);
+  const Status v = tree->ValidateInvariants();
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.message().find("child"), std::string::npos) << v.ToString();
+}
+
 }  // namespace
 }  // namespace mrcc

@@ -24,7 +24,9 @@ TEST(SliceTest, SlicesPartitionTheRange) {
         const size_t end = SliceEnd(n, threads, t);
         ASSERT_LE(begin, end);
         // Slices are contiguous and ascending.
-        if (t > 0) ASSERT_EQ(begin, SliceEnd(n, threads, t - 1));
+        if (t > 0) {
+          ASSERT_EQ(begin, SliceEnd(n, threads, t - 1));
+        }
         covered += end - begin;
       }
       ASSERT_EQ(SliceBegin(n, threads, 0), 0u);

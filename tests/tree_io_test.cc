@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 
 #include "core/beta_cluster_finder.h"
 #include "test_util.h"
@@ -71,6 +72,86 @@ TEST(TreeIoTest, LoadRejectsTruncation) {
               static_cast<std::streamsize>(contents.size() / 3));
   }
   EXPECT_FALSE(LoadTree(path).ok());
+  std::remove(path.c_str());
+}
+
+// Reads the whole file, lets `patch` flip bytes, writes it back.
+void PatchFile(const std::string& path,
+               const std::function<void(std::string*)>& patch) {
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  patch(&contents);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+// Serialized layout offsets (tree_io.h): the header is magic(4) +
+// version(4) + d(4) + H(4) + total_points(8) + node_count(8) = 32 bytes;
+// the first node record is level(4) + d*8 base_coords + cell_count(8);
+// each cell is loc(8) + n(4) + child(4) + d*4 half counts.
+constexpr size_t kHeaderBytes = 32;
+
+TEST(TreeIoTest, LoadRejectsCorruptHalfCount) {
+  const size_t d = 4;
+  Dataset data = testing::UniformDataset(500, d, 5);
+  Result<CountingTree> tree = CountingTree::Build(data, 4);
+  ASSERT_TRUE(tree.ok());
+  const std::string path = ::testing::TempDir() + "mrcc_tree_half.bin";
+  ASSERT_TRUE(SaveTree(*tree, path).ok());
+  // First half count of the first cell of the first node: a value above
+  // the cell's point count is structurally impossible.
+  const size_t offset = kHeaderBytes + 4 + d * 8 + 8 + 8 + 4 + 4;
+  PatchFile(path, [&](std::string* c) {
+    ASSERT_LT(offset + 4, c->size());
+    (*c)[offset] = '\xff';
+    (*c)[offset + 1] = '\xff';
+    (*c)[offset + 2] = '\xff';
+    (*c)[offset + 3] = '\x7f';
+  });
+  Result<CountingTree> loaded = LoadTree(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("half-space"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(TreeIoTest, LoadRejectsImplausibleCellCount) {
+  const size_t d = 4;
+  Dataset data = testing::UniformDataset(500, d, 6);
+  Result<CountingTree> tree = CountingTree::Build(data, 4);
+  ASSERT_TRUE(tree.ok());
+  const std::string path = ::testing::TempDir() + "mrcc_tree_cells.bin";
+  ASSERT_TRUE(SaveTree(*tree, path).ok());
+  // Cell count of the first node: a value far beyond what the file could
+  // hold must fail cleanly instead of driving a multi-gigabyte resize.
+  const size_t offset = kHeaderBytes + 4 + d * 8;
+  PatchFile(path, [&](std::string* c) {
+    ASSERT_LT(offset + 8, c->size());
+    for (size_t b = 0; b < 7; ++b) (*c)[offset + b] = '\xff';
+    (*c)[offset + 7] = '\x7f';
+  });
+  Result<CountingTree> loaded = LoadTree(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(TreeIoTest, LoadRejectsImplausibleNodeCount) {
+  Dataset data = testing::UniformDataset(200, 3, 7);
+  Result<CountingTree> tree = CountingTree::Build(data, 4);
+  ASSERT_TRUE(tree.ok());
+  const std::string path = ::testing::TempDir() + "mrcc_tree_nodes.bin";
+  ASSERT_TRUE(SaveTree(*tree, path).ok());
+  const size_t offset = 24;  // node_count field of the header.
+  PatchFile(path, [&](std::string* c) {
+    for (size_t b = 0; b < 7; ++b) (*c)[offset + b] = '\xff';
+    (*c)[offset + 7] = '\x7f';
+  });
+  Result<CountingTree> loaded = LoadTree(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
   std::remove(path.c_str());
 }
 

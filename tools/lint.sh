@@ -1,0 +1,94 @@
+#!/usr/bin/env sh
+# Repo-invariant checker: the toolchain-independent half of the static
+# gate (the clang-tidy half is -DMRCC_LINT=ON, or `tools/lint.sh --tidy`
+# when clang-tidy is installed). Scans library code under src/ for
+# constructions this repo bans outright:
+#
+#   1. rand()/srand()       — not thread-safe and not reproducible; all
+#                             randomness goes through common/rng.h.
+#   2. raw new[]            — owning raw arrays bypass RAII; use
+#                             std::vector or std::unique_ptr<T[]>.
+#   3. #include <iostream>  — library code must not write to std streams
+#                             (report generation composes strings;
+#                             check.h uses cstdio for the abort path).
+#   4. missing #pragma once — every header must carry the guard.
+#
+# A `lint-allow: <ban>` comment on the offending line suppresses it.
+# Exits non-zero and prints every offending file:line when a ban is hit.
+# Run from anywhere; the repo root is derived from this script's path.
+
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$root"
+
+fail=0
+
+# Sources and headers under src/ (the library tree). Tests, benches and
+# examples are user-facing binaries and may use iostream freely.
+src_files=$(find src -name '*.cc' -o -name '*.h' | sort)
+src_headers=$(find src -name '*.h' | sort)
+
+report() {
+  # $1 = ban description, $2 = offending file:line matches (if any).
+  if [ -n "$2" ]; then
+    echo "LINT: banned $1:" >&2
+    echo "$2" | sed 's/^/  /' >&2
+    fail=1
+  fi
+}
+
+# 1. rand()/srand(). The left guard keeps identifiers like `grand()` out.
+matches=$(echo "$src_files" \
+  | xargs grep -nE '(^|[^_[:alnum:]])s?rand\(' \
+  | grep -v 'lint-allow: rand' || true)
+report 'rand()/srand() (use common/rng.h)' "$matches"
+
+# 2. Raw array new. Matches `new T[` with qualified and template types;
+#    std::vector / unique_ptr<T[]> wrappers never spell this.
+matches=$(echo "$src_files" \
+  | xargs grep -nE 'new [A-Za-z_][A-Za-z0-9_:<>, ]*\[' \
+  | grep -v 'lint-allow: new-array' || true)
+report 'raw new[] (use std::vector)' "$matches"
+
+# 3. iostream in library code.
+matches=$(echo "$src_files" \
+  | xargs grep -nE '^[[:space:]]*#[[:space:]]*include[[:space:]]*<iostream>' \
+  | grep -v 'lint-allow: iostream' || true)
+report '<iostream> include under src/' "$matches"
+
+# 4. Headers without #pragma once.
+matches=$(for h in $src_headers; do
+  grep -qE '^[[:space:]]*#[[:space:]]*pragma[[:space:]]+once' "$h" \
+    || echo "$h"
+done)
+report 'header without #pragma once' "$matches"
+
+# Optional: run the clang-tidy gate too (needs clang-tidy and a compile
+# database; configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON. The
+# MRCC_LINT build reaches the same diagnostics during compilation).
+if [ "${1:-}" = "--tidy" ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    db=""
+    for d in build-lint build; do
+      [ -f "$d/compile_commands.json" ] && db="$d" && break
+    done
+    if [ -n "$db" ]; then
+      echo "lint.sh: running clang-tidy against $db/compile_commands.json"
+      find src -name '*.cc' | sort | xargs clang-tidy -p "$db" --quiet \
+        || fail=1
+    else
+      echo "lint.sh: no compile_commands.json found; configure with" >&2
+      echo "  cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+      fail=1
+    fi
+  else
+    echo "lint.sh: clang-tidy not installed; skipping tidy pass" >&2
+  fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint.sh: FAILED" >&2
+  exit 1
+fi
+echo "lint.sh: OK"
