@@ -28,13 +28,14 @@ RunMeasurement Measure(const MrCCParams& params, const LabeledDataset& ds,
 
 }  // namespace
 
-int main() {
-  const BenchOptions options = OptionsFromEnv();
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseOptions(argc, argv);
+  BenchRecorder recorder("ablation", options);
   std::printf("== MrCC ablations ==\n");
   std::printf("face-only vs full Laplacian mask | scale=%.3g\n",
               options.scale);
 
-  ResultSink sink("ablation", options);
+  ResultSink sink("ablation", options, &recorder);
   // Full mask is exponential in d: restrict to the group-1 datasets that
   // fit under kMaxFullMaskDims.
   for (size_t i = 0; i < 4; ++i) {  // 6d, 8d, 10d, 12d.
@@ -58,5 +59,5 @@ int main() {
     std::snprintf(tag, sizeof(tag), "H=%d", h);
     sink.Add(Measure(params, base, tag));
   }
-  return 0;
+  return recorder.Finish();
 }

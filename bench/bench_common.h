@@ -4,7 +4,8 @@
 // (Fig. 4 / Fig. 5): it builds the corresponding dataset family, runs the
 // configured methods, and prints the same rows the paper plots — Quality,
 // Subspaces Quality, memory (KB) and wall-clock seconds — plus machine-
-// readable CSV.
+// readable CSV and (via --json_out=) a schema-versioned BenchRecord JSON
+// that tools/bench_compare.py diffs against a baseline.
 //
 // Environment knobs:
 //   MRCC_BENCH_SCALE    point-count multiplier (default 0.125). The shape
@@ -15,19 +16,33 @@
 //                       mirroring the paper's 3h/1-week cutoffs.
 //   MRCC_BENCH_METHODS  comma-separated subset of methods to run.
 //   MRCC_BENCH_CSV      directory to also write <bench>.csv into.
+//
+// Command-line flags (override the environment; shared by every bench):
+//   --json_out=PATH     write the run's BenchRecord JSON to PATH.
+//   --trace_out=PATH    enable stage tracing and write a Chrome trace
+//                       (chrome://tracing / ui.perfetto.dev) to PATH.
+//   --scale=X --budget=S --methods=A,B --csv_dir=DIR
+//                       flag twins of the environment knobs above.
 
 #ifndef MRCC_BENCH_BENCH_COMMON_H_
 #define MRCC_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/clusterer.h"
 #include "baselines/tuning_grid.h"
+#include "common/memory.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "data/generator.h"
+#include "eval/bench_record.h"
 #include "eval/measurement.h"
 
 namespace mrcc::bench {
@@ -37,6 +52,8 @@ struct BenchOptions {
   double time_budget_seconds = 120.0;
   std::vector<std::string> methods = PaperMethodNames();
   std::string csv_dir;
+  std::string json_out;   // BenchRecord JSON path; empty = don't write.
+  std::string trace_out;  // Chrome trace path; empty = tracing stays off.
 };
 
 inline std::vector<std::string> SplitCsvList(const std::string& raw) {
@@ -75,10 +92,106 @@ inline BenchOptions OptionsFromEnv() {
   return options;
 }
 
-/// Collects rows and mirrors them to stdout and (optionally) a CSV file.
+/// True when `arg` is `--<name>=<value>`; fills `value`.
+inline bool MatchFlag(const char* arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *value = arg + prefix.size();
+  return true;
+}
+
+/// Environment defaults plus command-line overrides — the entry point
+/// every bench main() uses. Unknown flags abort with a usage message so a
+/// typo cannot silently run the wrong configuration.
+inline BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions options = OptionsFromEnv();
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (MatchFlag(argv[i], "json_out", &value)) {
+      options.json_out = value;
+    } else if (MatchFlag(argv[i], "trace_out", &value)) {
+      options.trace_out = value;
+    } else if (MatchFlag(argv[i], "scale", &value)) {
+      options.scale = std::strtod(value.c_str(), nullptr);
+    } else if (MatchFlag(argv[i], "budget", &value)) {
+      options.time_budget_seconds = std::strtod(value.c_str(), nullptr);
+    } else if (MatchFlag(argv[i], "methods", &value)) {
+      options.methods = SplitCsvList(value);
+    } else if (MatchFlag(argv[i], "csv_dir", &value)) {
+      options.csv_dir = value;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--json_out=PATH] "
+                   "[--trace_out=PATH] [--scale=X] [--budget=S] "
+                   "[--methods=A,B] [--csv_dir=DIR]\n",
+                   argv[i], argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// Owns the machine-readable output of one bench binary: accumulates
+/// every measurement into a BenchRecord, and on Finish() stamps the
+/// run totals (wall time, peak RSS, metrics snapshot) and writes the
+/// --json_out / --trace_out files. Create exactly one per binary and
+/// `return recorder.Finish();` from main().
+class BenchRecorder {
+ public:
+  BenchRecorder(const std::string& bench_name, const BenchOptions& options)
+      : options_(options) {
+    record_.bench = bench_name;
+    record_.scale = options.scale;
+    record_.time_budget_seconds = options.time_budget_seconds;
+    record_.num_threads_available =
+        static_cast<int>(std::thread::hardware_concurrency());
+    if (!options.trace_out.empty()) Trace::Enable();
+  }
+
+  void Add(const RunMeasurement& m) {
+    record_.entries.push_back(ToBenchEntry(m));
+  }
+
+  /// Exit code for main(): 0, or 1 when an output file failed to write.
+  int Finish() {
+    record_.wall_seconds = wall_.ElapsedSeconds();
+    record_.peak_rss_bytes = PeakRssBytes();
+    record_.metrics = MetricsRegistry::Global().Snapshot().Flatten();
+    int exit_code = 0;
+    if (!options_.json_out.empty()) {
+      if (Status s = record_.Save(options_.json_out); !s.ok()) {
+        std::fprintf(stderr, "--json_out: %s\n", s.ToString().c_str());
+        exit_code = 1;
+      } else {
+        std::printf("BenchRecord written to %s\n",
+                    options_.json_out.c_str());
+      }
+    }
+    if (!options_.trace_out.empty()) {
+      if (Status s = Trace::WriteChromeJson(options_.trace_out); !s.ok()) {
+        std::fprintf(stderr, "--trace_out: %s\n", s.ToString().c_str());
+        exit_code = 1;
+      } else {
+        std::printf("Chrome trace (%zu spans) written to %s\n",
+                    Trace::NumSpans(), options_.trace_out.c_str());
+      }
+    }
+    return exit_code;
+  }
+
+ private:
+  const BenchOptions options_;
+  BenchRecord record_;
+  Timer wall_;
+};
+
+/// Collects rows and mirrors them to stdout, (optionally) a CSV file and
+/// (optionally) the binary's BenchRecord.
 class ResultSink {
  public:
-  ResultSink(const std::string& bench_name, const BenchOptions& options) {
+  ResultSink(const std::string& bench_name, const BenchOptions& options,
+             BenchRecorder* recorder = nullptr)
+      : recorder_(recorder) {
     if (!options.csv_dir.empty()) {
       csv_.open(options.csv_dir + "/" + bench_name + ".csv");
       if (csv_) csv_ << MeasurementCsvHeader() << "\n";
@@ -89,10 +202,12 @@ class ResultSink {
     std::printf("%s\n", FormatMeasurementRow(m).c_str());
     std::fflush(stdout);
     if (csv_) csv_ << MeasurementCsvRow(m) << "\n";
+    if (recorder_ != nullptr) recorder_->Add(m);
   }
 
  private:
   std::ofstream csv_;
+  BenchRecorder* recorder_;
 };
 
 /// Generates a labeled dataset or dies (bench inputs are code, not user
@@ -145,8 +260,9 @@ inline RunMeasurement MeasureTuned(const std::string& method_name,
 /// reports each cell of the paper panel.
 inline void RunMatrix(const std::string& bench_name,
                       const std::vector<SyntheticConfig>& configs,
-                      const BenchOptions& options) {
-  ResultSink sink(bench_name, options);
+                      const BenchOptions& options,
+                      BenchRecorder* recorder = nullptr) {
+  ResultSink sink(bench_name, options, recorder);
   for (const SyntheticConfig& config : configs) {
     const LabeledDataset dataset = MustGenerate(config);
     MethodTuning tuning;

@@ -10,10 +10,12 @@
 #include "bench/bench_common.h"
 #include "data/catalog.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrcc::bench;
-  const BenchOptions options = OptionsFromEnv();
+  const BenchOptions options = ParseOptions(argc, argv);
+  BenchRecorder recorder("first_group", options);
   PrintHeader("first group (6d..18d)", "Fig. 5a-c", options);
-  RunMatrix("first_group", mrcc::Group1Configs(options.scale), options);
-  return 0;
+  RunMatrix("first_group", mrcc::Group1Configs(options.scale), options,
+            &recorder);
+  return recorder.Finish();
 }

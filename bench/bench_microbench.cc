@@ -10,6 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_common.h"
 #include "common/stats.h"
 #include "core/counting_tree.h"
 #include "core/laplacian_mask.h"
@@ -112,6 +116,61 @@ void BM_MrCCEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_MrCCEndToEnd)->RangeMultiplier(2)->Range(8000, 32000);
 
+// Forwards the console output unchanged while mirroring every per-run
+// measurement (aggregates excluded) into the binary's BenchRecord, so the
+// microbenches feed the same --json_out / bench_compare.py pipeline as
+// the figure benches. `seconds` is real time per iteration.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(mrcc::bench::BenchRecorder* recorder)
+      : recorder_(recorder) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      RunMeasurement m;
+      m.method = run.benchmark_name();
+      m.dataset = "microbench";
+      m.completed = !run.error_occurred;
+      m.error = run.error_message;
+      m.seconds = run.iterations > 0
+                      ? run.real_accumulated_time /
+                            static_cast<double>(run.iterations)
+                      : run.real_accumulated_time;
+      recorder_->Add(m);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  mrcc::bench::BenchRecorder* recorder_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom BENCHMARK_MAIN: the harness flags (--json_out= etc.) are parsed
+// and stripped first so google-benchmark only sees its own flags.
+int main(int argc, char** argv) {
+  std::vector<char*> our_args{argv[0]};
+  std::vector<char*> gbench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const bool ours = std::strncmp(argv[i], "--json_out=", 11) == 0 ||
+                      std::strncmp(argv[i], "--trace_out=", 12) == 0 ||
+                      std::strncmp(argv[i], "--scale=", 8) == 0;
+    (ours ? our_args : gbench_args).push_back(argv[i]);
+  }
+  const mrcc::bench::BenchOptions options = mrcc::bench::ParseOptions(
+      static_cast<int>(our_args.size()), our_args.data());
+  mrcc::bench::BenchRecorder recorder("microbench", options);
+
+  int gbench_argc = static_cast<int>(gbench_args.size());
+  benchmark::Initialize(&gbench_argc, gbench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc,
+                                             gbench_args.data())) {
+    return 1;
+  }
+  RecordingReporter reporter(&recorder);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return recorder.Finish();
+}

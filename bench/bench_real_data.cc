@@ -12,10 +12,11 @@
 #include "bench/bench_common.h"
 #include "data/catalog.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrcc;
   using namespace mrcc::bench;
-  const BenchOptions options = OptionsFromEnv();
+  const BenchOptions options = ParseOptions(argc, argv);
+  BenchRecorder recorder("real_data", options);
   // The malignant class is ~1% of the ROIs; below half scale its absolute
   // count is too small for *any* statistical method to detect, so this
   // bench floors the scale (the detectability threshold is a property of
@@ -25,7 +26,7 @@ int main() {
   std::printf("reproduces Fig. 5t | scale=%.3g (floored at 0.5) budget=%.0fs\n",
               scale, options.time_budget_seconds);
 
-  ResultSink sink("real_data", options);
+  ResultSink sink("real_data", options, &recorder);
   for (const Kdd08LikeConfig& config : Kdd08LikeConfigs(scale)) {
     Result<Kdd08LikeDataset> dataset = GenerateKdd08Like(config);
     if (!dataset.ok()) {
@@ -44,5 +45,5 @@ int main() {
                             &dataset->class_labels));
     }
   }
-  return 0;
+  return recorder.Finish();
 }

@@ -8,10 +8,12 @@
 #include "bench/bench_common.h"
 #include "data/catalog.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrcc::bench;
-  const BenchOptions options = OptionsFromEnv();
+  const BenchOptions options = ParseOptions(argc, argv);
+  BenchRecorder recorder("rotated", options);
   PrintHeader("rotated group (6d_r..18d_r)", "Fig. 5p-r", options);
-  RunMatrix("rotated", mrcc::RotatedGroupConfigs(options.scale), options);
-  return 0;
+  RunMatrix("rotated", mrcc::RotatedGroupConfigs(options.scale), options,
+            &recorder);
+  return recorder.Finish();
 }

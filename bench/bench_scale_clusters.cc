@@ -8,11 +8,12 @@
 #include "bench/bench_common.h"
 #include "data/catalog.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrcc::bench;
-  const BenchOptions options = OptionsFromEnv();
+  const BenchOptions options = ParseOptions(argc, argv);
+  BenchRecorder recorder("scale_clusters", options);
   PrintHeader("clusters scaling (5c..25c)", "Fig. 5j-l", options);
   RunMatrix("scale_clusters", mrcc::ClustersGroupConfigs(options.scale),
-            options);
-  return 0;
+            options, &recorder);
+  return recorder.Finish();
 }

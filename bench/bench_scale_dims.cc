@@ -7,10 +7,12 @@
 #include "bench/bench_common.h"
 #include "data/catalog.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrcc::bench;
-  const BenchOptions options = OptionsFromEnv();
+  const BenchOptions options = ParseOptions(argc, argv);
+  BenchRecorder recorder("scale_dims", options);
   PrintHeader("dimensionality scaling (5d_s..30d_s)", "Fig. 5m-o", options);
-  RunMatrix("scale_dims", mrcc::DimsGroupConfigs(options.scale), options);
-  return 0;
+  RunMatrix("scale_dims", mrcc::DimsGroupConfigs(options.scale), options,
+            &recorder);
+  return recorder.Finish();
 }

@@ -7,10 +7,12 @@
 #include "bench/bench_common.h"
 #include "data/catalog.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrcc::bench;
-  const BenchOptions options = OptionsFromEnv();
+  const BenchOptions options = ParseOptions(argc, argv);
+  BenchRecorder recorder("scale_noise", options);
   PrintHeader("noise scaling (5o..25o)", "Fig. 5d-f", options);
-  RunMatrix("scale_noise", mrcc::NoiseGroupConfigs(options.scale), options);
-  return 0;
+  RunMatrix("scale_noise", mrcc::NoiseGroupConfigs(options.scale), options,
+            &recorder);
+  return recorder.Finish();
 }

@@ -83,11 +83,13 @@ void RunThreadScaling(const mrcc::bench::BenchOptions& options) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrcc::bench;
-  const BenchOptions options = OptionsFromEnv();
+  const BenchOptions options = ParseOptions(argc, argv);
+  BenchRecorder recorder("scale_points", options);
   PrintHeader("points scaling (50k..250k)", "Fig. 5g-i", options);
-  RunMatrix("scale_points", mrcc::PointsGroupConfigs(options.scale), options);
+  RunMatrix("scale_points", mrcc::PointsGroupConfigs(options.scale), options,
+            &recorder);
   RunThreadScaling(options);
-  return 0;
+  return recorder.Finish();
 }

@@ -32,14 +32,15 @@ RunMeasurement MeasureMrCC(const MrCCParams& params,
 
 }  // namespace
 
-int main() {
-  const BenchOptions options = OptionsFromEnv();
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseOptions(argc, argv);
+  BenchRecorder recorder("sensitivity", options);
   std::printf("== sensitivity analysis ==\n");
   std::printf("reproduces Fig. 4 | scale=%.3g (MrCC only)\n", options.scale);
 
-  ResultSink alpha_sink("sensitivity_alpha", options);
+  ResultSink alpha_sink("sensitivity_alpha", options, &recorder);
   const double alphas[] = {1e-3, 1e-5, 1e-10, 1e-20, 1e-40, 1e-80, 1e-160};
-  ResultSink h_sink("sensitivity_h", options);
+  ResultSink h_sink("sensitivity_h", options, &recorder);
   const int resolutions[] = {4, 5, 10, 20, 40, 80};
 
   for (const SyntheticConfig& config : Group1Configs(options.scale)) {
@@ -67,5 +68,5 @@ int main() {
       h_sink.Add(MeasureMrCC(params, dataset, tag));
     }
   }
-  return 0;
+  return recorder.Finish();
 }

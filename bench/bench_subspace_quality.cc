@@ -10,13 +10,15 @@
 #include "bench/bench_common.h"
 #include "data/catalog.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrcc::bench;
-  BenchOptions options = OptionsFromEnv();
+  BenchOptions options = ParseOptions(argc, argv);
   options.methods.erase(
       std::remove(options.methods.begin(), options.methods.end(), "LAC"),
       options.methods.end());
+  BenchRecorder recorder("subspace_quality", options);
   PrintHeader("subspaces quality, first group", "Fig. 5s", options);
-  RunMatrix("subspace_quality", mrcc::Group1Configs(options.scale), options);
-  return 0;
+  RunMatrix("subspace_quality", mrcc::Group1Configs(options.scale), options,
+            &recorder);
+  return recorder.Finish();
 }

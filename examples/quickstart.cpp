@@ -2,11 +2,15 @@
 // run MrCC, and print what it found.
 //
 //   ./examples/quickstart [num_points] [num_dims] [num_clusters]
+//
+// Set MRCC_TRACE_OUT=run.trace.json to also record a stage-level trace of
+// the run, viewable in chrome://tracing or https://ui.perfetto.dev.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "common/trace.h"
 #include "core/intrinsic_dimension.h"
 #include "core/mrcc.h"
 #include "data/generator.h"
@@ -32,6 +36,9 @@ int main(int argc, char** argv) {
                  dataset.status().ToString().c_str());
     return 1;
   }
+
+  const char* trace_out = std::getenv("MRCC_TRACE_OUT");
+  if (trace_out != nullptr) mrcc::Trace::Enable();
 
   mrcc::MrCCParams params;  // alpha = 1e-10, H = 4: the paper's defaults.
   mrcc::MrCC method(params);
@@ -83,6 +90,17 @@ int main(int argc, char** argv) {
   if (d2.ok()) {
     std::printf("Intrinsic dim D2   %.2f (embedding dimensionality %zu)\n",
                 *d2, dataset->data.NumDims());
+  }
+
+  if (trace_out != nullptr) {
+    mrcc::Status s = mrcc::Trace::WriteChromeJson(trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nTrace (%zu spans) written to %s — open it in "
+                "chrome://tracing\n",
+                mrcc::Trace::NumSpans(), trace_out);
   }
   return 0;
 }

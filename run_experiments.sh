@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Reproduces the full evaluation: build, tests, every figure bench (CSV +
-# text), micro-benchmarks. Results land in ./results.
+# text + BenchRecord JSON), micro-benchmarks. Results land in ./results.
 #
 #   ./run_experiments.sh            # default 1/8-scale, ~30-60 min
 #   MRCC_BENCH_FULL=1 ./run_experiments.sh   # paper scale (hours)
@@ -16,16 +16,31 @@ export MRCC_BENCH_BUDGET="${MRCC_BENCH_BUDGET:-300}"
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-{
-  for b in bench_sensitivity bench_first_group bench_scale_points \
-           bench_scale_clusters bench_scale_dims bench_scale_noise \
-           bench_rotated bench_subspace_quality bench_real_data \
-           bench_ablation; do
-    echo "### $b"
-    "./build/bench/$b"
-  done
-  echo "### bench_microbench"
-  ./build/bench/bench_microbench
-} 2>&1 | tee bench_output.txt
+# Run every bench to completion even when one fails, collect each exit
+# status explicitly (a bare `for b; do $b; done | tee` under set -e would
+# either abort mid-suite or silently swallow the failure, depending on the
+# shell), and fail the script at the end listing the broken benches.
+benches=(bench_sensitivity bench_first_group bench_scale_points
+         bench_scale_clusters bench_scale_dims bench_scale_noise
+         bench_rotated bench_subspace_quality bench_real_data
+         bench_ablation bench_microbench)
 
-echo "done: test_output.txt, bench_output.txt, results/*.csv"
+failed=()
+: > bench_output.txt
+for b in "${benches[@]}"; do
+  echo "### $b" | tee -a bench_output.txt
+  status=0
+  "./build/bench/$b" --json_out="results/BENCH_${b#bench_}.json" \
+    >> bench_output.txt 2>&1 || status=$?
+  if [[ $status -ne 0 ]]; then
+    echo "FAILED: $b (exit $status)" | tee -a bench_output.txt
+    failed+=("$b")
+  fi
+done
+
+if [[ ${#failed[@]} -ne 0 ]]; then
+  echo "bench failures: ${failed[*]}" >&2
+  exit 1
+fi
+echo "done: test_output.txt, bench_output.txt, results/*.csv," \
+     "results/BENCH_*.json"

@@ -1,0 +1,185 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace mrcc {
+namespace {
+
+/// Bucket index for `value`: 0 for v <= 0, otherwise 1 + floor(log2 v)
+/// clamped to the last bucket — i.e. bucket b holds 2^(b-1) <= v < 2^b.
+size_t BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  const size_t b =
+      static_cast<size_t>(std::bit_width(static_cast<uint64_t>(value)));
+  return b < Histogram::kNumBuckets ? b : Histogram::kNumBuckets - 1;
+}
+
+/// Lock-free min/max fold used by concurrent Record() calls.
+void AtomicMin(std::atomic<int64_t>* slot, int64_t value) {
+  int64_t seen = slot->load(std::memory_order_relaxed);
+  while (value < seen &&
+         !slot->compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>* slot, int64_t value) {
+  int64_t seen = slot->load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot->compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AppendInt64Map(const std::map<std::string, int64_t>& values,
+                    std::string* out) {
+  *out += '{';
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    if (!first) *out += ',';
+    *out += '"' + name + "\":" + std::to_string(value);
+    first = false;
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  // First value initializes min/max; the count_ == 0 test races benignly:
+  // both racers run the CAS folds, which are order-insensitive.
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    int64_t expected = 0;
+    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+    expected = 0;
+    max_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.min = min_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  snapshot.buckets.resize(kNumBuckets);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    snapshot.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  // Trim trailing empty buckets so exports stay small.
+  while (!snapshot.buckets.empty() && snapshot.buckets.back() == 0) {
+    snapshot.buckets.pop_back();
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (std::atomic<int64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::map<std::string, int64_t> MetricsSnapshot::Flatten() const {
+  std::map<std::string, int64_t> flat;
+  for (const auto& [name, value] : counters) flat[name] = value;
+  for (const auto& [name, value] : gauges) flat[name] = value;
+  for (const auto& [name, value] : gauge_maxes) flat[name + ".max"] = value;
+  for (const auto& [name, h] : histograms) {
+    flat[name + ".count"] = h.count;
+    flat[name + ".sum"] = h.sum;
+    flat[name + ".min"] = h.min;
+    flat[name + ".max"] = h.max;
+  }
+  return flat;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":";
+  AppendInt64Map(counters, &out);
+  out += ",\"gauges\":{";
+  bool first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    out += '"' + name + "\":{\"value\":" + std::to_string(value) +
+           ",\"max\":" + std::to_string(gauge_maxes.at(name)) + '}';
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    out += '"' + name + "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"min\":" + std::to_string(h.min) +
+           ",\"max\":" + std::to_string(h.max) + ",\"buckets\":[";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ',';
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // Never freed:
+  return *registry;  // instruments may be touched during process exit.
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+    snapshot.gauge_maxes[name] = gauge->max();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+}  // namespace mrcc

@@ -1,0 +1,164 @@
+// Named metrics for the MrCC pipeline: counters, gauges and histograms.
+//
+// Where trace.h answers "where did the time go in this run", metrics
+// answer "how much work of each kind happened": cells materialized per
+// level, binomial tests run and accepted, MDL cut positions, merge
+// conflicts between shard trees, allocator high-water bytes, per-shard
+// build imbalance. Instruments live in a process-wide registry keyed by
+// name; the pipeline resolves each instrument once per run (a mutex-
+// guarded map lookup) and then updates it lock-free (atomics), so
+// recording is cheap enough to stay on in production.
+//
+// Instrument kinds:
+//   Counter   — monotonically increasing event count (Add).
+//   Gauge     — last-written level plus a high-water mark (Set/SetMax).
+//   Histogram — value distribution in power-of-two buckets with exact
+//               count/sum/min/max (Record). Bucket b holds values v with
+//               2^(b-1) <= v < 2^b (bucket 0 holds v <= 0).
+//
+// Naming convention (see DESIGN.md §10): dot-separated lowercase path,
+// "<stage>.<what>[_<unit>]" — e.g. "tree.merge.conflict_cells",
+// "beta.binomial_tests", "memory.high_water_bytes".
+//
+// MetricsRegistry::Global() accumulates across a whole process run; use
+// Snapshot() for a point-in-time export (JSON or per-name lookup) and
+// Reset() between benchmark repetitions.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mrcc {
+
+/// Monotonic event counter. Thread-safe.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Level metric: tracks the last Set() and the maximum ever written.
+/// Thread-safe.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    SetMax(value);
+  }
+
+  /// Raises the high-water mark without touching the level.
+  void SetMax(int64_t value) {
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Aggregated view of a histogram at snapshot time.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;  // 0 when count == 0.
+  int64_t max = 0;
+  std::vector<int64_t> buckets;  // Power-of-two buckets, see Histogram.
+
+  double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+/// Value-distribution metric with power-of-two buckets. Thread-safe: every
+/// field is an independent atomic, so concurrent Record() calls aggregate
+/// exactly (the snapshot is only consistent when recording has quiesced,
+/// which is how the pipeline uses it — snapshot after the run).
+class Histogram {
+ public:
+  /// log2(max representable value) + 2: bucket 0 for v <= 0, buckets
+  /// 1..63 for 2^(b-1) <= v < 2^b.
+  static constexpr size_t kNumBuckets = 64;
+
+  void Record(int64_t value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{0};
+  std::atomic<int64_t> max_{0};
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Point-in-time export of every registered instrument.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;      // Current level.
+  std::map<std::string, int64_t> gauge_maxes;  // High-water mark.
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Flat name -> value view used by BenchRecord: counters and gauge
+  /// levels verbatim, gauges additionally as "<name>.max", histograms as
+  /// "<name>.count" / ".sum" / ".min" / ".max".
+  std::map<std::string, int64_t> Flatten() const;
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+};
+
+/// Name -> instrument registry. Instruments are created on first use
+/// (under the registry mutex) and never destroyed, so returned references
+/// stay valid for the registry's lifetime and can be cached across calls;
+/// updates through them are lock-free.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the pipeline records into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zeroes every instrument (names stay registered).
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: node-stable, so instrument addresses survive later inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mrcc

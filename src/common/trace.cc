@@ -1,0 +1,139 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mrcc {
+namespace {
+
+struct SpanEvent {
+  const char* name;
+  int64_t start_us;
+  int64_t dur_us;
+  int64_t arg;  // < 0 = none.
+};
+
+/// One thread's span log. Owned by the registry (not the thread) so spans
+/// survive the thread that recorded them — ThreadPool workers are joined
+/// long before the bench exports the trace. The per-log mutex is only
+/// contended while another thread exports or clears; on the record path
+/// it is always uncontended (one owner thread).
+struct ThreadLog {
+  std::mutex mu;
+  int tid;
+  std::vector<SpanEvent> events;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  int next_tid = 0;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;  // Never destroyed: spans can
+  return *registry;                          // be recorded during exit.
+}
+
+/// The calling thread's log, registered on first use. The raw pointer is
+/// safe because the registry never frees logs (Clear() only empties them).
+ThreadLog& GetThreadLog() {
+  thread_local ThreadLog* log = [] {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.logs.push_back(std::make_unique<ThreadLog>());
+    registry.logs.back()->tid = registry.next_tid++;
+    return registry.logs.back().get();
+  }();
+  return *log;
+}
+
+void AppendEventJson(const SpanEvent& event, int tid, std::string* out) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                "\"ts\":%lld,\"dur\":%lld",
+                event.name, tid, static_cast<long long>(event.start_us),
+                static_cast<long long>(event.dur_us));
+  *out += buf;
+  if (event.arg >= 0) {
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"n\":%lld}",
+                  static_cast<long long>(event.arg));
+    *out += buf;
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::atomic<bool> Trace::enabled_{false};
+
+namespace internal {
+int64_t TraceNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace internal
+
+void Trace::Enable() { enabled_.store(true, std::memory_order_relaxed); }
+
+void Trace::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Trace::Clear() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (std::unique_ptr<ThreadLog>& log : registry.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->events.clear();
+  }
+}
+
+size_t Trace::NumSpans() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  size_t total = 0;
+  for (const std::unique_ptr<ThreadLog>& log : registry.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    total += log->events.size();
+  }
+  return total;
+}
+
+void Trace::Record(const char* name, int64_t start_us, int64_t dur_us,
+                   int64_t arg) {
+  ThreadLog& log = GetThreadLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  log.events.push_back(SpanEvent{name, start_us, dur_us, arg});
+}
+
+std::string Trace::ToChromeJson() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const std::unique_ptr<ThreadLog>& log : registry.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    for (const SpanEvent& event : log->events) {
+      if (!first) out += ',';
+      AppendEventJson(event, log->tid, &out);
+      first = false;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+Status Trace::WriteChromeJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << ToChromeJson() << '\n';
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace mrcc

@@ -1,0 +1,127 @@
+// Stage-level tracing: scoped spans exportable as Chrome trace JSON.
+//
+// Every pipeline stage (tree build, shard scan, merge, per-level
+// convolution, argmax, statistical test, labeling) opens a span with
+// MRCC_TRACE_SPAN("name"); spans nest naturally with C++ scopes and are
+// recorded per thread, so a run can be inspected in chrome://tracing (or
+// https://ui.perfetto.dev) as a flame chart with one track per worker.
+//
+// Cost model — the reason this can stay compiled in everywhere:
+//   disabled (default): one relaxed atomic load per span, no allocation,
+//     no clock read. Measured at well under 1% of bench_scale_points.
+//   enabled: one steady_clock read at open and close plus an append to a
+//     thread-local vector; the global registry mutex is only taken the
+//     first time a thread records a span (and at export/clear).
+//
+// The registry keeps thread logs alive after their threads exit, so
+// short-lived ThreadPool workers still show up in the export. Span names
+// must be string literals (or otherwise outlive the trace) — they are
+// stored as pointers, never copied on the hot path.
+//
+// Typical use (benches do this behind the --trace_out= flag):
+//   Trace::Enable();
+//   ... run pipeline ...
+//   Trace::WriteChromeJson("run.trace.json");
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace mrcc {
+
+/// Process-wide span collector. All members are thread-safe.
+class Trace {
+ public:
+  /// True when spans are being recorded. Hot-path check; relaxed order is
+  /// enough because a racing toggle only gains or loses a span.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts recording spans (idempotent).
+  static void Enable();
+
+  /// Stops recording; already-recorded spans are kept until Clear().
+  static void Disable();
+
+  /// Drops every recorded span. Thread ids of live threads are retained
+  /// so a thread keeps one track across Clear() boundaries.
+  static void Clear();
+
+  /// Number of spans recorded so far (across all threads).
+  static size_t NumSpans();
+
+  /// Serializes every recorded span in the Chrome trace-event format
+  /// ("X" complete events, microsecond timestamps), loadable directly in
+  /// chrome://tracing and ui.perfetto.dev.
+  static std::string ToChromeJson();
+
+  /// Writes ToChromeJson() to `path`.
+  static Status WriteChromeJson(const std::string& path);
+
+  // Internal: appends one finished span to the calling thread's log.
+  // `name` must outlive the trace (string literal).
+  static void Record(const char* name, int64_t start_us, int64_t dur_us,
+                     int64_t arg);
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+namespace internal {
+/// Microseconds on the steady clock (same epoch for every thread).
+int64_t TraceNowMicros();
+}  // namespace internal
+
+/// RAII span: records [construction, destruction) under `name` on the
+/// calling thread when tracing is enabled. When disabled, construction is
+/// one atomic load and destruction one pointer test — no allocation.
+class TraceSpan {
+ public:
+  /// `name` must be a string literal (stored by pointer). `arg` is an
+  /// optional payload shown in the trace viewer (e.g. cells convolved);
+  /// values < 0 mean "no payload".
+  explicit TraceSpan(const char* name, int64_t arg = -1) {
+    if (Trace::enabled()) {
+      name_ = name;
+      arg_ = arg;
+      start_us_ = internal::TraceNowMicros();
+    }
+  }
+
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      Trace::Record(name_, start_us_,
+                    internal::TraceNowMicros() - start_us_, arg_);
+    }
+  }
+
+  /// Sets the payload after construction (for values only known at the
+  /// end of the stage). No-op when the span is not recording.
+  void set_arg(int64_t arg) {
+    if (name_ != nullptr) arg_ = arg;
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr = not recording.
+  int64_t start_us_ = 0;
+  int64_t arg_ = -1;
+};
+
+// Opens a scoped span; the variable name embeds the line number so two
+// spans can coexist in one scope.
+#define MRCC_TRACE_CONCAT_INNER(a, b) a##b
+#define MRCC_TRACE_CONCAT(a, b) MRCC_TRACE_CONCAT_INNER(a, b)
+#define MRCC_TRACE_SPAN(name) \
+  ::mrcc::TraceSpan MRCC_TRACE_CONCAT(mrcc_trace_span_, __LINE__)(name)
+#define MRCC_TRACE_SPAN_N(name, arg) \
+  ::mrcc::TraceSpan MRCC_TRACE_CONCAT(mrcc_trace_span_, __LINE__)(name, arg)
+
+}  // namespace mrcc

@@ -6,8 +6,10 @@
 
 #include "common/check.h"
 #include "common/mdl.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "core/laplacian_mask.h"
 
 namespace mrcc {
@@ -43,6 +45,8 @@ class BetaClusterFinder {
         options_(options),
         pool_(ResolveThreadCount(options.num_threads)),
         levels_(static_cast<size_t>(std::max(0, tree.num_resolutions()))) {}
+
+  const BetaSearchStats& stats() const { return stats_; }
 
   std::vector<BetaCluster> Run() {
     std::vector<BetaCluster> betas;
@@ -92,6 +96,7 @@ class BetaClusterFinder {
     MRCC_DCHECK_LT(static_cast<size_t>(h), levels_.size());
     LevelData& level = levels_[h];
     if (level.ready) return;
+    MRCC_TRACE_SPAN_N("beta.convolve", h);
     for (uint32_t node_idx : tree_.NodesAtLevel(h)) {
       const CountingTree::Node& node = tree_.node(node_idx);
       for (uint32_t c = 0; c < node.cells.size(); ++c) {
@@ -115,6 +120,9 @@ class BetaClusterFinder {
                 : FaceLaplacianConvolve(tree_, h, coords, cell.n);
       }
     });
+    stats_.cells_convolved += cells;
+    MetricsRegistry::Global().counter("beta.cells_convolved").Add(
+        static_cast<int64_t>(cells));
     level.ready = true;
   }
 
@@ -125,6 +133,7 @@ class BetaClusterFinder {
   // cell index — exactly the cell the serial first-max scan would pick, so
   // the selection is identical for every thread count.
   int64_t SelectBestCell(int h, const std::vector<BetaCluster>& betas) {
+    MRCC_TRACE_SPAN_N("beta.argmax", h);
     const LevelData& level = levels_[h];
     const double width = std::ldexp(1.0, -h);  // Cell side 1/2^h.
     const int num_threads = pool_.num_threads();
@@ -183,6 +192,9 @@ class BetaClusterFinder {
   // relevance cut and bound construction. Returns true when a_h seeds a
   // new β-cluster (Algorithm 2, lines 14-30).
   bool TestAndDescribe(int h, const uint64_t* coords, BetaCluster* out) {
+    MRCC_TRACE_SPAN_N("beta.test", h);
+    ++stats_.candidates_tested;
+    stats_.binomial_tests += d_;
     // Parent cell a_{h-1} and its per-axis face neighbors at level h-1.
     std::vector<uint64_t> parent_coords(d_);
     for (size_t j = 0; j < d_; ++j) parent_coords[j] = coords[j] >> 1;
@@ -231,6 +243,7 @@ class BetaClusterFinder {
       if (cp[j] >= critical) significant = true;
     }
     if (!significant) return false;
+    ++stats_.accepted;
 
     // Relevances r[j] = 100 * cP_j / nP_j, MDL-cut into relevant axes.
     std::vector<double> relevance(d_);
@@ -242,7 +255,13 @@ class BetaClusterFinder {
     }
     std::vector<double> sorted = relevance;
     std::sort(sorted.begin(), sorted.end());
-    const double threshold = MdlThreshold(sorted);
+    const size_t cut = MdlBestCut(sorted);
+    const double threshold = sorted[cut];
+    // Cut position p: axes [p, d) of the sorted relevances form the
+    // relevant (high) partition. The distribution across a run shows how
+    // decisively MDL separates the subspace from the noise axes.
+    MetricsRegistry::Global().histogram("beta.mdl_cut_position").Record(
+        static_cast<int64_t>(cut));
 
     out->relevance = relevance;
     out->relevant.assign(d_, false);
@@ -281,6 +300,12 @@ class BetaClusterFinder {
       out->lower[j] = std::max(0.0, lo);
       out->upper[j] = std::min(1.0, hi);
     }
+    int64_t relevant_axes = 0;
+    for (size_t j = 0; j < d_; ++j) {
+      if (out->relevant[j]) ++relevant_axes;
+    }
+    MetricsRegistry::Global().histogram("beta.relevant_axes").Record(
+        relevant_axes);
     return true;
   }
 
@@ -289,12 +314,14 @@ class BetaClusterFinder {
   const BetaFinderOptions options_;
   ThreadPool pool_;
   std::vector<LevelData> levels_;
+  BetaSearchStats stats_;
 };
 
 }  // namespace
 
 std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
-                                          const BetaFinderOptions& options) {
+                                          const BetaFinderOptions& options,
+                                          BetaSearchStats* stats) {
   BetaFinderOptions effective = options;
   // The full order-3 mask costs O(3^d) per cell; above kMaxFullMaskDims it
   // would effectively hang. High-level drivers (MrCC::Run, streaming)
@@ -304,7 +331,17 @@ std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
   if (effective.full_mask && tree.num_dims() > kMaxFullMaskDims) {
     effective.full_mask = false;
   }
-  return BetaClusterFinder(tree, effective).Run();
+  BetaClusterFinder finder(tree, effective);
+  std::vector<BetaCluster> betas = finder.Run();
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.counter("beta.candidates_tested").Add(
+      static_cast<int64_t>(finder.stats().candidates_tested));
+  metrics.counter("beta.binomial_tests").Add(
+      static_cast<int64_t>(finder.stats().binomial_tests));
+  metrics.counter("beta.binomial_accepted").Add(
+      static_cast<int64_t>(finder.stats().accepted));
+  if (stats != nullptr) *stats = finder.stats();
+  return betas;
 }
 
 }  // namespace mrcc

@@ -64,10 +64,32 @@ struct BetaFinderOptions {
   int num_threads = 1;
 };
 
+/// Work counters of one β-cluster search. Deterministic like the search
+/// itself — the same tree and options produce the same counts at any
+/// thread count — so they double as cheap regression probes ("did this
+/// change run more binomial tests?") in MrCCStats and the metrics
+/// registry.
+struct BetaSearchStats {
+  /// Laplacian responses computed (== materialized cells of levels
+  /// 2..H-1, each convolved exactly once).
+  uint64_t cells_convolved = 0;
+
+  /// Argmax candidates that reached the statistical test.
+  uint64_t candidates_tested = 0;
+
+  /// Per-axis one-sided binomial tests run (d per candidate).
+  uint64_t binomial_tests = 0;
+
+  /// Candidates accepted as β-clusters (== number of β-clusters found).
+  uint64_t accepted = 0;
+};
+
 /// Runs Algorithm 2 over `tree`. Consumes the tree's usedCell flags (call
-/// tree.ResetUsedFlags() to reuse the tree). Deterministic.
+/// tree.ResetUsedFlags() to reuse the tree). Deterministic. When `stats`
+/// is non-null the search's work counters are written into it.
 std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
-                                          const BetaFinderOptions& options);
+                                          const BetaFinderOptions& options,
+                                          BetaSearchStats* stats = nullptr);
 
 }  // namespace mrcc
 

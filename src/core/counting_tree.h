@@ -183,7 +183,8 @@ class CountingTree {
 
   // Persistence and merging need raw access to the node pool (tree_io.h).
   friend Result<CountingTree> LoadTree(const std::string& path);
-  friend Status MergeTree(CountingTree* tree, const CountingTree& other);
+  friend Status MergeTree(CountingTree* tree, const CountingTree& other,
+                          struct MergeTreeStats* stats);
 
   /// Inserts one point given its per-level grid coordinates; see Build.
   void InsertPoint(std::span<const double> point);

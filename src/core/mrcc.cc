@@ -6,8 +6,11 @@
 #include <string>
 #include <vector>
 
+#include "common/memory.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/laplacian_mask.h"
 #include "core/tree_io.h"
 
@@ -28,14 +31,13 @@ constexpr size_t kMinPointsPerShard = 2048;
 /// makes every downstream stage bit-identical to the serial run.
 Result<CountingTree> BuildTreeSharded(const DataSource& source,
                                       int num_resolutions, int num_threads,
-                                      int* threads_used,
-                                      double* merge_seconds) {
+                                      MrCCStats* stats) {
   const size_t n = source.NumPoints();
   const int shards = std::max(
       1, std::min<int>(num_threads,
                        static_cast<int>(n / kMinPointsPerShard)));
-  *threads_used = shards;
-  *merge_seconds = 0.0;
+  stats->tree_build_threads = shards;
+  stats->tree_merge_seconds = 0.0;
 
   if (n == 0) {
     CountingTree::Builder builder(source.NumDims(), num_resolutions);
@@ -48,9 +50,16 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
   for (int t = 0; t < shards; ++t) {
     partial.emplace_back(Status::Internal("shard not executed"));
   }
+  // Wall seconds each worker spent scanning its slice: the imbalance
+  // diagnostic. Slices are equal by construction, so a skewed profile
+  // points at data distribution (hot tree regions) or the machine.
+  std::vector<double> shard_seconds(static_cast<size_t>(shards), 0.0);
   {
     ThreadPool pool(shards);
     pool.ParallelFor(n, [&](int t, size_t begin, size_t end) {
+      MRCC_TRACE_SPAN_N("tree.build.shard",
+                        static_cast<int64_t>(end - begin));
+      Timer shard_timer;
       Result<std::unique_ptr<DataSource::Cursor>> cursor =
           source.Scan(begin, end);
       if (!cursor.ok()) {
@@ -66,18 +75,44 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
       if (status.ok()) status = (*cursor)->status();
       partial[static_cast<size_t>(t)] =
           status.ok() ? std::move(builder).Finish() : Result<CountingTree>(status);
+      shard_seconds[static_cast<size_t>(t)] = shard_timer.ElapsedSeconds();
     });
   }
   for (const Result<CountingTree>& shard : partial) {
     if (!shard.ok()) return shard.status();
   }
 
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  if (shards > 1) {
+    double sum = 0.0;
+    double slowest = 0.0;
+    for (double s : shard_seconds) {
+      sum += s;
+      slowest = std::max(slowest, s);
+    }
+    const double mean = sum / static_cast<double>(shards);
+    stats->shard_imbalance = mean > 0.0 ? slowest / mean : 0.0;
+    for (double s : shard_seconds) {
+      metrics.histogram("tree.shard_micros").Record(
+          static_cast<int64_t>(s * 1e6));
+    }
+  }
+
   Timer merge_timer;
+  MRCC_TRACE_SPAN_N("tree.merge", shards);
+  MergeTreeStats merge_stats;
   CountingTree tree = std::move(*partial[0]);
   for (size_t t = 1; t < partial.size(); ++t) {
-    MRCC_RETURN_IF_ERROR(MergeTree(&tree, *partial[t]));
+    MRCC_RETURN_IF_ERROR(MergeTree(&tree, *partial[t], &merge_stats));
   }
-  if (shards > 1) *merge_seconds = merge_timer.ElapsedSeconds();
+  if (shards > 1) {
+    stats->tree_merge_seconds = merge_timer.ElapsedSeconds();
+    stats->merge_conflict_cells = merge_stats.cells_merged;
+    metrics.counter("tree.merge.conflict_cells").Add(
+        static_cast<int64_t>(merge_stats.cells_merged));
+    metrics.counter("tree.merge.cells_created").Add(
+        static_cast<int64_t>(merge_stats.cells_created));
+  }
   return tree;
 }
 
@@ -108,15 +143,21 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   }
   const int num_threads = ResolveThreadCount(params_.num_threads);
 
+  MRCC_TRACE_SPAN_N("mrcc.run", static_cast<int64_t>(source.NumPoints()));
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+
   MrCCResult result;
   result.stats.num_threads = num_threads;
   Timer total;
 
   // Phase 1: single-scan Counting-tree construction, sharded by points.
   Timer phase;
-  Result<CountingTree> tree = BuildTreeSharded(
-      source, params_.num_resolutions, num_threads,
-      &result.stats.tree_build_threads, &result.stats.tree_merge_seconds);
+  Result<CountingTree> tree(Status::Internal("tree build not run"));
+  {
+    MRCC_TRACE_SPAN("tree.build");
+    tree = BuildTreeSharded(source, params_.num_resolutions, num_threads,
+                            &result.stats);
+  }
   if (!tree.ok()) return tree.status();
   result.stats.tree_build_seconds = phase.ElapsedSeconds();
   result.stats.tree_memory_bytes = tree->MemoryBytes();
@@ -124,7 +165,11 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
       static_cast<size_t>(tree->num_resolutions()), 0);
   for (int h = 1; h < tree->num_resolutions(); ++h) {
     result.stats.cells_per_level[h] = tree->NumCellsAtLevel(h);
+    metrics.gauge("tree.cells.level" + std::to_string(h)).Set(
+        static_cast<int64_t>(result.stats.cells_per_level[h]));
   }
+  metrics.gauge("tree.memory_bytes").Set(
+      static_cast<int64_t>(result.stats.tree_memory_bytes));
 
   // Phase 2: β-cluster search, parallel over the cells of each level.
   phase.Reset();
@@ -133,21 +178,43 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   finder_options.full_mask = params_.full_mask;
   finder_options.num_threads = num_threads;
   result.stats.beta_search_threads = num_threads;
-  result.beta_clusters = FindBetaClusters(*tree, finder_options);
+  BetaSearchStats beta_stats;
+  {
+    MRCC_TRACE_SPAN("beta.search");
+    result.beta_clusters = FindBetaClusters(*tree, finder_options,
+                                            &beta_stats);
+  }
+  result.stats.beta_cells_convolved = beta_stats.cells_convolved;
+  result.stats.beta_candidates_tested = beta_stats.candidates_tested;
+  result.stats.binomial_tests = beta_stats.binomial_tests;
+  result.stats.beta_accepted = beta_stats.accepted;
   result.stats.beta_search_seconds = phase.ElapsedSeconds();
 
   // Phase 3: merge β-clusters (geometry only), then label every point in
   // a second scan of the source, parallel over point slices.
   phase.Reset();
-  result.clustering = MergeBetaClusters(
-      result.beta_clusters, source.NumDims(), &result.beta_to_cluster);
+  {
+    MRCC_TRACE_SPAN_N("cluster.merge_betas",
+                      static_cast<int64_t>(result.beta_clusters.size()));
+    result.clustering = MergeBetaClusters(
+        result.beta_clusters, source.NumDims(), &result.beta_to_cluster);
+  }
   result.stats.labeling_threads = num_threads;
-  Result<std::vector<int>> labels = LabelPoints(
-      result.beta_clusters, result.beta_to_cluster, source, num_threads);
+  Result<std::vector<int>> labels(Status::Internal("labeling not run"));
+  {
+    MRCC_TRACE_SPAN_N("cluster.label_points",
+                      static_cast<int64_t>(source.NumPoints()));
+    labels = LabelPoints(result.beta_clusters, result.beta_to_cluster,
+                         source, num_threads);
+  }
   if (!labels.ok()) return labels.status();
   result.clustering.labels = std::move(*labels);
   result.stats.cluster_build_seconds = phase.ElapsedSeconds();
   result.stats.total_seconds = total.ElapsedSeconds();
+  // Allocator high-water mark since the last ResetPeak() — with the
+  // bench harness's per-run reset this is the run's peak ("arena
+  // high-water"); standalone it is a process-lifetime bound.
+  metrics.gauge("memory.high_water_bytes").SetMax(MemoryTracker::PeakBytes());
   return result;
 }
 

@@ -77,6 +77,31 @@ struct MrCCStats {
 
   /// Materialized cells per level (index 0 unused; levels 1..H-1).
   std::vector<size_t> cells_per_level;
+
+  // ---- Work counters (observability layer, DESIGN.md §10). All are
+  // deterministic: the same input and parameters yield the same counts
+  // at every thread count.
+
+  /// Laplacian responses computed during the β-search.
+  uint64_t beta_cells_convolved = 0;
+
+  /// Argmax candidates that reached the binomial test, per-axis tests
+  /// run (d per candidate), and candidates accepted as β-clusters.
+  uint64_t beta_candidates_tested = 0;
+  uint64_t binomial_tests = 0;
+  uint64_t beta_accepted = 0;
+
+  /// Cells present in more than one shard tree, combined during the
+  /// MergeTree fold (0 for a serial build). High values relative to the
+  /// tree size mean the shards cover the same regions — the expected
+  /// regime — and bound the merge's extra work.
+  uint64_t merge_conflict_cells = 0;
+
+  /// Slowest shard scan divided by the mean shard scan during the tree
+  /// build (1 = perfectly balanced, 0 = serial build). Shards own equal
+  /// point slices, so imbalance measures data skew and scheduling, not
+  /// slicing.
+  double shard_imbalance = 0.0;
 };
 
 /// Complete output of one MrCC run.

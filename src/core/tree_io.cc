@@ -151,7 +151,8 @@ Result<CountingTree> LoadTree(const std::string& path) {
   return tree;
 }
 
-Status MergeTree(CountingTree* tree, const CountingTree& other) {
+Status MergeTree(CountingTree* tree, const CountingTree& other,
+                 MergeTreeStats* stats) {
   if (tree->num_dims() != other.num_dims()) {
     return Status::InvalidArgument("tree dimensionality mismatch");
   }
@@ -200,15 +201,26 @@ Status MergeTree(CountingTree* tree, const CountingTree& other) {
         tree->node(static_cast<uint32_t>(slot.node))
             .cells[slot.cell]
             .child_node = dst_child;
+        if (stats != nullptr) ++stats->nodes_created;
       }
       dst_node = static_cast<uint32_t>(dst_child);
     }
     const CountingTree::Node& src = other.nodes_[m];
     for (size_t c = 0; c < src.cells.size(); ++c) {
       const CountingTree::Cell& src_cell = src.cells[c];
+      const size_t dst_cells_before = tree->node(dst_node).cells.size();
       const uint32_t dst_cell_idx =
           tree->FindOrCreateInNode(dst_node, src_cell.loc);
       CountingTree::Node& dst = tree->node(dst_node);
+      if (stats != nullptr) {
+        // An unchanged cell count means the cell existed in both trees —
+        // a genuine merge (count addition) rather than an append.
+        if (dst.cells.size() == dst_cells_before) {
+          ++stats->cells_merged;
+        } else {
+          ++stats->cells_created;
+        }
+      }
       dst.cells[dst_cell_idx].n += src_cell.n;
       for (size_t j = 0; j < d; ++j) {
         dst.half[dst_cell_idx * d + j] += src.half[c * d + j];

@@ -21,6 +21,17 @@
 
 namespace mrcc {
 
+/// Work counters of one or more MergeTree calls. `cells_merged` — cells
+/// present in both trees whose counts were combined (the merge
+/// "conflicts" a sharded build pays for); `cells_created` /
+/// `nodes_created` — structure that existed only in the source tree and
+/// was appended to the destination.
+struct MergeTreeStats {
+  uint64_t cells_merged = 0;
+  uint64_t cells_created = 0;
+  uint64_t nodes_created = 0;
+};
+
 /// Writes `tree` to `path` (usedCell flags are not persisted — they are
 /// search state, not data).
 Status SaveTree(const CountingTree& tree, const std::string& path);
@@ -31,7 +42,10 @@ Result<CountingTree> LoadTree(const std::string& path);
 /// Merges `other` into `tree`: afterwards `tree` equals the tree built
 /// over the concatenation of both datasets. Requires equal
 /// dimensionality and resolution count. `other` is left untouched.
-Status MergeTree(CountingTree* tree, const CountingTree& other);
+/// When `stats` is non-null the merge-work counters are accumulated into
+/// it (not reset — a shard fold sums across merges).
+Status MergeTree(CountingTree* tree, const CountingTree& other,
+                 MergeTreeStats* stats = nullptr);
 
 /// True when the two trees hold identical counts everywhere (structure
 /// may differ in node ordering; comparison is by cell coordinates).

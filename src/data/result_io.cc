@@ -100,7 +100,20 @@ std::string MrCCResultToJson(const MrCCResult& result) {
   out += ",\"beta_search_threads\":" +
          std::to_string(result.stats.beta_search_threads);
   out += ",\"labeling_threads\":" +
-         std::to_string(result.stats.labeling_threads) + "}";
+         std::to_string(result.stats.labeling_threads);
+  out += ",\"beta_cells_convolved\":" +
+         std::to_string(result.stats.beta_cells_convolved);
+  out += ",\"beta_candidates_tested\":" +
+         std::to_string(result.stats.beta_candidates_tested);
+  out += ",\"binomial_tests\":" +
+         std::to_string(result.stats.binomial_tests);
+  out += ",\"beta_accepted\":" + std::to_string(result.stats.beta_accepted);
+  out += ",\"merge_conflict_cells\":" +
+         std::to_string(result.stats.merge_conflict_cells);
+  std::snprintf(buf, sizeof(buf), ",\"shard_imbalance\":%.4f",
+                result.stats.shard_imbalance);
+  out += buf;
+  out += "}";
   out += '}';
   return out;
 }

@@ -119,6 +119,18 @@ std::string RenderRunReportHtml(const Dataset& data, const MrCCResult& result,
           result.stats.num_threads, result.stats.tree_build_threads,
           result.stats.tree_merge_seconds, result.stats.beta_search_threads,
           result.stats.labeling_threads);
+  Appendf(&html,
+          "<p>work: %llu cells convolved, %llu binomial tests over %llu "
+          "candidates (%llu accepted); %llu merge conflicts, shard "
+          "imbalance %.2f.</p>",
+          static_cast<unsigned long long>(result.stats.beta_cells_convolved),
+          static_cast<unsigned long long>(result.stats.binomial_tests),
+          static_cast<unsigned long long>(
+              result.stats.beta_candidates_tested),
+          static_cast<unsigned long long>(result.stats.beta_accepted),
+          static_cast<unsigned long long>(
+              result.stats.merge_conflict_cells),
+          result.stats.shard_imbalance);
 
   // Per-cluster table.
   const auto summaries = SummarizeClusters(data, clustering);

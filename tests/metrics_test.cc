@@ -1,0 +1,201 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mrcc {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.value(), 6);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentAddsAggregateExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kIters; ++i) c.Increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kIters);
+}
+
+TEST(GaugeTest, SetTracksLevelAndHighWater) {
+  Gauge g;
+  g.Set(10);
+  g.Set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 10);
+  g.SetMax(7);  // Below the mark: no effect.
+  EXPECT_EQ(g.max(), 10);
+  g.SetMax(15);
+  EXPECT_EQ(g.value(), 3);  // SetMax never touches the level.
+  EXPECT_EQ(g.max(), 15);
+}
+
+TEST(GaugeTest, ConcurrentSetMaxKeepsTrueMaximum) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&g, t] {
+      for (int i = 0; i < 5000; ++i) g.SetMax(t * 10000 + i);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(g.max(), (kThreads - 1) * 10000 + 4999);
+}
+
+TEST(HistogramTest, ExactAggregates) {
+  Histogram h;
+  for (int64_t v : {1, 2, 3, 100}) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_EQ(snap.sum, 106);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 100);
+  EXPECT_DOUBLE_EQ(snap.mean(), 106.0 / 4.0);
+}
+
+TEST(HistogramTest, PowerOfTwoBucketPlacement) {
+  // Bucket 0: v <= 0. Bucket b >= 1: 2^(b-1) <= v < 2^b.
+  Histogram h;
+  h.Record(-5);
+  h.Record(0);
+  h.Record(1);   // Bucket 1.
+  h.Record(2);   // Bucket 2.
+  h.Record(3);   // Bucket 2.
+  h.Record(4);   // Bucket 3.
+  h.Record(7);   // Bucket 3.
+  h.Record(8);   // Bucket 4.
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_GE(snap.buckets.size(), 5u);
+  EXPECT_EQ(snap.buckets[0], 2);
+  EXPECT_EQ(snap.buckets[1], 1);
+  EXPECT_EQ(snap.buckets[2], 2);
+  EXPECT_EQ(snap.buckets[3], 2);
+  EXPECT_EQ(snap.buckets[4], 1);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAggregateExactly) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 1; i <= kIters; ++i) h.Record(i);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, int64_t{kThreads} * kIters);
+  EXPECT_EQ(snap.sum, int64_t{kThreads} * kIters * (kIters + 1) / 2);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, kIters);
+}
+
+TEST(MetricsRegistryTest, SameNameSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3);
+  // Distinct kinds share a namespace without colliding.
+  registry.gauge("x").Set(9);
+  EXPECT_EQ(registry.counter("x").value(), 3);
+}
+
+TEST(MetricsRegistryTest, InstrumentReferencesSurviveLaterInserts) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("aaa");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler_" + std::to_string(i));
+  }
+  first.Add(1);
+  EXPECT_EQ(registry.counter("aaa").value(), 1);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsNames) {
+  MetricsRegistry registry;
+  registry.counter("c").Add(5);
+  registry.gauge("g").Set(7);
+  registry.histogram("h").Record(3);
+  registry.Reset();
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.count("c"), 1u);
+  EXPECT_EQ(snap.counters.at("c"), 0);
+  EXPECT_EQ(snap.gauges.at("g"), 0);
+  EXPECT_EQ(snap.histograms.at("h").count, 0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndUpdates) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      for (int i = 0; i < kIters; ++i) {
+        // All threads race to create and update the same instruments.
+        registry.counter("shared").Increment();
+        registry.histogram("dist").Record(i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("shared"), int64_t{kThreads} * kIters);
+  EXPECT_EQ(snap.histograms.at("dist").count, int64_t{kThreads} * kIters);
+}
+
+TEST(MetricsSnapshotTest, FlattenNaming) {
+  MetricsRegistry registry;
+  registry.counter("beta.tests").Add(42);
+  registry.gauge("tree.bytes").Set(100);
+  registry.gauge("tree.bytes").SetMax(500);
+  registry.histogram("beta.cut").Record(3);
+  registry.histogram("beta.cut").Record(5);
+  const std::map<std::string, int64_t> flat =
+      registry.Snapshot().Flatten();
+  EXPECT_EQ(flat.at("beta.tests"), 42);
+  EXPECT_EQ(flat.at("tree.bytes"), 100);
+  EXPECT_EQ(flat.at("tree.bytes.max"), 500);
+  EXPECT_EQ(flat.at("beta.cut.count"), 2);
+  EXPECT_EQ(flat.at("beta.cut.sum"), 8);
+  EXPECT_EQ(flat.at("beta.cut.min"), 3);
+  EXPECT_EQ(flat.at("beta.cut.max"), 5);
+}
+
+TEST(MetricsSnapshotTest, ToJsonContainsInstruments) {
+  MetricsRegistry registry;
+  registry.counter("c1").Add(7);
+  registry.histogram("h1").Record(2);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c1\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"h1\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalIsStable) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,167 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/memory.h"
+
+namespace mrcc {
+namespace {
+
+// Every test owns the global trace state exclusively (ctest runs test
+// *binaries* in parallel, not tests within one binary).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::Disable();
+    Trace::Clear();
+  }
+  void TearDown() override {
+    Trace::Disable();
+    Trace::Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(Trace::enabled());
+  {
+    MRCC_TRACE_SPAN("outer");
+    MRCC_TRACE_SPAN_N("inner", 42);
+  }
+  EXPECT_EQ(Trace::NumSpans(), 0u);
+}
+
+TEST_F(TraceTest, DisabledSpansDoNotAllocate) {
+  ASSERT_FALSE(Trace::enabled());
+  // Warm up: the first span on this thread may lazily touch thread-local
+  // infrastructure even while disabled (it must not, but don't let a
+  // one-time cost hide a per-span leak either way).
+  { MRCC_TRACE_SPAN("warmup"); }
+
+  const int64_t before = MemoryTracker::CurrentBytes();
+  for (int i = 0; i < 10000; ++i) {
+    MRCC_TRACE_SPAN("hot");
+    MRCC_TRACE_SPAN_N("hot_n", i);
+  }
+  EXPECT_EQ(MemoryTracker::CurrentBytes(), before)
+      << "disabled spans must not allocate";
+}
+
+TEST_F(TraceTest, EnabledRecordsAndClearDrops) {
+  Trace::Enable();
+  { MRCC_TRACE_SPAN("a"); }
+  { MRCC_TRACE_SPAN("b"); }
+  EXPECT_EQ(Trace::NumSpans(), 2u);
+  Trace::Clear();
+  EXPECT_EQ(Trace::NumSpans(), 0u);
+}
+
+TEST_F(TraceTest, SpansNestWithScopes) {
+  Trace::Enable();
+  {
+    MRCC_TRACE_SPAN("outer");
+    {
+      MRCC_TRACE_SPAN("inner");
+    }
+  }
+  EXPECT_EQ(Trace::NumSpans(), 2u);
+
+  const std::string json = Trace::ToChromeJson();
+  const size_t outer = json.find("\"name\":\"outer\"");
+  const size_t inner = json.find("\"name\":\"inner\"");
+  ASSERT_NE(outer, std::string::npos);
+  ASSERT_NE(inner, std::string::npos);
+  // Spans are recorded at scope exit, so the inner span closes first.
+  EXPECT_LT(inner, outer);
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  Trace::Enable();
+  { MRCC_TRACE_SPAN_N("stage", 7); }
+  const std::string json = Trace::ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"n\":7}"), std::string::npos);
+  // Valid JSON object start/end (full parse is bench_record_test's job).
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(TraceTest, NoPayloadSpanOmitsArgs) {
+  Trace::Enable();
+  { MRCC_TRACE_SPAN("bare"); }
+  const std::string json = Trace::ToChromeJson();
+  EXPECT_EQ(json.find("\"args\""), std::string::npos);
+}
+
+TEST_F(TraceTest, SetArgUpdatesPayload) {
+  Trace::Enable();
+  {
+    TraceSpan span("late", -1);
+    span.set_arg(123);
+  }
+  EXPECT_NE(Trace::ToChromeJson().find("\"args\":{\"n\":123}"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTracks) {
+  Trace::Enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        MRCC_TRACE_SPAN("worker");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(Trace::NumSpans(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+
+  // Each worker thread appears as its own tid in the export.
+  const std::string json = Trace::ToChromeJson();
+  int distinct_tids = 0;
+  for (int tid = 0; tid < kThreads + 8; ++tid) {
+    if (json.find("\"tid\":" + std::to_string(tid)) != std::string::npos) {
+      ++distinct_tids;
+    }
+  }
+  EXPECT_GE(distinct_tids, kThreads);
+}
+
+TEST_F(TraceTest, ConcurrentRecordingIsSafe) {
+  Trace::Enable();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kIters; ++i) {
+        MRCC_TRACE_SPAN_N("race", t);
+        if (i % 64 == 0) Trace::NumSpans();  // Concurrent reader.
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(Trace::NumSpans(), static_cast<size_t>(kThreads) * kIters);
+}
+
+TEST_F(TraceTest, DisableStopsRecordingButKeepsSpans) {
+  Trace::Enable();
+  { MRCC_TRACE_SPAN("kept"); }
+  Trace::Disable();
+  { MRCC_TRACE_SPAN("dropped"); }
+  EXPECT_EQ(Trace::NumSpans(), 1u);
+  EXPECT_NE(Trace::ToChromeJson().find("kept"), std::string::npos);
+  EXPECT_EQ(Trace::ToChromeJson().find("dropped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Compare two BenchRecord JSON files and flag performance regressions.
+
+Usage:
+  tools/bench_compare.py BASELINE.json CURRENT.json [options]
+
+Entries are matched by (method, dataset). For each matched pair the
+per-run wall time is compared; the record-level totals (wall_seconds,
+peak_rss_bytes) are compared as well. A regression is a relative increase
+above --threshold (default 25%). Small absolute times are noisy, so pairs
+where both sides are under --min-seconds (default 50 ms) are only reported
+informationally, never failed on.
+
+Exit codes:
+  0  no regressions (or --warn-only)
+  1  at least one regression above threshold
+  2  usage / schema error
+
+The committed baseline lives at bench/baselines/BENCH_baseline.json and is
+refreshed deliberately (see README); CI runs this script warn-only until
+the runner variance is characterised.
+"""
+
+import argparse
+import json
+import sys
+
+SUPPORTED_SCHEMA = 1
+
+
+def load_record(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            record = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    version = record.get("schema_version")
+    if version != SUPPORTED_SCHEMA:
+        sys.exit(
+            f"error: {path}: schema_version {version} != supported "
+            f"{SUPPORTED_SCHEMA}"
+        )
+    return record
+
+
+def entry_key(entry):
+    return (entry.get("method", ""), entry.get("dataset", ""))
+
+
+def relative_change(base, cur):
+    if base <= 0:
+        return 0.0
+    return (cur - base) / base
+
+
+def fmt_pct(x):
+    return f"{x * +100:+.1f}%"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BenchRecord JSON files."
+    )
+    parser.add_argument("baseline", help="baseline BenchRecord JSON")
+    parser.add_argument("current", help="current BenchRecord JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative increase that counts as a regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="ignore per-entry timings where both sides are below this "
+        "(default 0.05)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0",
+    )
+    args = parser.parse_args()
+
+    base = load_record(args.baseline)
+    cur = load_record(args.current)
+
+    if base.get("bench") != cur.get("bench"):
+        print(
+            f"note: comparing different benches "
+            f"({base.get('bench')} vs {cur.get('bench')})"
+        )
+    if base.get("scale") != cur.get("scale"):
+        print(
+            f"note: scales differ (baseline {base.get('scale')} vs "
+            f"current {cur.get('scale')}); timings are not comparable"
+        )
+
+    base_entries = {entry_key(e): e for e in base.get("entries", [])}
+    cur_entries = {entry_key(e): e for e in cur.get("entries", [])}
+
+    regressions = []
+    infos = []
+
+    for key in sorted(base_entries.keys() - cur_entries.keys()):
+        infos.append(f"entry {key[0]}/{key[1]}: missing from current run")
+    for key in sorted(cur_entries.keys() - base_entries.keys()):
+        infos.append(f"entry {key[0]}/{key[1]}: new in current run")
+
+    for key in sorted(base_entries.keys() & cur_entries.keys()):
+        b, c = base_entries[key], cur_entries[key]
+        name = f"{key[0]}/{key[1]}"
+        if b.get("completed") and not c.get("completed"):
+            regressions.append(
+                f"entry {name}: completed in baseline, now fails "
+                f"({c.get('error', '')!r})"
+            )
+            continue
+        bs, cs = b.get("seconds", 0.0), c.get("seconds", 0.0)
+        change = relative_change(bs, cs)
+        line = f"entry {name}: {bs:.3f}s -> {cs:.3f}s ({fmt_pct(change)})"
+        if change > args.threshold:
+            if bs < args.min_seconds and cs < args.min_seconds:
+                infos.append(line + " [below --min-seconds, ignored]")
+            else:
+                regressions.append(line)
+        else:
+            infos.append(line)
+
+    for field, unit, minimum in (
+        ("wall_seconds", "s", args.min_seconds),
+        ("peak_rss_bytes", "B", 0),
+    ):
+        bv, cv = base.get(field, 0), cur.get(field, 0)
+        change = relative_change(bv, cv)
+        line = f"total {field}: {bv:g}{unit} -> {cv:g}{unit} ({fmt_pct(change)})"
+        if change > args.threshold and not (bv < minimum and cv < minimum):
+            regressions.append(line)
+        else:
+            infos.append(line)
+
+    for line in infos:
+        print(f"  ok   {line}")
+    for line in regressions:
+        print(f"  REG  {line}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) above "
+            f"{fmt_pct(args.threshold)}"
+            + (" (warn-only: not failing)" if args.warn_only else "")
+        )
+        return 0 if args.warn_only else 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
