@@ -61,7 +61,22 @@ int main(int argc, char** argv) {
   std::printf("  beta search    %.3f s  (%zu beta-clusters)\n",
               r.stats.beta_search_seconds, r.beta_clusters.size());
   std::printf("  cluster build  %.3f s\n", r.stats.cluster_build_seconds);
-  std::printf("  total          %.3f s\n\n", r.stats.total_seconds);
+  std::printf("  total          %.3f s\n", r.stats.total_seconds);
+  if (r.stats.degraded) {
+    std::printf("  DEGRADED run — answered at H = %d:\n",
+                r.stats.effective_resolutions);
+    for (const std::string& reason : r.stats.degradation_reasons) {
+      std::printf("    - %s\n", reason.c_str());
+    }
+  }
+  if (r.stats.points_skipped > 0 || r.stats.points_clamped > 0) {
+    std::printf("  input hygiene: %llu points skipped, %llu clamped "
+                "(policy %s)\n",
+                static_cast<unsigned long long>(r.stats.points_skipped),
+                static_cast<unsigned long long>(r.stats.points_clamped),
+                mrcc::BadPointPolicyName(params.bad_point_policy));
+  }
+  std::printf("\n");
 
   std::printf("Found %zu correlation clusters (%zu points flagged noise):\n",
               r.clustering.NumClusters(), r.clustering.NumNoisePoints());

@@ -1,0 +1,18 @@
+#include "common/budget.h"
+
+#include "common/failpoint.h"
+
+namespace mrcc {
+
+bool BudgetTracker::MemoryPressure(size_t bytes) const {
+  if (fp::MaybeTrue("budget.memory")) return true;
+  return budget_.max_memory_bytes > 0 && bytes > budget_.max_memory_bytes;
+}
+
+bool BudgetTracker::DeadlineExceeded() const {
+  if (fp::MaybeTrue("budget.deadline")) return true;
+  return budget_.max_wall_seconds > 0.0 &&
+         timer_.ElapsedSeconds() > budget_.max_wall_seconds;
+}
+
+}  // namespace mrcc

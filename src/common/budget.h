@@ -1,0 +1,73 @@
+// Resource budgets and graceful degradation for pipeline runs.
+//
+// A production engine serving heavy traffic cannot answer memory pressure
+// with an OOM kill or a blown deadline with an unbounded stall. A
+// ResourceBudget caps one run's footprint; a BudgetTracker, constructed
+// when the run starts, answers the two questions the pipeline asks at its
+// level/phase boundaries:
+//
+//   MemoryPressure(bytes) — is the structure over the byte cap? The tree
+//     builder responds by dropping its deepest resolution level (the
+//     paper's own lever: H trades resolution for resources) and marking
+//     the run `degraded` with the achieved H in MrCCStats.
+//   DeadlineExceeded()    — is the run past its wall deadline? The
+//     pipeline responds by returning what it has — a partial β-cluster
+//     set, noise labels for the unlabeled scan — with `degraded` set and
+//     the reason recorded, instead of running arbitrarily long.
+//
+// Both checks also honor their failpoints (`budget.memory`,
+// `budget.deadline`), so every degradation path is testable on any
+// machine without actually exhausting it.
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace mrcc {
+
+/// Per-run resource caps. Zero means unlimited (the default).
+struct ResourceBudget {
+  /// Cap on the Counting-tree heap footprint in bytes.
+  size_t max_memory_bytes = 0;
+
+  /// Wall-clock deadline for the whole run in seconds.
+  double max_wall_seconds = 0.0;
+
+  bool Unlimited() const {
+    return max_memory_bytes == 0 && max_wall_seconds <= 0.0;
+  }
+
+  Status Validate() const {
+    if (max_wall_seconds < 0.0) {
+      return Status::InvalidArgument("budget.max_wall_seconds must be >= 0");
+    }
+    return Status::OK();
+  }
+};
+
+/// Live view of one run against its budget. Starts timing on
+/// construction; cheap enough to consult at every phase boundary.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(const ResourceBudget& budget) : budget_(budget) {}
+
+  const ResourceBudget& budget() const { return budget_; }
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+  /// True when `bytes` exceeds the memory cap (or the `budget.memory`
+  /// failpoint forces the path).
+  bool MemoryPressure(size_t bytes) const;
+
+  /// True when the run is past its wall deadline (or the
+  /// `budget.deadline` failpoint forces the path).
+  bool DeadlineExceeded() const;
+
+ private:
+  ResourceBudget budget_;
+  Timer timer_;
+};
+
+}  // namespace mrcc

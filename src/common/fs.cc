@@ -1,0 +1,114 @@
+#include "common/fs.h"
+
+#include <cerrno>
+#include <chrono>
+#include <system_error>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+
+namespace mrcc {
+namespace {
+
+/// Backoff before transient-retry `attempt` (1-based): 200us, 400us,
+/// 800us. Long enough to ride out scheduler-tick-scale hiccups, short
+/// enough that a failing read costs ~1.4ms before surfacing.
+void BackoffSleep(int attempt) {
+  std::this_thread::sleep_for(std::chrono::microseconds(200) * (1 << attempt));
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path,
+                         int err) {
+  return what + " " + path + ": " + std::system_category().message(err);
+}
+
+}  // namespace
+
+UniqueFd::~UniqueFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<UniqueFd> OpenForRead(const std::string& path) {
+  MRCC_RETURN_IF_ERROR(fp::Maybe("source.open"));
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    // ENOENT included: every loader in this repo reports a missing file
+    // as IOError (see dataset_io), and callers match on that.
+    return Status::IOError(ErrnoMessage("cannot open", path, errno));
+  }
+  return UniqueFd(fd);
+}
+
+Result<uint64_t> FileSize(int fd, const std::string& path) {
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return Status::IOError(ErrnoMessage("cannot stat", path, errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status ReadExactAt(int fd, void* buf, size_t n, uint64_t offset,
+                   const std::string& path) {
+  char* out = static_cast<char*>(buf);
+  size_t done = 0;
+  int retries = 0;
+  while (done < n) {
+    // Injected truncation: pretend the file ends here.
+    ssize_t got;
+    if (fp::MaybeTrue("source.read.truncate")) {
+      got = 0;
+    } else if (fp::MaybeTrue("source.read.transient")) {
+      got = -1;
+      errno = EAGAIN;
+    } else {
+      got = ::pread(fd, out + done, n - done,
+                    static_cast<off_t>(offset + done));
+    }
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;  // Partial read: keep going from where it stopped.
+    }
+    if (got == 0) {
+      return Status::IOError(
+          "truncated file " + path + ": data ends at byte " +
+          std::to_string(offset + done) + " (needed " + std::to_string(n) +
+          " bytes at offset " + std::to_string(offset) + ")");
+    }
+    if (errno == EINTR) {
+      // A delivered signal, not a failure: retry without limit or delay.
+      MetricsRegistry::Global().counter("io.eintr_retries").Increment();
+      continue;
+    }
+    if (errno == EAGAIN && retries < kMaxReadRetries) {
+      ++retries;
+      MetricsRegistry::Global().counter("io.read_retries").Increment();
+      BackoffSleep(retries);
+      continue;
+    }
+    return Status::IOError(
+        ErrnoMessage("read failed", path, errno) + " at byte " +
+        std::to_string(offset + done) +
+        (retries > 0 ? " after " + std::to_string(retries) + " retries"
+                     : ""));
+  }
+  return Status::OK();
+}
+
+}  // namespace mrcc

@@ -1,0 +1,69 @@
+// Low-level file primitives for the out-of-core readers.
+//
+// The binary dataset path used std::ifstream, which hides *why* a read
+// came up short: a signal-interrupted read, a transient error and a
+// truncated file all collapse into failbit. Production streaming needs
+// the distinction — EINTR must be retried invisibly, transient errors
+// retried with bounded backoff, and truncation reported with the exact
+// byte offset so an operator can locate the damage. These helpers wrap
+// positional POSIX reads (pread) with exactly that contract; pread also
+// removes the shared-file-position hazard, so cursors over one file
+// descriptor could even share it safely.
+//
+// Fault injection: ReadExactAt honors the `source.read.transient` (fails
+// an attempt like an interrupted/temporarily-failing syscall; exercises
+// the retry loop) and `source.read.truncate` (simulates end-of-file;
+// exercises the truncation path) failpoints.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace mrcc {
+
+/// Owning POSIX file descriptor (move-only; closes on destruction).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd();
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens `path` read-only. NotFound for a missing file, IOError otherwise.
+Result<UniqueFd> OpenForRead(const std::string& path);
+
+/// Size of the open file in bytes.
+Result<uint64_t> FileSize(int fd, const std::string& path);
+
+/// Number of transient-retry attempts ReadExactAt makes before giving up
+/// (EINTR loops are unbounded and not counted — an interrupted syscall is
+/// not a failure).
+inline constexpr int kMaxReadRetries = 3;
+
+/// Reads exactly `n` bytes at `offset` into `buf`.
+///   - Partial reads continue where they left off (a pipe-backed or
+///     networked filesystem may return fewer bytes than asked).
+///   - EINTR retries immediately, without limit.
+///   - Other transient errno values (EAGAIN) retry up to kMaxReadRetries
+///     times with exponential backoff, then surface as IOError.
+///   - End-of-file before `n` bytes is IOError naming `path` and the
+///     exact byte offset where data ran out.
+/// `path` is used for error messages only.
+Status ReadExactAt(int fd, void* buf, size_t n, uint64_t offset,
+                   const std::string& path);
+
+}  // namespace mrcc

@@ -1,6 +1,10 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <system_error>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace mrcc {
 
@@ -14,7 +18,22 @@ ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int t = 1; t < num_threads_; ++t) {
-    workers_.emplace_back([this, t] { WorkerLoop(t); });
+    if (fp::MaybeTrue("pool.spawn")) break;  // Injected spawn failure.
+    try {
+      workers_.emplace_back([this, t] { WorkerLoop(t); });
+    } catch (const std::system_error&) {
+      // Out of threads: degrade to the workers we have rather than
+      // aborting — results are thread-count-invariant (see header).
+      break;
+    }
+  }
+  const int spawned = static_cast<int>(workers_.size()) + 1;
+  if (spawned < num_threads_) {
+    MetricsRegistry::Global().counter("pool.spawn_failures")
+        .Add(num_threads_ - spawned);
+    // Spawned workers index slices with their thread_index, which stays
+    // < spawned, so shrinking the count here keeps every slice owned.
+    num_threads_ = spawned;
   }
 }
 

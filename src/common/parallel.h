@@ -53,6 +53,14 @@ class ThreadPool {
  public:
   /// `num_threads` must be >= 1 (use ResolveThreadCount to map the 0 =
   /// auto knob). One thread means no workers and inline execution.
+  ///
+  /// Worker spawn failure (thread-limit pressure, or the `pool.spawn`
+  /// failpoint) degrades gracefully: the pool keeps the workers it got
+  /// and runs with that count — every stage is bit-deterministic in the
+  /// thread count, so the results are unchanged and only throughput
+  /// drops. Callers sizing per-thread state must therefore read
+  /// num_threads() back instead of assuming the requested count; the
+  /// shortfall is counted in the `pool.spawn_failures` metric.
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
 
@@ -70,7 +78,10 @@ class ThreadPool {
  private:
   void WorkerLoop(int thread_index);
 
-  const int num_threads_;
+  /// Set once in the constructor (possibly below the requested count on
+  /// spawn failure) and immutable afterwards; workers read it only after
+  /// synchronizing through mu_ in ParallelFor.
+  int num_threads_;
   std::vector<std::thread> workers_;
 
   std::mutex mu_;

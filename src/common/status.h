@@ -22,6 +22,8 @@ enum class StatusCode {
   kIOError,
   kOutOfRange,
   kInternal,
+  kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code ("OK", "IOError", ...).
@@ -48,6 +50,19 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  /// Builds a status from a runtime-chosen code (failpoints, adapters
+  /// mapping external error categories). An OK code yields OK and drops
+  /// the message.
+  static Status FromCode(StatusCode code, std::string msg) {
+    return code == StatusCode::kOk ? OK() : Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

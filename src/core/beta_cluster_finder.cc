@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/mdl.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
@@ -48,7 +49,7 @@ class BetaClusterFinder {
 
   const BetaSearchStats& stats() const { return stats_; }
 
-  std::vector<BetaCluster> Run() {
+  Result<std::vector<BetaCluster>> Run(BudgetTracker* budget) {
     std::vector<BetaCluster> betas;
     bool found_new = true;
     while (found_new) {
@@ -56,7 +57,14 @@ class BetaClusterFinder {
       // Inner sweep: levels 2 .. H-1, one candidate (the Laplacian argmax)
       // per level; restart from level 2 as soon as a β-cluster is found.
       for (int h = 2; h < tree_.num_resolutions() && !found_new; ++h) {
-        EnsureLevel(h);
+        // Level boundaries are the natural preemption points: between
+        // them the search only appends complete β-clusters, so cutting
+        // here returns a deterministic prefix of the full result.
+        if (budget != nullptr && budget->DeadlineExceeded()) {
+          stats_.deadline_hit = true;
+          return betas;
+        }
+        MRCC_RETURN_IF_ERROR(EnsureLevel(h));
         const int64_t best = SelectBestCell(h, betas);
         if (best < 0) continue;  // No eligible cell at this level.
         LevelData& level = levels_[h];
@@ -91,11 +99,13 @@ class BetaClusterFinder {
   // cell enumeration (tree pool order) is serial and cheap; the Laplacian
   // responses — the expensive part — are computed in parallel, each worker
   // filling a disjoint slice of the result arrays.
-  void EnsureLevel(int h) {
+  Status EnsureLevel(int h) {
     MRCC_DCHECK_GE(h, 2);
     MRCC_DCHECK_LT(static_cast<size_t>(h), levels_.size());
     LevelData& level = levels_[h];
-    if (level.ready) return;
+    if (level.ready) return Status::OK();
+    // The level cache is the search's only sizable allocation.
+    MRCC_RETURN_IF_ERROR(fp::Maybe("beta.search.alloc"));
     MRCC_TRACE_SPAN_N("beta.convolve", h);
     for (uint32_t node_idx : tree_.NodesAtLevel(h)) {
       const CountingTree::Node& node = tree_.node(node_idx);
@@ -124,6 +134,7 @@ class BetaClusterFinder {
     MetricsRegistry::Global().counter("beta.cells_convolved").Add(
         static_cast<int64_t>(cells));
     level.ready = true;
+    return Status::OK();
   }
 
   // Index of the eligible cell with the largest convolution response at
@@ -319,9 +330,10 @@ class BetaClusterFinder {
 
 }  // namespace
 
-std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
-                                          const BetaFinderOptions& options,
-                                          BetaSearchStats* stats) {
+Result<std::vector<BetaCluster>> RunBetaSearch(CountingTree& tree,
+                                               const BetaFinderOptions& options,
+                                               BetaSearchStats* stats,
+                                               BudgetTracker* budget) {
   BetaFinderOptions effective = options;
   // The full order-3 mask costs O(3^d) per cell; above kMaxFullMaskDims it
   // would effectively hang. High-level drivers (MrCC::Run, streaming)
@@ -332,7 +344,7 @@ std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
     effective.full_mask = false;
   }
   BetaClusterFinder finder(tree, effective);
-  std::vector<BetaCluster> betas = finder.Run();
+  Result<std::vector<BetaCluster>> betas = finder.Run(budget);
   MetricsRegistry& metrics = MetricsRegistry::Global();
   metrics.counter("beta.candidates_tested").Add(
       static_cast<int64_t>(finder.stats().candidates_tested));
@@ -342,6 +354,17 @@ std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
       static_cast<int64_t>(finder.stats().accepted));
   if (stats != nullptr) *stats = finder.stats();
   return betas;
+}
+
+std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
+                                          const BetaFinderOptions& options,
+                                          BetaSearchStats* stats) {
+  Result<std::vector<BetaCluster>> betas =
+      RunBetaSearch(tree, options, stats, /*budget=*/nullptr);
+  // Budget-less searches only fail through armed failpoints; callers of
+  // the ergonomic signature (tests, tools) do not arm beta.search.alloc.
+  MRCC_CHECK(betas.ok());
+  return std::move(betas).value();
 }
 
 }  // namespace mrcc

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/budget.h"
+#include "common/status.h"
 #include "core/counting_tree.h"
 
 namespace mrcc {
@@ -82,11 +84,31 @@ struct BetaSearchStats {
 
   /// Candidates accepted as β-clusters (== number of β-clusters found).
   uint64_t accepted = 0;
+
+  /// True when the search stopped early because the caller's wall-clock
+  /// budget ran out; the returned β-clusters are a valid prefix of the
+  /// full search (the sweep is deterministic, so everything found before
+  /// the cut stands).
+  bool deadline_hit = false;
 };
 
 /// Runs Algorithm 2 over `tree`. Consumes the tree's usedCell flags (call
 /// tree.ResetUsedFlags() to reuse the tree). Deterministic. When `stats`
 /// is non-null the search's work counters are written into it.
+///
+/// When `budget` is non-null its deadline is checked at every level
+/// boundary; on expiry the search returns the β-clusters found so far
+/// with stats->deadline_hit set — a partial result, not an error. A
+/// non-OK status only signals a real failure (the `beta.search.alloc`
+/// failpoint stands in for level-cache allocation failure).
+Result<std::vector<BetaCluster>> RunBetaSearch(
+    CountingTree& tree, const BetaFinderOptions& options,
+    BetaSearchStats* stats = nullptr, BudgetTracker* budget = nullptr);
+
+/// Value-returning convenience wrapper over RunBetaSearch with no budget.
+/// Without a budget and without armed failpoints the search cannot fail,
+/// so this keeps the original ergonomic signature for callers that own
+/// their tree (tests, tools); the pipeline goes through RunBetaSearch.
 std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
                                           const BetaFinderOptions& options,
                                           BetaSearchStats* stats = nullptr);

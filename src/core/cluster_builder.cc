@@ -54,7 +54,7 @@ Clustering MergeBetaClusters(const std::vector<BetaCluster>& betas,
 Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
                                      const std::vector<int>& beta_to_cluster,
                                      const DataSource& source,
-                                     int num_threads) {
+                                     int num_threads, BadPointPolicy policy) {
   // Each contained point is labeled beta_to_cluster[b] — a short map
   // silently mislabels, a long one reads out of the betas' range.
   MRCC_CHECK_EQ(beta_to_cluster.size(), betas.size());
@@ -77,7 +77,21 @@ Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
     Status slice_status = cursor.status();
     if (cursor.ok()) {
       std::span<const double> point;
+      std::vector<double> scratch;
       for (size_t i = begin; i < end && (*cursor)->Next(&point); ++i) {
+        // Mirror the tree-build pass: a skipped point was never counted,
+        // so it stays noise; a clamped point was counted at its clamped
+        // coordinates, so it is looked up there. kReject checks nothing —
+        // the build already failed on the first bad value.
+        if (policy != BadPointPolicy::kReject) {
+          const PointAction action = ClassifyPoint(point, policy);
+          if (action == PointAction::kSkip) continue;
+          if (action == PointAction::kClamp) {
+            scratch.assign(point.begin(), point.end());
+            SanitizePoint(scratch, policy);
+            point = scratch;
+          }
+        }
         for (size_t b = 0; b < betas.size(); ++b) {
           if (betas[b].Contains(point)) {
             labels[i] = beta_to_cluster[b];

@@ -19,6 +19,7 @@
 #include "core/beta_cluster_finder.h"
 #include "data/data_source.h"
 #include "data/dataset.h"
+#include "data/sanitize.h"
 
 namespace mrcc {
 
@@ -37,10 +38,18 @@ Clustering MergeBetaClusters(const std::vector<BetaCluster>& betas,
 /// correlation clusters never share space, so the label is unique.
 /// `num_threads` (0 = hardware concurrency) splits the points into
 /// contiguous slices, one cursor per worker.
+///
+/// `policy` must match the tree-build pass: points the build skipped are
+/// labeled noise and points it clamped are looked up at their clamped
+/// coordinates, so each point's label matches what the tree counted.
+/// kReject is the historical fast path — the build already failed on the
+/// first bad value, so labeling assumes clean input and checks nothing.
 Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
                                      const std::vector<int>& beta_to_cluster,
                                      const DataSource& source,
-                                     int num_threads = 1);
+                                     int num_threads = 1,
+                                     BadPointPolicy policy =
+                                         BadPointPolicy::kReject);
 
 /// Merges β-clusters and labels `data`'s points in one call (the
 /// in-memory composition of the two functions above).

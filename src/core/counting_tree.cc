@@ -254,6 +254,47 @@ void CountingTree::ResetUsedFlags() {
   }
 }
 
+Status CountingTree::DropDeepestLevel() {
+  const int deepest = num_resolutions_ - 1;
+  if (deepest <= 2) {
+    return Status::InvalidArgument(
+        "cannot drop below the paper's minimum of H = 3 resolutions");
+  }
+  // Unlink the dropped level from its parent cells, then compact the node
+  // pool. Compaction preserves relative order, so the surviving pool has
+  // exactly the layout a build with the smaller H would have produced —
+  // which keeps every downstream stage bit-identical to that build.
+  for (uint32_t idx : by_level_[static_cast<size_t>(deepest - 1)]) {
+    for (Cell& cell : nodes_[idx].cells) cell.child_node = -1;
+  }
+  std::vector<int32_t> remap(nodes_.size(), -1);
+  std::vector<Node> kept;
+  kept.reserve(nodes_.size() - by_level_[static_cast<size_t>(deepest)].size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].level >= deepest) continue;
+    remap[i] = static_cast<int32_t>(kept.size());
+    kept.push_back(std::move(nodes_[i]));
+  }
+  for (Node& node : kept) {
+    for (Cell& cell : node.cells) {
+      if (cell.child_node >= 0) {
+        cell.child_node = remap[static_cast<size_t>(cell.child_node)];
+        MRCC_DCHECK_GE(cell.child_node, 0);
+      }
+    }
+  }
+  nodes_ = std::move(kept);
+  by_level_.pop_back();
+  for (std::vector<uint32_t>& level : by_level_) {
+    for (uint32_t& idx : level) {
+      idx = static_cast<uint32_t>(remap[idx]);
+    }
+  }
+  --num_resolutions_;
+  DCheckInvariants(*this);
+  return Status::OK();
+}
+
 Status CountingTree::ValidateInvariants() const {
   const auto fail = [](std::string msg) {
     return Status::Internal("tree invariant violated: " + std::move(msg));

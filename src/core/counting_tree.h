@@ -164,6 +164,15 @@ class CountingTree {
   /// Clears every usedCell flag (lets one tree serve several runs).
   void ResetUsedFlags();
 
+  /// Removes the deepest materialized level (H := H - 1) and frees its
+  /// nodes — the graceful-degradation lever under memory pressure: the
+  /// paper's H trades resolution for resources, and counts at the
+  /// remaining levels are untouched, so the result equals a tree built
+  /// with the smaller H from the start (node for node — creation order
+  /// is preserved by the compaction). Fails when H is already the
+  /// minimum 3.
+  Status DropDeepestLevel();
+
   /// Full structural walk of every invariant the core relies on: d-bit
   /// loc codes, half-space counts P[j] <= n, child levels/base
   /// coordinates, child count sums equal to the parent cell count,

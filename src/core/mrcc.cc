@@ -1,11 +1,13 @@
 #include "core/mrcc.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/memory.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
@@ -31,19 +33,34 @@ constexpr size_t kMinPointsPerShard = 2048;
 /// makes every downstream stage bit-identical to the serial run.
 Result<CountingTree> BuildTreeSharded(const DataSource& source,
                                       int num_resolutions, int num_threads,
+                                      BadPointPolicy policy,
                                       MrCCStats* stats) {
   const size_t n = source.NumPoints();
-  const int shards = std::max(
+  const int want_shards = std::max(
       1, std::min<int>(num_threads,
                        static_cast<int>(n / kMinPointsPerShard)));
-  stats->tree_build_threads = shards;
   stats->tree_merge_seconds = 0.0;
 
   if (n == 0) {
+    stats->tree_build_threads = 1;
     CountingTree::Builder builder(source.NumDims(), num_resolutions);
     MRCC_RETURN_IF_ERROR(builder.status());
     return std::move(builder).Finish();
   }
+
+  // The pool may come up short of workers (thread-limit pressure, the
+  // `pool.spawn` failpoint); size everything by what it actually got —
+  // an unexecuted shard slot would otherwise poison the fold below.
+  ThreadPool pool(want_shards);
+  const int shards = pool.num_threads();
+  if (shards < want_shards) {
+    stats->degraded = true;
+    stats->degradation_reasons.push_back(
+        "thread pool spawned " + std::to_string(shards) + " of " +
+        std::to_string(want_shards) +
+        " tree-build workers; continuing with fewer (results unchanged)");
+  }
+  stats->tree_build_threads = shards;
 
   std::vector<Result<CountingTree>> partial;
   partial.reserve(static_cast<size_t>(shards));
@@ -54,35 +71,80 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
   // diagnostic. Slices are equal by construction, so a skewed profile
   // points at data distribution (hot tree regions) or the machine.
   std::vector<double> shard_seconds(static_cast<size_t>(shards), 0.0);
-  {
-    ThreadPool pool(shards);
-    pool.ParallelFor(n, [&](int t, size_t begin, size_t end) {
-      MRCC_TRACE_SPAN_N("tree.build.shard",
-                        static_cast<int64_t>(end - begin));
-      Timer shard_timer;
-      Result<std::unique_ptr<DataSource::Cursor>> cursor =
-          source.Scan(begin, end);
-      if (!cursor.ok()) {
-        partial[static_cast<size_t>(t)] = cursor.status();
-        return;
+  // Bad points each worker skipped/clamped; reduced in slice order below
+  // so the totals are deterministic like everything else.
+  std::vector<uint64_t> shard_skipped(static_cast<size_t>(shards), 0);
+  std::vector<uint64_t> shard_clamped(static_cast<size_t>(shards), 0);
+  pool.ParallelFor(n, [&](int t, size_t begin, size_t end) {
+    MRCC_TRACE_SPAN_N("tree.build.shard",
+                      static_cast<int64_t>(end - begin));
+    Timer shard_timer;
+    const size_t st = static_cast<size_t>(t);
+    Result<std::unique_ptr<DataSource::Cursor>> cursor =
+        source.Scan(begin, end);
+    if (!cursor.ok()) {
+      partial[st] = cursor.status();
+      return;
+    }
+    CountingTree::Builder builder(source.NumDims(), num_resolutions);
+    std::span<const double> point;
+    std::vector<double> scratch;
+    // tree.build.alloc stands in for the builder's node-pool allocation
+    // failing under memory pressure.
+    Status status = fp::Maybe("tree.build.alloc");
+    if (status.ok()) status = builder.status();
+    size_t row = begin;
+    while (status.ok() && (*cursor)->Next(&point)) {
+      if (fp::MaybeTrue("source.read.corrupt")) {
+        // Simulated bit rot: poison one coordinate the way a damaged
+        // row would arrive from any backend.
+        scratch.assign(point.begin(), point.end());
+        scratch[0] = std::numeric_limits<double>::quiet_NaN();
+        point = scratch;
       }
-      CountingTree::Builder builder(source.NumDims(), num_resolutions);
-      std::span<const double> point;
-      Status status = builder.status();
-      while (status.ok() && (*cursor)->Next(&point)) {
+      const PointAction action = ClassifyPoint(point, policy);
+      if (action == PointAction::kReject) {
+        status = Status::InvalidArgument(
+            "point " + std::to_string(row) + " of " + source.Name() +
+            " has a NaN/Inf/out-of-[0,1) value; normalize the data or "
+            "pick a bad_point_policy");
+      } else if (action == PointAction::kSkip) {
+        ++shard_skipped[st];
+      } else {
+        if (action == PointAction::kClamp) {
+          if (point.data() != scratch.data()) {
+            scratch.assign(point.begin(), point.end());
+          }
+          SanitizePoint(scratch, policy);
+          point = scratch;
+          ++shard_clamped[st];
+        }
         status = builder.Add(point);
       }
-      if (status.ok()) status = (*cursor)->status();
-      partial[static_cast<size_t>(t)] =
-          status.ok() ? std::move(builder).Finish() : Result<CountingTree>(status);
-      shard_seconds[static_cast<size_t>(t)] = shard_timer.ElapsedSeconds();
-    });
-  }
+      ++row;
+    }
+    if (status.ok()) status = (*cursor)->status();
+    partial[st] =
+        status.ok() ? std::move(builder).Finish() : Result<CountingTree>(status);
+    shard_seconds[st] = shard_timer.ElapsedSeconds();
+  });
   for (const Result<CountingTree>& shard : partial) {
     if (!shard.ok()) return shard.status();
   }
+  for (int t = 0; t < shards; ++t) {
+    stats->points_skipped += shard_skipped[static_cast<size_t>(t)];
+    stats->points_clamped += shard_clamped[static_cast<size_t>(t)];
+  }
 
   MetricsRegistry& metrics = MetricsRegistry::Global();
+  if (stats->points_skipped > 0) {
+    metrics.counter("input.points_skipped").Add(
+        static_cast<int64_t>(stats->points_skipped));
+  }
+  if (stats->points_clamped > 0) {
+    metrics.counter("input.points_clamped").Add(
+        static_cast<int64_t>(stats->points_clamped));
+  }
   if (shards > 1) {
     double sum = 0.0;
     double slowest = 0.0;
@@ -103,6 +165,8 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
   MergeTreeStats merge_stats;
   CountingTree tree = std::move(*partial[0]);
   for (size_t t = 1; t < partial.size(); ++t) {
+    // tree.merge.alloc stands in for the fold's cell-pool growth failing.
+    MRCC_RETURN_IF_ERROR(fp::Maybe("tree.merge.alloc"));
     MRCC_RETURN_IF_ERROR(MergeTree(&tree, *partial[t], &merge_stats));
   }
   if (shards > 1) {
@@ -129,6 +193,7 @@ Status MrCCParams::Validate() const {
     return Status::InvalidArgument(
         "num_threads must be >= 0 (0 = hardware concurrency)");
   }
+  MRCC_RETURN_IF_ERROR(budget.Validate());
   return Status::OK();
 }
 
@@ -149,6 +214,12 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   MrCCResult result;
   result.stats.num_threads = num_threads;
   Timer total;
+  BudgetTracker tracker(params_.budget);
+
+  const auto note_degraded = [&result](std::string reason) {
+    result.stats.degraded = true;
+    result.stats.degradation_reasons.push_back(std::move(reason));
+  };
 
   // Phase 1: single-scan Counting-tree construction, sharded by points.
   Timer phase;
@@ -156,10 +227,31 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   {
     MRCC_TRACE_SPAN("tree.build");
     tree = BuildTreeSharded(source, params_.num_resolutions, num_threads,
-                            &result.stats);
+                            params_.bad_point_policy, &result.stats);
   }
   if (!tree.ok()) return tree.status();
   result.stats.tree_build_seconds = phase.ElapsedSeconds();
+
+  // Memory pressure: trade resolution for footprint, the paper's own
+  // lever — H is a quality knob, so a coarser tree is a degraded but
+  // valid run, unlike an OOM kill. Each drop is exact: the remaining
+  // levels match a tree built with the smaller H from the start.
+  while (tracker.MemoryPressure(tree->MemoryBytes())) {
+    const size_t before = tree->MemoryBytes();
+    if (!tree->DropDeepestLevel().ok()) {
+      // Already at the paper's minimum H = 3; nothing left to shed.
+      note_degraded(
+          "memory budget still exceeded at the minimum H = 3 (" +
+          std::to_string(tree->MemoryBytes()) + " bytes); continuing");
+      break;
+    }
+    metrics.counter("budget.depth_drops").Add(1);
+    note_degraded("memory pressure: dropped the deepest resolution level "
+                  "(H now " + std::to_string(tree->num_resolutions()) +
+                  ", " + std::to_string(before) + " -> " +
+                  std::to_string(tree->MemoryBytes()) + " bytes)");
+  }
+  result.stats.effective_resolutions = tree->num_resolutions();
   result.stats.tree_memory_bytes = tree->MemoryBytes();
   result.stats.cells_per_level.assign(
       static_cast<size_t>(tree->num_resolutions()), 0);
@@ -171,6 +263,18 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   metrics.gauge("tree.memory_bytes").Set(
       static_cast<int64_t>(result.stats.tree_memory_bytes));
 
+  // Deadline gate: past the wall budget the most useful answer is the
+  // cheapest valid one — no clusters, every point noise — returned now
+  // instead of starting a search that would blow the deadline further.
+  if (tracker.DeadlineExceeded()) {
+    note_degraded("wall deadline exceeded after the tree build (" +
+                  std::to_string(tracker.ElapsedSeconds()) +
+                  "s): returning an empty clustering, all points noise");
+    result.clustering.labels.assign(source.NumPoints(), kNoiseLabel);
+    result.stats.total_seconds = total.ElapsedSeconds();
+    return result;
+  }
+
   // Phase 2: β-cluster search, parallel over the cells of each level.
   phase.Reset();
   BetaFinderOptions finder_options;
@@ -181,8 +285,15 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   BetaSearchStats beta_stats;
   {
     MRCC_TRACE_SPAN("beta.search");
-    result.beta_clusters = FindBetaClusters(*tree, finder_options,
-                                            &beta_stats);
+    Result<std::vector<BetaCluster>> betas =
+        RunBetaSearch(*tree, finder_options, &beta_stats, &tracker);
+    if (!betas.ok()) return betas.status();
+    result.beta_clusters = std::move(*betas);
+  }
+  if (beta_stats.deadline_hit) {
+    note_degraded(
+        "wall deadline exceeded during the β-search: the β-clusters are "
+        "a deterministic prefix of the full search");
   }
   result.stats.beta_cells_convolved = beta_stats.cells_convolved;
   result.stats.beta_candidates_tested = beta_stats.candidates_tested;
@@ -200,15 +311,23 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
         result.beta_clusters, source.NumDims(), &result.beta_to_cluster);
   }
   result.stats.labeling_threads = num_threads;
-  Result<std::vector<int>> labels(Status::Internal("labeling not run"));
-  {
-    MRCC_TRACE_SPAN_N("cluster.label_points",
-                      static_cast<int64_t>(source.NumPoints()));
-    labels = LabelPoints(result.beta_clusters, result.beta_to_cluster,
-                         source, num_threads);
+  if (tracker.DeadlineExceeded()) {
+    // The cluster geometry above is already paid for; the labeling scan
+    // (a full second pass over the data) is what gets cut.
+    note_degraded("wall deadline exceeded before labeling: skipping the "
+                  "labeling scan, all points labeled noise");
+    result.clustering.labels.assign(source.NumPoints(), kNoiseLabel);
+  } else {
+    Result<std::vector<int>> labels(Status::Internal("labeling not run"));
+    {
+      MRCC_TRACE_SPAN_N("cluster.label_points",
+                        static_cast<int64_t>(source.NumPoints()));
+      labels = LabelPoints(result.beta_clusters, result.beta_to_cluster,
+                           source, num_threads, params_.bad_point_policy);
+    }
+    if (!labels.ok()) return labels.status();
+    result.clustering.labels = std::move(*labels);
   }
-  if (!labels.ok()) return labels.status();
-  result.clustering.labels = std::move(*labels);
   result.stats.cluster_build_seconds = phase.ElapsedSeconds();
   result.stats.total_seconds = total.ElapsedSeconds();
   // Allocator high-water mark since the last ResetPeak() — with the
@@ -219,13 +338,10 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
 }
 
 Result<MrCCResult> MrCC::Run(const Dataset& data) const {
-  // Preserve the historical contract of the in-memory driver: reject a
-  // non-normalized dataset up front with one clear error instead of a
-  // mid-scan per-point failure.
-  if (!data.InUnitCube()) {
-    return Status::InvalidArgument(
-        "dataset must be normalized to [0,1)^d before building the tree");
-  }
+  // No separate normalization precheck: the build pass classifies every
+  // point anyway, so under the reject policy a bad point fails the run
+  // from inside the scan (naming its row) instead of costing an extra
+  // full pass up front.
   return Run(MemoryDataSource(data));
 }
 

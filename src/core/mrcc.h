@@ -18,13 +18,16 @@
 
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "core/beta_cluster_finder.h"
 #include "core/cluster_builder.h"
 #include "core/counting_tree.h"
 #include "core/subspace_clusterer.h"
 #include "data/data_source.h"
+#include "data/sanitize.h"
 
 namespace mrcc {
 
@@ -46,6 +49,18 @@ struct MrCCParams {
   /// produce bit-identical results; stages additionally cap their own
   /// counts so tiny inputs are not oversharded (see MrCCStats).
   int num_threads = 1;
+
+  /// What to do with NaN/Inf/out-of-[0,1) input points (see
+  /// data/sanitize.h). Applied identically in both data passes — a point
+  /// is either counted and labelable, or invisible to both. The default
+  /// preserves the historical reject-on-first-bad-value contract.
+  BadPointPolicy bad_point_policy = BadPointPolicy::kReject;
+
+  /// Resource caps for one run; zero fields mean unlimited. Exceeding the
+  /// memory cap drops tree resolution (H) instead of growing; exceeding
+  /// the wall deadline returns partial results. Both mark the run
+  /// degraded in MrCCStats rather than failing it.
+  ResourceBudget budget;
 
   Status Validate() const;
 };
@@ -102,6 +117,27 @@ struct MrCCStats {
   /// point slices, so imbalance measures data skew and scheduling, not
   /// slicing.
   double shard_imbalance = 0.0;
+
+  // ---- Graceful degradation and input hygiene (DESIGN.md §11).
+
+  /// True when the run completed but gave up something to finish: tree
+  /// resolution under memory pressure, β-search depth or the labeling
+  /// scan under the wall deadline, worker threads under spawn failure.
+  /// Every concession is spelled out in degradation_reasons.
+  bool degraded = false;
+
+  /// Human-readable reasons the run degraded, in the order they occurred.
+  std::vector<std::string> degradation_reasons;
+
+  /// Resolutions H the run actually used after any memory-pressure drops
+  /// (== params.num_resolutions when not degraded; capped by the tree's
+  /// kMaxResolutions clamp either way).
+  int effective_resolutions = 0;
+
+  /// Input points dropped / clamped into [0,1) by the bad-point policy
+  /// during the tree-build scan (0 under kReject, which fails instead).
+  uint64_t points_skipped = 0;
+  uint64_t points_clamped = 0;
 };
 
 /// Complete output of one MrCC run.

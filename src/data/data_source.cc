@@ -1,5 +1,7 @@
 #include "data/data_source.h"
 
+#include "common/failpoint.h"
+
 namespace mrcc {
 namespace {
 
@@ -59,6 +61,7 @@ class FileCursor : public DataSource::Cursor {
 Result<std::unique_ptr<DataSource::Cursor>> MemoryDataSource::Scan(
     size_t begin, size_t end) const {
   MRCC_RETURN_IF_ERROR(CheckRange(begin, end, NumPoints()));
+  MRCC_RETURN_IF_ERROR(fp::Maybe("source.scan"));
   return std::unique_ptr<Cursor>(new MemoryCursor(*data_, begin, end));
 }
 
@@ -76,6 +79,7 @@ Result<BinaryFileDataSource> BinaryFileDataSource::Open(
 Result<std::unique_ptr<DataSource::Cursor>> BinaryFileDataSource::Scan(
     size_t begin, size_t end) const {
   MRCC_RETURN_IF_ERROR(CheckRange(begin, end, num_points_));
+  MRCC_RETURN_IF_ERROR(fp::Maybe("source.scan"));
   Result<BinaryDatasetReader> reader = BinaryDatasetReader::Open(path_);
   if (!reader.ok()) return reader.status();
   MRCC_RETURN_IF_ERROR(reader->SeekTo(begin));

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -124,6 +125,26 @@ Result<Dataset> LoadBinary(const std::string& path, std::vector<int>* labels) {
   }
   if (!ReadPod(in, &num_points) || !ReadPod(in, &num_dims)) {
     return Status::IOError("truncated header in " + path);
+  }
+  // A corrupt header can claim astronomical counts; validate them against
+  // the actual file size (overflow-safe) before allocating anything.
+  if (num_points > 0 && num_dims == 0) {
+    return Status::IOError("corrupt header in " + path +
+                           ": points with zero dimensions");
+  }
+  const uint64_t data_start = static_cast<uint64_t>(in.tellg());
+  constexpr uint64_t kMaxU64 = std::numeric_limits<uint64_t>::max();
+  if (num_dims > kMaxU64 / sizeof(double) ||
+      (num_points > 0 &&
+       num_dims * sizeof(double) > (kMaxU64 - data_start) / num_points)) {
+    return Status::IOError("corrupt header in " + path +
+                           ": point count overflows the file size");
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(static_cast<std::streamoff>(data_start));
+  if (file_size < data_start + num_points * num_dims * sizeof(double)) {
+    return Status::IOError("truncated data: " + path);
   }
   Dataset data(num_points, num_dims);
   for (size_t i = 0; i < num_points; ++i) {

@@ -1,6 +1,7 @@
 #include "data/dataset_reader.h"
 
 #include <cstring>
+#include <limits>
 
 namespace mrcc {
 namespace {
@@ -8,32 +9,75 @@ namespace {
 constexpr char kMagic[4] = {'M', 'R', 'C', 'C'};
 constexpr uint32_t kVersion = 1;
 
+// magic + version + num_points + num_dims.
+constexpr uint64_t kHeaderBytes =
+    sizeof(kMagic) + sizeof(uint32_t) + 2 * sizeof(uint64_t);
+
 }  // namespace
 
 Result<BinaryDatasetReader> BinaryDatasetReader::Open(
     const std::string& path) {
-  BinaryDatasetReader reader;
-  reader.path_ = path;
-  reader.in_.open(path, std::ios::binary);
-  if (!reader.in_) {
-    return Status::IOError("cannot open for reading: " + path);
-  }
-  char magic[4];
-  reader.in_.read(magic, sizeof(magic));
-  if (!reader.in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  Result<UniqueFd> fd = OpenForRead(path);
+  if (!fd.ok()) return fd.status();
+
+  unsigned char header[kHeaderBytes];
+  MRCC_RETURN_IF_ERROR(
+      ReadExactAt(fd->get(), header, sizeof(header), 0, path));
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
     return Status::IOError("bad magic in " + path);
   }
   uint32_t version = 0;
   uint64_t num_points = 0, num_dims = 0;
-  reader.in_.read(reinterpret_cast<char*>(&version), sizeof(version));
-  reader.in_.read(reinterpret_cast<char*>(&num_points), sizeof(num_points));
-  reader.in_.read(reinterpret_cast<char*>(&num_dims), sizeof(num_dims));
-  if (!reader.in_ || version != kVersion) {
+  std::memcpy(&version, header + sizeof(kMagic), sizeof(version));
+  std::memcpy(&num_points, header + sizeof(kMagic) + sizeof(version),
+              sizeof(num_points));
+  std::memcpy(&num_dims,
+              header + sizeof(kMagic) + sizeof(version) + sizeof(num_points),
+              sizeof(num_dims));
+  if (version != kVersion) {
     return Status::IOError("unsupported header in " + path);
   }
+  if (num_points > 0 && num_dims == 0) {
+    return Status::IOError("corrupt header in " + path + ": " +
+                           std::to_string(num_points) +
+                           " points with zero dimensions");
+  }
+  // The size arithmetic below must not wrap: a corrupt header with
+  // astronomical counts would otherwise pass the truncation check and
+  // send the scan loop off the end of the file.
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  if (num_dims > kMax / sizeof(double) ||
+      (num_points > 0 &&
+       num_dims * sizeof(double) > (kMax - kHeaderBytes) / num_points)) {
+    return Status::IOError("corrupt header in " + path + ": " +
+                           std::to_string(num_points) + " points x " +
+                           std::to_string(num_dims) +
+                           " dims overflows the file size");
+  }
+
+  // Reject a truncated file up front: the header promises
+  // num_points * num_dims doubles, so a shorter file can never scan
+  // cleanly. (The file may legitimately be longer — SaveBinary appends
+  // optional labels after the points.)
+  Result<uint64_t> size = FileSize(fd->get(), path);
+  if (!size.ok()) return size.status();
+  const uint64_t needed = kHeaderBytes + num_points * num_dims *
+                                             static_cast<uint64_t>(
+                                                 sizeof(double));
+  if (*size < needed) {
+    return Status::IOError(
+        "truncated file " + path + ": data ends at byte " +
+        std::to_string(*size) + " but the header promises " +
+        std::to_string(needed) + " bytes (" + std::to_string(num_points) +
+        " points x " + std::to_string(num_dims) + " dims)");
+  }
+
+  BinaryDatasetReader reader;
+  reader.fd_ = std::move(*fd);
+  reader.path_ = path;
   reader.num_points_ = num_points;
   reader.num_dims_ = num_dims;
-  reader.data_start_ = reader.in_.tellg();
+  reader.data_start_ = kHeaderBytes;
   return reader;
 }
 
@@ -43,12 +87,12 @@ bool BinaryDatasetReader::Next(std::span<double> out) {
     status_ = Status::InvalidArgument("output span size != num_dims");
     return false;
   }
-  in_.read(reinterpret_cast<char*>(out.data()),
-           static_cast<std::streamsize>(num_dims_ * sizeof(double)));
-  if (!in_) {
-    status_ = Status::IOError("truncated data in " + path_);
-    return false;
-  }
+  const uint64_t offset =
+      data_start_ + static_cast<uint64_t>(position_) * num_dims_ *
+                        sizeof(double);
+  status_ = ReadExactAt(fd_.get(), out.data(), num_dims_ * sizeof(double),
+                        offset, path_);
+  if (!status_.ok()) return false;
   ++position_;
   return true;
 }
@@ -59,11 +103,6 @@ Status BinaryDatasetReader::SeekTo(size_t point_index) {
   if (point_index > num_points_) {
     return Status::OutOfRange("seek beyond end of " + path_);
   }
-  in_.clear();
-  in_.seekg(data_start_ +
-            static_cast<std::streamoff>(point_index * num_dims_ *
-                                        sizeof(double)));
-  if (!in_) return Status::IOError("seek failed on " + path_);
   position_ = point_index;
   status_ = Status::OK();
   return Status::OK();

@@ -5,24 +5,35 @@
 // reader iterates a binary dataset file point by point so "very large"
 // datasets (the paper's title claim) can be clustered with O(tree) memory
 // instead of O(eta * d). See core/streaming.h for the driver.
+//
+// Reads go through the positional POSIX layer in common/fs.h: partial
+// reads continue, EINTR retries invisibly, transient errors retry with
+// bounded backoff, and truncation surfaces as IOError naming the exact
+// byte offset where the data ran out. Because every read is positional
+// (pread), a reader holds no stream state beyond its point index.
 
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <span>
 #include <string>
-#include <vector>
 
+#include "common/fs.h"
 #include "common/status.h"
 
 namespace mrcc {
 
 /// Sequential point reader over a file written by SaveBinary().
+/// Move-only (owns the file descriptor).
 class BinaryDatasetReader {
  public:
-  /// Opens `path` and parses the header.
+  /// Opens `path`, parses the header and verifies the file is large
+  /// enough for the points it declares, so a truncated file fails here
+  /// with its exact byte deficit instead of mid-scan.
   static Result<BinaryDatasetReader> Open(const std::string& path);
+
+  BinaryDatasetReader(BinaryDatasetReader&&) = default;
+  BinaryDatasetReader& operator=(BinaryDatasetReader&&) = default;
 
   size_t num_points() const { return num_points_; }
   size_t num_dims() const { return num_dims_; }
@@ -42,6 +53,8 @@ class BinaryDatasetReader {
   /// allowed and leaves the reader at end of data). Clears a sticky error.
   /// This is what lets several readers scan disjoint slices of one file in
   /// parallel — each thread opens its own reader and seeks to its slice.
+  /// With positional reads this is pure bookkeeping; it cannot fail on
+  /// I/O.
   Status SeekTo(size_t point_index);
 
   /// Sticky error state of the reader (OK unless a read failed).
@@ -50,14 +63,13 @@ class BinaryDatasetReader {
  private:
   BinaryDatasetReader() = default;
 
-  std::ifstream in_;
+  UniqueFd fd_;
   std::string path_;
   size_t num_points_ = 0;
   size_t num_dims_ = 0;
   size_t position_ = 0;
-  std::streampos data_start_;
+  uint64_t data_start_ = 0;
   Status status_;
 };
 
 }  // namespace mrcc
-

@@ -4,8 +4,19 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
+
 namespace mrcc {
 namespace {
+
+void AppendJsonString(const std::string& value, std::string* out) {
+  *out += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += '"';
+}
 
 void AppendAxisArray(const std::vector<bool>& axes, std::string* out) {
   *out += '[';
@@ -113,12 +124,27 @@ std::string MrCCResultToJson(const MrCCResult& result) {
   std::snprintf(buf, sizeof(buf), ",\"shard_imbalance\":%.4f",
                 result.stats.shard_imbalance);
   out += buf;
+  out += ",\"degraded\":";
+  out += result.stats.degraded ? "true" : "false";
+  out += ",\"degradation_reasons\":[";
+  for (size_t i = 0; i < result.stats.degradation_reasons.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendJsonString(result.stats.degradation_reasons[i], &out);
+  }
+  out += "]";
+  out += ",\"effective_resolutions\":" +
+         std::to_string(result.stats.effective_resolutions);
+  out += ",\"points_skipped\":" +
+         std::to_string(result.stats.points_skipped);
+  out += ",\"points_clamped\":" +
+         std::to_string(result.stats.points_clamped);
   out += "}";
   out += '}';
   return out;
 }
 
 Status WriteJsonFile(const std::string& json, const std::string& path) {
+  MRCC_RETURN_IF_ERROR(fp::Maybe("result.write"));
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   out << json << '\n';
@@ -127,6 +153,7 @@ Status WriteJsonFile(const std::string& json, const std::string& path) {
 }
 
 Status SaveLabels(const std::vector<int>& labels, const std::string& path) {
+  MRCC_RETURN_IF_ERROR(fp::Maybe("result.write"));
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   for (int label : labels) out << label << '\n';

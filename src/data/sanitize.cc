@@ -1,0 +1,66 @@
+#include "data/sanitize.h"
+
+#include <cmath>
+
+namespace mrcc {
+namespace {
+
+/// Largest double strictly below 1.0 — the upper clamp target honoring
+/// the half-open cube.
+const double kBelowOne = std::nextafter(1.0, 0.0);
+
+}  // namespace
+
+const char* BadPointPolicyName(BadPointPolicy policy) {
+  switch (policy) {
+    case BadPointPolicy::kReject:
+      return "reject";
+    case BadPointPolicy::kClamp:
+      return "clamp";
+    case BadPointPolicy::kSkip:
+      return "skip";
+  }
+  return "unknown";
+}
+
+bool PointInUnitCube(std::span<const double> point) {
+  for (double v : point) {
+    // Negated comparison is NaN-rejecting: !(NaN >= 0.0) is true.
+    if (!(v >= 0.0 && v < 1.0)) return false;
+  }
+  return true;
+}
+
+PointAction ClassifyPoint(std::span<const double> point,
+                          BadPointPolicy policy) {
+  bool needs_clamp = false;
+  for (double v : point) {
+    if (v >= 0.0 && v < 1.0) continue;
+    switch (policy) {
+      case BadPointPolicy::kReject:
+        return PointAction::kReject;
+      case BadPointPolicy::kSkip:
+        return PointAction::kSkip;
+      case BadPointPolicy::kClamp:
+        // Non-finite values have no meaningful clamp target; the whole
+        // point is dropped (see header).
+        if (!std::isfinite(v)) return PointAction::kSkip;
+        needs_clamp = true;
+        break;
+    }
+  }
+  return needs_clamp ? PointAction::kClamp : PointAction::kKeep;
+}
+
+PointAction SanitizePoint(std::span<double> point, BadPointPolicy policy) {
+  const PointAction action = ClassifyPoint(point, policy);
+  if (action == PointAction::kClamp) {
+    for (double& v : point) {
+      if (v < 0.0) v = 0.0;
+      if (v >= 1.0) v = kBelowOne;
+    }
+  }
+  return action;
+}
+
+}  // namespace mrcc

@@ -1,0 +1,60 @@
+// Input sanitization policy for dirty points.
+//
+// The paper assumes points normalized to [0,1)^d (Definition 1); real
+// very-large datasets carry NaNs, infinities and out-of-range values. The
+// policy decides what the pipeline does when it meets one — uniformly in
+// both data passes (tree build and labeling), so a point is either
+// counted and labelable, or invisible to both:
+//
+//   kReject — the run fails with InvalidArgument naming the first bad
+//             point (the historical contract; right for pipelines where
+//             a bad value means the upstream normalizer is broken).
+//   kClamp  — finite out-of-range values are clamped into [0,1) and the
+//             point is kept; non-finite values cannot be placed anywhere
+//             meaningful, so NaN/Inf points are skipped and counted.
+//   kSkip   — any bad point is dropped and counted; the run completes on
+//             the clean subset.
+//
+// Skipped/clamped totals surface in MrCCStats (points_skipped,
+// points_clamped) and the metrics registry (input.points_skipped,
+// input.points_clamped) so silent data loss is impossible.
+
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace mrcc {
+
+/// What MrCC does with a NaN/Inf/out-of-[0,1) input point.
+enum class BadPointPolicy {
+  kReject = 0,
+  kClamp,
+  kSkip,
+};
+
+/// "reject" / "clamp" / "skip".
+const char* BadPointPolicyName(BadPointPolicy policy);
+
+/// What SanitizePoint did with one point.
+enum class PointAction {
+  kKeep = 0,  // Already clean; untouched.
+  kClamp,     // Out-of-range values clamped in place; point kept.
+  kSkip,      // Point must be dropped (and counted).
+  kReject,    // Point must fail the run.
+};
+
+/// True when every value lies in [0, 1) (NaN-rejecting).
+bool PointInUnitCube(std::span<const double> point);
+
+/// Applies `policy` to `point` in place and says what to do with it.
+/// kKeep is the fast path for clean points; callers only copy a point
+/// into mutable scratch when this can return kClamp.
+PointAction SanitizePoint(std::span<double> point, BadPointPolicy policy);
+
+/// Policy decision for a point without mutating it (kClamp means "needs
+/// clamping", for callers that copy lazily).
+PointAction ClassifyPoint(std::span<const double> point,
+                          BadPointPolicy policy);
+
+}  // namespace mrcc

@@ -7,6 +7,7 @@
 #include <map>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "eval/analysis.h"
 
 namespace mrcc {
@@ -131,6 +132,21 @@ std::string RenderRunReportHtml(const Dataset& data, const MrCCResult& result,
           static_cast<unsigned long long>(
               result.stats.merge_conflict_cells),
           result.stats.shard_imbalance);
+  if (result.stats.degraded) {
+    html += "<p><b>degraded run</b> (H = " +
+            std::to_string(result.stats.effective_resolutions) + "):</p><ul>";
+    for (const std::string& reason : result.stats.degradation_reasons) {
+      html += "<li>" + reason + "</li>";
+    }
+    html += "</ul>";
+  }
+  if (result.stats.points_skipped > 0 || result.stats.points_clamped > 0) {
+    Appendf(&html,
+            "<p>input hygiene: %llu points skipped, %llu clamped into "
+            "[0,1).</p>",
+            static_cast<unsigned long long>(result.stats.points_skipped),
+            static_cast<unsigned long long>(result.stats.points_clamped));
+  }
 
   // Per-cluster table.
   const auto summaries = SummarizeClusters(data, clustering);
@@ -184,6 +200,7 @@ std::string RenderRunReportHtml(const Dataset& data, const MrCCResult& result,
 Status WriteRunReport(const Dataset& data, const MrCCResult& result,
                       const std::string& title, const std::string& path,
                       const ReportOptions& options) {
+  MRCC_RETURN_IF_ERROR(fp::Maybe("report.write"));
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   out << RenderRunReportHtml(data, result, title, options);

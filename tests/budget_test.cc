@@ -1,0 +1,175 @@
+#include "common/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/counting_tree.h"
+#include "core/mrcc.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace {
+
+class BudgetTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fp::DisarmAll(); }
+};
+
+TEST_F(BudgetTest, UnlimitedByDefault) {
+  const ResourceBudget budget;
+  EXPECT_TRUE(budget.Unlimited());
+  EXPECT_TRUE(budget.Validate().ok());
+  const BudgetTracker tracker(budget);
+  EXPECT_FALSE(tracker.MemoryPressure(1u << 30));
+  EXPECT_FALSE(tracker.DeadlineExceeded());
+}
+
+TEST_F(BudgetTest, NegativeDeadlineIsRejectedByParamsValidate) {
+  MrCCParams params;
+  params.budget.max_wall_seconds = -1.0;
+  EXPECT_EQ(params.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BudgetTest, TrackerRespectsCaps) {
+  ResourceBudget budget;
+  budget.max_memory_bytes = 1000;
+  const BudgetTracker tracker(budget);
+  EXPECT_FALSE(tracker.MemoryPressure(1000));
+  EXPECT_TRUE(tracker.MemoryPressure(1001));
+  EXPECT_FALSE(tracker.DeadlineExceeded());  // No wall cap set.
+}
+
+TEST_F(BudgetTest, FailpointsForceBothPressurePaths) {
+  const BudgetTracker tracker(ResourceBudget{});
+  {
+    fp::ScopedArm arm("budget.memory");
+    EXPECT_TRUE(tracker.MemoryPressure(0));
+  }
+  {
+    fp::ScopedArm arm("budget.deadline");
+    EXPECT_TRUE(tracker.DeadlineExceeded());
+  }
+}
+
+TEST_F(BudgetTest, DropDeepestLevelMatchesSmallerHBuild) {
+  const Dataset d = testing::SmallClustered(4000, 6, 2, 17).data;
+  Result<CountingTree> deep = CountingTree::Build(d, 5);
+  ASSERT_TRUE(deep.ok());
+  ASSERT_TRUE(deep->DropDeepestLevel().ok());
+  ASSERT_TRUE(deep->ValidateInvariants().ok());
+
+  Result<CountingTree> shallow = CountingTree::Build(d, 4);
+  ASSERT_TRUE(shallow.ok());
+  // The drop is exact: the compaction preserves node creation order, so
+  // the degraded tree matches a tree built with the smaller H node for
+  // node — which makes the whole downstream search identical too.
+  EXPECT_EQ(deep->num_resolutions(), shallow->num_resolutions());
+  EXPECT_EQ(deep->num_nodes(), shallow->num_nodes());
+  EXPECT_EQ(deep->total_points(), shallow->total_points());
+  for (int h = 1; h < 4; ++h) {
+    EXPECT_EQ(deep->NumCellsAtLevel(h), shallow->NumCellsAtLevel(h)) << h;
+  }
+  const BetaFinderOptions options;
+  const std::vector<BetaCluster> from_deep = FindBetaClusters(*deep, options);
+  const std::vector<BetaCluster> from_shallow =
+      FindBetaClusters(*shallow, options);
+  ASSERT_EQ(from_deep.size(), from_shallow.size());
+  for (size_t b = 0; b < from_deep.size(); ++b) {
+    EXPECT_EQ(from_deep[b].lower, from_shallow[b].lower);
+    EXPECT_EQ(from_deep[b].upper, from_shallow[b].upper);
+    EXPECT_EQ(from_deep[b].level, from_shallow[b].level);
+  }
+}
+
+TEST_F(BudgetTest, DropRefusesBelowMinimumResolutions) {
+  const Dataset d = testing::UniformDataset(500, 3, 9);
+  Result<CountingTree> tree = CountingTree::Build(d, 3);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->DropDeepestLevel().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree->num_resolutions(), 3);
+}
+
+TEST_F(BudgetTest, MemoryPressureDegradesRunToSmallerH) {
+  const Dataset d = testing::SmallClustered(4000, 6, 2, 17).data;
+
+  // One forced pressure reading: the run must shed exactly one level.
+  MrCCParams degraded_params;
+  degraded_params.num_resolutions = 5;
+  Result<MrCCResult> degraded(Status::Internal("not run"));
+  {
+    fp::ScopedArm arm("budget.memory=1");
+    degraded = MrCC(degraded_params).Run(d);
+  }
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->stats.degraded);
+  EXPECT_EQ(degraded->stats.effective_resolutions, 4);
+  ASSERT_FALSE(degraded->stats.degradation_reasons.empty());
+  EXPECT_NE(degraded->stats.degradation_reasons[0].find("memory pressure"),
+            std::string::npos);
+
+  // The degraded run answers exactly like a run configured with the
+  // smaller H from the start.
+  MrCCParams small_params;
+  small_params.num_resolutions = 4;
+  const Result<MrCCResult> small = MrCC(small_params).Run(d);
+  ASSERT_TRUE(small.ok());
+  EXPECT_FALSE(small->stats.degraded);
+  EXPECT_EQ(degraded->clustering.labels, small->clustering.labels);
+  EXPECT_EQ(degraded->beta_clusters.size(), small->beta_clusters.size());
+  EXPECT_EQ(degraded->stats.beta_accepted, small->stats.beta_accepted);
+}
+
+TEST_F(BudgetTest, ImpossibleMemoryCapStopsAtMinimumHAndContinues) {
+  const Dataset d = testing::SmallClustered(3000, 5, 2, 23).data;
+  MrCCParams params;
+  params.num_resolutions = 5;
+  params.budget.max_memory_bytes = 1;  // Unreachable even at H = 3.
+  const Result<MrCCResult> result = MrCC(params).Run(d);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->stats.degraded);
+  EXPECT_EQ(result->stats.effective_resolutions, 3);
+  // Two levels shed plus the "still over budget" note.
+  EXPECT_EQ(result->stats.degradation_reasons.size(), 3u);
+  // The run still answers: labels cover every point.
+  EXPECT_EQ(result->clustering.labels.size(), d.NumPoints());
+}
+
+TEST_F(BudgetTest, ExpiredDeadlineReturnsPartialResultNotError) {
+  const Dataset d = testing::SmallClustered(3000, 5, 2, 23).data;
+  MrCCParams params;
+  params.budget.max_wall_seconds = 1e-9;  // Expired by the first check.
+  const Result<MrCCResult> result = MrCC(params).Run(d);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->stats.degraded);
+  ASSERT_EQ(result->clustering.labels.size(), d.NumPoints());
+  for (int label : result->clustering.labels) {
+    EXPECT_EQ(label, kNoiseLabel);
+  }
+  ASSERT_FALSE(result->stats.degradation_reasons.empty());
+  EXPECT_NE(result->stats.degradation_reasons[0].find("deadline"),
+            std::string::npos);
+}
+
+TEST_F(BudgetTest, DeadlineDuringBetaSearchYieldsPrefixOfClusters) {
+  const Dataset d = testing::SmallClustered(4000, 6, 3, 29).data;
+  // Fire the deadline on its second reading: the post-tree gate passes,
+  // the first β-search level boundary trips. The search returns what it
+  // has; labeling is then skipped by the next gate.
+  Result<MrCCResult> result(Status::Internal("not run"));
+  {
+    fp::ScopedArm arm("budget.deadline=2");
+    result = MrCC().Run(d);
+  }
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->stats.degraded);
+  // The full search finds more than the cut-off one can.
+  const Result<MrCCResult> full = MrCC().Run(d);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LE(result->beta_clusters.size(), full->beta_clusters.size());
+}
+
+}  // namespace
+}  // namespace mrcc

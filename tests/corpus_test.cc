@@ -1,0 +1,264 @@
+// Fuzz-style corpus tests for the two parsers that consume external
+// bytes: the binary dataset reader and the BenchRecord JSON reader.
+//
+// Contract under test (DESIGN.md §11): any byte sequence either parses
+// or returns a non-OK Status. No crash, no abort, no unbounded
+// allocation, no sanitizer report. Each committed seed in tests/corpus/
+// is parsed as-is, then a deterministic 10,000-iteration loop mutates
+// the seeds (byte flips, truncations, splices, extensions) and replays
+// them. The Rng seed is fixed so a failing iteration reproduces exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset_io.h"
+#include "data/dataset_reader.h"
+#include "eval/bench_record.h"
+
+#ifndef MRCC_CORPUS_DIR
+#error "tests/CMakeLists.txt must define MRCC_CORPUS_DIR"
+#endif
+
+namespace mrcc {
+namespace {
+
+std::string CorpusPath(const std::string& rel) {
+  return std::string(MRCC_CORPUS_DIR) + "/" + rel;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing corpus seed: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Tests never scan a claimed geometry larger than this: a header the
+// parser accepted may still describe more doubles than a unit test
+// should materialize.
+constexpr uint64_t kScanCap = 1u << 20;
+
+/// Exercises both binary readers on `bytes`; the only acceptable
+/// outcomes are success or a clean Status.
+void DriveDatasetParsers(const std::string& bytes,
+                         const std::string& tmp_path) {
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  Result<BinaryDatasetReader> reader = BinaryDatasetReader::Open(tmp_path);
+  if (reader.ok() && reader->num_dims() <= kScanCap &&
+      reader->num_points() <= kScanCap) {
+    std::vector<double> row(reader->num_dims());
+    while (reader->Next(std::span<double>(row))) {
+    }
+    // A reader that opened cleanly must scan cleanly: Open() validated
+    // the file size up front.
+    EXPECT_TRUE(reader->status().ok())
+        << reader->status().ToString();
+  }
+  std::vector<int> labels;
+  const Result<Dataset> loaded = LoadBinary(tmp_path, &labels);
+  if (loaded.ok()) {
+    EXPECT_LE(loaded->NumPoints() * loaded->NumDims(),
+              bytes.size() / sizeof(double));
+  }
+}
+
+/// Applies 1–8 random byte-level mutations to `bytes`.
+std::string Mutate(std::string bytes, Rng& rng) {
+  const int edits = 1 + static_cast<int>(rng.UniformInt(8));
+  for (int e = 0; e < edits; ++e) {
+    switch (rng.UniformInt(5)) {
+      case 0:  // Flip one bit.
+        if (!bytes.empty()) {
+          const size_t i = rng.UniformInt(bytes.size());
+          bytes[i] = static_cast<char>(
+              static_cast<unsigned char>(bytes[i]) ^
+              (1u << rng.UniformInt(8)));
+        }
+        break;
+      case 1:  // Overwrite one byte.
+        if (!bytes.empty()) {
+          bytes[rng.UniformInt(bytes.size())] =
+              static_cast<char>(rng.UniformInt(256));
+        }
+        break;
+      case 2:  // Truncate.
+        if (!bytes.empty()) bytes.resize(rng.UniformInt(bytes.size()));
+        break;
+      case 3: {  // Insert a short run of random bytes.
+        const size_t at = bytes.empty() ? 0 : rng.UniformInt(bytes.size());
+        const size_t len = 1 + rng.UniformInt(8);
+        std::string chunk(len, '\0');
+        for (char& c : chunk) c = static_cast<char>(rng.UniformInt(256));
+        bytes.insert(at, chunk);
+        break;
+      }
+      case 4:  // Duplicate a slice to elsewhere (splice).
+        if (bytes.size() >= 2) {
+          const size_t from = rng.UniformInt(bytes.size() - 1);
+          const size_t len =
+              1 + rng.UniformInt(std::min<size_t>(16, bytes.size() - from));
+          bytes.insert(rng.UniformInt(bytes.size()),
+                       bytes.substr(from, len));
+        }
+        break;
+    }
+  }
+  return bytes;
+}
+
+std::vector<std::string> LoadSeeds(const std::string& subdir,
+                                   const std::vector<std::string>& names) {
+  std::vector<std::string> seeds;
+  for (const std::string& name : names) {
+    seeds.push_back(ReadFileOrDie(CorpusPath(subdir + "/" + name)));
+  }
+  return seeds;
+}
+
+const std::vector<std::string>& DatasetSeedNames() {
+  static const auto* names = new std::vector<std::string>{
+      "valid_small.bin", "header_only.bin", "truncated.bin",
+      "bad_magic.bin",   "bad_version.bin", "huge_counts.bin",
+      "empty.bin",       "short_header.bin"};
+  return *names;
+}
+
+const std::vector<std::string>& BenchRecordSeedNames() {
+  static const auto* names = new std::vector<std::string>{
+      "valid.json",           "unknown_keys.json", "wrong_version.json",
+      "missing_version.json", "garbage.json",      "truncated.json",
+      "empty.json",           "deep_nesting.json"};
+  return *names;
+}
+
+TEST(CorpusDatasetTest, SeedsParseAsDocumented) {
+  const std::string tmp = ::testing::TempDir() + "corpus_seed.bin";
+  // The two well-formed seeds load; every malformed one fails cleanly.
+  std::vector<int> labels;
+  Result<Dataset> valid =
+      LoadBinary(CorpusPath("dataset/valid_small.bin"), &labels);
+  ASSERT_TRUE(valid.ok()) << valid.status().ToString();
+  EXPECT_EQ(valid->NumPoints(), 5u);
+  EXPECT_EQ(valid->NumDims(), 3u);
+  EXPECT_EQ(labels.size(), 5u);
+
+  Result<BinaryDatasetReader> reader =
+      BinaryDatasetReader::Open(CorpusPath("dataset/header_only.bin"));
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->num_points(), 0u);
+
+  for (const char* bad : {"truncated.bin", "bad_magic.bin",
+                          "bad_version.bin", "huge_counts.bin", "empty.bin",
+                          "short_header.bin"}) {
+    SCOPED_TRACE(bad);
+    const std::string path = CorpusPath(std::string("dataset/") + bad);
+    EXPECT_FALSE(BinaryDatasetReader::Open(path).ok());
+    EXPECT_FALSE(LoadBinary(path).ok());
+  }
+  std::remove(tmp.c_str());
+}
+
+TEST(CorpusDatasetTest, TenThousandMutationsNeverCrashTheReaders) {
+  const std::vector<std::string> seeds =
+      LoadSeeds("dataset", DatasetSeedNames());
+  const std::string tmp = ::testing::TempDir() + "corpus_mutated.bin";
+  Rng rng(20260806);
+  for (int i = 0; i < 10000; ++i) {
+    SCOPED_TRACE("mutation iteration " + std::to_string(i));
+    const std::string& seed = seeds[rng.UniformInt(seeds.size())];
+    DriveDatasetParsers(Mutate(seed, rng), tmp);
+  }
+  std::remove(tmp.c_str());
+}
+
+TEST(CorpusBenchRecordTest, SeedsParseAsDocumented) {
+  const Result<BenchRecord> valid =
+      BenchRecord::FromJson(ReadFileOrDie(CorpusPath("bench_record/valid.json")));
+  ASSERT_TRUE(valid.ok()) << valid.status().ToString();
+  EXPECT_EQ(valid->bench, "scale_points");
+  ASSERT_EQ(valid->entries.size(), 2u);
+  EXPECT_TRUE(valid->entries[0].completed);
+  EXPECT_FALSE(valid->entries[1].completed);
+  EXPECT_EQ(valid->metrics.at("input.points_skipped"), 0);
+
+  // Unknown keys are forward-compatible noise, not errors.
+  const Result<BenchRecord> extended = BenchRecord::FromJson(
+      ReadFileOrDie(CorpusPath("bench_record/unknown_keys.json")));
+  ASSERT_TRUE(extended.ok()) << extended.status().ToString();
+  EXPECT_EQ(extended->metrics.at("k"), 7);
+
+  for (const char* bad :
+       {"wrong_version.json", "missing_version.json", "garbage.json",
+        "truncated.json", "empty.json"}) {
+    SCOPED_TRACE(bad);
+    const Result<BenchRecord> r = BenchRecord::FromJson(
+        ReadFileOrDie(CorpusPath(std::string("bench_record/") + bad)));
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CorpusBenchRecordTest, TenThousandMutationsNeverCrashFromJson) {
+  const std::vector<std::string> seeds =
+      LoadSeeds("bench_record", BenchRecordSeedNames());
+  Rng rng(20260806);
+  int parsed_ok = 0;
+  for (int i = 0; i < 10000; ++i) {
+    SCOPED_TRACE("mutation iteration " + std::to_string(i));
+    const std::string& seed = seeds[rng.UniformInt(seeds.size())];
+    const Result<BenchRecord> r = BenchRecord::FromJson(Mutate(seed, rng));
+    if (r.ok()) {
+      ++parsed_ok;
+      // Whatever parsed must re-serialize and round-trip.
+      const Result<BenchRecord> again = BenchRecord::FromJson(r->ToJson());
+      EXPECT_TRUE(again.ok()) << again.status().ToString();
+    }
+  }
+  // Mostly the mutations break the JSON, but not always — some
+  // iterations must survive or the loop is not exercising the success
+  // path at all.
+  EXPECT_GT(parsed_ok, 0);
+}
+
+TEST(CorpusRoundTripTest, MutatedDataThatLoadsAlsoRoundTrips) {
+  // Deeper property for inputs that survive mutation: Save(Load(x))
+  // loads again with identical geometry.
+  const std::vector<std::string> seeds =
+      LoadSeeds("dataset", DatasetSeedNames());
+  const std::string tmp = ::testing::TempDir() + "corpus_rt.bin";
+  const std::string tmp2 = ::testing::TempDir() + "corpus_rt2.bin";
+  Rng rng(424242);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string mutated =
+        Mutate(seeds[rng.UniformInt(seeds.size())], rng);
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out.write(mutated.data(),
+                static_cast<std::streamsize>(mutated.size()));
+    }
+    const Result<Dataset> first = LoadBinary(tmp);
+    if (!first.ok()) continue;
+    if (first->NumPoints() * first->NumDims() > kScanCap) continue;
+    ASSERT_TRUE(SaveBinary(*first, tmp2).ok());
+    const Result<Dataset> second = LoadBinary(tmp2);
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    EXPECT_EQ(first->NumPoints(), second->NumPoints());
+    EXPECT_EQ(first->NumDims(), second->NumDims());
+  }
+  std::remove(tmp.c_str());
+  std::remove(tmp2.c_str());
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "data/dataset_io.h"
 #include "test_util.h"
 
@@ -122,6 +125,81 @@ TEST(BinaryFileDataSourceTest, ConcurrentCursorsSeeTheirOwnSlices) {
 
 TEST(BinaryFileDataSourceTest, MissingFileFailsOnOpen) {
   EXPECT_FALSE(BinaryFileDataSource::Open("/nonexistent/x.bin").ok());
+}
+
+TEST(BinaryFileDataSourceTest, TruncatedFileFailsWithTheByteOffset) {
+  // Regression: a partially-written dataset used to scan as zeros past
+  // the cut. Now Open rejects it, naming where the data ran out.
+  Dataset d = testing::UniformDataset(200, 4, 18);
+  const std::string path = ::testing::TempDir() + "mrcc_truncated.bin";
+  ASSERT_TRUE(SaveBinary(d, path).ok());
+  // Cut the file mid-way through the point payload.
+  const uint64_t cut = 24 + 100 * 4 * sizeof(double) + 3;
+  ASSERT_EQ(truncate(path.c_str(), static_cast<off_t>(cut)), 0);
+
+  const Result<BinaryFileDataSource> source = BinaryFileDataSource::Open(path);
+  ASSERT_FALSE(source.ok());
+  EXPECT_EQ(source.status().code(), StatusCode::kIOError);
+  // The message names the byte where data ends and what was promised.
+  EXPECT_NE(source.status().message().find(std::to_string(cut)),
+            std::string::npos)
+      << source.status().ToString();
+  EXPECT_NE(source.status().message().find("200 points"), std::string::npos)
+      << source.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFileDataSourceTest, HeaderOnlyTruncationFailsOnOpen) {
+  Dataset d = testing::UniformDataset(50, 2, 19);
+  const std::string path = ::testing::TempDir() + "mrcc_header_cut.bin";
+  ASSERT_TRUE(SaveBinary(d, path).ok());
+  ASSERT_EQ(truncate(path.c_str(), 10), 0);  // Inside the header.
+  const Result<BinaryFileDataSource> source = BinaryFileDataSource::Open(path);
+  ASSERT_FALSE(source.ok());
+  EXPECT_EQ(source.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFileDataSourceTest, TransientReadErrorIsRetriedToSuccess) {
+  // One injected EAGAIN on the first read: the retry loop in common/fs
+  // absorbs it and the scan returns data identical to the clean scan.
+  Dataset d = testing::UniformDataset(120, 3, 20);
+  const std::string path = ::testing::TempDir() + "mrcc_transient.bin";
+  ASSERT_TRUE(SaveBinary(d, path).ok());
+  Result<BinaryFileDataSource> file = BinaryFileDataSource::Open(path);
+  ASSERT_TRUE(file.ok());
+
+  auto clean = file->ScanAll();
+  ASSERT_TRUE(clean.ok());
+  const auto expected = Drain(**clean);
+
+  fp::ScopedArm arm("source.read.transient=1");
+  auto retried = file->ScanAll();
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(Drain(**retried), expected);
+  EXPECT_TRUE((*retried)->status().ok())
+      << (*retried)->status().ToString();
+  EXPECT_GT(fp::HitCount("source.read.transient"), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFileDataSourceTest, ExhaustedRetriesSurfaceAsIOError) {
+  Dataset d = testing::UniformDataset(60, 3, 22);
+  const std::string path = ::testing::TempDir() + "mrcc_exhausted.bin";
+  ASSERT_TRUE(SaveBinary(d, path).ok());
+  Result<BinaryFileDataSource> file = BinaryFileDataSource::Open(path);
+  ASSERT_TRUE(file.ok());
+
+  fp::ScopedArm arm("source.read.transient");  // Every attempt fails.
+  // Scan re-reads the header through the same retrying layer, so with a
+  // persistent fault the cursor never comes up — and the error names the
+  // exhausted retry budget.
+  auto cursor = file->ScanAll();
+  ASSERT_FALSE(cursor.ok());
+  EXPECT_EQ(cursor.status().code(), StatusCode::kIOError);
+  EXPECT_NE(cursor.status().message().find("retries"), std::string::npos)
+      << cursor.status().ToString();
+  std::remove(path.c_str());
 }
 
 TEST(DatasetReaderSeekTest, SeekToJumpsToPoint) {

@@ -1,0 +1,146 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace mrcc {
+namespace {
+
+// Every test leaves the registry clean so later tests (and other suites
+// in the same binary) see the production disarmed state.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fp::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedReturnsOkAndCountsNothing) {
+  EXPECT_TRUE(fp::Maybe("tree.build.alloc").ok());
+  EXPECT_FALSE(fp::MaybeTrue("source.read.truncate"));
+  // The fast path does not touch the registry, so no hits are recorded.
+  EXPECT_EQ(fp::HitCount("tree.build.alloc"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysTriggerFiresOnEveryHit) {
+  fp::ScopedArm arm("tree.build.alloc");
+  for (int i = 0; i < 3; ++i) {
+    const Status status = fp::Maybe("tree.build.alloc");
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(status.message().find("tree.build.alloc"), std::string::npos);
+  }
+  EXPECT_EQ(fp::HitCount("tree.build.alloc"), 3u);
+  // Other sites stay disarmed.
+  EXPECT_TRUE(fp::Maybe("tree.merge.alloc").ok());
+}
+
+TEST_F(FailpointTest, NthOnlyTriggerFiresExactlyOnce) {
+  fp::ScopedArm arm("source.scan=2");
+  EXPECT_TRUE(fp::Maybe("source.scan").ok());
+  EXPECT_EQ(fp::Maybe("source.scan").code(), StatusCode::kIOError);
+  EXPECT_TRUE(fp::Maybe("source.scan").ok());
+  EXPECT_EQ(fp::HitCount("source.scan"), 3u);
+}
+
+TEST_F(FailpointTest, FromNthTriggerFiresFromThereOn) {
+  fp::ScopedArm arm("result.write=3+");
+  EXPECT_TRUE(fp::Maybe("result.write").ok());
+  EXPECT_TRUE(fp::Maybe("result.write").ok());
+  EXPECT_FALSE(fp::Maybe("result.write").ok());
+  EXPECT_FALSE(fp::Maybe("result.write").ok());
+}
+
+TEST_F(FailpointTest, ProbabilityTriggerIsDeterministicInSeedAndHit) {
+  std::vector<bool> first;
+  {
+    fp::ScopedArm arm("source.read.transient=p0.5@42");
+    for (int i = 0; i < 64; ++i) {
+      first.push_back(fp::MaybeTrue("source.read.transient"));
+    }
+  }
+  std::vector<bool> second;
+  {
+    fp::ScopedArm arm("source.read.transient=p0.5@42");
+    for (int i = 0; i < 64; ++i) {
+      second.push_back(fp::MaybeTrue("source.read.transient"));
+    }
+  }
+  EXPECT_EQ(first, second);
+  // p = 0.5 over 64 hits fires at least once and spares at least once
+  // with overwhelming probability for any fixed seed.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST_F(FailpointTest, ProbabilityExtremesFireNeverAndAlways) {
+  {
+    fp::ScopedArm arm("budget.memory=p0@1");
+    for (int i = 0; i < 16; ++i) EXPECT_FALSE(fp::MaybeTrue("budget.memory"));
+  }
+  {
+    fp::ScopedArm arm("budget.memory=p1@1");
+    for (int i = 0; i < 16; ++i) EXPECT_TRUE(fp::MaybeTrue("budget.memory"));
+  }
+}
+
+TEST_F(FailpointTest, ArmResetsHitCounts) {
+  ASSERT_TRUE(fp::Arm("source.open=10").ok());
+  EXPECT_TRUE(fp::Maybe("source.open").ok());
+  EXPECT_EQ(fp::HitCount("source.open"), 1u);
+  ASSERT_TRUE(fp::Arm("source.open=1").ok());
+  EXPECT_EQ(fp::HitCount("source.open"), 0u);
+  EXPECT_FALSE(fp::Maybe("source.open").ok());
+}
+
+TEST_F(FailpointTest, ArmMultipleSitesAtOnce) {
+  ASSERT_TRUE(fp::Arm("tree.build.alloc,beta.search.alloc=2").ok());
+  EXPECT_FALSE(fp::Maybe("tree.build.alloc").ok());
+  EXPECT_TRUE(fp::Maybe("beta.search.alloc").ok());
+  EXPECT_FALSE(fp::Maybe("beta.search.alloc").ok());
+}
+
+TEST_F(FailpointTest, BadSpecsAreRejectedWithoutArmingAnything) {
+  EXPECT_EQ(fp::Arm("no.such.site").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fp::Arm("tree.build.alloc=bogus").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fp::Arm("tree.build.alloc=0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fp::Arm("tree.build.alloc=p2@1").code(),
+            StatusCode::kInvalidArgument);
+  // An invalid item anywhere in the list arms nothing (atomic arming).
+  EXPECT_FALSE(fp::Arm("tree.build.alloc,no.such.site").ok());
+  EXPECT_TRUE(fp::Maybe("tree.build.alloc").ok());
+}
+
+TEST_F(FailpointTest, DisarmAllRestoresTheFastPath) {
+  ASSERT_TRUE(fp::Arm("tree.build.alloc").ok());
+  EXPECT_FALSE(fp::Maybe("tree.build.alloc").ok());
+  fp::DisarmAll();
+  EXPECT_TRUE(fp::Maybe("tree.build.alloc").ok());
+  EXPECT_EQ(fp::HitCount("tree.build.alloc"), 0u);
+}
+
+TEST_F(FailpointTest, AllSitesIsClosedAndCodesMatchTheFailureModel) {
+  const std::vector<std::string> sites = fp::AllSites();
+  EXPECT_GE(sites.size(), 13u);
+  const auto has = [&sites](const char* name) {
+    return std::find(sites.begin(), sites.end(), name) != sites.end();
+  };
+  EXPECT_TRUE(has("source.open"));
+  EXPECT_TRUE(has("tree.build.alloc"));
+  EXPECT_TRUE(has("pool.spawn"));
+  EXPECT_TRUE(has("budget.deadline"));
+  // Site naming taxonomy maps onto error categories (DESIGN.md §11).
+  EXPECT_EQ(fp::SiteCode("source.open"), StatusCode::kIOError);
+  EXPECT_EQ(fp::SiteCode("tree.build.alloc"),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(fp::SiteCode("budget.deadline"), StatusCode::kDeadlineExceeded);
+  // Every registered site can be armed by name.
+  for (const std::string& site : sites) {
+    EXPECT_TRUE(fp::Arm(site).ok()) << site;
+  }
+  fp::DisarmAll();
+}
+
+}  // namespace
+}  // namespace mrcc

@@ -28,6 +28,10 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
       {Status::IOError("c"), StatusCode::kIOError, "IOError"},
       {Status::OutOfRange("d"), StatusCode::kOutOfRange, "OutOfRange"},
       {Status::Internal("e"), StatusCode::kInternal, "Internal"},
+      {Status::ResourceExhausted("f"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+      {Status::DeadlineExceeded("g"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -40,6 +44,19 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, FromCodeMapsRuntimeCodes) {
+  const Status s = Status::FromCode(StatusCode::kResourceExhausted, "boom");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "boom");
+  // An OK code yields the singleton OK status, message dropped.
+  EXPECT_TRUE(Status::FromCode(StatusCode::kOk, "ignored").ok());
+  EXPECT_TRUE(Status::FromCode(StatusCode::kOk, "ignored").message().empty());
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -12,9 +12,12 @@ where both sides are under --min-seconds (default 50 ms) are only reported
 informationally, never failed on.
 
 Exit codes:
-  0  no regressions (or --warn-only)
+  0  no regressions (or --warn-only), or no usable baseline (a missing or
+     unparseable baseline is a warning, not a failure: the first run of a
+     new bench has nothing to compare against)
   1  at least one regression above threshold
-  2  usage / schema error
+  2  usage error, or the CURRENT record is missing/unparseable (that one
+     is always a hard error — it means the bench itself broke)
 
 The committed baseline lives at bench/baselines/BENCH_baseline.json and is
 refreshed deliberately (see README); CI runs this script warn-only until
@@ -28,19 +31,38 @@ import sys
 SUPPORTED_SCHEMA = 1
 
 
-def load_record(path):
+def load_record(path, *, required):
+    """Loads a BenchRecord JSON file.
+
+    When required, any problem is fatal (exit 2). Otherwise problems
+    print a warning and return None so the caller can skip the
+    comparison — a fresh checkout or a renamed bench has no baseline
+    yet, and that must not fail CI with a stack trace.
+    """
+    problem = None
+    record = None
     try:
         with open(path, encoding="utf-8") as f:
             record = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"error: cannot read {path}: {e}")
-    version = record.get("schema_version")
-    if version != SUPPORTED_SCHEMA:
-        sys.exit(
-            f"error: {path}: schema_version {version} != supported "
-            f"{SUPPORTED_SCHEMA}"
-        )
-    return record
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as e:
+        problem = f"cannot read {path}: {e}"
+    if record is not None:
+        if not isinstance(record, dict):
+            problem = f"{path}: top-level JSON value is not an object"
+        else:
+            version = record.get("schema_version")
+            if version != SUPPORTED_SCHEMA:
+                problem = (
+                    f"{path}: schema_version {version} != supported "
+                    f"{SUPPORTED_SCHEMA}"
+                )
+    if problem is None:
+        return record
+    if required:
+        print(f"error: {problem}", file=sys.stderr)
+        sys.exit(2)
+    print(f"warning: {problem}", file=sys.stderr)
+    return None
 
 
 def entry_key(entry):
@@ -83,8 +105,17 @@ def main():
     )
     args = parser.parse_args()
 
-    base = load_record(args.baseline)
-    cur = load_record(args.current)
+    # The current record is validated first and unconditionally: if the
+    # bench run itself produced garbage, that is a failure regardless of
+    # the baseline's state.
+    cur = load_record(args.current, required=True)
+    base = load_record(args.baseline, required=False)
+    if base is None:
+        print(
+            "no usable baseline — skipping comparison (record a baseline "
+            f"with: cp {args.current} {args.baseline})"
+        )
+        return 0
 
     if base.get("bench") != cur.get("bench"):
         print(
