@@ -73,11 +73,11 @@ void BM_FaceMaskConvolve(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const LabeledDataset ds = MakeData(5000, d);
   auto tree = CountingTree::Build(ds.data, 4);
-  const auto& node = tree->node(tree->NodesAtLevel(2)[0]);
-  const auto coords = tree->CellCoords(node, node.cells[0]);
+  const CountingTree::LevelView level = tree->Level(2);
+  const auto coords = level.Coords(0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        FaceLaplacianConvolve(*tree, 2, coords, node.cells[0].n));
+        FaceLaplacianConvolve(*tree, 2, coords, level.counts()[0]));
   }
 }
 BENCHMARK(BM_FaceMaskConvolve)->DenseRange(2, 12, 2);
@@ -86,14 +86,94 @@ void BM_FullMaskConvolve(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const LabeledDataset ds = MakeData(5000, d);
   auto tree = CountingTree::Build(ds.data, 4);
-  const auto& node = tree->node(tree->NodesAtLevel(2)[0]);
-  const auto coords = tree->CellCoords(node, node.cells[0]);
+  const CountingTree::LevelView level = tree->Level(2);
+  const auto coords = level.Coords(0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        FullLaplacianConvolve(*tree, 2, coords, node.cells[0].n));
+        FullLaplacianConvolve(*tree, 2, coords, level.counts()[0]));
   }
 }
 BENCHMARK(BM_FullMaskConvolve)->DenseRange(2, 12, 2);
+
+// ---- Data layout (DESIGN.md §12): SoA arena sweeps versus the pointer
+// walks they replaced, and the per-level hash index the batched
+// convolution runs on.
+
+// Batched convolution over a whole level in arena order — the β-search
+// hot path (LevelIndex hash lookups, simd-seeded center terms).
+void BM_LayoutFaceConvolveLevel(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const LabeledDataset ds = MakeData(20000, d);
+  auto tree = CountingTree::Build(ds.data, 4);
+  const CountingTree::LevelView level = tree->Level(3);
+  const LevelIndex index(level);
+  std::vector<int64_t> conv(level.num_cells());
+  for (auto _ : state) {
+    FaceLaplacianConvolveRange(level, index, 0,
+                               static_cast<uint32_t>(level.num_cells()),
+                               conv.data());
+    benchmark::DoNotOptimize(conv.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(level.num_cells()));
+}
+BENCHMARK(BM_LayoutFaceConvolveLevel)->Arg(8)->Arg(14);
+
+// Same probes through the tree's root-to-level descent, the path the
+// batched form replaced: O(level * d) per probe instead of O(d).
+void BM_LayoutFindCellDescent(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const LabeledDataset ds = MakeData(20000, d);
+  auto tree = CountingTree::Build(ds.data, 4);
+  const CountingTree::LevelView level = tree->Level(3);
+  std::vector<uint64_t> coords(d);
+  CountingTree::CellRef ref;
+  for (auto _ : state) {
+    for (uint32_t i = 0; i < level.num_cells(); ++i) {
+      level.CoordsInto(i, coords.data());
+      benchmark::DoNotOptimize(tree->FindCell(3, coords, &ref));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(level.num_cells()));
+}
+BENCHMARK(BM_LayoutFindCellDescent)->Arg(8)->Arg(14);
+
+// LevelIndex probes alone: the flat O(d) hash lookup feeding the range
+// convolutions.
+void BM_LayoutLevelIndexFind(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const LabeledDataset ds = MakeData(20000, d);
+  auto tree = CountingTree::Build(ds.data, 4);
+  const CountingTree::LevelView level = tree->Level(3);
+  const LevelIndex index(level);
+  std::vector<uint64_t> coords(d);
+  for (auto _ : state) {
+    for (uint32_t i = 0; i < level.num_cells(); ++i) {
+      level.CoordsInto(i, coords.data());
+      benchmark::DoNotOptimize(index.Find(coords.data()));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(level.num_cells()));
+}
+BENCHMARK(BM_LayoutLevelIndexFind)->Arg(8)->Arg(14);
+
+// Streaming one packed attribute array (the argmax sweep's access
+// pattern): how fast the SoA layout lets a level be scanned.
+void BM_LayoutLevelCountScan(benchmark::State& state) {
+  const LabeledDataset ds = MakeData(50000, 10);
+  auto tree = CountingTree::Build(ds.data, 4);
+  const CountingTree::LevelView level = tree->Level(3);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (uint32_t n : level.counts()) sum += n;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(level.num_cells()));
+}
+BENCHMARK(BM_LayoutLevelCountScan);
 
 void BM_BinomialCriticalValue(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/mdl.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "common/stats.h"
 #include "common/trace.h"
 #include "core/laplacian_mask.h"
+#include "core/level_index.h"
 
 namespace mrcc {
 
@@ -38,6 +41,10 @@ namespace {
 // The β-cluster search engine. Convolution responses are static per cell
 // (point counts never change), so each level is convolved exactly once and
 // cached; sweeps then only rescan eligibility (usedCell, box overlap).
+// Cells are addressed by their packed arena index throughout — the level
+// arena *is* the enumeration, so the caches are plain parallel arrays and
+// every lookup (face neighbor, parent, growth probe) goes through a
+// per-level LevelIndex in O(d) instead of an O(level * d) root descent.
 class BetaClusterFinder {
  public:
   BetaClusterFinder(CountingTree& tree, const BetaFinderOptions& options)
@@ -67,11 +74,10 @@ class BetaClusterFinder {
         MRCC_RETURN_IF_ERROR(EnsureLevel(h));
         const int64_t best = SelectBestCell(h, betas);
         if (best < 0) continue;  // No eligible cell at this level.
-        LevelData& level = levels_[h];
-        CellAt(h, static_cast<size_t>(best)).used = true;
-        const uint64_t* coords = &level.coords[best * d_];
+        tree_.SetUsed(
+            CountingTree::CellRef{h, static_cast<uint32_t>(best)}, true);
         BetaCluster beta;
-        if (TestAndDescribe(h, coords, &beta)) {
+        if (TestAndDescribe(h, static_cast<uint32_t>(best), &beta)) {
           betas.push_back(std::move(beta));
           found_new = true;
         }
@@ -82,52 +88,47 @@ class BetaClusterFinder {
 
  private:
   struct LevelData {
-    bool ready = false;
-    // Parallel arrays, one entry per materialized cell of the level.
-    std::vector<uint32_t> node;
-    std::vector<uint32_t> cell;
-    std::vector<int64_t> conv;
-    std::vector<uint64_t> coords;  // d values per cell.
+    bool ready = false;  // Convolution responses cached?
+    std::vector<int64_t> conv;  // One response per cell (arena order).
+    std::unique_ptr<LevelIndex> index;  // coords -> cell, built lazily.
   };
 
-  CountingTree::Cell& CellAt(int h, size_t i) {
-    const LevelData& level = levels_[h];
-    return tree_.node(level.node[i]).cells[level.cell[i]];
+  // coords -> cell table of level h; built on first use (parent-level
+  // lookups need it one level before the convolution sweep gets there).
+  // Serial construction — the table layout must not depend on threads.
+  const LevelIndex& EnsureIndex(int h) {
+    LevelData& level = levels_[static_cast<size_t>(h)];
+    if (level.index == nullptr) {
+      level.index = std::make_unique<LevelIndex>(tree_.Level(h));
+    }
+    return *level.index;
   }
 
   // Convolves every cell of level h once and caches the responses. The
-  // cell enumeration (tree pool order) is serial and cheap; the Laplacian
-  // responses — the expensive part — are computed in parallel, each worker
-  // filling a disjoint slice of the result arrays.
+  // coordinate table build is serial and cheap; the Laplacian responses —
+  // the expensive part — are computed in parallel, each worker filling a
+  // disjoint slice of the response array.
   Status EnsureLevel(int h) {
     MRCC_DCHECK_GE(h, 2);
     MRCC_DCHECK_LT(static_cast<size_t>(h), levels_.size());
-    LevelData& level = levels_[h];
+    LevelData& level = levels_[static_cast<size_t>(h)];
     if (level.ready) return Status::OK();
     // The level cache is the search's only sizable allocation.
     MRCC_RETURN_IF_ERROR(fp::Maybe("beta.search.alloc"));
     MRCC_TRACE_SPAN_N("beta.convolve", h);
-    for (uint32_t node_idx : tree_.NodesAtLevel(h)) {
-      const CountingTree::Node& node = tree_.node(node_idx);
-      for (uint32_t c = 0; c < node.cells.size(); ++c) {
-        level.node.push_back(node_idx);
-        level.cell.push_back(c);
-      }
-    }
-    const size_t cells = level.node.size();
+    const CountingTree::LevelView view = tree_.Level(h);
+    const LevelIndex& index = EnsureIndex(h);
+    const size_t cells = view.num_cells();
     level.conv.assign(cells, 0);
-    level.coords.assign(cells * d_, 0);
     pool_.ParallelFor(cells, [&](int, size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        const CountingTree::Node& node = tree_.node(level.node[i]);
-        const CountingTree::Cell& cell = node.cells[level.cell[i]];
-        const std::vector<uint64_t> coords = tree_.CellCoords(node, cell);
-        std::copy(coords.begin(), coords.end(),
-                  level.coords.begin() + static_cast<int64_t>(i * d_));
-        level.conv[i] =
-            options_.full_mask
-                ? FullLaplacianConvolve(tree_, h, coords, cell.n)
-                : FaceLaplacianConvolve(tree_, h, coords, cell.n);
+      if (options_.full_mask) {
+        FullLaplacianConvolveRange(view, index, static_cast<uint32_t>(begin),
+                                   static_cast<uint32_t>(end),
+                                   level.conv.data());
+      } else {
+        FaceLaplacianConvolveRange(view, index, static_cast<uint32_t>(begin),
+                                   static_cast<uint32_t>(end),
+                                   level.conv.data());
       }
     });
     stats_.cells_convolved += cells;
@@ -145,7 +146,10 @@ class BetaClusterFinder {
   // the selection is identical for every thread count.
   int64_t SelectBestCell(int h, const std::vector<BetaCluster>& betas) {
     MRCC_TRACE_SPAN_N("beta.argmax", h);
-    const LevelData& level = levels_[h];
+    const LevelData& level = levels_[static_cast<size_t>(h)];
+    const LevelIndex& index = *level.index;
+    const uint8_t* used = tree_.Level(h).used().data();
+    const int64_t* conv = level.conv.data();
     const double width = std::ldexp(1.0, -h);  // Cell side 1/2^h.
     const int num_threads = pool_.num_threads();
     std::vector<int64_t> slice_best(static_cast<size_t>(num_threads), -1);
@@ -155,13 +159,27 @@ class BetaClusterFinder {
         level.conv.size(), [&](int t, size_t begin, size_t end) {
           int64_t best = -1;
           int64_t best_val = std::numeric_limits<int64_t>::min();
-          for (size_t i = begin; i < end; ++i) {
-            if (CellAt(h, i).used) continue;
-            if (level.conv[i] <= best_val && best >= 0) continue;
-            const uint64_t* coords = &level.coords[i * d_];
-            if (SharesSpaceWithAny(coords, width, betas)) continue;
-            best = static_cast<int64_t>(i);
-            best_val = level.conv[i];
+          // Block-skip: a vector max over each block rules it out wholesale
+          // when nothing in it can beat the running best. Only valid once
+          // a candidate is held (best >= 0) — before that, the serial scan
+          // takes the first *eligible* cell regardless of its response, so
+          // every cell must be visited.
+          constexpr size_t kBlock = 256;
+          for (size_t b = begin; b < end; b += kBlock) {
+            const size_t b_end = std::min(end, b + kBlock);
+            if (best >= 0 &&
+                simd::MaxI64(conv + b, b_end - b) <= best_val) {
+              continue;
+            }
+            for (size_t i = b; i < b_end; ++i) {
+              if (used[i]) continue;
+              if (conv[i] <= best_val && best >= 0) continue;
+              const uint64_t* coords =
+                  index.CellCoords(static_cast<uint32_t>(i));
+              if (SharesSpaceWithAny(coords, width, betas)) continue;
+              best = static_cast<int64_t>(i);
+              best_val = conv[i];
+            }
           }
           slice_best[static_cast<size_t>(t)] = best;
           slice_val[static_cast<size_t>(t)] = best_val;
@@ -202,19 +220,24 @@ class BetaClusterFinder {
   // The statistical test around center cell a_h plus, on success, the MDL
   // relevance cut and bound construction. Returns true when a_h seeds a
   // new β-cluster (Algorithm 2, lines 14-30).
-  bool TestAndDescribe(int h, const uint64_t* coords, BetaCluster* out) {
+  bool TestAndDescribe(int h, uint32_t center, BetaCluster* out) {
     MRCC_TRACE_SPAN_N("beta.test", h);
     ++stats_.candidates_tested;
     stats_.binomial_tests += d_;
+    const uint64_t* coords = levels_[static_cast<size_t>(h)]
+                                 .index->CellCoords(center);
     // Parent cell a_{h-1} and its per-axis face neighbors at level h-1.
+    const LevelIndex& parent_index = EnsureIndex(h - 1);
+    const uint32_t* parent_counts = tree_.Level(h - 1).counts().data();
     std::vector<uint64_t> parent_coords(d_);
     for (size_t j = 0; j < d_; ++j) parent_coords[j] = coords[j] >> 1;
-    CountingTree::CellRef parent_ref;
-    const bool have_parent = tree_.FindCell(h - 1, parent_coords, &parent_ref);
+    const int64_t parent = parent_index.Find(parent_coords.data());
     // The center cell's ancestor always exists in a structurally valid
     // tree; a miss here means the tree is corrupt.
-    MRCC_CHECK(have_parent);
-    const uint32_t parent_n = tree_.cell(parent_ref).n;
+    MRCC_CHECK(parent >= 0);
+    const uint32_t parent_n = parent_counts[parent];
+    const CountingTree::CellRef parent_ref{h - 1,
+                                           static_cast<uint32_t>(parent)};
 
     const uint64_t parent_max = (uint64_t{1} << (h - 1)) - 1;
     std::vector<int64_t> cp(d_), np(d_);
@@ -223,9 +246,13 @@ class BetaClusterFinder {
       // nP_j: points in the parent and its two face neighbors along e_j
       // (the paper's internal + external neighbors); together they form six
       // consecutive half-cell regions along e_j.
+      const int64_t below =
+          parent_index.FindFaceNeighbor(parent_coords.data(), j, -1);
+      const int64_t above =
+          parent_index.FindFaceNeighbor(parent_coords.data(), j, +1);
       np[j] = static_cast<int64_t>(parent_n) +
-              tree_.FaceNeighborCount(h - 1, parent_coords, j, -1) +
-              tree_.FaceNeighborCount(h - 1, parent_coords, j, +1);
+              (below >= 0 ? parent_counts[below] : 0) +
+              (above >= 0 ? parent_counts[above] : 0);
       // cP_j: points in the half of the parent that contains a_h.
       const bool lower_half = (coords[j] & 1) == 0;
       const int64_t lower_count = tree_.HalfCount(parent_ref, j);
@@ -280,11 +307,9 @@ class BetaClusterFinder {
     out->upper.assign(d_, 1.0);
     out->level = h;
 
-    const std::vector<uint64_t> self(coords, coords + d_);
-    CountingTree::CellRef center;
-    const bool have_center = tree_.FindCell(h, self, &center);
-    MRCC_CHECK(have_center);  // The candidate came from this level's cells.
-    out->center_count = tree_.cell(center).n;
+    const LevelIndex& index = *levels_[static_cast<size_t>(h)].index;
+    const uint32_t* counts = tree_.Level(h).counts().data();
+    out->center_count = counts[center];
     // Growth floor: the paper grows toward any neighbor "containing at
     // least one point"; we additionally require a non-negligible share of
     // the center's mass so that in low-dimensional spaces — where
@@ -293,21 +318,17 @@ class BetaClusterFinder {
     const uint32_t growth_floor = std::max<uint32_t>(
         1, static_cast<uint32_t>(out->center_count / 20));
 
+    std::vector<uint64_t> self(coords, coords + d_);
     const double width = std::ldexp(1.0, -h);
     for (size_t j = 0; j < d_; ++j) {
       if (relevance[j] < threshold) continue;  // Irrelevant: spans [0,1].
       out->relevant[j] = true;
-      double lo = static_cast<double>(coords[j]) * width;
+      double lo = static_cast<double>(self[j]) * width;
       double hi = lo + width;
-      CountingTree::CellRef neighbor;
-      if (tree_.FaceNeighbor(h, self, j, -1, &neighbor) &&
-          tree_.cell(neighbor).n >= growth_floor) {
-        lo -= width;
-      }
-      if (tree_.FaceNeighbor(h, self, j, +1, &neighbor) &&
-          tree_.cell(neighbor).n >= growth_floor) {
-        hi += width;
-      }
+      const int64_t below = index.FindFaceNeighbor(self.data(), j, -1);
+      if (below >= 0 && counts[below] >= growth_floor) lo -= width;
+      const int64_t above = index.FindFaceNeighbor(self.data(), j, +1);
+      if (above >= 0 && counts[above] >= growth_floor) hi += width;
       out->lower[j] = std::max(0.0, lo);
       out->upper[j] = std::min(1.0, hi);
     }
@@ -330,15 +351,14 @@ class BetaClusterFinder {
 
 }  // namespace
 
-Result<std::vector<BetaCluster>> RunBetaSearch(CountingTree& tree,
-                                               const BetaFinderOptions& options,
-                                               BetaSearchStats* stats,
-                                               BudgetTracker* budget) {
+Result<BetaSearchResult> RunBetaSearch(CountingTree& tree,
+                                       const BetaFinderOptions& options,
+                                       BudgetTracker* budget) {
   BetaFinderOptions effective = options;
   // The full order-3 mask costs O(3^d) per cell; above kMaxFullMaskDims it
-  // would effectively hang. High-level drivers (MrCC::Run, streaming)
-  // reject the combination up front; this low-level entry point degrades
-  // to the face-only mask instead (identical asymptotics to the paper's
+  // would effectively hang. High-level drivers (MrCC::Run) reject the
+  // combination up front; this low-level entry point degrades to the
+  // face-only mask instead (identical asymptotics to the paper's
   // production configuration).
   if (effective.full_mask && tree.num_dims() > kMaxFullMaskDims) {
     effective.full_mask = false;
@@ -352,19 +372,18 @@ Result<std::vector<BetaCluster>> RunBetaSearch(CountingTree& tree,
       static_cast<int64_t>(finder.stats().binomial_tests));
   metrics.counter("beta.binomial_accepted").Add(
       static_cast<int64_t>(finder.stats().accepted));
-  if (stats != nullptr) *stats = finder.stats();
-  return betas;
+  if (!betas.ok()) return betas.status();
+  return BetaSearchResult{std::move(betas).value(), finder.stats()};
 }
 
 std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
-                                          const BetaFinderOptions& options,
-                                          BetaSearchStats* stats) {
-  Result<std::vector<BetaCluster>> betas =
-      RunBetaSearch(tree, options, stats, /*budget=*/nullptr);
+                                          const BetaFinderOptions& options) {
+  Result<BetaSearchResult> result =
+      RunBetaSearch(tree, options, /*budget=*/nullptr);
   // Budget-less searches only fail through armed failpoints; callers of
   // the ergonomic signature (tests, tools) do not arm beta.search.alloc.
-  MRCC_CHECK(betas.ok());
-  return std::move(betas).value();
+  MRCC_CHECK(result.ok());
+  return std::move(result).value().betas;
 }
 
 }  // namespace mrcc

@@ -92,26 +92,32 @@ struct BetaSearchStats {
   bool deadline_hit = false;
 };
 
+/// Everything one β-cluster search produces: the clusters plus the work
+/// counters of the run. Returned by value — stage APIs take no mutable
+/// stats out-params; MrCCStats aggregates these sub-structs.
+struct BetaSearchResult {
+  std::vector<BetaCluster> betas;
+  BetaSearchStats stats;
+};
+
 /// Runs Algorithm 2 over `tree`. Consumes the tree's usedCell flags (call
-/// tree.ResetUsedFlags() to reuse the tree). Deterministic. When `stats`
-/// is non-null the search's work counters are written into it.
+/// tree.ResetUsedFlags() to reuse the tree). Deterministic.
 ///
 /// When `budget` is non-null its deadline is checked at every level
 /// boundary; on expiry the search returns the β-clusters found so far
-/// with stats->deadline_hit set — a partial result, not an error. A
+/// with stats.deadline_hit set — a partial result, not an error. A
 /// non-OK status only signals a real failure (the `beta.search.alloc`
 /// failpoint stands in for level-cache allocation failure).
-Result<std::vector<BetaCluster>> RunBetaSearch(
-    CountingTree& tree, const BetaFinderOptions& options,
-    BetaSearchStats* stats = nullptr, BudgetTracker* budget = nullptr);
+Result<BetaSearchResult> RunBetaSearch(CountingTree& tree,
+                                       const BetaFinderOptions& options,
+                                       BudgetTracker* budget = nullptr);
 
 /// Value-returning convenience wrapper over RunBetaSearch with no budget.
 /// Without a budget and without armed failpoints the search cannot fail,
 /// so this keeps the original ergonomic signature for callers that own
 /// their tree (tests, tools); the pipeline goes through RunBetaSearch.
 std::vector<BetaCluster> FindBetaClusters(CountingTree& tree,
-                                          const BetaFinderOptions& options,
-                                          BetaSearchStats* stats = nullptr);
+                                          const BetaFinderOptions& options);
 
 }  // namespace mrcc
 

@@ -1,10 +1,14 @@
 #include "core/counting_tree.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
 #include <string>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace mrcc {
 namespace {
@@ -25,7 +29,70 @@ void DCheckInvariants(const CountingTree& tree) {
 #endif
 }
 
+// splitmix64 finalizer — strong enough to spread consecutive loc codes
+// over the power-of-two table.
+inline uint64_t HashLoc(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// LocMap: flat open-addressing loc -> cell table (linear probing).
+
+void CountingTree::LocMap::Reserve(size_t entries) {
+  size_t cap = 16;
+  while (cap < entries * 2) cap <<= 1;
+  if (cap <= keys_.size()) return;
+  std::vector<uint64_t> old_keys = std::move(keys_);
+  std::vector<uint32_t> old_vals = std::move(vals_);
+  keys_.assign(cap, kEmpty);
+  vals_.assign(cap, 0);
+  size_ = 0;
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] != kEmpty) Insert(old_keys[i], old_vals[i]);
+  }
+}
+
+void CountingTree::LocMap::Grow() { Reserve(keys_.empty() ? 8 : size_ + 1); }
+
+void CountingTree::LocMap::Insert(uint64_t loc, uint32_t cell) {
+  if ((size_ + 1) * 2 > keys_.size()) Grow();
+  const size_t mask = keys_.size() - 1;
+  size_t idx = HashLoc(loc) & mask;
+  while (keys_[idx] != kEmpty) {
+    if (keys_[idx] == loc) {
+      vals_[idx] = cell;
+      return;
+    }
+    idx = (idx + 1) & mask;
+  }
+  keys_[idx] = loc;
+  vals_[idx] = cell;
+  ++size_;
+}
+
+int64_t CountingTree::LocMap::Find(uint64_t loc) const {
+  if (keys_.empty()) return -1;
+  const size_t mask = keys_.size() - 1;
+  size_t idx = HashLoc(loc) & mask;
+  while (keys_[idx] != kEmpty) {
+    if (keys_[idx] == loc) return static_cast<int64_t>(vals_[idx]);
+    idx = (idx + 1) & mask;
+  }
+  return -1;
+}
+
+size_t CountingTree::LocMap::MemoryBytes() const {
+  return keys_.capacity() * sizeof(uint64_t) +
+         vals_.capacity() * sizeof(uint32_t);
+}
+
+// ---------------------------------------------------------------------------
+// Construction.
 
 CountingTree::Builder::Builder(size_t num_dims, int num_resolutions) {
   if (num_resolutions < 3) {
@@ -41,7 +108,8 @@ CountingTree::Builder::Builder(size_t num_dims, int num_resolutions) {
   // paper likewise allows truncating the tree to fit resources.
   const int h_effective = std::min(num_resolutions, kMaxResolutions + 1);
   tree_.reset(new CountingTree(num_dims, h_effective));
-  tree_->by_level_.resize(h_effective);
+  tree_->by_level_.resize(static_cast<size_t>(h_effective));
+  tree_->arenas_.resize(static_cast<size_t>(h_effective));
   tree_->NewNode(1, std::vector<uint64_t>(num_dims, 0));
 }
 
@@ -62,6 +130,7 @@ Status CountingTree::Builder::Add(std::span<const double> point) {
 
 Result<CountingTree> CountingTree::Builder::Finish() && {
   MRCC_RETURN_IF_ERROR(status_);
+  tree_->Pack();
   DCheckInvariants(*tree_);
   return std::move(*tree_);
 }
@@ -81,12 +150,17 @@ Result<CountingTree> CountingTree::Build(const Dataset& data,
 }
 
 int64_t CountingTree::FindInNode(const Node& node, uint64_t loc) const {
-  if (node.index != nullptr) {
-    auto it = node.index->find(loc);
-    return it != node.index->end() ? static_cast<int64_t>(it->second) : -1;
+  if (node.index != nullptr) return node.index->Find(loc);
+  const Arena& arena = arenas_[static_cast<size_t>(node.level)];
+  if (packed_) {
+    // Packed small node: its locs are one contiguous slice — a vector
+    // compare-scan beats any hash below kIndexThreshold entries.
+    const int64_t off =
+        simd::FindU64(arena.loc.data() + node.first, node.count, loc);
+    return off < 0 ? -1 : static_cast<int64_t>(node.first) + off;
   }
-  for (size_t c = 0; c < node.cells.size(); ++c) {
-    if (node.cells[c].loc == loc) return static_cast<int64_t>(c);
+  for (uint32_t id : node.cell_ids) {
+    if (arena.loc[id] == loc) return static_cast<int64_t>(id);
   }
   return -1;
 }
@@ -96,47 +170,54 @@ uint32_t CountingTree::FindOrCreateInNode(uint32_t node_idx, uint64_t loc) {
   const int64_t existing = FindInNode(node, loc);
   if (existing >= 0) return static_cast<uint32_t>(existing);
 
-  const uint32_t cell_idx = static_cast<uint32_t>(node.cells.size());
-  Cell cell;
-  cell.loc = loc;
-  node.cells.push_back(cell);
-  node.half.resize(node.half.size() + num_dims_, 0);
+  Arena& arena = arenas_[static_cast<size_t>(node.level)];
+  const uint32_t cell_idx = static_cast<uint32_t>(arena.size());
+  arena.loc.push_back(loc);
+  arena.n.push_back(0);
+  arena.child.push_back(-1);
+  arena.used.push_back(0);
+  arena.owner.push_back(node_idx);
+  arena.half.resize(arena.half.size() + num_dims_, 0);
+  node.cell_ids.push_back(cell_idx);
+  node.count += 1;
   if (node.index != nullptr) {
-    node.index->emplace(loc, cell_idx);
-  } else if (node.cells.size() > kIndexThreshold) {
+    node.index->Insert(loc, cell_idx);
+  } else if (node.count > kIndexThreshold) {
     // The node outgrew linear search: build the loc index now.
-    node.index = std::make_unique<std::unordered_map<uint64_t, uint32_t>>();
-    node.index->reserve(node.cells.size() * 2);
-    for (uint32_t c = 0; c < node.cells.size(); ++c) {
-      node.index->emplace(node.cells[c].loc, c);
-    }
+    node.index = std::make_unique<LocMap>();
+    node.index->Reserve(node.count * 2);
+    for (uint32_t id : node.cell_ids) node.index->Insert(arena.loc[id], id);
   }
   return cell_idx;
 }
 
 void CountingTree::InsertPoint(std::span<const double> point) {
+  MRCC_DCHECK(!packed_);
   const size_t d = num_dims_;
   const int deepest = num_resolutions_ - 1;
 
   // Binary expansion of each coordinate, one level beyond the deepest so
   // half-space counts at the deepest level are available:
-  // bits[h-1][j] = h-th bit of point[j] (level-h position bit).
-  // Extracted by repeated doubling, which is exact for doubles.
-  std::vector<uint8_t> bits(static_cast<size_t>(deepest + 1) * d);
+  // bits[h-1][j] = h-th binary digit of point[j] (level-h position bit).
+  // ldexp is a pure exponent shift — exact for doubles — so the truncated
+  // integer holds all deepest+1 digits at once; digit h is bit
+  // (deepest+1-h). One scaled conversion replaces the digit-by-digit
+  // repeated-doubling loop (identical output: both read the same finite
+  // binary expansion).
+  bits_scratch_.resize(static_cast<size_t>(deepest + 1) * d);
+  uint8_t* bits = bits_scratch_.data();
   for (size_t j = 0; j < d; ++j) {
-    double r = point[j];
+    const auto grid = static_cast<uint64_t>(std::ldexp(point[j], deepest + 1));
     for (int h = 1; h <= deepest + 1; ++h) {
-      r *= 2.0;
-      const uint8_t bit = r >= 1.0 ? 1 : 0;
-      r -= bit;
-      bits[static_cast<size_t>(h - 1) * d + j] = bit;
+      bits[static_cast<size_t>(h - 1) * d + j] =
+          static_cast<uint8_t>((grid >> (deepest + 1 - h)) & 1);
     }
   }
 
   uint32_t node_idx = 0;  // Root node (level-1 cells).
   for (int h = 1; h <= deepest; ++h) {
-    const uint8_t* level_bits = &bits[static_cast<size_t>(h - 1) * d];
-    const uint8_t* next_bits = &bits[static_cast<size_t>(h) * d];
+    const uint8_t* level_bits = bits + static_cast<size_t>(h - 1) * d;
+    const uint8_t* next_bits = bits + static_cast<size_t>(h) * d;
 
     uint64_t loc = 0;
     for (size_t j = 0; j < d; ++j) {
@@ -144,26 +225,32 @@ void CountingTree::InsertPoint(std::span<const double> point) {
     }
 
     const uint32_t cell_idx = FindOrCreateInNode(node_idx, loc);
-    {
-      Node& node = nodes_[node_idx];
-      node.cells[cell_idx].n += 1;
-      // The point is in the lower half of this cell along e_j exactly when
-      // its next-level bit is 0.
-      uint32_t* half = &node.half[cell_idx * d];
-      for (size_t j = 0; j < d; ++j) {
-        if (next_bits[j] == 0) half[j] += 1;
-      }
-    }
+    Arena& arena = arenas_[static_cast<size_t>(h)];
+    arena.n[cell_idx] += 1;
+    // The point is in the lower half of this cell along e_j exactly when
+    // its next-level bit is 0.
+    simd::IncrementWhereZero(&arena.half[static_cast<size_t>(cell_idx) * d],
+                             next_bits, d);
 
     if (h < deepest) {
-      int32_t child = nodes_[node_idx].cells[cell_idx].child_node;
+      int32_t child = arena.child[cell_idx];
       if (child < 0) {
-        std::vector<uint64_t> child_base =
-            CellCoords(nodes_[node_idx], nodes_[node_idx].cells[cell_idx]);
+        std::vector<uint64_t> child_base(d);
+        const Node& node = nodes_[node_idx];
+        for (size_t j = 0; j < d; ++j) {
+          child_base[j] = node.base_coords[j] * 2 + ((loc >> j) & 1);
+        }
         child = static_cast<int32_t>(NewNode(h + 1, std::move(child_base)));
-        nodes_[node_idx].cells[cell_idx].child_node = child;
+        arenas_[static_cast<size_t>(h)].child[cell_idx] = child;
       }
       node_idx = static_cast<uint32_t>(child);
+      // Pull the next level's node header (and its sibling-loc list) into
+      // cache while this level's bookkeeping retires.
+      const Node& next = nodes_[node_idx];
+      __builtin_prefetch(&next);
+      if (!next.cell_ids.empty()) {
+        __builtin_prefetch(next.cell_ids.data());
+      }
     }
   }
   ++total_points_;
@@ -175,29 +262,168 @@ uint32_t CountingTree::NewNode(int level, std::vector<uint64_t> base_coords) {
   node.level = level;
   node.base_coords = std::move(base_coords);
   nodes_.push_back(std::move(node));
-  by_level_[level].push_back(idx);
+  by_level_[static_cast<size_t>(level)].push_back(idx);
   return idx;
 }
 
-const std::vector<uint32_t>& CountingTree::NodesAtLevel(int h) const {
+// ---------------------------------------------------------------------------
+// Pack / Unpack: the canonical-order lifecycle (see the header comment).
+
+void CountingTree::Pack() {
+  const size_t d = num_dims_;
+  std::vector<uint32_t> order;  // order[new index] = old arena index.
+  for (int h = 1; h < num_resolutions_; ++h) {
+    Arena& arena = arenas_[static_cast<size_t>(h)];
+    const size_t n_cells = arena.size();
+    order.clear();
+    order.reserve(n_cells);
+    for (uint32_t node_idx : by_level_[static_cast<size_t>(h)]) {
+      Node& node = nodes_[node_idx];
+      node.first = static_cast<uint32_t>(order.size());
+      for (uint32_t id : node.cell_ids) order.push_back(id);
+    }
+    MRCC_DCHECK_EQ(order.size(), n_cells);
+
+    Arena packed;
+    packed.loc.resize(n_cells);
+    packed.n.resize(n_cells);
+    packed.child.resize(n_cells);
+    packed.used.resize(n_cells);
+    packed.owner.resize(n_cells);
+    packed.half.resize(n_cells * d);
+    for (size_t i = 0; i < n_cells; ++i) {
+      const uint32_t src = order[i];
+      packed.loc[i] = arena.loc[src];
+      packed.n[i] = arena.n[src];
+      packed.child[i] = arena.child[src];
+      packed.used[i] = arena.used[src];
+      packed.owner[i] = arena.owner[src];
+      std::memcpy(&packed.half[i * d], &arena.half[static_cast<size_t>(src) * d],
+                  d * sizeof(uint32_t));
+    }
+    arena = std::move(packed);
+
+    // Slices are assigned; drop the per-node id lists and rebuild the loc
+    // maps (arena indices changed under them).
+    for (uint32_t node_idx : by_level_[static_cast<size_t>(h)]) {
+      Node& node = nodes_[node_idx];
+      node.cell_ids.clear();
+      node.cell_ids.shrink_to_fit();
+      if (node.count > kIndexThreshold) {
+        node.index = std::make_unique<LocMap>();
+        node.index->Reserve(node.count * 2);
+        for (uint32_t i = 0; i < node.count; ++i) {
+          node.index->Insert(arena.loc[node.first + i], node.first + i);
+        }
+      } else {
+        node.index.reset();
+      }
+    }
+  }
+  packed_ = true;
+}
+
+void CountingTree::Unpack() {
+  for (Node& node : nodes_) {
+    node.cell_ids.resize(node.count);
+    std::iota(node.cell_ids.begin(), node.cell_ids.end(), node.first);
+    // Arena indices are unchanged, so any loc index stays valid.
+  }
+  packed_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Read API.
+
+CountingTree::LevelView CountingTree::Level(int h) const {
+  MRCC_DCHECK(packed_);
   MRCC_DCHECK_GE(h, 1);
   MRCC_DCHECK_LT(h, num_resolutions_);
-  return by_level_[h];
+  return LevelView(this, h);
+}
+
+size_t CountingTree::LevelView::num_cells() const {
+  return tree_->arenas_[static_cast<size_t>(level_)].size();
+}
+
+size_t CountingTree::LevelView::num_dims() const { return tree_->num_dims_; }
+
+std::span<const uint64_t> CountingTree::LevelView::locs() const {
+  return tree_->arenas_[static_cast<size_t>(level_)].loc;
+}
+
+std::span<const uint32_t> CountingTree::LevelView::counts() const {
+  return tree_->arenas_[static_cast<size_t>(level_)].n;
+}
+
+std::span<const int32_t> CountingTree::LevelView::children() const {
+  return tree_->arenas_[static_cast<size_t>(level_)].child;
+}
+
+std::span<const uint8_t> CountingTree::LevelView::used() const {
+  return tree_->arenas_[static_cast<size_t>(level_)].used;
+}
+
+std::span<const uint32_t> CountingTree::LevelView::half() const {
+  return tree_->arenas_[static_cast<size_t>(level_)].half;
+}
+
+std::span<const uint32_t> CountingTree::LevelView::half_of(uint32_t i) const {
+  const size_t d = tree_->num_dims_;
+  return std::span<const uint32_t>(
+      tree_->arenas_[static_cast<size_t>(level_)].half.data() + i * d, d);
+}
+
+void CountingTree::LevelView::CoordsInto(uint32_t i, uint64_t* out) const {
+  const Arena& arena = tree_->arenas_[static_cast<size_t>(level_)];
+  const Node& node = tree_->nodes_[arena.owner[i]];
+  const uint64_t loc = arena.loc[i];
+  const size_t d = tree_->num_dims_;
+  for (size_t j = 0; j < d; ++j) {
+    out[j] = node.base_coords[j] * 2 + ((loc >> j) & 1);
+  }
+}
+
+std::vector<uint64_t> CountingTree::LevelView::Coords(uint32_t i) const {
+  std::vector<uint64_t> coords(tree_->num_dims_);
+  CoordsInto(i, coords.data());
+  return coords;
 }
 
 size_t CountingTree::NumCellsAtLevel(int h) const {
-  size_t count = 0;
-  for (uint32_t idx : NodesAtLevel(h)) count += nodes_[idx].cells.size();
-  return count;
+  MRCC_DCHECK_GE(h, 1);
+  MRCC_DCHECK_LT(h, num_resolutions_);
+  return arenas_[static_cast<size_t>(h)].size();
 }
 
-std::vector<uint64_t> CountingTree::CellCoords(const Node& node,
-                                               const Cell& cell) const {
-  std::vector<uint64_t> coords(num_dims_);
-  for (size_t j = 0; j < num_dims_; ++j) {
-    coords[j] = node.base_coords[j] * 2 + ((cell.loc >> j) & 1);
-  }
-  return coords;
+uint32_t CountingTree::Count(CellRef ref) const {
+  return arenas_[static_cast<size_t>(ref.level)].n[ref.index];
+}
+
+uint64_t CountingTree::Loc(CellRef ref) const {
+  return arenas_[static_cast<size_t>(ref.level)].loc[ref.index];
+}
+
+int32_t CountingTree::Child(CellRef ref) const {
+  return arenas_[static_cast<size_t>(ref.level)].child[ref.index];
+}
+
+bool CountingTree::Used(CellRef ref) const {
+  return arenas_[static_cast<size_t>(ref.level)].used[ref.index] != 0;
+}
+
+void CountingTree::SetUsed(CellRef ref, bool used) {
+  arenas_[static_cast<size_t>(ref.level)].used[ref.index] = used ? 1 : 0;
+}
+
+uint32_t CountingTree::HalfCount(CellRef ref, size_t axis) const {
+  MRCC_DCHECK_LT(axis, num_dims_);
+  return arenas_[static_cast<size_t>(ref.level)]
+      .half[ref.index * num_dims_ + axis];
+}
+
+std::vector<uint64_t> CountingTree::CellCoords(CellRef ref) const {
+  return Level(ref.level).Coords(ref.index);
 }
 
 bool CountingTree::FindCell(int level, const std::vector<uint64_t>& coords,
@@ -217,13 +443,14 @@ bool CountingTree::FindCell(int level, const std::vector<uint64_t>& coords,
     const int64_t cell_idx = FindInNode(node, loc);
     if (cell_idx < 0) return false;
     if (l == level) {
-      ref->node = node_idx;
-      ref->cell = static_cast<uint32_t>(cell_idx);
+      ref->level = level;
+      ref->index = static_cast<uint32_t>(cell_idx);
       return true;
     }
-    const Cell& cell = node.cells[static_cast<size_t>(cell_idx)];
-    if (cell.child_node < 0) return false;
-    node_idx = static_cast<uint32_t>(cell.child_node);
+    const int32_t child =
+        arenas_[static_cast<size_t>(l)].child[static_cast<size_t>(cell_idx)];
+    if (child < 0) return false;
+    node_idx = static_cast<uint32_t>(child);
   }
   return false;  // Unreachable.
 }
@@ -237,7 +464,7 @@ bool CountingTree::FaceNeighbor(int level,
   if (dir < 0 && coords[axis] == 0) return false;
   if (dir > 0 && coords[axis] == max_coord) return false;
   std::vector<uint64_t> neighbor = coords;
-  neighbor[axis] += dir;
+  neighbor[axis] += static_cast<uint64_t>(dir);
   return FindCell(level, neighbor, ref);
 }
 
@@ -245,12 +472,12 @@ uint32_t CountingTree::FaceNeighborCount(int level,
                                          const std::vector<uint64_t>& coords,
                                          size_t axis, int dir) const {
   CellRef ref;
-  return FaceNeighbor(level, coords, axis, dir, &ref) ? cell(ref).n : 0;
+  return FaceNeighbor(level, coords, axis, dir, &ref) ? Count(ref) : 0;
 }
 
 void CountingTree::ResetUsedFlags() {
-  for (Node& node : nodes_) {
-    for (Cell& cell : node.cells) cell.used = false;
+  for (Arena& arena : arenas_) {
+    std::fill(arena.used.begin(), arena.used.end(), uint8_t{0});
   }
 }
 
@@ -260,13 +487,17 @@ Status CountingTree::DropDeepestLevel() {
     return Status::InvalidArgument(
         "cannot drop below the paper's minimum of H = 3 resolutions");
   }
-  // Unlink the dropped level from its parent cells, then compact the node
-  // pool. Compaction preserves relative order, so the surviving pool has
-  // exactly the layout a build with the smaller H would have produced —
-  // which keeps every downstream stage bit-identical to that build.
-  for (uint32_t idx : by_level_[static_cast<size_t>(deepest - 1)]) {
-    for (Cell& cell : nodes_[idx].cells) cell.child_node = -1;
-  }
+  MRCC_DCHECK(packed_);
+  // Unlink the dropped level from its parent cells, then drop its arena
+  // and compact the node pool. Compaction preserves relative order and
+  // the surviving arenas are untouched, so the result has exactly the
+  // layout a build with the smaller H would have produced — which keeps
+  // every downstream stage bit-identical to that build.
+  std::fill(arenas_[static_cast<size_t>(deepest - 1)].child.begin(),
+            arenas_[static_cast<size_t>(deepest - 1)].child.end(),
+            int32_t{-1});
+  arenas_.pop_back();
+
   std::vector<int32_t> remap(nodes_.size(), -1);
   std::vector<Node> kept;
   kept.reserve(nodes_.size() - by_level_[static_cast<size_t>(deepest)].size());
@@ -275,15 +506,19 @@ Status CountingTree::DropDeepestLevel() {
     remap[i] = static_cast<int32_t>(kept.size());
     kept.push_back(std::move(nodes_[i]));
   }
-  for (Node& node : kept) {
-    for (Cell& cell : node.cells) {
-      if (cell.child_node >= 0) {
-        cell.child_node = remap[static_cast<size_t>(cell.child_node)];
-        MRCC_DCHECK_GE(cell.child_node, 0);
+  nodes_ = std::move(kept);
+  for (int h = 1; h < deepest; ++h) {
+    Arena& arena = arenas_[static_cast<size_t>(h)];
+    for (uint32_t& owner : arena.owner) {
+      owner = static_cast<uint32_t>(remap[owner]);
+    }
+    for (int32_t& child : arena.child) {
+      if (child >= 0) {
+        child = remap[static_cast<size_t>(child)];
+        MRCC_DCHECK_GE(child, 0);
       }
     }
   }
-  nodes_ = std::move(kept);
   by_level_.pop_back();
   for (std::vector<uint32_t>& level : by_level_) {
     for (uint32_t& idx : level) {
@@ -303,14 +538,45 @@ Status CountingTree::ValidateInvariants() const {
   if (d == 0 || d > kMaxDims) return fail("dimensionality out of range");
   if (num_resolutions_ < 3) return fail("fewer than 3 resolutions");
   if (nodes_.empty()) return fail("no root node");
+  if (!packed_) return fail("tree is not packed");
   if (by_level_.size() != static_cast<size_t>(num_resolutions_)) {
     return fail("by-level index has wrong resolution count");
+  }
+  if (arenas_.size() != static_cast<size_t>(num_resolutions_)) {
+    return fail("arena vector has wrong resolution count");
   }
 
   const Node& root = nodes_[0];
   if (root.level != 1) return fail("root node is not at level 1");
   for (uint64_t c : root.base_coords) {
     if (c != 0) return fail("root base coordinates are not zero");
+  }
+
+  // Arena array-size agreement, and slice partitioning: the nodes of each
+  // level must tile its arena contiguously, in by-level order — that is
+  // the canonical enumeration order everything downstream relies on.
+  for (int h = 1; h < num_resolutions_; ++h) {
+    const Arena& arena = arenas_[static_cast<size_t>(h)];
+    const std::string where = "level " + std::to_string(h) + ": ";
+    const size_t n_cells = arena.loc.size();
+    if (arena.n.size() != n_cells || arena.child.size() != n_cells ||
+        arena.used.size() != n_cells || arena.owner.size() != n_cells ||
+        arena.half.size() != n_cells * d) {
+      return fail(where + "arena arrays disagree on cell count");
+    }
+    size_t running = 0;
+    for (uint32_t node_idx : by_level_[static_cast<size_t>(h)]) {
+      const Node& node = nodes_[node_idx];
+      if (node.first != running) {
+        return fail(where + "node " + std::to_string(node_idx) +
+                    " slice does not start where the previous slice ended");
+      }
+      running += node.count;
+    }
+    if (running != n_cells) {
+      return fail(where + "node slices cover " + std::to_string(running) +
+                  " cells, arena holds " + std::to_string(n_cells));
+    }
   }
 
   // parent_refs[m]: number of cells pointing at node m as their child.
@@ -331,32 +597,40 @@ Status CountingTree::ValidateInvariants() const {
     for (uint64_t c : node.base_coords) {
       if (c >= max_base) return fail(where + "base coordinate out of range");
     }
-    if (node.half.size() != node.cells.size() * d) {
-      return fail(where + "half-space count array has wrong size");
+    const Arena& arena = arenas_[static_cast<size_t>(node.level)];
+    if (static_cast<size_t>(node.first) + node.count > arena.size()) {
+      return fail(where + "cell slice exceeds the level arena");
     }
     locs.clear();
-    for (size_t c = 0; c < node.cells.size(); ++c) {
-      const Cell& cell = node.cells[c];
+    for (uint32_t c = 0; c < node.count; ++c) {
+      const uint32_t i = node.first + c;
       const std::string cell_where =
           where + "cell " + std::to_string(c) + ": ";
-      if (d < 64 && (cell.loc >> d) != 0) {
+      if (arena.owner[i] != m) {
+        return fail(cell_where + "arena owner points at node " +
+                    std::to_string(arena.owner[i]));
+      }
+      const uint64_t loc = arena.loc[i];
+      if (d < 64 && (loc >> d) != 0) {
         return fail(cell_where + "loc has bits above dimension " +
                     std::to_string(d));
       }
-      if (!locs.insert(cell.loc).second) {
+      if (!locs.insert(loc).second) {
         return fail(cell_where + "duplicate loc among siblings");
       }
-      if (cell.n == 0) return fail(cell_where + "materialized cell is empty");
+      const uint32_t n = arena.n[i];
+      if (n == 0) return fail(cell_where + "materialized cell is empty");
       for (size_t j = 0; j < d; ++j) {
-        if (node.half[c * d + j] > cell.n) {
+        if (arena.half[i * d + j] > n) {
           return fail(cell_where + "half-space count " +
-                      std::to_string(node.half[c * d + j]) +
-                      " exceeds cell count " + std::to_string(cell.n) +
+                      std::to_string(arena.half[i * d + j]) +
+                      " exceeds cell count " + std::to_string(n) +
                       " on axis " + std::to_string(j));
         }
       }
-      if (cell.child_node >= 0) {
-        const auto child_idx = static_cast<size_t>(cell.child_node);
+      const int32_t child_node = arena.child[i];
+      if (child_node >= 0) {
+        const auto child_idx = static_cast<size_t>(child_node);
         if (child_idx >= nodes_.size()) {
           return fail(cell_where + "dangling child pointer");
         }
@@ -365,20 +639,26 @@ Status CountingTree::ValidateInvariants() const {
         if (child.level != node.level + 1) {
           return fail(cell_where + "child level is not parent level + 1");
         }
-        const std::vector<uint64_t> coords = CellCoords(node, cell);
-        if (child.base_coords != coords) {
+        bool coords_match = child.base_coords.size() == d;
+        for (size_t j = 0; coords_match && j < d; ++j) {
+          coords_match =
+              child.base_coords[j] == node.base_coords[j] * 2 + ((loc >> j) & 1);
+        }
+        if (!coords_match) {
           return fail(cell_where + "child base coordinates do not match");
         }
-        uint64_t child_sum = 0;
-        for (const Cell& cc : child.cells) child_sum += cc.n;
-        if (child_sum != cell.n) {
+        const Arena& child_arena =
+            arenas_[static_cast<size_t>(child.level)];
+        const uint64_t child_sum =
+            simd::SumU32(child_arena.n.data() + child.first, child.count);
+        if (child_sum != n) {
           return fail(cell_where + "child counts sum to " +
                       std::to_string(child_sum) + ", expected " +
-                      std::to_string(cell.n));
+                      std::to_string(n));
         }
         parent_refs[child_idx] += 1;
       }
-      if (m == 0) root_points += cell.n;
+      if (m == 0) root_points += n;
     }
   }
   for (size_t m = 1; m < nodes_.size(); ++m) {
@@ -416,15 +696,19 @@ Status CountingTree::ValidateInvariants() const {
 size_t CountingTree::MemoryBytes() const {
   size_t bytes = sizeof(*this) + nodes_.capacity() * sizeof(Node);
   for (const Node& node : nodes_) {
-    bytes += node.cells.capacity() * sizeof(Cell);
-    bytes += node.half.capacity() * sizeof(uint32_t);
     bytes += node.base_coords.capacity() * sizeof(uint64_t);
+    bytes += node.cell_ids.capacity() * sizeof(uint32_t);
     if (node.index != nullptr) {
-      // Rough hash-map footprint: buckets plus one heap node per entry.
-      bytes += node.index->bucket_count() * sizeof(void*) +
-               node.index->size() *
-                   (sizeof(std::pair<uint64_t, uint32_t>) + 2 * sizeof(void*));
+      bytes += sizeof(LocMap) + node.index->MemoryBytes();
     }
+  }
+  for (const Arena& arena : arenas_) {
+    bytes += arena.loc.capacity() * sizeof(uint64_t);
+    bytes += arena.n.capacity() * sizeof(uint32_t);
+    bytes += arena.child.capacity() * sizeof(int32_t);
+    bytes += arena.used.capacity() * sizeof(uint8_t);
+    bytes += arena.owner.capacity() * sizeof(uint32_t);
+    bytes += arena.half.capacity() * sizeof(uint32_t);
   }
   for (const auto& level : by_level_) {
     bytes += level.capacity() * sizeof(uint32_t);

@@ -12,25 +12,45 @@
 //   - used:  the usedCell flag consumed by the β-cluster search,
 //   - child: the node refining this cell at level h+1 (if any).
 //
-// A node is the set of sibling cells sharing one parent cell (the paper's
-// linked list of cells). Storage is cache- and footprint-conscious: cells
-// live in a per-node vector, the d half-space counts of all sibling cells
-// share one contiguous array, and a loc -> index hash map is only built
-// for nodes with many cells (small nodes use a linear scan). The tree is
-// built in a single scan of the data: O(eta * H * d) time and
-// O(H * eta * d) space, matching Algorithm 1.
+// Storage is structure-of-arrays, level-contiguous: every level owns one
+// arena of packed parallel arrays (loc[], n[], child[], used[], the
+// owning node per cell, and d half-space counts per cell), so the hot
+// loops — the Laplacian convolution, the argmax sweep, serialization —
+// stream each attribute sequentially instead of chasing per-node
+// pointers. A node (the paper's linked list of sibling cells sharing one
+// parent cell) is reduced to a slice [first, first + count) of its
+// level's arena plus the parent cell's absolute coordinates; nodes with
+// many cells additionally carry a flat open-addressing loc -> cell map
+// (small nodes use a linear scan over the contiguous loc slice).
+//
+// During construction cells append to their level arena in point-stream
+// order, which interleaves the slices of different nodes; Builder::Finish
+// (and every other structural mutation: MergeTree, LoadTree,
+// DropDeepestLevel) then *packs* each arena into the canonical order —
+// nodes in creation order, cells in creation order within their node.
+// That order is load-bearing: the β-search argmax breaks ties by the
+// lowest cell index in exactly this enumeration, so packing is what
+// keeps results bit-identical across serial, sharded and reloaded
+// builds. All public read access requires a packed tree; the only
+// sanctioned way to read cells is the LevelView / CellRef API below.
+//
+// The tree is built in a single scan of the data: O(eta * H * d) time
+// and O(H * eta * d) space, matching Algorithm 1.
 
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "data/dataset.h"
 
 namespace mrcc {
+
+struct MergeTreeStats;  // tree_io.h
 
 /// Sparse multi-resolution grid of point counts (see file comment).
 class CountingTree {
@@ -43,47 +63,65 @@ class CountingTree {
   /// Maximum dataset dimensionality (loc packs one bit per axis).
   static constexpr size_t kMaxDims = 62;
 
-  /// Node size at which a loc -> index hash map replaces linear search.
+  /// Node size at which a loc -> cell hash map replaces linear search.
   static constexpr size_t kIndexThreshold = 16;
 
-  struct Cell {
-    /// Position inside the parent cell: bit j = upper (1) / lower (0) half
-    /// of the parent along axis e_j.
-    uint64_t loc = 0;
-
-    /// Number of points inside this cell's space.
-    uint32_t n = 0;
-
-    /// Index of the node refining this cell at the next level, or -1.
-    int32_t child_node = -1;
-
-    /// usedCell flag from Algorithm 2 (set by the β-cluster search).
-    bool used = false;
-  };
-
-  struct Node {
-    /// Resolution level of the cells in this node (1-based).
-    int level = 1;
-
-    /// Absolute integer coordinates of this node's parent cell at level
-    /// `level - 1` (all zeros for the root node). A cell in this node has
-    /// coordinates base_coords[j] * 2 + bit_j(loc) at `level`.
-    std::vector<uint64_t> base_coords;
-
-    std::vector<Cell> cells;
-
-    /// Half-space counts of every cell, d entries per cell:
-    /// half[c * d + j] = points of cells[c] in its lower half along e_j.
-    std::vector<uint32_t> half;
-
-    /// loc -> index into `cells`; built once the node outgrows linear scan.
-    std::unique_ptr<std::unordered_map<uint64_t, uint32_t>> index;
-  };
-
-  /// A located cell: node index + cell index within the node.
+  /// A located cell: its level and its index in that level's arena.
+  /// Indices are stable between structural mutations (pack order only
+  /// changes when the tree itself does).
   struct CellRef {
-    uint32_t node = 0;
-    uint32_t cell = 0;
+    int level = 0;
+    uint32_t index = 0;
+  };
+
+  /// Read-only view over one level's packed arenas — the sanctioned way
+  /// to enumerate cells. All spans are parallel: entry i of each span
+  /// describes the same cell, and i is the canonical enumeration index
+  /// (nodes in creation order, cells in creation order within a node)
+  /// that the β-search tie-break and the serialized layout rely on.
+  class LevelView {
+   public:
+    int level() const { return level_; }
+    size_t num_cells() const;
+    size_t num_dims() const;
+
+    /// Position bits of each cell inside its parent cell.
+    std::span<const uint64_t> locs() const;
+
+    /// Point count n of each cell.
+    std::span<const uint32_t> counts() const;
+
+    /// Index of the node refining each cell at level + 1, or -1.
+    std::span<const int32_t> children() const;
+
+    /// usedCell flags (0 / 1), owned by the β-search.
+    std::span<const uint8_t> used() const;
+
+    /// Half-space counts, cell-major: d consecutive entries per cell,
+    /// half()[i * d + j] = points of cell i in its lower half along e_j.
+    /// Cell-major (not axis-major) because every consumer — the point
+    /// insertion, the binomial test, the merge, serialization — touches
+    /// all d axes of one cell at a time.
+    std::span<const uint32_t> half() const;
+
+    /// The d half-space counts of cell i.
+    std::span<const uint32_t> half_of(uint32_t i) const;
+
+    /// Absolute integer coordinates (in [0, 2^level)) of cell i, written
+    /// to out[0..d). The allocation-free form for hot loops.
+    void CoordsInto(uint32_t i, uint64_t* out) const;
+
+    std::vector<uint64_t> Coords(uint32_t i) const;
+
+    CellRef ref(uint32_t i) const { return CellRef{level_, i}; }
+
+   private:
+    friend class CountingTree;
+    LevelView(const CountingTree* tree, int level)
+        : tree_(tree), level_(level) {}
+
+    const CountingTree* tree_;
+    int level_;
   };
 
   /// Builds the tree over `data` with `num_resolutions` = H resolutions
@@ -103,7 +141,8 @@ class CountingTree {
     /// Counts one point into the tree. Rejects out-of-cube values.
     Status Add(std::span<const double> point);
 
-    /// Finalizes and returns the tree. The builder is consumed.
+    /// Finalizes (packs the arenas) and returns the tree. The builder is
+    /// consumed.
     Result<CountingTree> Finish() &&;
 
    private:
@@ -120,28 +159,28 @@ class CountingTree {
   /// Total points counted (eta).
   uint64_t total_points() const { return total_points_; }
 
-  /// Node indices whose cells live at level h (1 <= h <= H-1).
-  const std::vector<uint32_t>& NodesAtLevel(int h) const;
-
-  Node& node(uint32_t idx) { return nodes_[idx]; }
-  const Node& node(uint32_t idx) const { return nodes_[idx]; }
+  /// Number of nodes in the pool (the root included).
   size_t num_nodes() const { return nodes_.size(); }
 
-  const Cell& cell(CellRef ref) const {
-    return nodes_[ref.node].cells[ref.cell];
-  }
-  Cell& cell(CellRef ref) { return nodes_[ref.node].cells[ref.cell]; }
-
-  /// Half-space count P[axis] of the referenced cell.
-  uint32_t HalfCount(CellRef ref, size_t axis) const {
-    return nodes_[ref.node].half[ref.cell * num_dims_ + axis];
-  }
+  /// View over the cells of level h (1 <= h < num_resolutions).
+  LevelView Level(int h) const;
 
   /// Number of materialized (non-empty) cells at level h.
   size_t NumCellsAtLevel(int h) const;
 
-  /// Absolute integer coordinates (in [0, 2^level)) of `cell` of `node`.
-  std::vector<uint64_t> CellCoords(const Node& node, const Cell& cell) const;
+  // Single-cell accessors via CellRef (the view's spans are the bulk
+  // path; these are for located cells).
+  uint32_t Count(CellRef ref) const;
+  uint64_t Loc(CellRef ref) const;
+  int32_t Child(CellRef ref) const;
+  bool Used(CellRef ref) const;
+  void SetUsed(CellRef ref, bool used);
+
+  /// Half-space count P[axis] of the referenced cell.
+  uint32_t HalfCount(CellRef ref, size_t axis) const;
+
+  /// Absolute integer coordinates (in [0, 2^level)) of the cell.
+  std::vector<uint64_t> CellCoords(CellRef ref) const;
 
   /// Locates the cell at `coords` on `level`. Returns true and fills `ref`
   /// when that region holds points. Walks down from the root: O(level)
@@ -168,51 +207,152 @@ class CountingTree {
   /// nodes — the graceful-degradation lever under memory pressure: the
   /// paper's H trades resolution for resources, and counts at the
   /// remaining levels are untouched, so the result equals a tree built
-  /// with the smaller H from the start (node for node — creation order
-  /// is preserved by the compaction). Fails when H is already the
-  /// minimum 3.
+  /// with the smaller H from the start (cell for cell — the surviving
+  /// arenas and the node pool keep their order). Fails when H is already
+  /// the minimum 3.
   Status DropDeepestLevel();
 
-  /// Full structural walk of every invariant the core relies on: d-bit
-  /// loc codes, half-space counts P[j] <= n, child levels/base
-  /// coordinates, child count sums equal to the parent cell count,
-  /// single-parent linkage, by-level index consistency and the
-  /// total-point count. O(nodes * cells * d) — debug/validation tool,
-  /// not a hot-path call. Returns OK or Internal naming the first
-  /// violated invariant. Builder::Finish and MergeTree run it in debug
-  /// builds; LoadTree runs it unconditionally to reject corrupt files.
+  /// Full structural walk of every invariant the core relies on: packed
+  /// arena consistency, d-bit loc codes, half-space counts P[j] <= n,
+  /// child levels/base coordinates, child count sums equal to the parent
+  /// cell count, single-parent linkage, by-level index consistency and
+  /// the total-point count. O(cells * d) — debug/validation tool, not a
+  /// hot-path call. Returns OK or Internal naming the first violated
+  /// invariant. Builder::Finish and MergeTree run it in debug builds;
+  /// LoadTree runs it unconditionally to reject corrupt files.
   Status ValidateInvariants() const;
 
   /// Approximate heap footprint of the tree in bytes.
   size_t MemoryBytes() const;
 
+  /// Test-only mutable access to the raw arenas, for corrupting a tree
+  /// in invariant/robustness tests. Not part of the supported API.
+  struct TestPeer;
+
  private:
+  /// Flat open-addressing loc -> cell map (power-of-two capacity, linear
+  /// probing). loc always fits in kMaxDims = 62 bits, so ~0 is a free
+  /// empty-slot sentinel. Replaces the former per-node unordered_map:
+  /// one contiguous allocation, no per-entry heap nodes.
+  class LocMap {
+   public:
+    void Reserve(size_t entries);
+    void Insert(uint64_t loc, uint32_t cell);
+    int64_t Find(uint64_t loc) const;
+    size_t MemoryBytes() const;
+
+   private:
+    static constexpr uint64_t kEmpty = ~uint64_t{0};
+    void Grow();
+
+    std::vector<uint64_t> keys_;
+    std::vector<uint32_t> vals_;
+    size_t size_ = 0;
+  };
+
+  /// One level's packed cell storage. Parallel arrays; `half` holds d
+  /// entries per cell (cell-major); `owner` is the node owning each cell
+  /// (what turns an arena index back into coordinates).
+  struct Arena {
+    std::vector<uint64_t> loc;
+    std::vector<uint32_t> n;
+    std::vector<int32_t> child;
+    std::vector<uint8_t> used;
+    std::vector<uint32_t> owner;
+    std::vector<uint32_t> half;
+
+    size_t size() const { return loc.size(); }
+  };
+
+  /// A node: the sibling cells sharing one parent cell. Packed trees
+  /// address their cells as the arena slice [first, first + count);
+  /// during construction (unpacked) `cell_ids` lists the arena indices
+  /// in creation order instead.
+  struct Node {
+    int level = 1;
+
+    /// Absolute integer coordinates of this node's parent cell at level
+    /// `level - 1` (all zeros for the root node). A cell of this node has
+    /// coordinates base_coords[j] * 2 + bit_j(loc) at `level`.
+    std::vector<uint64_t> base_coords;
+
+    /// Packed: first cell of this node's arena slice.
+    uint32_t first = 0;
+
+    /// Number of cells in this node (valid in both modes).
+    uint32_t count = 0;
+
+    /// Unpacked only: arena indices of this node's cells, creation order.
+    std::vector<uint32_t> cell_ids;
+
+    /// loc -> arena cell; built once the node outgrows linear scan.
+    std::unique_ptr<LocMap> index;
+  };
+
   CountingTree(size_t num_dims, int num_resolutions)
       : num_dims_(num_dims), num_resolutions_(num_resolutions) {}
 
-  // Persistence and merging need raw access to the node pool (tree_io.h).
+  // Persistence and merging need raw access to the arenas (tree_io.h).
+  friend Status SaveTree(const CountingTree& tree, const std::string& path);
   friend Result<CountingTree> LoadTree(const std::string& path);
-  friend Status MergeTree(CountingTree* tree, const CountingTree& other,
-                          struct MergeTreeStats* stats);
+  friend Result<MergeTreeStats> MergeTree(CountingTree* tree,
+                                          const CountingTree& other);
 
-  /// Inserts one point given its per-level grid coordinates; see Build.
+  /// Inserts one point (unpacked trees only); see Build.
   void InsertPoint(std::span<const double> point);
 
-  /// Index of the cell with position `loc` in `node`, or -1.
+  /// Arena index of the cell with position `loc` in `node`, or -1.
   int64_t FindInNode(const Node& node, uint64_t loc) const;
 
-  /// Finds or creates the cell with position `loc`; returns its index.
+  /// Finds or creates the cell with position `loc` in the (unpacked)
+  /// node; returns its arena index.
   uint32_t FindOrCreateInNode(uint32_t node_idx, uint64_t loc);
 
   /// Creates an empty node at `level` under the given parent cell.
   uint32_t NewNode(int level, std::vector<uint64_t> base_coords);
 
+  /// Permutes every level arena into canonical enumeration order (nodes
+  /// in creation order, cells in creation order within their node),
+  /// assigns the node slices and rebuilds the per-node loc maps. After
+  /// this the tree is readable; see the file comment for why the order
+  /// is bit-identity-critical.
+  void Pack();
+
+  /// Re-materializes per-node cell_id lists from the packed slices so
+  /// the tree accepts insertions again (MergeTree's destination).
+  void Unpack();
+
   size_t num_dims_;
   int num_resolutions_;
   uint64_t total_points_ = 0;
+  bool packed_ = false;
   std::vector<Node> nodes_;                      // nodes_[0] is the root.
   std::vector<std::vector<uint32_t>> by_level_;  // level -> node indices.
+  std::vector<Arena> arenas_;                    // arenas_[h], h >= 1.
+  std::vector<uint8_t> bits_scratch_;  // InsertPoint digit buffer (reused
+                                       // across points: no per-point alloc).
+};
+
+/// Mutation hooks for tests that corrupt a tree on purpose (invariant
+/// detection, robustness). Kept out of the main API so production code
+/// cannot reach mutable storage; lint bans raw-field access elsewhere.
+struct CountingTree::TestPeer {
+  static uint32_t& Count(CountingTree& tree, CellRef ref) {
+    return tree.arenas_[static_cast<size_t>(ref.level)].n[ref.index];
+  }
+  static uint64_t& Loc(CountingTree& tree, CellRef ref) {
+    return tree.arenas_[static_cast<size_t>(ref.level)].loc[ref.index];
+  }
+  static int32_t& Child(CountingTree& tree, CellRef ref) {
+    return tree.arenas_[static_cast<size_t>(ref.level)].child[ref.index];
+  }
+  static uint32_t& Half(CountingTree& tree, CellRef ref, size_t axis) {
+    return tree.arenas_[static_cast<size_t>(ref.level)]
+        .half[ref.index * tree.num_dims_ + axis];
+  }
+  static void SetUsedRaw(CountingTree& tree, CellRef ref, uint8_t value) {
+    tree.arenas_[static_cast<size_t>(ref.level)].used[ref.index] = value;
+  }
 };
 
 }  // namespace mrcc
-

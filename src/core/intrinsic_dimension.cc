@@ -11,13 +11,11 @@ std::vector<BoxCountPoint> BoxCountingCurve(const CountingTree& tree) {
     BoxCountPoint point;
     point.level = h;
     double s2 = 0.0;
-    for (uint32_t node_idx : tree.NodesAtLevel(h)) {
-      const CountingTree::Node& node = tree.node(node_idx);
-      for (const CountingTree::Cell& cell : node.cells) {
-        const double p = static_cast<double>(cell.n) / eta;
-        s2 += p * p;
-        ++point.cells;
-      }
+    const CountingTree::LevelView level = tree.Level(h);
+    for (uint32_t n : level.counts()) {
+      const double p = static_cast<double>(n) / eta;
+      s2 += p * p;
+      ++point.cells;
     }
     point.log2_s2 = std::log2(s2);
     curve.push_back(point);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace mrcc {
 namespace {
@@ -14,6 +15,32 @@ size_t Pow3(size_t d) {
 }
 
 }  // namespace
+
+void FaceLaplacianConvolveRange(const CountingTree::LevelView& view,
+                                const LevelIndex& index, uint32_t begin,
+                                uint32_t end, int64_t* out) {
+  const size_t d = view.num_dims();
+  MRCC_DCHECK_EQ(index.level(), view.level());
+  MRCC_DCHECK_LE(end, view.num_cells());
+  MRCC_DCHECK_LE(begin, end);
+  const uint32_t* counts = view.counts().data();
+  // Seed every response with the center term 2d * n in one streaming
+  // pass, then subtract the face neighbors cell by cell.
+  simd::ScaleU32ToI64(out + begin, counts + begin, end - begin,
+                      2 * static_cast<int64_t>(d));
+  std::vector<uint64_t> coords(d);
+  for (uint32_t i = begin; i < end; ++i) {
+    view.CoordsInto(i, coords.data());
+    int64_t neighbor_sum = 0;
+    for (size_t j = 0; j < d; ++j) {
+      const int64_t lower = index.FindFaceNeighbor(coords.data(), j, -1);
+      if (lower >= 0) neighbor_sum += counts[lower];
+      const int64_t upper = index.FindFaceNeighbor(coords.data(), j, +1);
+      if (upper >= 0) neighbor_sum += counts[upper];
+    }
+    out[i] -= neighbor_sum;
+  }
+}
 
 int64_t FaceLaplacianConvolve(const CountingTree& tree, int level,
                               const std::vector<uint64_t>& coords,
@@ -28,6 +55,45 @@ int64_t FaceLaplacianConvolve(const CountingTree& tree, int level,
     acc -= tree.FaceNeighborCount(level, coords, j, +1);
   }
   return acc;
+}
+
+void FullLaplacianConvolveRange(const CountingTree::LevelView& view,
+                                const LevelIndex& index, uint32_t begin,
+                                uint32_t end, int64_t* out) {
+  const size_t d = view.num_dims();
+  MRCC_DCHECK_LE(d, kMaxFullMaskDims);
+  MRCC_DCHECK_EQ(index.level(), view.level());
+  MRCC_DCHECK_LE(end, view.num_cells());
+  MRCC_DCHECK_LE(begin, end);
+  const uint32_t* counts = view.counts().data();
+  const uint64_t max_coord = (uint64_t{1} << view.level()) - 1;
+  const size_t cells = Pow3(d);
+  const int64_t center_weight = static_cast<int64_t>(cells) - 1;
+  std::vector<uint64_t> coords(d);
+  std::vector<uint64_t> probe(d);
+  for (uint32_t i = begin; i < end; ++i) {
+    view.CoordsInto(i, coords.data());
+    int64_t neighbor_sum = 0;
+    // Odometer over {-1,0,1}^d offsets.
+    for (size_t code = 0; code < cells; ++code) {
+      size_t rem = code;
+      bool is_center = true;
+      bool in_bounds = true;
+      for (size_t j = d; j-- > 0;) {
+        const int off = static_cast<int>(rem % 3) - 1;
+        rem /= 3;
+        if (off != 0) is_center = false;
+        if (off < 0 && coords[j] == 0) in_bounds = false;
+        if (off > 0 && coords[j] == max_coord) in_bounds = false;
+        probe[j] =
+            coords[j] + static_cast<uint64_t>(static_cast<int64_t>(off));
+      }
+      if (is_center || !in_bounds) continue;
+      const int64_t found = index.Find(probe.data());
+      if (found >= 0) neighbor_sum += counts[found];
+    }
+    out[i] = center_weight * counts[i] - neighbor_sum;
+  }
 }
 
 int64_t FullLaplacianConvolve(const CountingTree& tree, int level,
@@ -58,7 +124,7 @@ int64_t FullLaplacianConvolve(const CountingTree& tree, int level,
     }
     if (is_center || !in_bounds) continue;
     CountingTree::CellRef ref;
-    if (tree.FindCell(level, probe, &ref)) neighbor_sum += tree.cell(ref).n;
+    if (tree.FindCell(level, probe, &ref)) neighbor_sum += tree.Count(ref);
   }
   const int64_t center_weight = static_cast<int64_t>(cells) - 1;
   return center_weight * center_count - neighbor_sum;

@@ -1,0 +1,81 @@
+#include "core/level_index.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace mrcc {
+namespace {
+
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+LevelIndex::LevelIndex(const CountingTree::LevelView& view)
+    : level_(view.level()),
+      num_dims_(view.num_dims()),
+      max_coord_((uint64_t{1} << view.level()) - 1) {
+  const size_t n_cells = view.num_cells();
+  coords_.resize(n_cells * num_dims_);
+  for (uint32_t i = 0; i < n_cells; ++i) {
+    view.CoordsInto(i, coords_.data() + static_cast<size_t>(i) * num_dims_);
+  }
+  size_t cap = 16;
+  while (cap < n_cells * 2) cap <<= 1;
+  slots_.assign(cap, kEmptySlot);
+  const size_t mask = cap - 1;
+  for (uint32_t i = 0; i < n_cells; ++i) {
+    size_t s =
+        HashCoords(coords_.data() + static_cast<size_t>(i) * num_dims_) & mask;
+    while (slots_[s] != kEmptySlot) s = (s + 1) & mask;
+    slots_[s] = i;
+  }
+}
+
+uint64_t LevelIndex::HashCoords(const uint64_t* coords) const {
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(level_);
+  for (size_t j = 0; j < num_dims_; ++j) {
+    h = Mix64(h ^ coords[j]);
+  }
+  return h;
+}
+
+int64_t LevelIndex::Find(const uint64_t* coords) const {
+  const size_t mask = slots_.size() - 1;
+  size_t s = HashCoords(coords) & mask;
+  while (slots_[s] != kEmptySlot) {
+    const uint32_t cell = slots_[s];
+    if (std::memcmp(coords_.data() + static_cast<size_t>(cell) * num_dims_,
+                    coords, num_dims_ * sizeof(uint64_t)) == 0) {
+      return static_cast<int64_t>(cell);
+    }
+    s = (s + 1) & mask;
+  }
+  return -1;
+}
+
+int64_t LevelIndex::FindFaceNeighbor(uint64_t* coords, size_t axis,
+                                     int dir) const {
+  MRCC_DCHECK(dir == -1 || dir == 1);
+  const uint64_t original = coords[axis];
+  if (dir < 0 && original == 0) return -1;
+  if (dir > 0 && original == max_coord_) return -1;
+  coords[axis] = original + static_cast<uint64_t>(dir);
+  const int64_t found = Find(coords);
+  coords[axis] = original;
+  return found;
+}
+
+size_t LevelIndex::MemoryBytes() const {
+  return sizeof(*this) + coords_.capacity() * sizeof(uint64_t) +
+         slots_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace mrcc

@@ -1,0 +1,66 @@
+// LevelIndex: a flat coords -> cell hash table over one level of a packed
+// CountingTree.
+//
+// CountingTree::FindCell locates a cell by walking down from the root —
+// O(level) node lookups per query. The β-cluster search does millions of
+// such queries (2d face neighbors per convolved cell, plus parent and
+// growth lookups), all against the *same* level, so it pays to spend one
+// linear pass per level building a direct coordinate table and answer
+// every query in O(d) with a single probe sequence.
+//
+// The index is a transient, read-side acceleration structure: it lives in
+// the search stage (built lazily per level), never inside the tree, so
+// tree memory accounting and the budget-pressure behavior are unchanged.
+// Open addressing with linear probing over a power-of-two slot array;
+// slots store the cell's arena index (kEmptySlot = vacant) and keys are
+// compared against a packed copy of each cell's coordinates (d uint64
+// per cell, cell-major — one memcmp per probe).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counting_tree.h"
+
+namespace mrcc {
+
+class LevelIndex {
+ public:
+  /// Builds the table from every cell of `view` (one pass, serial —
+  /// construction order must not depend on thread count).
+  explicit LevelIndex(const CountingTree::LevelView& view);
+
+  int level() const { return level_; }
+
+  /// Arena index of the cell at `coords` (d values in [0, 2^level)), or
+  /// -1 when that region holds no points.
+  int64_t Find(const uint64_t* coords) const;
+
+  /// The face neighbor's arena index along `axis` in direction `dir`
+  /// (-1 / +1), or -1 when off the cube or not materialized. `coords` is
+  /// borrowed as scratch and restored before returning.
+  int64_t FindFaceNeighbor(uint64_t* coords, size_t axis, int dir) const;
+
+  /// The packed coordinates (d values) of cell `cell` — the copy the
+  /// index built at construction, handed back so callers iterating a
+  /// level don't recompute them.
+  const uint64_t* CellCoords(uint32_t cell) const {
+    return coords_.data() + static_cast<size_t>(cell) * num_dims_;
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  static constexpr uint32_t kEmptySlot = ~uint32_t{0};
+
+  uint64_t HashCoords(const uint64_t* coords) const;
+
+  int level_;
+  size_t num_dims_;
+  uint64_t max_coord_;               // 2^level - 1.
+  std::vector<uint64_t> coords_;     // d per cell, cell-major.
+  std::vector<uint32_t> slots_;      // Power-of-two open-addressing table.
+};
+
+}  // namespace mrcc

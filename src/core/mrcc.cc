@@ -167,11 +167,13 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
   for (size_t t = 1; t < partial.size(); ++t) {
     // tree.merge.alloc stands in for the fold's cell-pool growth failing.
     MRCC_RETURN_IF_ERROR(fp::Maybe("tree.merge.alloc"));
-    MRCC_RETURN_IF_ERROR(MergeTree(&tree, *partial[t], &merge_stats));
+    Result<MergeTreeStats> merged = MergeTree(&tree, *partial[t]);
+    if (!merged.ok()) return merged.status();
+    merge_stats += *merged;
   }
   if (shards > 1) {
     stats->tree_merge_seconds = merge_timer.ElapsedSeconds();
-    stats->merge_conflict_cells = merge_stats.cells_merged;
+    stats->tree_merge = merge_stats;
     metrics.counter("tree.merge.conflict_cells").Add(
         static_cast<int64_t>(merge_stats.cells_merged));
     metrics.counter("tree.merge.cells_created").Add(
@@ -197,15 +199,26 @@ Status MrCCParams::Validate() const {
   return Status::OK();
 }
 
-MrCC::MrCC(MrCCParams params) : params_(params) {}
-
-Result<MrCCResult> MrCC::Run(const DataSource& source) const {
-  MRCC_RETURN_IF_ERROR(params_.Validate());
-  if (params_.full_mask && source.NumDims() > kMaxFullMaskDims) {
+Status MrCCParams::Validate(size_t num_dims) const {
+  MRCC_RETURN_IF_ERROR(Validate());
+  if (num_dims == 0 || num_dims > CountingTree::kMaxDims) {
+    return Status::InvalidArgument(
+        "dimensionality must be in [1, " +
+        std::to_string(CountingTree::kMaxDims) + "]");
+  }
+  if (full_mask && num_dims > kMaxFullMaskDims) {
     return Status::InvalidArgument(
         "full_mask ablation supports at most " +
         std::to_string(kMaxFullMaskDims) + " dimensions (O(3^d) cost)");
   }
+  return Status::OK();
+}
+
+MrCC::MrCC(MrCCParams params) : params_(params) {}
+
+Result<MrCCResult> MrCC::Run(const DataSource& source) const {
+  // The pipeline's single parameter gate (see MrCCParams::Validate).
+  MRCC_RETURN_IF_ERROR(params_.Validate(source.NumDims()));
   const int num_threads = ResolveThreadCount(params_.num_threads);
 
   MRCC_TRACE_SPAN_N("mrcc.run", static_cast<int64_t>(source.NumPoints()));
@@ -282,23 +295,19 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   finder_options.full_mask = params_.full_mask;
   finder_options.num_threads = num_threads;
   result.stats.beta_search_threads = num_threads;
-  BetaSearchStats beta_stats;
   {
     MRCC_TRACE_SPAN("beta.search");
-    Result<std::vector<BetaCluster>> betas =
-        RunBetaSearch(*tree, finder_options, &beta_stats, &tracker);
-    if (!betas.ok()) return betas.status();
-    result.beta_clusters = std::move(*betas);
+    Result<BetaSearchResult> search =
+        RunBetaSearch(*tree, finder_options, &tracker);
+    if (!search.ok()) return search.status();
+    result.beta_clusters = std::move(search->betas);
+    result.stats.beta_search = search->stats;
   }
-  if (beta_stats.deadline_hit) {
+  if (result.stats.beta_search.deadline_hit) {
     note_degraded(
         "wall deadline exceeded during the β-search: the β-clusters are "
         "a deterministic prefix of the full search");
   }
-  result.stats.beta_cells_convolved = beta_stats.cells_convolved;
-  result.stats.beta_candidates_tested = beta_stats.candidates_tested;
-  result.stats.binomial_tests = beta_stats.binomial_tests;
-  result.stats.beta_accepted = beta_stats.accepted;
   result.stats.beta_search_seconds = phase.ElapsedSeconds();
 
   // Phase 3: merge β-clusters (geometry only), then label every point in

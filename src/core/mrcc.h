@@ -26,6 +26,7 @@
 #include "core/cluster_builder.h"
 #include "core/counting_tree.h"
 #include "core/subspace_clusterer.h"
+#include "core/tree_io.h"
 #include "data/data_source.h"
 #include "data/sanitize.h"
 
@@ -62,7 +63,16 @@ struct MrCCParams {
   /// degraded in MrCCStats rather than failing it.
   ResourceBudget budget;
 
+  /// Data-independent parameter checks (alpha, H, threads, budget).
   Status Validate() const;
+
+  /// Full validation against a concrete input: everything Validate()
+  /// covers plus the checks that need the dataset's dimensionality (the
+  /// d bounds, the full-mask cost gate). MrCC::Run calls this once at
+  /// entry — it is the single parameter gate of the pipeline; the stage
+  /// entry points below it only re-check their own narrow public
+  /// contracts (e.g. CountingTree::Builder, which is callable directly).
+  Status Validate(size_t num_dims) const;
 };
 
 /// Timing and size measurements of one MrCC run.
@@ -95,22 +105,21 @@ struct MrCCStats {
 
   // ---- Work counters (observability layer, DESIGN.md §10). All are
   // deterministic: the same input and parameters yield the same counts
-  // at every thread count.
+  // at every thread count. Each stage returns its own counters struct;
+  // MrCCStats aggregates them here instead of threading mutable stats
+  // pointers through stage APIs.
 
-  /// Laplacian responses computed during the β-search.
-  uint64_t beta_cells_convolved = 0;
+  /// The β-search's work counters (convolutions, candidates, binomial
+  /// tests, acceptances, deadline_hit), exactly as RunBetaSearch
+  /// returned them.
+  BetaSearchStats beta_search;
 
-  /// Argmax candidates that reached the binomial test, per-axis tests
-  /// run (d per candidate), and candidates accepted as β-clusters.
-  uint64_t beta_candidates_tested = 0;
-  uint64_t binomial_tests = 0;
-  uint64_t beta_accepted = 0;
-
-  /// Cells present in more than one shard tree, combined during the
-  /// MergeTree fold (0 for a serial build). High values relative to the
-  /// tree size mean the shards cover the same regions — the expected
+  /// The MergeTree fold's counters summed across the sharded build's
+  /// merges (all zero for a serial build). cells_merged counts cells
+  /// present in more than one shard tree — high values relative to the
+  /// tree size mean the shards cover the same regions, the expected
   /// regime — and bound the merge's extra work.
-  uint64_t merge_conflict_cells = 0;
+  MergeTreeStats tree_merge;
 
   /// Slowest shard scan divided by the mean shard scan during the tree
   /// build (1 = perfectly balanced, 0 = serial build). Shards own equal

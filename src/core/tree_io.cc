@@ -34,17 +34,20 @@ Status SaveTree(const CountingTree& tree, const std::string& path) {
   WritePod(out, tree.total_points());
   WritePod(out, static_cast<uint64_t>(tree.num_nodes()));
   const size_t d = tree.num_dims();
-  for (size_t n = 0; n < tree.num_nodes(); ++n) {
-    const CountingTree::Node& node = tree.node(static_cast<uint32_t>(n));
+  MRCC_DCHECK(tree.packed_);
+  for (size_t n = 0; n < tree.nodes_.size(); ++n) {
+    const CountingTree::Node& node = tree.nodes_[n];
+    const CountingTree::Arena& arena =
+        tree.arenas_[static_cast<size_t>(node.level)];
     WritePod(out, static_cast<int32_t>(node.level));
     for (uint64_t c : node.base_coords) WritePod(out, c);
-    WritePod(out, static_cast<uint64_t>(node.cells.size()));
-    for (size_t c = 0; c < node.cells.size(); ++c) {
-      const CountingTree::Cell& cell = node.cells[c];
-      WritePod(out, cell.loc);
-      WritePod(out, cell.n);
-      WritePod(out, cell.child_node);
-      for (size_t j = 0; j < d; ++j) WritePod(out, node.half[c * d + j]);
+    WritePod(out, static_cast<uint64_t>(node.count));
+    for (uint32_t c = 0; c < node.count; ++c) {
+      const size_t i = static_cast<size_t>(node.first) + c;
+      WritePod(out, arena.loc[i]);
+      WritePod(out, arena.n[i]);
+      WritePod(out, arena.child[i]);
+      for (size_t j = 0; j < d; ++j) WritePod(out, arena.half[i * d + j]);  // lint-allow: cell-storage
     }
   }
   if (!out) return Status::IOError("write failed: " + path);
@@ -92,7 +95,11 @@ Result<CountingTree> LoadTree(const std::string& path) {
   CountingTree tree(dims, static_cast<int>(resolutions));
   tree.total_points_ = total_points;
   tree.by_level_.resize(resolutions);
+  tree.arenas_.resize(resolutions);
   tree.nodes_.resize(node_count);
+  // Nodes are on disk in pool (creation) order and cells in per-node
+  // creation order, so appending each record to its level arena directly
+  // reproduces the canonical packed layout — no separate Pack() pass.
   for (uint64_t n = 0; n < node_count; ++n) {
     CountingTree::Node& node = tree.nodes_[n];
     int32_t level = 0;
@@ -112,34 +119,43 @@ Result<CountingTree> LoadTree(const std::string& path) {
     if (cell_count > file_size / cell_bytes) {
       return Status::IOError("implausible cell count in " + path);
     }
-    node.cells.resize(cell_count);
-    node.half.resize(cell_count * dims);
+    CountingTree::Arena& arena = tree.arenas_[static_cast<size_t>(level)];
+    node.first = static_cast<uint32_t>(arena.size());
+    node.count = static_cast<uint32_t>(cell_count);
     for (uint64_t c = 0; c < cell_count; ++c) {
-      CountingTree::Cell& cell = node.cells[c];
-      if (!ReadPod(in, &cell.loc) || !ReadPod(in, &cell.n) ||
-          !ReadPod(in, &cell.child_node)) {
+      uint64_t loc = 0;
+      uint32_t count = 0;
+      int32_t child = -1;
+      if (!ReadPod(in, &loc) || !ReadPod(in, &count) || !ReadPod(in, &child)) {
         return Status::IOError("truncated cell in " + path);
       }
-      if (cell.child_node >= 0 &&
-          static_cast<uint64_t>(cell.child_node) >= node_count) {
+      if (child >= 0 && static_cast<uint64_t>(child) >= node_count) {
         return Status::IOError("dangling child pointer in " + path);
       }
+      arena.loc.push_back(loc);
+      arena.n.push_back(count);
+      arena.child.push_back(child);
+      arena.used.push_back(0);
+      arena.owner.push_back(static_cast<uint32_t>(n));
+      const size_t half_base = arena.half.size();
+      arena.half.resize(half_base + dims);
       for (size_t j = 0; j < dims; ++j) {
-        if (!ReadPod(in, &node.half[c * dims + j])) {
+        if (!ReadPod(in, &arena.half[half_base + j])) {  // lint-allow: cell-storage
           return Status::IOError("truncated half counts in " + path);
         }
       }
     }
     if (cell_count > CountingTree::kIndexThreshold) {
-      node.index = std::make_unique<std::unordered_map<uint64_t, uint32_t>>();
-      node.index->reserve(cell_count * 2);
+      node.index = std::make_unique<CountingTree::LocMap>();
+      node.index->Reserve(cell_count * 2);
       for (uint32_t c = 0; c < cell_count; ++c) {
-        node.index->emplace(node.cells[c].loc, c);
+        node.index->Insert(arena.loc[node.first + c], node.first + c);
       }
     }
     tree.by_level_[static_cast<size_t>(level)].push_back(
         static_cast<uint32_t>(n));
   }
+  tree.packed_ = true;
   // Field-level reads above only prove the bytes parse; a well-formed
   // stream can still encode a structurally corrupt tree (half counts
   // exceeding the cell count, child sums that do not add up, duplicate
@@ -151,8 +167,8 @@ Result<CountingTree> LoadTree(const std::string& path) {
   return tree;
 }
 
-Status MergeTree(CountingTree* tree, const CountingTree& other,
-                 MergeTreeStats* stats) {
+Result<MergeTreeStats> MergeTree(CountingTree* tree,
+                                 const CountingTree& other) {
   if (tree->num_dims() != other.num_dims()) {
     return Status::InvalidArgument("tree dimensionality mismatch");
   }
@@ -167,12 +183,15 @@ Status MergeTree(CountingTree* tree, const CountingTree& other,
   // Because InsertPoint creates a cell and its child node at the same
   // point (the first one landing there), this reproduces exactly the node
   // and cell ordering a serial build over the concatenated point streams
-  // would have produced. Downstream consumers that iterate the pool (the
-  // β-cluster search, persistence) therefore cannot tell a sharded build
-  // from a serial one — the trees are identical, not merely equivalent.
+  // would have produced; the final Pack() then restores the canonical
+  // arena layout of that serial build. Downstream consumers therefore
+  // cannot tell a sharded build from a serial one — the trees are
+  // identical, not merely equivalent.
+  MergeTreeStats stats;
   const size_t d = tree->num_dims();
-  // parent_slot[s]: destination (node, cell) refined by source node s,
-  // recorded while merging the parent's cells; -1 node = not yet seen.
+  tree->Unpack();
+  // parent_slot[s]: destination (node, arena cell) refined by source node
+  // s, recorded while merging the parent's cells; -1 node = not yet seen.
   struct Slot {
     int64_t node = -1;
     uint32_t cell = 0;
@@ -184,56 +203,63 @@ Status MergeTree(CountingTree* tree, const CountingTree& other,
       const Slot& slot = parent_slot[m];
       if (slot.node < 0) {
         // A child preceding its parent in the pool never comes out of
-        // Builder or LoadTree; a tree that does is corrupt.
+        // Builder or LoadTree; a tree that does is corrupt. Repack so the
+        // (half-merged) destination stays structurally readable.
+        tree->Pack();
         return Status::Internal("merge source tree is not in creation order");
       }
       // Create the destination counterpart only now, when the source pool
       // scan reaches this node, so new destination nodes appear in source
       // creation order (not in parent-cell order).
-      CountingTree::Node& parent =
-          tree->node(static_cast<uint32_t>(slot.node));
-      int32_t dst_child = parent.cells[slot.cell].child_node;
+      const CountingTree::Node& parent =
+          tree->nodes_[static_cast<size_t>(slot.node)];
+      const size_t parent_level = static_cast<size_t>(parent.level);
+      int32_t dst_child = tree->arenas_[parent_level].child[slot.cell];
       if (dst_child < 0) {
-        std::vector<uint64_t> base =
-            tree->CellCoords(parent, parent.cells[slot.cell]);
+        std::vector<uint64_t> base(d);
+        const uint64_t loc = tree->arenas_[parent_level].loc[slot.cell];
+        for (size_t j = 0; j < d; ++j) {
+          base[j] = parent.base_coords[j] * 2 + ((loc >> j) & 1);
+        }
         dst_child = static_cast<int32_t>(
             tree->NewNode(parent.level + 1, std::move(base)));
-        tree->node(static_cast<uint32_t>(slot.node))
-            .cells[slot.cell]
-            .child_node = dst_child;
-        if (stats != nullptr) ++stats->nodes_created;
+        tree->arenas_[parent_level].child[slot.cell] = dst_child;
+        ++stats.nodes_created;
       }
       dst_node = static_cast<uint32_t>(dst_child);
     }
     const CountingTree::Node& src = other.nodes_[m];
-    for (size_t c = 0; c < src.cells.size(); ++c) {
-      const CountingTree::Cell& src_cell = src.cells[c];
-      const size_t dst_cells_before = tree->node(dst_node).cells.size();
-      const uint32_t dst_cell_idx =
-          tree->FindOrCreateInNode(dst_node, src_cell.loc);
-      CountingTree::Node& dst = tree->node(dst_node);
-      if (stats != nullptr) {
-        // An unchanged cell count means the cell existed in both trees —
-        // a genuine merge (count addition) rather than an append.
-        if (dst.cells.size() == dst_cells_before) {
-          ++stats->cells_merged;
-        } else {
-          ++stats->cells_created;
-        }
+    const CountingTree::Arena& src_arena =
+        other.arenas_[static_cast<size_t>(src.level)];
+    for (uint32_t c = 0; c < src.count; ++c) {
+      const size_t si = static_cast<size_t>(src.first) + c;
+      const uint32_t dst_cells_before = tree->nodes_[dst_node].count;
+      const uint32_t dst_idx =
+          tree->FindOrCreateInNode(dst_node, src_arena.loc[si]);
+      // An unchanged cell count means the cell existed in both trees —
+      // a genuine merge (count addition) rather than an append.
+      if (tree->nodes_[dst_node].count == dst_cells_before) {
+        ++stats.cells_merged;
+      } else {
+        ++stats.cells_created;
       }
-      dst.cells[dst_cell_idx].n += src_cell.n;
+      CountingTree::Arena& dst_arena =
+          tree->arenas_[static_cast<size_t>(src.level)];
+      dst_arena.n[dst_idx] += src_arena.n[si];
       for (size_t j = 0; j < d; ++j) {
-        dst.half[dst_cell_idx * d + j] += src.half[c * d + j];
+        dst_arena.half[static_cast<size_t>(dst_idx) * d + j] +=  // lint-allow: cell-storage
+            src_arena.half[si * d + j];  // lint-allow: cell-storage
       }
-      if (src_cell.child_node >= 0) {
-        MRCC_DCHECK_LT(static_cast<size_t>(src_cell.child_node),
-                       other.nodes_.size());
-        parent_slot[static_cast<size_t>(src_cell.child_node)] = {
-            static_cast<int64_t>(dst_node), dst_cell_idx};
+      const int32_t src_child = src_arena.child[si];
+      if (src_child >= 0) {
+        MRCC_DCHECK_LT(static_cast<size_t>(src_child), other.nodes_.size());
+        parent_slot[static_cast<size_t>(src_child)] = {
+            static_cast<int64_t>(dst_node), dst_idx};
       }
     }
   }
   tree->total_points_ += other.total_points_;
+  tree->Pack();
   tree->ResetUsedFlags();
 #ifndef NDEBUG
   // A merge that breaks structure is a bug in this function, not bad
@@ -243,7 +269,7 @@ Status MergeTree(CountingTree* tree, const CountingTree& other,
                           v.message().c_str());
   }
 #endif
-  return Status::OK();
+  return stats;
 }
 
 bool TreesEquivalent(const CountingTree& a, const CountingTree& b) {
@@ -255,16 +281,15 @@ bool TreesEquivalent(const CountingTree& a, const CountingTree& b) {
   const size_t d = a.num_dims();
   for (int h = 1; h < a.num_resolutions(); ++h) {
     if (a.NumCellsAtLevel(h) != b.NumCellsAtLevel(h)) return false;
-    for (uint32_t node_idx : a.NodesAtLevel(h)) {
-      const CountingTree::Node& node = a.node(node_idx);
-      for (size_t c = 0; c < node.cells.size(); ++c) {
-        const auto coords = a.CellCoords(node, node.cells[c]);
-        CountingTree::CellRef ref;
-        if (!b.FindCell(h, coords, &ref)) return false;
-        if (b.cell(ref).n != node.cells[c].n) return false;
-        for (size_t j = 0; j < d; ++j) {
-          if (b.HalfCount(ref, j) != node.half[c * d + j]) return false;
-        }
+    const CountingTree::LevelView view = a.Level(h);
+    const size_t cells = view.num_cells();
+    for (uint32_t i = 0; i < cells; ++i) {
+      const std::vector<uint64_t> coords = view.Coords(i);
+      CountingTree::CellRef ref;
+      if (!b.FindCell(h, coords, &ref)) return false;
+      if (b.Count(ref) != view.counts()[i]) return false;
+      for (size_t j = 0; j < d; ++j) {
+        if (b.HalfCount(ref, j) != view.half_of(i)[j]) return false;
       }
     }
   }

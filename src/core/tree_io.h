@@ -12,6 +12,10 @@
 //   | u64 node_count | per node: i32 level, d*u64 base_coords,
 //     u64 cell_count, per cell: u64 loc, u32 n, i32 child_node,
 //     d*u32 half
+//
+// The layout predates the SoA arena storage and is kept byte-for-byte
+// stable: a node's cells are written from its packed arena slice, which
+// is exactly the per-node creation order the old per-node vectors held.
 
 #pragma once
 
@@ -21,15 +25,22 @@
 
 namespace mrcc {
 
-/// Work counters of one or more MergeTree calls. `cells_merged` — cells
-/// present in both trees whose counts were combined (the merge
-/// "conflicts" a sharded build pays for); `cells_created` /
-/// `nodes_created` — structure that existed only in the source tree and
-/// was appended to the destination.
+/// Work counters of one MergeTree call. `cells_merged` — cells present in
+/// both trees whose counts were combined (the merge "conflicts" a sharded
+/// build pays for); `cells_created` / `nodes_created` — structure that
+/// existed only in the source tree and was appended to the destination.
+/// Returned by value from MergeTree; a shard fold sums them with +=.
 struct MergeTreeStats {
   uint64_t cells_merged = 0;
   uint64_t cells_created = 0;
   uint64_t nodes_created = 0;
+
+  MergeTreeStats& operator+=(const MergeTreeStats& o) {
+    cells_merged += o.cells_merged;
+    cells_created += o.cells_created;
+    nodes_created += o.nodes_created;
+    return *this;
+  }
 };
 
 /// Writes `tree` to `path` (usedCell flags are not persisted — they are
@@ -42,14 +53,12 @@ Result<CountingTree> LoadTree(const std::string& path);
 /// Merges `other` into `tree`: afterwards `tree` equals the tree built
 /// over the concatenation of both datasets. Requires equal
 /// dimensionality and resolution count. `other` is left untouched.
-/// When `stats` is non-null the merge-work counters are accumulated into
-/// it (not reset — a shard fold sums across merges).
-Status MergeTree(CountingTree* tree, const CountingTree& other,
-                 MergeTreeStats* stats = nullptr);
+/// Returns this merge's work counters.
+Result<MergeTreeStats> MergeTree(CountingTree* tree,
+                                 const CountingTree& other);
 
 /// True when the two trees hold identical counts everywhere (structure
 /// may differ in node ordering; comparison is by cell coordinates).
 bool TreesEquivalent(const CountingTree& a, const CountingTree& b);
 
 }  // namespace mrcc
-

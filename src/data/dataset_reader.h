@@ -4,7 +4,8 @@
 // needs one more scan — neither requires the dataset in memory. This
 // reader iterates a binary dataset file point by point so "very large"
 // datasets (the paper's title claim) can be clustered with O(tree) memory
-// instead of O(eta * d). See core/streaming.h for the driver.
+// instead of O(eta * d). The driver is MrCC::Run over a
+// BinaryFileDataSource (data/data_source.h).
 //
 // Reads go through the positional POSIX layer in common/fs.h: partial
 // reads continue, EINTR retries invisibly, transient errors retry with

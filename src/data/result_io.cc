@@ -112,15 +112,18 @@ std::string MrCCResultToJson(const MrCCResult& result) {
          std::to_string(result.stats.beta_search_threads);
   out += ",\"labeling_threads\":" +
          std::to_string(result.stats.labeling_threads);
+  // Counter keys predate the sub-struct split in MrCCStats and stay flat
+  // for downstream JSON consumers.
   out += ",\"beta_cells_convolved\":" +
-         std::to_string(result.stats.beta_cells_convolved);
+         std::to_string(result.stats.beta_search.cells_convolved);
   out += ",\"beta_candidates_tested\":" +
-         std::to_string(result.stats.beta_candidates_tested);
+         std::to_string(result.stats.beta_search.candidates_tested);
   out += ",\"binomial_tests\":" +
-         std::to_string(result.stats.binomial_tests);
-  out += ",\"beta_accepted\":" + std::to_string(result.stats.beta_accepted);
+         std::to_string(result.stats.beta_search.binomial_tests);
+  out += ",\"beta_accepted\":" +
+         std::to_string(result.stats.beta_search.accepted);
   out += ",\"merge_conflict_cells\":" +
-         std::to_string(result.stats.merge_conflict_cells);
+         std::to_string(result.stats.tree_merge.cells_merged);
   std::snprintf(buf, sizeof(buf), ",\"shard_imbalance\":%.4f",
                 result.stats.shard_imbalance);
   out += buf;

@@ -124,13 +124,15 @@ std::string RenderRunReportHtml(const Dataset& data, const MrCCResult& result,
           "<p>work: %llu cells convolved, %llu binomial tests over %llu "
           "candidates (%llu accepted); %llu merge conflicts, shard "
           "imbalance %.2f.</p>",
-          static_cast<unsigned long long>(result.stats.beta_cells_convolved),
-          static_cast<unsigned long long>(result.stats.binomial_tests),
           static_cast<unsigned long long>(
-              result.stats.beta_candidates_tested),
-          static_cast<unsigned long long>(result.stats.beta_accepted),
+              result.stats.beta_search.cells_convolved),
           static_cast<unsigned long long>(
-              result.stats.merge_conflict_cells),
+              result.stats.beta_search.binomial_tests),
+          static_cast<unsigned long long>(
+              result.stats.beta_search.candidates_tested),
+          static_cast<unsigned long long>(result.stats.beta_search.accepted),
+          static_cast<unsigned long long>(
+              result.stats.tree_merge.cells_merged),
           result.stats.shard_imbalance);
   if (result.stats.degraded) {
     html += "<p><b>degraded run</b> (H = " +

@@ -119,7 +119,7 @@ TEST_F(BudgetTest, MemoryPressureDegradesRunToSmallerH) {
   EXPECT_FALSE(small->stats.degraded);
   EXPECT_EQ(degraded->clustering.labels, small->clustering.labels);
   EXPECT_EQ(degraded->beta_clusters.size(), small->beta_clusters.size());
-  EXPECT_EQ(degraded->stats.beta_accepted, small->stats.beta_accepted);
+  EXPECT_EQ(degraded->stats.beta_search.accepted, small->stats.beta_search.accepted);
 }
 
 TEST_F(BudgetTest, ImpossibleMemoryCapStopsAtMinimumHAndContinues) {

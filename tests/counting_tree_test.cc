@@ -18,7 +18,7 @@ int64_t CountAt(const CountingTree& tree, int level,
                 const std::vector<uint64_t>& coords) {
   CellRef ref;
   if (!tree.FindCell(level, coords, &ref)) return -1;
-  return tree.cell(ref).n;
+  return tree.Count(ref);
 }
 
 // Convenience: half-space count, requires the cell to exist.
@@ -127,7 +127,7 @@ TEST(CountingTreeTest, FaceNeighborsInHandCraftedExample) {
   CellRef ref;
   // At level 1, (0,0) and (1,0) are face neighbors along axis 0.
   ASSERT_TRUE(tree->FaceNeighbor(1, {0, 0}, 0, +1, &ref));
-  EXPECT_EQ(tree->cell(ref).n, 1u);
+  EXPECT_EQ(tree->Count(ref), 1u);
   // Border: no neighbor below coordinate 0 / above the maximum.
   EXPECT_FALSE(tree->FaceNeighbor(1, {0, 0}, 0, -1, &ref));
   EXPECT_FALSE(tree->FaceNeighbor(1, {1, 0}, 0, +1, &ref));
@@ -140,10 +140,11 @@ TEST(CountingTreeTest, ResetUsedFlags) {
   Dataset d = testing::UniformDataset(50, 2, 5);
   Result<CountingTree> tree = CountingTree::Build(d, 4);
   ASSERT_TRUE(tree.ok());
-  tree->node(0).cells[0].used = true;
+  tree->SetUsed(CellRef{1, 0}, true);
+  EXPECT_TRUE(tree->Used(CellRef{1, 0}));
   tree->ResetUsedFlags();
-  for (size_t n = 0; n < tree->num_nodes(); ++n) {
-    for (const auto& c : tree->node(n).cells) EXPECT_FALSE(c.used);
+  for (int h = 1; h < tree->num_resolutions(); ++h) {
+    for (uint8_t u : tree->Level(h).used()) EXPECT_EQ(u, 0);
   }
 }
 
@@ -169,44 +170,61 @@ TEST_P(CountingTreeParam, StructuralInvariants) {
   EXPECT_EQ(tree->total_points(), points);
 
   for (int h = 1; h < tree->num_resolutions(); ++h) {
+    const CountingTree::LevelView level = tree->Level(h);
+    EXPECT_EQ(level.level(), h);
+    EXPECT_EQ(level.num_dims(), dims);
+    const size_t cells = level.num_cells();
+    EXPECT_EQ(level.counts().size(), cells);
+    EXPECT_EQ(level.locs().size(), cells);
+    EXPECT_EQ(level.children().size(), cells);
+    EXPECT_EQ(level.used().size(), cells);
+    EXPECT_EQ(level.half().size(), cells * dims);
+
     uint64_t level_total = 0;
-    size_t cells = 0;
-    for (uint32_t node_idx : tree->NodesAtLevel(h)) {
-      const CountingTree::Node& node = tree->node(node_idx);
-      EXPECT_EQ(node.level, h);
-      EXPECT_EQ(node.half.size(), node.cells.size() * dims);
-      for (uint32_t c = 0; c < node.cells.size(); ++c) {
-        const CountingTree::Cell& cell = node.cells[c];
-        ++cells;
-        level_total += cell.n;
-        EXPECT_GT(cell.n, 0u);  // Sparse: only populated cells stored.
-        // Half-space counts never exceed the cell count.
-        for (size_t j = 0; j < dims; ++j) {
-          EXPECT_LE(node.half[c * dims + j], cell.n);
-        }
-        // Children sum to the parent count.
-        if (cell.child_node >= 0) {
-          const CountingTree::Node& child =
-              tree->node(static_cast<uint32_t>(cell.child_node));
-          uint64_t child_sum = 0;
-          for (const auto& cc : child.cells) child_sum += cc.n;
-          EXPECT_EQ(child_sum, cell.n);
-        }
-        // Coordinates round-trip through FindCell.
-        const auto coords = tree->CellCoords(node, cell);
-        for (size_t j = 0; j < dims; ++j) {
-          EXPECT_LT(coords[j], uint64_t{1} << h);
-        }
-        CellRef found;
-        ASSERT_TRUE(tree->FindCell(h, coords, &found));
-        EXPECT_EQ(found.node, node_idx);
-        EXPECT_EQ(found.cell, c);
+    for (uint32_t i = 0; i < cells; ++i) {
+      const uint32_t n = level.counts()[i];
+      level_total += n;
+      EXPECT_GT(n, 0u);  // Sparse: only populated cells stored.
+      // Half-space counts never exceed the cell count.
+      for (size_t j = 0; j < dims; ++j) {
+        EXPECT_LE(level.half_of(i)[j], n);
       }
+      // Coordinates round-trip through FindCell to the same arena slot.
+      const auto coords = level.Coords(i);
+      for (size_t j = 0; j < dims; ++j) {
+        EXPECT_LT(coords[j], uint64_t{1} << h);
+      }
+      CellRef found;
+      ASSERT_TRUE(tree->FindCell(h, coords, &found));
+      EXPECT_EQ(found.level, h);
+      EXPECT_EQ(found.index, i);
     }
     // Every level counts every point exactly once.
     EXPECT_EQ(level_total, points);
     EXPECT_EQ(tree->NumCellsAtLevel(h), cells);
     EXPECT_LE(cells, points);  // At most eta cells per level.
+
+    // Children sum to the parent count: group this level's cells by
+    // their parent coordinates and compare against level h - 1.
+    if (h >= 2) {
+      const CountingTree::LevelView parents = tree->Level(h - 1);
+      std::vector<uint64_t> child_sum(parents.num_cells(), 0);
+      std::vector<uint64_t> parent_coords(dims);
+      for (uint32_t i = 0; i < cells; ++i) {
+        level.CoordsInto(i, parent_coords.data());
+        for (size_t j = 0; j < dims; ++j) parent_coords[j] >>= 1;
+        CellRef parent;
+        ASSERT_TRUE(tree->FindCell(h - 1, parent_coords, &parent));
+        child_sum[parent.index] += level.counts()[i];
+      }
+      for (uint32_t p = 0; p < parents.num_cells(); ++p) {
+        if (parents.children()[p] >= 0) {
+          EXPECT_EQ(child_sum[p], parents.counts()[p]) << "parent " << p;
+        } else {
+          EXPECT_EQ(child_sum[p], 0u) << "parent " << p;
+        }
+      }
+    }
   }
 }
 
@@ -222,14 +240,12 @@ TEST(CountingTreeTest, CountsMatchBruteForce) {
   Result<CountingTree> tree = CountingTree::Build(d, 4);
   ASSERT_TRUE(tree.ok());
   for (int h = 1; h < 4; ++h) {
-    for (uint32_t node_idx : tree->NodesAtLevel(h)) {
-      const CountingTree::Node& node = tree->node(node_idx);
-      for (uint32_t c = 0; c < node.cells.size(); ++c) {
-        const auto coords = tree->CellCoords(node, node.cells[c]);
-        EXPECT_EQ(node.cells[c].n, BruteCount(d, h, coords));
-        for (size_t j = 0; j < 3; ++j) {
-          EXPECT_EQ(node.half[c * 3 + j], BruteHalfCount(d, h, coords, j));
-        }
+    const CountingTree::LevelView level = tree->Level(h);
+    for (uint32_t i = 0; i < level.num_cells(); ++i) {
+      const auto coords = level.Coords(i);
+      EXPECT_EQ(level.counts()[i], BruteCount(d, h, coords));
+      for (size_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(level.half_of(i)[j], BruteHalfCount(d, h, coords, j));
       }
     }
   }
@@ -240,22 +256,20 @@ TEST(CountingTreeTest, FaceNeighborsMatchBruteForce) {
   Result<CountingTree> tree = CountingTree::Build(d, 4);
   ASSERT_TRUE(tree.ok());
   for (int h = 1; h < 4; ++h) {
-    for (uint32_t node_idx : tree->NodesAtLevel(h)) {
-      const CountingTree::Node& node = tree->node(node_idx);
-      for (const CountingTree::Cell& cell : node.cells) {
-        const auto coords = tree->CellCoords(node, cell);
-        for (size_t j = 0; j < 2; ++j) {
-          for (int dir : {-1, +1}) {
-            std::vector<uint64_t> neighbor = coords;
-            const uint64_t max_coord = (uint64_t{1} << h) - 1;
-            uint32_t expected = 0;
-            if (!(dir < 0 && coords[j] == 0) &&
-                !(dir > 0 && coords[j] == max_coord)) {
-              neighbor[j] += dir;
-              expected = BruteCount(d, h, neighbor);
-            }
-            EXPECT_EQ(tree->FaceNeighborCount(h, coords, j, dir), expected);
+    const CountingTree::LevelView level = tree->Level(h);
+    for (uint32_t i = 0; i < level.num_cells(); ++i) {
+      const auto coords = level.Coords(i);
+      for (size_t j = 0; j < 2; ++j) {
+        for (int dir : {-1, +1}) {
+          std::vector<uint64_t> neighbor = coords;
+          const uint64_t max_coord = (uint64_t{1} << h) - 1;
+          uint32_t expected = 0;
+          if (!(dir < 0 && coords[j] == 0) &&
+              !(dir > 0 && coords[j] == max_coord)) {
+            neighbor[j] += dir;
+            expected = BruteCount(d, h, neighbor);
           }
+          EXPECT_EQ(tree->FaceNeighborCount(h, coords, j, dir), expected);
         }
       }
     }
@@ -315,8 +329,8 @@ TEST(CountingTreeInvariantsTest, DetectsHalfCountAboveCellCount) {
   ASSERT_TRUE(tree.ok());
   // P[j] counts a subset of the cell's points, so P[j] > n is impossible
   // in a correct tree.
-  CountingTree::Node& root = tree->node(0);
-  root.half[0] = root.cells[0].n + 1;
+  const CellRef first{1, 0};
+  CountingTree::TestPeer::Half(*tree, first, 0) = tree->Count(first) + 1;
   const Status v = tree->ValidateInvariants();
   ASSERT_FALSE(v.ok());
   EXPECT_NE(v.message().find("half-space"), std::string::npos)
@@ -327,7 +341,8 @@ TEST(CountingTreeInvariantsTest, DetectsLocBitsAboveDimension) {
   Dataset d = testing::UniformDataset(1000, 4, 13);
   Result<CountingTree> tree = CountingTree::Build(d, 4);
   ASSERT_TRUE(tree.ok());
-  tree->node(0).cells[0].loc |= uint64_t{1} << 60;  // d = 4: bit 60 invalid.
+  // d = 4: bit 60 invalid.
+  CountingTree::TestPeer::Loc(*tree, CellRef{1, 0}) |= uint64_t{1} << 60;
   const Status v = tree->ValidateInvariants();
   ASSERT_FALSE(v.ok());
   EXPECT_NE(v.message().find("loc"), std::string::npos) << v.ToString();
@@ -340,7 +355,7 @@ TEST(CountingTreeInvariantsTest, DetectsChildSumMismatch) {
   // Inflating one level-1 cell breaks "child counts sum to the parent"
   // (and the root total): every point in a cell is also counted in its
   // child node.
-  tree->node(0).cells[0].n += 5;
+  CountingTree::TestPeer::Count(*tree, CellRef{1, 0}) += 5;
   EXPECT_FALSE(tree->ValidateInvariants().ok());
 }
 
@@ -348,11 +363,59 @@ TEST(CountingTreeInvariantsTest, DetectsDanglingChildPointer) {
   Dataset d = testing::UniformDataset(1000, 4, 15);
   Result<CountingTree> tree = CountingTree::Build(d, 4);
   ASSERT_TRUE(tree.ok());
-  tree->node(0).cells[0].child_node =
+  CountingTree::TestPeer::Child(*tree, CellRef{1, 0}) =
       static_cast<int32_t>(tree->num_nodes() + 100);
   const Status v = tree->ValidateInvariants();
   ASSERT_FALSE(v.ok());
   EXPECT_NE(v.message().find("child"), std::string::npos) << v.ToString();
+}
+
+// ---- LevelView: the sanctioned bulk read API over the SoA arenas.
+
+TEST(LevelViewTest, SpansAgreeWithSingleCellAccessors) {
+  Dataset d = testing::UniformDataset(500, 3, 21);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  for (int h = 1; h < 4; ++h) {
+    const CountingTree::LevelView level = tree->Level(h);
+    for (uint32_t i = 0; i < level.num_cells(); ++i) {
+      const CellRef ref = level.ref(i);
+      EXPECT_EQ(ref.level, h);
+      EXPECT_EQ(ref.index, i);
+      EXPECT_EQ(level.counts()[i], tree->Count(ref));
+      EXPECT_EQ(level.locs()[i], tree->Loc(ref));
+      EXPECT_EQ(level.children()[i], tree->Child(ref));
+      EXPECT_EQ(level.used()[i] != 0, tree->Used(ref));
+      for (size_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(level.half_of(i)[j], tree->HalfCount(ref, j));
+      }
+      EXPECT_EQ(level.Coords(i), tree->CellCoords(ref));
+    }
+  }
+}
+
+TEST(LevelViewTest, CoordsIntoMatchesCoords) {
+  Dataset d = testing::UniformDataset(200, 5, 22);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  const CountingTree::LevelView level = tree->Level(2);
+  std::vector<uint64_t> scratch(5);
+  for (uint32_t i = 0; i < level.num_cells(); ++i) {
+    level.CoordsInto(i, scratch.data());
+    EXPECT_EQ(scratch, level.Coords(i));
+  }
+}
+
+TEST(LevelViewTest, UsedSpanReflectsSetUsed) {
+  Dataset d = testing::UniformDataset(100, 2, 23);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  const CountingTree::LevelView level = tree->Level(1);
+  ASSERT_GT(level.num_cells(), 0u);
+  tree->SetUsed(level.ref(0), true);
+  EXPECT_NE(level.used()[0], 0);
+  tree->SetUsed(level.ref(0), false);
+  EXPECT_EQ(level.used()[0], 0);
 }
 
 }  // namespace

@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "core/mrcc.h"
-#include "core/streaming.h"
 #include "data/data_source.h"
 #include "data/dataset_io.h"
 #include "test_util.h"
@@ -106,9 +105,9 @@ TEST(DeterminismTest, FileSourceMatchesMemorySourceAtEveryThreadCount) {
   std::remove(path.c_str());
 }
 
-TEST(DeterminismTest, ThreadedRunMatchesLegacyStreamingDriver) {
+TEST(DeterminismTest, ThreadedRunMatchesSerialFileRun) {
   const LabeledDataset dataset = testing::SmallClustered(4000, 8, 3, 7);
-  const std::string path = ::testing::TempDir() + "mrcc_determinism_legacy.bin";
+  const std::string path = ::testing::TempDir() + "mrcc_determinism_file.bin";
   ASSERT_TRUE(SaveBinary(dataset.data, path).ok());
 
   MrCCParams params;
@@ -116,10 +115,12 @@ TEST(DeterminismTest, ThreadedRunMatchesLegacyStreamingDriver) {
   Result<MrCCResult> threaded = MrCC(params).Run(dataset.data);
   ASSERT_TRUE(threaded.ok());
 
-  MrCCParams serial_params;  // Legacy entry point, serial.
-  Result<MrCCResult> legacy = RunMrCCOnBinaryFile(path, serial_params);
-  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
-  ExpectIdenticalResults(*threaded, *legacy, "threaded vs legacy streaming");
+  Result<BinaryFileDataSource> source = BinaryFileDataSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  MrCCParams serial_params;  // Out-of-core entry point, serial.
+  Result<MrCCResult> serial = MrCC(serial_params).Run(*source);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ExpectIdenticalResults(*threaded, *serial, "threaded vs serial file run");
   std::remove(path.c_str());
 }
 

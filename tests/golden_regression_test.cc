@@ -1,0 +1,133 @@
+// Bit-identity regression against the pre-SoA implementation.
+//
+// The golden hashes below were produced by the per-node AoS storage this
+// repo shipped before the level-contiguous arena refactor (same datasets,
+// same parameters, serial run). The SoA arenas, the SIMD convolutions and
+// the packed serialization are required to reproduce the old results
+// *exactly* — labels, cluster subspaces, β-cluster geometry, and the
+// serialized tree bytes — so these hashes must never change. They hold in
+// both SIMD and scalar (-DMRCC_SIMD=OFF) builds and at any thread count
+// (DeterminismTest covers the thread sweep; this test pins the serial
+// result to history).
+//
+// If a change legitimately alters results (an algorithmic change, not a
+// storage change), regenerate the table and say so loudly in the commit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/mrcc.h"
+#include "core/tree_io.h"
+#include "data/generator.h"
+
+namespace mrcc {
+namespace {
+
+uint64_t FnvMix(uint64_t h, const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// FNV-1a over every result field that the determinism contract covers.
+uint64_t HashResult(const MrCCResult& r) {
+  uint64_t h = 1469598103934665603ull;
+  h = FnvMix(h, r.clustering.labels.data(),
+             r.clustering.labels.size() * sizeof(int));
+  for (const ClusterInfo& c : r.clustering.clusters) {
+    for (bool b : c.relevant_axes) {
+      const unsigned char v = b ? 1 : 0;
+      h = FnvMix(h, &v, 1);
+    }
+  }
+  h = FnvMix(h, r.beta_to_cluster.data(),
+             r.beta_to_cluster.size() * sizeof(int));
+  for (const BetaCluster& b : r.beta_clusters) {
+    h = FnvMix(h, b.lower.data(), b.lower.size() * sizeof(double));
+    h = FnvMix(h, b.upper.data(), b.upper.size() * sizeof(double));
+    h = FnvMix(h, b.relevance.data(), b.relevance.size() * sizeof(double));
+    for (bool v : b.relevant) {
+      const unsigned char u = v ? 1 : 0;
+      h = FnvMix(h, &u, 1);
+    }
+    h = FnvMix(h, &b.level, sizeof(b.level));
+    h = FnvMix(h, &b.center_count, sizeof(b.center_count));
+  }
+  return h;
+}
+
+// FNV-1a over the exact bytes SaveTree writes — the serialized format is
+// part of the bit-identity contract (old files must load, new files must
+// match old ones byte for byte).
+uint64_t HashTreeBytes(const CountingTree& tree, const std::string& path) {
+  EXPECT_TRUE(SaveTree(tree, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string bytes = ss.str();
+  std::remove(path.c_str());
+  return FnvMix(1469598103934665603ull, bytes.data(), bytes.size());
+}
+
+LabeledDataset Clustered(size_t n, size_t dims, size_t k, uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.name = "golden";
+  cfg.num_points = n;
+  cfg.num_dims = dims;
+  cfg.num_clusters = k;
+  cfg.noise_fraction = 0.15;
+  cfg.min_cluster_dims = dims > 3 ? dims - 3 : 1;
+  cfg.max_cluster_dims = dims > 1 ? dims - 1 : 1;
+  cfg.seed = seed;
+  return std::move(GenerateSynthetic(cfg)).value();
+}
+
+struct GoldenCase {
+  size_t n, d, k;
+  uint64_t seed;
+  int resolutions;
+  uint64_t result_hash;
+  uint64_t tree_hash;
+};
+
+// Captured from the pre-refactor implementation; see the file comment.
+const GoldenCase kGolden[] = {
+    {4000, 8, 3, 7, 4, 0xc461134eda1bd827ull, 0xac99857a9b6b92baull},
+    {6000, 8, 3, 19, 4, 0x26a039c86150ea7bull, 0x94711b42f04fe82eull},
+    {6000, 8, 3, 101, 4, 0x57678ac3108802c4ull, 0x0916bfef2319d94cull},
+    {3000, 14, 5, 71, 4, 0x1a6460f2a9e9ff14ull, 0x8783416cdc20cdd8ull},
+    {5000, 6, 2, 13, 5, 0x5ed934b9c863aeceull, 0x0c30d1ffeaeccf83ull},
+};
+
+TEST(GoldenRegressionTest, ResultsAndTreeBytesMatchPreRefactorRuns) {
+  for (const GoldenCase& c : kGolden) {
+    SCOPED_TRACE("n=" + std::to_string(c.n) + " d=" + std::to_string(c.d) +
+                 " seed=" + std::to_string(c.seed));
+    LabeledDataset ds = Clustered(c.n, c.d, c.k, c.seed);
+
+    MrCCParams params;
+    params.num_resolutions = c.resolutions;
+    params.num_threads = 1;
+    Result<MrCCResult> r = MrCC(params).Run(ds.data);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(HashResult(*r), c.result_hash);
+
+    Result<CountingTree> tree = CountingTree::Build(ds.data, c.resolutions);
+    ASSERT_TRUE(tree.ok());
+    const std::string path =
+        ::testing::TempDir() + "mrcc_golden_" + std::to_string(c.seed) + ".bin";
+    EXPECT_EQ(HashTreeBytes(*tree, path), c.tree_hash);
+  }
+}
+
+}  // namespace
+}  // namespace mrcc

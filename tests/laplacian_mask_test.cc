@@ -73,7 +73,7 @@ int64_t DenseConvolve(const CountingTree& tree, int level,
     if (!in_bounds || mask[code] == 0) continue;
     CountingTree::CellRef ref;
     if (tree.FindCell(level, probe, &ref)) {
-      acc += mask[code] * static_cast<int64_t>(tree.cell(ref).n);
+      acc += mask[code] * static_cast<int64_t>(tree.Count(ref));
     }
   }
   return acc;
@@ -85,13 +85,11 @@ TEST(ConvolveTest, FaceConvolutionMatchesDenseMask) {
   ASSERT_TRUE(tree.ok());
   const auto mask = DenseFaceMask(3);
   for (int h = 1; h < 4; ++h) {
-    for (uint32_t node_idx : tree->NodesAtLevel(h)) {
-      const auto& node = tree->node(node_idx);
-      for (const auto& cell : node.cells) {
-        const auto coords = tree->CellCoords(node, cell);
-        EXPECT_EQ(FaceLaplacianConvolve(*tree, h, coords, cell.n),
-                  DenseConvolve(*tree, h, coords, mask, 3));
-      }
+    const CountingTree::LevelView level = tree->Level(h);
+    for (uint32_t i = 0; i < level.num_cells(); ++i) {
+      const auto coords = level.Coords(i);
+      EXPECT_EQ(FaceLaplacianConvolve(*tree, h, coords, level.counts()[i]),
+                DenseConvolve(*tree, h, coords, mask, 3));
     }
   }
 }
@@ -102,13 +100,41 @@ TEST(ConvolveTest, FullConvolutionMatchesDenseMask) {
   ASSERT_TRUE(tree.ok());
   const auto mask = DenseFullMask(2);
   for (int h = 1; h < 4; ++h) {
-    for (uint32_t node_idx : tree->NodesAtLevel(h)) {
-      const auto& node = tree->node(node_idx);
-      for (const auto& cell : node.cells) {
-        const auto coords = tree->CellCoords(node, cell);
-        EXPECT_EQ(FullLaplacianConvolve(*tree, h, coords, cell.n),
-                  DenseConvolve(*tree, h, coords, mask, 2));
-      }
+    const CountingTree::LevelView level = tree->Level(h);
+    for (uint32_t i = 0; i < level.num_cells(); ++i) {
+      const auto coords = level.Coords(i);
+      EXPECT_EQ(FullLaplacianConvolve(*tree, h, coords, level.counts()[i]),
+                DenseConvolve(*tree, h, coords, mask, 2));
+    }
+  }
+}
+
+// The batched arena-order convolutions (the β-search hot path) must agree
+// cell for cell with the single-cell forms.
+TEST(ConvolveTest, BatchedRangesMatchSingleCellForms) {
+  Dataset data = testing::UniformDataset(800, 3, 41);
+  Result<CountingTree> tree = CountingTree::Build(data, 4);
+  ASSERT_TRUE(tree.ok());
+  for (int h = 1; h < 4; ++h) {
+    const CountingTree::LevelView level = tree->Level(h);
+    const LevelIndex index(level);
+    const size_t cells = level.num_cells();
+    std::vector<int64_t> face(cells, -1), full(cells, -1);
+    // Split the range to check absolute positioning of partial batches.
+    const uint32_t mid = static_cast<uint32_t>(cells / 2);
+    FaceLaplacianConvolveRange(level, index, 0, mid, face.data());
+    FaceLaplacianConvolveRange(level, index, mid,
+                               static_cast<uint32_t>(cells), face.data());
+    FullLaplacianConvolveRange(level, index, 0, static_cast<uint32_t>(cells),
+                               full.data());
+    for (uint32_t i = 0; i < cells; ++i) {
+      const auto coords = level.Coords(i);
+      EXPECT_EQ(face[i],
+                FaceLaplacianConvolve(*tree, h, coords, level.counts()[i]))
+          << "h=" << h << " i=" << i;
+      EXPECT_EQ(full[i],
+                FullLaplacianConvolve(*tree, h, coords, level.counts()[i]))
+          << "h=" << h << " i=" << i;
     }
   }
 }

@@ -23,6 +23,36 @@ TEST(MrCCParamsTest, Validation) {
   EXPECT_FALSE(p.Validate().ok());
 }
 
+// The dimension-aware overload is the single parameter gate MrCC::Run
+// uses; its messages are part of the API (callers match on them).
+TEST(MrCCParamsTest, ValidateWithDimsExactMessages) {
+  MrCCParams p;
+  EXPECT_TRUE(p.Validate(10).ok());
+
+  EXPECT_EQ(p.Validate(0).message(), "dimensionality must be in [1, 62]");
+  EXPECT_EQ(p.Validate(63).message(), "dimensionality must be in [1, 62]");
+  EXPECT_TRUE(p.Validate(62).ok());
+
+  p.full_mask = true;
+  EXPECT_TRUE(p.Validate(12).ok());
+  const Status full = p.Validate(13);
+  EXPECT_EQ(full.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(full.message(),
+            "full_mask ablation supports at most 12 dimensions (O(3^d) cost)");
+  p.full_mask = false;
+
+  // Data-independent failures surface through the overload too.
+  p.alpha = 0.0;
+  EXPECT_EQ(p.Validate(10).message(), "alpha must be in (0, 1)");
+  p.alpha = 1e-10;
+  p.num_resolutions = 2;
+  EXPECT_EQ(p.Validate(10).message(), "num_resolutions (H) must be >= 3");
+  p.num_resolutions = 4;
+  p.num_threads = -1;
+  EXPECT_EQ(p.Validate(10).message(),
+            "num_threads must be >= 0 (0 = hardware concurrency)");
+}
+
 TEST(MrCCTest, RecoversPlantedClusters) {
   LabeledDataset ds = testing::SmallClustered(8000, 10, 5, 123);
   MrCC method;

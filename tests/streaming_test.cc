@@ -1,10 +1,10 @@
-#include "core/streaming.h"
-
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <string>
 
+#include "core/mrcc.h"
+#include "data/data_source.h"
 #include "data/dataset_io.h"
 #include "data/dataset_reader.h"
 #include "eval/quality.h"
@@ -17,6 +17,16 @@ std::string TempBinary(const Dataset& data, const char* name) {
   const std::string path = ::testing::TempDir() + "mrcc_stream_" + name;
   EXPECT_TRUE(SaveBinary(data, path).ok());
   return path;
+}
+
+// Out-of-core run: the binary file streams through MrCC::Run via the
+// DataSource abstraction (the replacement for the removed
+// RunMrCCOnBinaryFile wrapper).
+Result<MrCCResult> RunOnFile(const std::string& path,
+                             const MrCCParams& params = MrCCParams()) {
+  Result<BinaryFileDataSource> source = BinaryFileDataSource::Open(path);
+  if (!source.ok()) return source.status();
+  return MrCC(params).Run(*source);
 }
 
 TEST(DatasetReaderTest, StreamsAllPointsInOrder) {
@@ -77,7 +87,7 @@ TEST(StreamingTest, MatchesInMemoryRunExactly) {
 
   MrCC method;
   Result<MrCCResult> in_memory = method.Run(ds.data);
-  Result<MrCCResult> streamed = RunMrCCOnBinaryFile(path);
+  Result<MrCCResult> streamed = RunOnFile(path);
   ASSERT_TRUE(in_memory.ok() && streamed.ok());
 
   EXPECT_EQ(streamed->clustering.labels, in_memory->clustering.labels);
@@ -96,7 +106,7 @@ TEST(StreamingTest, MatchesInMemoryRunExactly) {
 TEST(StreamingTest, QualityMatchesGroundTruth) {
   LabeledDataset ds = testing::SmallClustered(8000, 10, 4, 2078);
   const std::string path = TempBinary(ds.data, "quality.bin");
-  Result<MrCCResult> streamed = RunMrCCOnBinaryFile(path);
+  Result<MrCCResult> streamed = RunOnFile(path);
   ASSERT_TRUE(streamed.ok());
   const QualityReport q =
       EvaluateClustering(streamed->clustering, ds.truth);
@@ -109,14 +119,14 @@ TEST(StreamingTest, RejectsInvalidParams) {
   const std::string path = TempBinary(ds.data, "params.bin");
   MrCCParams params;
   params.alpha = 0.0;
-  EXPECT_FALSE(RunMrCCOnBinaryFile(path, params).ok());
+  EXPECT_FALSE(RunOnFile(path, params).ok());
   std::remove(path.c_str());
 }
 
 TEST(StreamingTest, RejectsUnnormalizedFile) {
   Dataset d = testing::MakeDataset({{2.0, 1.0}, {0.1, 0.2}});
   const std::string path = TempBinary(d, "unnorm.bin");
-  Result<MrCCResult> r = RunMrCCOnBinaryFile(path);
+  Result<MrCCResult> r = RunOnFile(path);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());

@@ -12,6 +12,12 @@
 #                             (report generation composes strings;
 #                             check.h uses cstdio for the abort path).
 #   4. missing #pragma once — every header must carry the guard.
+#   5. raw cell-storage access — `.cells[` / `.half[` (and the `->`
+#                             forms) outside src/core/counting_tree.*;
+#                             all cell reads go through the
+#                             CountingTree::LevelView / CellRef API so
+#                             the SoA arena layout stays an
+#                             implementation detail.
 #
 # A `lint-allow: <ban>` comment on the offending line suppresses it.
 # Exits non-zero and prints every offending file:line when a ban is hit.
@@ -63,6 +69,15 @@ matches=$(for h in $src_headers; do
     || echo "$h"
 done)
 report 'header without #pragma once' "$matches"
+
+# 5. Raw cell-storage access outside the counting-tree implementation.
+#    The SoA arenas are private; every other file reads cells through
+#    CountingTree::LevelView / CellRef (tests use CountingTree::TestPeer).
+matches=$(echo "$src_files" \
+  | grep -v 'src/core/counting_tree\.' \
+  | xargs grep -nE '(\.cells\[|->cells\[|\.half\[|->half\[)' \
+  | grep -v 'lint-allow: cell-storage' || true)
+report 'raw cell-storage access (use CountingTree::LevelView)' "$matches"
 
 # Optional: run the clang-tidy gate too (needs clang-tidy and a compile
 # database; configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON. The
