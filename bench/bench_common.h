@@ -24,8 +24,7 @@
 //   --scale=X --budget=S --methods=A,B --csv_dir=DIR
 //                       flag twins of the environment knobs above.
 
-#ifndef MRCC_BENCH_BENCH_COMMON_H_
-#define MRCC_BENCH_BENCH_COMMON_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -288,5 +287,3 @@ inline void PrintHeader(const char* title, const char* paper_ref,
 }
 
 }  // namespace mrcc::bench
-
-#endif  // MRCC_BENCH_BENCH_COMMON_H_

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/check.h"
 #include "common/stats.h"
 #include "core/counting_tree.h"
 #include "core/laplacian_mask.h"
@@ -32,7 +33,9 @@ LabeledDataset MakeData(size_t n, size_t d, uint64_t seed = 71) {
   cfg.min_cluster_dims = d > 3 ? d - 3 : 1;
   cfg.max_cluster_dims = d - 1;
   cfg.seed = seed;
-  return std::move(GenerateSynthetic(cfg)).value();
+  Result<LabeledDataset> r = GenerateSynthetic(cfg);
+  MRCC_CHECK(r.ok());
+  return std::move(r).value();
 }
 
 void BM_TreeBuildPoints(benchmark::State& state) {

@@ -41,7 +41,7 @@ class Clique : public SubspaceClusterer {
   explicit Clique(CliqueParams params = CliqueParams());
 
   std::string name() const override { return "CLIQUE"; }
-  Result<Clustering> Cluster(const Dataset& data) override;
+  [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
   CliqueParams params_;

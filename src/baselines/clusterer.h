@@ -43,7 +43,7 @@ std::vector<std::string> PaperMethodNames();
 
 /// Instantiates a method by name with default internal parameters and the
 /// given dataset hints. Unknown names yield InvalidArgument.
-Result<std::unique_ptr<SubspaceClusterer>> MakeClusterer(
+[[nodiscard]] Result<std::unique_ptr<SubspaceClusterer>> MakeClusterer(
     const std::string& name, const MethodTuning& tuning);
 
 }  // namespace mrcc

@@ -53,7 +53,7 @@ class Doc : public SubspaceClusterer {
   explicit Doc(DocParams params = DocParams());
 
   std::string name() const override;
-  Result<Clustering> Cluster(const Dataset& data) override;
+  [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
   DocParams params_;

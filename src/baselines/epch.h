@@ -44,7 +44,7 @@ class Epch : public SubspaceClusterer {
   explicit Epch(EpchParams params = EpchParams());
 
   std::string name() const override { return "EPCH"; }
-  Result<Clustering> Cluster(const Dataset& data) override;
+  [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
   EpchParams params_;

@@ -44,7 +44,7 @@ class Harp : public SubspaceClusterer {
   explicit Harp(HarpParams params = HarpParams());
 
   std::string name() const override { return "HARP"; }
-  Result<Clustering> Cluster(const Dataset& data) override;
+  [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
   HarpParams params_;

@@ -28,7 +28,7 @@ class KMeans : public SubspaceClusterer {
   explicit KMeans(KMeansParams params = KMeansParams());
 
   std::string name() const override { return "k-means"; }
-  Result<Clustering> Cluster(const Dataset& data) override;
+  [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
   KMeansParams params_;

@@ -40,7 +40,7 @@ class Lac : public SubspaceClusterer {
   explicit Lac(LacParams params = LacParams());
 
   std::string name() const override { return "LAC"; }
-  Result<Clustering> Cluster(const Dataset& data) override;
+  [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
   LacParams params_;

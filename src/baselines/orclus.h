@@ -46,7 +46,7 @@ class Orclus : public SubspaceClusterer {
   explicit Orclus(OrclusParams params = OrclusParams());
 
   std::string name() const override { return "ORCLUS"; }
-  Result<Clustering> Cluster(const Dataset& data) override;
+  [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
   OrclusParams params_;

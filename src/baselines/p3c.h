@@ -36,7 +36,7 @@ class P3c : public SubspaceClusterer {
   explicit P3c(P3cParams params = P3cParams());
 
   std::string name() const override { return "P3C"; }
-  Result<Clustering> Cluster(const Dataset& data) override;
+  [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
   P3cParams params_;

@@ -47,7 +47,7 @@ class Proclus : public SubspaceClusterer {
   explicit Proclus(ProclusParams params = ProclusParams());
 
   std::string name() const override { return "PROCLUS"; }
-  Result<Clustering> Cluster(const Dataset& data) override;
+  [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
   ProclusParams params_;

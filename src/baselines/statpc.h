@@ -54,7 +54,7 @@ class Statpc : public SubspaceClusterer {
   explicit Statpc(StatpcParams params = StatpcParams());
 
   std::string name() const override { return "STATPC"; }
-  Result<Clustering> Cluster(const Dataset& data) override;
+  [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
   StatpcParams params_;

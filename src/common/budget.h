@@ -40,7 +40,7 @@ struct ResourceBudget {
     return max_memory_bytes == 0 && max_wall_seconds <= 0.0;
   }
 
-  Status Validate() const {
+  [[nodiscard]] Status Validate() const {
     if (max_wall_seconds < 0.0) {
       return Status::InvalidArgument("budget.max_wall_seconds must be >= 0");
     }

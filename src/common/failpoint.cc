@@ -2,9 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mrcc {
 namespace fp {
@@ -60,9 +61,9 @@ struct SiteState {
 };
 
 struct Registry {
-  std::mutex mu;
-  SiteState sites[kNumSites];
-  int num_armed = 0;
+  Mutex mu;
+  SiteState sites[kNumSites] MRCC_GUARDED_BY(mu);
+  int num_armed MRCC_GUARDED_BY(mu) = 0;
 };
 
 Registry& GetRegistry() {
@@ -157,7 +158,7 @@ Status MaybeSlow(const char* site) {
   MRCC_DCHECK_GE(idx, 0);  // Unregistered site name: add it to kSites.
   if (idx < 0) return Status::OK();
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   SiteState& state = registry.sites[static_cast<size_t>(idx)];
   if (state.kind == TriggerKind::kDisarmed || !Fire(&state)) {
     return Status::OK();
@@ -172,7 +173,7 @@ bool MaybeTrueSlow(const char* site) {
   MRCC_DCHECK_GE(idx, 0);
   if (idx < 0) return false;
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   SiteState& state = registry.sites[static_cast<size_t>(idx)];
   return state.kind != TriggerKind::kDisarmed && Fire(&state);
 }
@@ -202,7 +203,7 @@ Status Arm(const std::string& spec) {
   }
 
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   for (const auto& [idx, state] : parsed) {
     if (registry.sites[idx].kind == TriggerKind::kDisarmed) {
       ++registry.num_armed;
@@ -216,7 +217,7 @@ Status Arm(const std::string& spec) {
 
 void DisarmAll() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   for (SiteState& state : registry.sites) state = SiteState();
   registry.num_armed = 0;
   detail::g_any_armed.store(false, std::memory_order_relaxed);
@@ -227,7 +228,7 @@ uint64_t HitCount(const char* site) {
   MRCC_DCHECK_GE(idx, 0);
   if (idx < 0) return 0;
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   return registry.sites[static_cast<size_t>(idx)].hits;
 }
 

@@ -52,7 +52,7 @@ namespace fp {
 namespace detail {
 /// True while at least one site is armed (the fast-path gate).
 extern std::atomic<bool> g_any_armed;
-Status MaybeSlow(const char* site);
+[[nodiscard]] Status MaybeSlow(const char* site);
 bool MaybeTrueSlow(const char* site);
 }  // namespace detail
 
@@ -75,7 +75,7 @@ inline bool MaybeTrue(const char* site) {
 /// Arms the sites named in `spec` ("site[=trigger]", comma/semicolon
 /// separated — the MRCC_FAILPOINTS grammar above). Resets every hit
 /// count. Unknown site names and malformed triggers are InvalidArgument.
-Status Arm(const std::string& spec);
+[[nodiscard]] Status Arm(const std::string& spec);
 
 /// Disarms every site and resets hit counts.
 void DisarmAll();

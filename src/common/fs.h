@@ -44,10 +44,10 @@ class UniqueFd {
 };
 
 /// Opens `path` read-only. NotFound for a missing file, IOError otherwise.
-Result<UniqueFd> OpenForRead(const std::string& path);
+[[nodiscard]] Result<UniqueFd> OpenForRead(const std::string& path);
 
 /// Size of the open file in bytes.
-Result<uint64_t> FileSize(int fd, const std::string& path);
+[[nodiscard]] Result<uint64_t> FileSize(int fd, const std::string& path);
 
 /// Number of transient-retry attempts ReadExactAt makes before giving up
 /// (EINTR loops are unbounded and not counted — an interrupted syscall is
@@ -63,7 +63,7 @@ inline constexpr int kMaxReadRetries = 3;
 ///   - End-of-file before `n` bytes is IOError naming `path` and the
 ///     exact byte offset where data ran out.
 /// `path` is used for error messages only.
-Status ReadExactAt(int fd, void* buf, size_t n, uint64_t offset,
+[[nodiscard]] Status ReadExactAt(int fd, void* buf, size_t n, uint64_t offset,
                    const std::string& path);
 
 }  // namespace mrcc

@@ -1,0 +1,113 @@
+// Annotated synchronization primitives: std::mutex / std::condition_variable
+// wrappers the Clang Thread Safety Analysis can see through.
+//
+// The standard library types carry no capability attributes, so a
+// `std::lock_guard<std::mutex>` is invisible to -Wthread-safety — the
+// analysis cannot connect the guard to the fields it protects. These thin
+// wrappers add exactly the annotations (and nothing else: every method is
+// a direct forward, so the generated code is identical):
+//
+//   Mutex mu_;
+//   int pending_ MRCC_GUARDED_BY(mu_);
+//
+//   void Tick() {
+//     MutexLock lock(mu_);     // analysis: mu_ acquired here
+//     --pending_;              // OK: guarded access under its mutex
+//   }                          // analysis: mu_ released here
+//
+// Condition-variable waits use UniqueMutexLock + CondVar::Wait in an
+// explicit `while (!predicate)` loop — not the predicate-lambda overload —
+// because the analysis is intraprocedural: a predicate lambda's body would
+// be analyzed without knowledge of the held lock and produce false
+// positives, while the explicit loop keeps every guarded read in the
+// scope that visibly holds the capability (see ThreadPool::ParallelFor).
+//
+// Library code must not hold either lock type across user callbacks; the
+// callers of ParallelFor bodies run unlocked by construction.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace mrcc {
+
+/// Annotated exclusive lock. Same cost and semantics as std::mutex.
+class MRCC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MRCC_ACQUIRE() { mu_.lock(); }
+  void Unlock() MRCC_RELEASE() { mu_.unlock(); }
+  bool TryLock() MRCC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop with std:: wait machinery.
+  /// Only UniqueMutexLock should need this.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated std::lock_guard equivalent: acquires on construction,
+/// releases on destruction, no unlock before that.
+class MRCC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MRCC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() MRCC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Annotated std::unique_lock equivalent for condition-variable waits.
+/// Held for its whole scope (no early unlock API — none of the wait loops
+/// need one); CondVar::Wait releases and reacquires internally, which the
+/// analysis conservatively treats as "held throughout" — exactly the
+/// guarantee the code after a wait relies on.
+class MRCC_SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& mu) MRCC_ACQUIRE(mu)
+      : lock_(mu.native_handle()) {}
+  ~UniqueMutexLock() MRCC_RELEASE() = default;
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+  /// The wrapped std::unique_lock, for CondVar::Wait only.
+  std::unique_lock<std::mutex>& native_handle() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/UniqueMutexLock. Waits take the
+/// annotated lock; use the explicit-loop form:
+///
+///   UniqueMutexLock lock(mu_);
+///   while (pending_ != 0) done_cv_.Wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, blocks until notified, reacquires.
+  /// Spurious wakeups happen: always wait in a predicate loop.
+  void Wait(UniqueMutexLock& lock) { cv_.wait(lock.native_handle()); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mrcc

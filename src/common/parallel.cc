@@ -39,10 +39,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  start_cv_.notify_all();
+  start_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -54,21 +54,21 @@ void ThreadPool::ParallelFor(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     n_ = n;
     body_ = &body;
     pending_ = num_threads_ - 1;
     ++generation_;
   }
-  start_cv_.notify_all();
+  start_cv_.NotifyAll();
 
   // The caller is worker 0.
   const size_t begin = SliceBegin(n, num_threads_, 0);
   const size_t end = SliceEnd(n, num_threads_, 0);
   if (begin < end) body(0, begin, end);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  UniqueMutexLock lock(mu_);
+  while (pending_ != 0) done_cv_.Wait(lock);
   body_ = nullptr;
 }
 
@@ -78,10 +78,10 @@ void ThreadPool::WorkerLoop(int thread_index) {
     const std::function<void(int, size_t, size_t)>* body = nullptr;
     size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [this, seen_generation] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      UniqueMutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        start_cv_.Wait(lock);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       body = body_;
@@ -91,10 +91,10 @@ void ThreadPool::WorkerLoop(int thread_index) {
     const size_t end = SliceEnd(n, num_threads_, thread_index);
     if (begin < end) (*body)(thread_index, begin, end);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --pending_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 

@@ -13,12 +13,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mrcc {
 
@@ -84,14 +85,18 @@ class ThreadPool {
   int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  uint64_t generation_ = 0;  // Bumped once per ParallelFor.
-  int pending_ = 0;          // Workers still running the current body.
-  bool shutdown_ = false;
-  size_t n_ = 0;
-  const std::function<void(int, size_t, size_t)>* body_ = nullptr;
+  Mutex mu_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  /// Bumped once per ParallelFor; workers detect new work by comparing it
+  /// against the last generation they ran.
+  uint64_t generation_ MRCC_GUARDED_BY(mu_) = 0;
+  /// Workers still running the current body.
+  int pending_ MRCC_GUARDED_BY(mu_) = 0;
+  bool shutdown_ MRCC_GUARDED_BY(mu_) = false;
+  size_t n_ MRCC_GUARDED_BY(mu_) = 0;
+  const std::function<void(int, size_t, size_t)>* body_
+      MRCC_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace mrcc

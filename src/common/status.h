@@ -31,37 +31,42 @@ const char* StatusCodeName(StatusCode code);
 
 /// The outcome of an operation that can fail: a code plus a message.
 /// A default-constructed Status is OK. Statuses are cheap to copy.
-class Status {
+///
+/// The class is [[nodiscard]]: any call returning a Status by value must
+/// consume it (check ok(), propagate with MRCC_RETURN_IF_ERROR, or store
+/// it). Enforced as an error under -Werror; the deliberate-discard escape
+/// is an explicit `(void)` cast next to a comment saying why.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// Builds a status from a runtime-chosen code (failpoints, adapters
   /// mapping external error categories). An OK code yields OK and drops
   /// the message.
-  static Status FromCode(StatusCode code, std::string msg) {
+  [[nodiscard]] static Status FromCode(StatusCode code, std::string msg) {
     return code == StatusCode::kOk ? OK() : Status(code, std::move(msg));
   }
 
@@ -86,8 +91,10 @@ class Status {
 ///   Result<Dataset> r = LoadCsv(path);
 ///   if (!r.ok()) return r.status();
 ///   Dataset d = std::move(r).value();
+/// Like Status, Result is [[nodiscard]]: ignoring a returned Result drops
+/// an error on the floor and is a compile error under -Werror.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : inner_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -100,7 +107,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(inner_); }
 
   /// The error status; OK when the result holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(inner_);
   }
 

@@ -1,0 +1,87 @@
+// Clang Thread Safety Analysis attribute macros (-Wthread-safety).
+//
+// The concurrency invariants of this codebase — "ThreadPool::pending_ is
+// only touched under mu_", "the metrics maps are only mutated under the
+// registry mutex" — were previously documented in comments and enforced
+// only dynamically by TSan. These macros turn them into declarations the
+// compiler checks on every build: a read of a MRCC_GUARDED_BY(mu) field
+// outside a scope that holds `mu` is a -Wthread-safety diagnostic (an
+// error under -DMRCC_THREAD_SAFETY=ON, which adds -Werror in CI's
+// thread-safety job).
+//
+// The analysis is Clang-only; on GCC (and on Clang builds without the
+// capability attribute) every macro expands to nothing, so annotated
+// code compiles identically everywhere. Annotations attach to the
+// *declarations* of mutexes, guarded fields and locking functions:
+//
+//   class CAPABILITY("mutex") Mutex;          — a lockable capability
+//   int pending_ MRCC_GUARDED_BY(mu_);        — field needs mu_ held
+//   void Drain() MRCC_REQUIRES(mu_);          — caller must hold mu_
+//   class MRCC_SCOPED_CAPABILITY MutexLock;   — RAII acquire/release
+//
+// common/mutex.h provides the annotated Mutex / MutexLock / CondVar
+// wrappers; new code with shared state should use those rather than raw
+// std::mutex so the analysis sees every acquisition. Conventions and the
+// how-to for adding a guarded field are in DESIGN.md §13.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MRCC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MRCC_THREAD_ANNOTATION
+#define MRCC_THREAD_ANNOTATION(x)  // Not Clang: annotations compile away.
+#endif
+
+/// Declares a type to be a capability (e.g. "mutex") the analysis tracks.
+#define MRCC_CAPABILITY(name) MRCC_THREAD_ANNOTATION(capability(name))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define MRCC_SCOPED_CAPABILITY MRCC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field/variable may only be accessed while holding `mu`.
+#define MRCC_GUARDED_BY(mu) MRCC_THREAD_ANNOTATION(guarded_by(mu))
+
+/// Pointed-to data (not the pointer itself) is protected by `mu`.
+#define MRCC_PT_GUARDED_BY(mu) MRCC_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+/// Function requires the listed capabilities held on entry (and they stay
+/// held on exit).
+#define MRCC_REQUIRES(...) \
+  MRCC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the listed capabilities NOT held.
+#define MRCC_EXCLUDES(...) \
+  MRCC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it before
+/// returning (constructor of a scoped lock, Mutex::Lock).
+#define MRCC_ACQUIRE(...) \
+  MRCC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (destructor of a scoped lock,
+/// Mutex::Unlock).
+#define MRCC_RELEASE(...) \
+  MRCC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define MRCC_TRY_ACQUIRE(result, ...) \
+  MRCC_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Asserts (at runtime, from the analysis' point of view) that the
+/// calling thread already holds the capability.
+#define MRCC_ASSERT_CAPABILITY(...) \
+  MRCC_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (accessors that
+/// expose a member mutex).
+#define MRCC_RETURN_CAPABILITY(x) MRCC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function intentionally breaks the locking rules the
+/// analysis can see (e.g. init code that runs before any thread exists).
+/// Every use needs a comment justifying why the analysis is wrong.
+#define MRCC_NO_THREAD_SAFETY_ANALYSIS \
+  MRCC_THREAD_ANNOTATION(no_thread_safety_analysis)

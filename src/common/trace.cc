@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mrcc {
 namespace {
@@ -23,15 +25,15 @@ struct SpanEvent {
 /// contended while another thread exports or clears; on the record path
 /// it is always uncontended (one owner thread).
 struct ThreadLog {
-  std::mutex mu;
-  int tid;
-  std::vector<SpanEvent> events;
+  Mutex mu;
+  int tid;  // Written once under the registry mutex before publication.
+  std::vector<SpanEvent> events MRCC_GUARDED_BY(mu);
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<ThreadLog>> logs;
-  int next_tid = 0;
+  Mutex mu;
+  std::vector<std::unique_ptr<ThreadLog>> logs MRCC_GUARDED_BY(mu);
+  int next_tid MRCC_GUARDED_BY(mu) = 0;
 };
 
 Registry& GetRegistry() {
@@ -44,7 +46,7 @@ Registry& GetRegistry() {
 ThreadLog& GetThreadLog() {
   thread_local ThreadLog* log = [] {
     Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     registry.logs.push_back(std::make_unique<ThreadLog>());
     registry.logs.back()->tid = registry.next_tid++;
     return registry.logs.back().get();
@@ -86,19 +88,19 @@ void Trace::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
 void Trace::Clear() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   for (std::unique_ptr<ThreadLog>& log : registry.logs) {
-    std::lock_guard<std::mutex> log_lock(log->mu);
+    MutexLock log_lock(log->mu);
     log->events.clear();
   }
 }
 
 size_t Trace::NumSpans() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   size_t total = 0;
   for (const std::unique_ptr<ThreadLog>& log : registry.logs) {
-    std::lock_guard<std::mutex> log_lock(log->mu);
+    MutexLock log_lock(log->mu);
     total += log->events.size();
   }
   return total;
@@ -107,17 +109,17 @@ size_t Trace::NumSpans() {
 void Trace::Record(const char* name, int64_t start_us, int64_t dur_us,
                    int64_t arg) {
   ThreadLog& log = GetThreadLog();
-  std::lock_guard<std::mutex> lock(log.mu);
+  MutexLock lock(log.mu);
   log.events.push_back(SpanEvent{name, start_us, dur_us, arg});
 }
 
 std::string Trace::ToChromeJson() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const std::unique_ptr<ThreadLog>& log : registry.logs) {
-    std::lock_guard<std::mutex> log_lock(log->mu);
+    MutexLock log_lock(log->mu);
     for (const SpanEvent& event : log->events) {
       if (!first) out += ',';
       AppendEventJson(event, log->tid, &out);

@@ -61,7 +61,7 @@ class Trace {
   static std::string ToChromeJson();
 
   /// Writes ToChromeJson() to `path`.
-  static Status WriteChromeJson(const std::string& path);
+  [[nodiscard]] static Status WriteChromeJson(const std::string& path);
 
   // Internal: appends one finished span to the calling thread's log.
   // `name` must outlive the trace (string literal).

@@ -108,7 +108,7 @@ struct BetaSearchResult {
 /// with stats.deadline_hit set — a partial result, not an error. A
 /// non-OK status only signals a real failure (the `beta.search.alloc`
 /// failpoint stands in for level-cache allocation failure).
-Result<BetaSearchResult> RunBetaSearch(CountingTree& tree,
+[[nodiscard]] Result<BetaSearchResult> RunBetaSearch(CountingTree& tree,
                                        const BetaFinderOptions& options,
                                        BudgetTracker* budget = nullptr);
 

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/union_find.h"
 
@@ -69,8 +69,9 @@ Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
       ResolveThreadCount(num_threads),
       static_cast<int>(std::max<size_t>(1, n / kMinPointsPerSlice))));
 
-  std::mutex status_mu;
-  Status first_error;
+  Mutex status_mu;
+  Status first_error;  // Guarded by status_mu (locals cannot carry the
+                       // MRCC_GUARDED_BY annotation; keep the pairing).
   pool.ParallelFor(n, [&](int, size_t begin, size_t end) {
     Result<std::unique_ptr<DataSource::Cursor>> cursor =
         source.Scan(begin, end);
@@ -102,7 +103,7 @@ Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
       slice_status = (*cursor)->status();
     }
     if (!slice_status.ok()) {
-      std::lock_guard<std::mutex> lock(status_mu);
+      MutexLock lock(status_mu);
       if (first_error.ok()) first_error = slice_status;
     }
   });

@@ -44,7 +44,8 @@ Clustering MergeBetaClusters(const std::vector<BetaCluster>& betas,
 /// coordinates, so each point's label matches what the tree counted.
 /// kReject is the historical fast path — the build already failed on the
 /// first bad value, so labeling assumes clean input and checks nothing.
-Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
+[[nodiscard]] Result<std::vector<int>> LabelPoints(
+    const std::vector<BetaCluster>& betas,
                                      const std::vector<int>& beta_to_cluster,
                                      const DataSource& source,
                                      int num_threads = 1,

@@ -127,7 +127,8 @@ class CountingTree {
   /// Builds the tree over `data` with `num_resolutions` = H resolutions
   /// (levels 1..H-1 are materialized; the paper requires H >= 3).
   /// `data` must lie in [0,1)^d with d <= kMaxDims.
-  static Result<CountingTree> Build(const Dataset& data, int num_resolutions);
+  [[nodiscard]] static Result<CountingTree> Build(const Dataset& data,
+                                                  int num_resolutions);
 
   /// Incremental construction for streamed data (one point at a time, any
   /// source). Points must lie in [0,1)^d.
@@ -139,11 +140,11 @@ class CountingTree {
     const Status& status() const { return status_; }
 
     /// Counts one point into the tree. Rejects out-of-cube values.
-    Status Add(std::span<const double> point);
+    [[nodiscard]] Status Add(std::span<const double> point);
 
     /// Finalizes (packs the arenas) and returns the tree. The builder is
     /// consumed.
-    Result<CountingTree> Finish() &&;
+    [[nodiscard]] Result<CountingTree> Finish() &&;
 
    private:
     Status status_;
@@ -210,7 +211,7 @@ class CountingTree {
   /// with the smaller H from the start (cell for cell — the surviving
   /// arenas and the node pool keep their order). Fails when H is already
   /// the minimum 3.
-  Status DropDeepestLevel();
+  [[nodiscard]] Status DropDeepestLevel();
 
   /// Full structural walk of every invariant the core relies on: packed
   /// arena consistency, d-bit loc codes, half-space counts P[j] <= n,
@@ -220,7 +221,7 @@ class CountingTree {
   /// hot-path call. Returns OK or Internal naming the first violated
   /// invariant. Builder::Finish and MergeTree run it in debug builds;
   /// LoadTree runs it unconditionally to reject corrupt files.
-  Status ValidateInvariants() const;
+  [[nodiscard]] Status ValidateInvariants() const;
 
   /// Approximate heap footprint of the tree in bytes.
   size_t MemoryBytes() const;

@@ -44,11 +44,12 @@ std::vector<BoxCountPoint> BoxCountingCurve(const CountingTree& tree);
 /// For data uniform over a delta-dimensional subspace, D2 ~ delta; for
 /// the paper's correlation clusters, D2 tracks the typical cluster
 /// dimensionality rather than the embedding dimensionality d.
-Result<double> CorrelationFractalDimension(const CountingTree& tree);
+[[nodiscard]] Result<double> CorrelationFractalDimension(
+    const CountingTree& tree);
 
 /// Convenience: builds a tree with `num_resolutions` levels over `data`
 /// and estimates D2.
-Result<double> EstimateIntrinsicDimension(const Dataset& data,
+[[nodiscard]] Result<double> EstimateIntrinsicDimension(const Dataset& data,
                                           int num_resolutions = 8);
 
 }  // namespace mrcc

@@ -64,7 +64,7 @@ struct MrCCParams {
   ResourceBudget budget;
 
   /// Data-independent parameter checks (alpha, H, threads, budget).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// Full validation against a concrete input: everything Validate()
   /// covers plus the checks that need the dataset's dimensionality (the
@@ -72,7 +72,7 @@ struct MrCCParams {
   /// entry — it is the single parameter gate of the pipeline; the stage
   /// entry points below it only re-check their own narrow public
   /// contracts (e.g. CountingTree::Builder, which is callable directly).
-  Status Validate(size_t num_dims) const;
+  [[nodiscard]] Status Validate(size_t num_dims) const;
 };
 
 /// Timing and size measurements of one MrCC run.
@@ -172,14 +172,14 @@ class MrCC : public SubspaceClusterer {
 
   /// Full run over any DataSource backend — the single pipeline entry
   /// point. The source must provide points normalized to [0,1)^d.
-  Result<MrCCResult> Run(const DataSource& source) const;
+  [[nodiscard]] Result<MrCCResult> Run(const DataSource& source) const;
 
   /// Full run over an in-memory dataset (a MemoryDataSource wrapper).
-  Result<MrCCResult> Run(const Dataset& data) const;
+  [[nodiscard]] Result<MrCCResult> Run(const Dataset& data) const;
 
   // SubspaceClusterer interface.
   std::string name() const override { return "MrCC"; }
-  Result<Clustering> Cluster(const Dataset& data) override;
+  [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
   MrCCParams params_;

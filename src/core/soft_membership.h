@@ -69,7 +69,7 @@ class SoftClustering {
 /// its hard members; every point then receives normalized
 /// responsibilities. Clusters with fewer than 2 members keep only their
 /// hard members.
-Result<SoftClustering> ComputeSoftMembership(
+[[nodiscard]] Result<SoftClustering> ComputeSoftMembership(
     const MrCCResult& result, const Dataset& data,
     const SoftMembershipOptions& options = SoftMembershipOptions());
 

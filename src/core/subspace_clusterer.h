@@ -26,7 +26,7 @@ class SubspaceClusterer {
   virtual std::string name() const = 0;
 
   /// Clusters `data`, which must be normalized to [0,1)^d.
-  virtual Result<Clustering> Cluster(const Dataset& data) = 0;
+  [[nodiscard]] virtual Result<Clustering> Cluster(const Dataset& data) = 0;
 
   /// Wall-clock budget for one Cluster() call; 0 disables the limit.
   void set_time_budget_seconds(double seconds) {
@@ -45,7 +45,7 @@ class SubspaceClusterer {
   }
 
   /// The standard expiry status implementations return.
-  Status TimeoutStatus() const {
+  [[nodiscard]] Status TimeoutStatus() const {
     return Status::OutOfRange(name() + " exceeded its time budget");
   }
 

@@ -45,16 +45,17 @@ struct MergeTreeStats {
 
 /// Writes `tree` to `path` (usedCell flags are not persisted — they are
 /// search state, not data).
-Status SaveTree(const CountingTree& tree, const std::string& path);
+[[nodiscard]] Status SaveTree(const CountingTree& tree,
+                              const std::string& path);
 
 /// Reads a tree written by SaveTree.
-Result<CountingTree> LoadTree(const std::string& path);
+[[nodiscard]] Result<CountingTree> LoadTree(const std::string& path);
 
 /// Merges `other` into `tree`: afterwards `tree` equals the tree built
 /// over the concatenation of both datasets. Requires equal
 /// dimensionality and resolution count. `other` is left untouched.
 /// Returns this merge's work counters.
-Result<MergeTreeStats> MergeTree(CountingTree* tree,
+[[nodiscard]] Result<MergeTreeStats> MergeTree(CountingTree* tree,
                                  const CountingTree& other);
 
 /// True when the two trees hold identical counts everywhere (structure

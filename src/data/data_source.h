@@ -59,11 +59,11 @@ class DataSource {
   /// Opens an independent cursor over points [begin, end). Requires
   /// begin <= end <= NumPoints(). Cursors over disjoint ranges are safe to
   /// drive from different threads concurrently.
-  virtual Result<std::unique_ptr<Cursor>> Scan(size_t begin,
+  [[nodiscard]] virtual Result<std::unique_ptr<Cursor>> Scan(size_t begin,
                                                size_t end) const = 0;
 
   /// Cursor over the whole source.
-  Result<std::unique_ptr<Cursor>> ScanAll() const {
+  [[nodiscard]] Result<std::unique_ptr<Cursor>> ScanAll() const {
     return Scan(0, NumPoints());
   }
 };
@@ -77,7 +77,7 @@ class MemoryDataSource : public DataSource {
   std::string Name() const override { return "memory"; }
   size_t NumPoints() const override { return data_->NumPoints(); }
   size_t NumDims() const override { return data_->NumDims(); }
-  Result<std::unique_ptr<Cursor>> Scan(size_t begin,
+  [[nodiscard]] Result<std::unique_ptr<Cursor>> Scan(size_t begin,
                                        size_t end) const override;
 
   const Dataset& data() const { return *data_; }
@@ -92,12 +92,13 @@ class MemoryDataSource : public DataSource {
 class BinaryFileDataSource : public DataSource {
  public:
   /// Opens `path` and reads the header.
-  static Result<BinaryFileDataSource> Open(const std::string& path);
+  [[nodiscard]] static Result<BinaryFileDataSource> Open(
+      const std::string& path);
 
   std::string Name() const override { return path_; }
   size_t NumPoints() const override { return num_points_; }
   size_t NumDims() const override { return num_dims_; }
-  Result<std::unique_ptr<Cursor>> Scan(size_t begin,
+  [[nodiscard]] Result<std::unique_ptr<Cursor>> Scan(size_t begin,
                                        size_t end) const override;
 
  private:

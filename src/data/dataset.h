@@ -101,7 +101,7 @@ struct Clustering {
 
   /// Validates internal consistency (labels in range, axis vectors sized
   /// `num_dims`).
-  Status Validate(size_t num_points, size_t num_dims) const;
+  [[nodiscard]] Status Validate(size_t num_points, size_t num_dims) const;
 };
 
 /// A dataset bundled with its ground-truth clustering (synthetic data) and

@@ -20,22 +20,22 @@ namespace mrcc {
 
 /// Writes `data` as CSV. When `labels` is non-null it must have one entry
 /// per point and is appended as the last column.
-Status SaveCsv(const Dataset& data, const std::string& path,
+[[nodiscard]] Status SaveCsv(const Dataset& data, const std::string& path,
                const std::vector<int>* labels = nullptr);
 
 /// Reads a CSV file written by SaveCsv (or any numeric CSV). When
 /// `has_label_column` is true the last column is parsed into `labels`.
-Result<Dataset> LoadCsv(const std::string& path,
+[[nodiscard]] Result<Dataset> LoadCsv(const std::string& path,
                         bool has_label_column = false,
                         std::vector<int>* labels = nullptr);
 
 /// Writes the binary format described above.
-Status SaveBinary(const Dataset& data, const std::string& path,
+[[nodiscard]] Status SaveBinary(const Dataset& data, const std::string& path,
                   const std::vector<int>* labels = nullptr);
 
 /// Reads the binary format. Labels are returned through `labels` when
 /// present in the file and `labels` is non-null.
-Result<Dataset> LoadBinary(const std::string& path,
+[[nodiscard]] Result<Dataset> LoadBinary(const std::string& path,
                            std::vector<int>* labels = nullptr);
 
 }  // namespace mrcc

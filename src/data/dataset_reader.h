@@ -31,7 +31,8 @@ class BinaryDatasetReader {
   /// Opens `path`, parses the header and verifies the file is large
   /// enough for the points it declares, so a truncated file fails here
   /// with its exact byte deficit instead of mid-scan.
-  static Result<BinaryDatasetReader> Open(const std::string& path);
+  [[nodiscard]] static Result<BinaryDatasetReader> Open(
+      const std::string& path);
 
   BinaryDatasetReader(BinaryDatasetReader&&) = default;
   BinaryDatasetReader& operator=(BinaryDatasetReader&&) = default;
@@ -48,7 +49,7 @@ class BinaryDatasetReader {
   bool Next(std::span<double> out);
 
   /// Restarts the scan at the first point.
-  Status Rewind();
+  [[nodiscard]] Status Rewind();
 
   /// Positions the scan on point `point_index` (0-based; num_points() is
   /// allowed and leaves the reader at end of data). Clears a sticky error.
@@ -56,7 +57,7 @@ class BinaryDatasetReader {
   /// parallel — each thread opens its own reader and seeks to its slice.
   /// With positional reads this is pure bookkeeping; it cannot fail on
   /// I/O.
-  Status SeekTo(size_t point_index);
+  [[nodiscard]] Status SeekTo(size_t point_index);
 
   /// Sticky error state of the reader (OK unless a read failed).
   const Status& status() const { return status_; }

@@ -55,7 +55,7 @@ struct SyntheticConfig {
   /// Deterministic seed; equal configs generate identical datasets.
   uint64_t seed = 42;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Generates a dataset with ground truth per `config`.
@@ -67,7 +67,8 @@ struct SyntheticConfig {
 /// dataset is rotated, relevant-axes ground truth is kept as the pre-
 /// rotation subspace (the paper evaluates rotated data on point Quality,
 /// not Subspaces Quality).
-Result<LabeledDataset> GenerateSynthetic(const SyntheticConfig& config);
+[[nodiscard]] Result<LabeledDataset> GenerateSynthetic(
+    const SyntheticConfig& config);
 
 /// Parameters for the KDD Cup 2008 substitute (see DESIGN.md §2): a
 /// breast-cancer-screening-like feature table with heavy class imbalance.
@@ -101,7 +102,8 @@ struct Kdd08LikeDataset {
   std::vector<int> class_labels;
 };
 
-Result<Kdd08LikeDataset> GenerateKdd08Like(const Kdd08LikeConfig& config);
+[[nodiscard]] Result<Kdd08LikeDataset> GenerateKdd08Like(
+    const Kdd08LikeConfig& config);
 
 }  // namespace mrcc
 

@@ -44,16 +44,17 @@ struct PcaModel {
   /// Projects `data` (same d as the training data) onto the k components.
   /// The result is centered scores, NOT normalized — call
   /// NormalizeToUnitCube() before handing it to MrCC.
-  Result<Dataset> Project(const Dataset& data) const;
+  [[nodiscard]] Result<Dataset> Project(const Dataset& data) const;
 };
 
 /// Fits PCA on `data`, keeping `target_dims` components
 /// (1 <= target_dims <= d). Requires at least 2 points.
-Result<PcaModel> FitPca(const Dataset& data, size_t target_dims);
+[[nodiscard]] Result<PcaModel> FitPca(const Dataset& data, size_t target_dims);
 
 /// Convenience: fit, project and normalize to [0,1)^target_dims — the
 /// exact preprocessing pipeline the paper suggests before MrCC.
-Result<Dataset> PcaReduce(const Dataset& data, size_t target_dims);
+[[nodiscard]] Result<Dataset> PcaReduce(const Dataset& data,
+                                        size_t target_dims);
 
 }  // namespace mrcc
 

@@ -24,13 +24,15 @@ std::string ClusteringToJson(const Clustering& clustering);
 std::string MrCCResultToJson(const MrCCResult& result);
 
 /// Writes `json` to `path`.
-Status WriteJsonFile(const std::string& json, const std::string& path);
+[[nodiscard]] Status WriteJsonFile(const std::string& json,
+                                   const std::string& path);
 
 /// Writes labels as one integer per line (-1 = noise).
-Status SaveLabels(const std::vector<int>& labels, const std::string& path);
+[[nodiscard]] Status SaveLabels(const std::vector<int>& labels,
+                                const std::string& path);
 
 /// Reads a one-integer-per-line label file.
-Result<std::vector<int>> LoadLabels(const std::string& path);
+[[nodiscard]] Result<std::vector<int>> LoadLabels(const std::string& path);
 
 }  // namespace mrcc
 

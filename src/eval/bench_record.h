@@ -65,10 +65,10 @@ struct BenchRecord {
   /// Parses a record serialized by ToJson(). Unknown keys are ignored
   /// (forward compatibility); a missing or different schema_version is an
   /// InvalidArgument error.
-  static Result<BenchRecord> FromJson(const std::string& json);
+  [[nodiscard]] static Result<BenchRecord> FromJson(const std::string& json);
 
-  Status Save(const std::string& path) const;
-  static Result<BenchRecord> Load(const std::string& path);
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]] static Result<BenchRecord> Load(const std::string& path);
 };
 
 /// Converts a harness measurement into a record entry.

@@ -46,7 +46,8 @@ std::string RenderRunReportHtml(const Dataset& data, const MrCCResult& result,
                                 const ReportOptions& options = ReportOptions());
 
 /// Writes the report to `path`.
-Status WriteRunReport(const Dataset& data, const MrCCResult& result,
+[[nodiscard]] Status WriteRunReport(const Dataset& data,
+                                    const MrCCResult& result,
                       const std::string& title, const std::string& path,
                       const ReportOptions& options = ReportOptions());
 

@@ -1,0 +1,43 @@
+# Script-mode driver for one negative-compile case, run by ctest so the
+# discipline gates show up in every test run (the same cases are also
+# asserted once at configure time via try_compile — see CMakeLists.txt
+# in this directory). Invoked as:
+#
+#   cmake -DCOMPILER=<c++> -DSRC=<file.cc> -DOUT=<obj> -DFLAGS="<flags>"
+#         -DINCLUDE_DIR=<repo>/src -DEXPECT=FAIL|PASS -P check_case.cmake
+#
+# EXPECT=FAIL: the compile must exit nonzero (the fixture's one bad line
+# is the only thing that can break it — its _ok.cc control proves the
+# rest of the TU is valid). EXPECT=PASS: the control must compile.
+
+foreach(var COMPILER SRC OUT FLAGS INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_case.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+separate_arguments(case_flags UNIX_COMMAND "${FLAGS}")
+
+execute_process(
+  COMMAND "${COMPILER}" ${case_flags} "-I${INCLUDE_DIR}"
+          -c "${SRC}" -o "${OUT}"
+  RESULT_VARIABLE compile_rv
+  OUTPUT_VARIABLE compile_out
+  ERROR_VARIABLE compile_err)
+
+if(EXPECT STREQUAL "FAIL")
+  if(compile_rv EQUAL 0)
+    message(FATAL_ERROR
+        "expected a compile error but ${SRC} compiled cleanly — the "
+        "static gate this fixture exercises is no longer enforced")
+  endif()
+elseif(EXPECT STREQUAL "PASS")
+  if(NOT compile_rv EQUAL 0)
+    message(FATAL_ERROR
+        "positive control ${SRC} failed to compile (toolchain or header "
+        "breakage, not a discipline violation):\n"
+        "${compile_out}\n${compile_err}")
+  endif()
+else()
+  message(FATAL_ERROR "EXPECT must be FAIL or PASS, got '${EXPECT}'")
+endif()

@@ -1,0 +1,19 @@
+// Negative-compile fixture: discarding a Status must not compile.
+//
+// Status is [[nodiscard]] (common/status.h); under -Werror=unused-result
+// the bare call below is a hard error on GCC and Clang alike. The
+// companion discard_status_ok.cc proves the rest of the TU is valid, so
+// the only way this file fails is the discard itself.
+
+#include "common/status.h"
+
+namespace {
+
+mrcc::Status Fallible() { return mrcc::Status::Internal("boom"); }
+
+}  // namespace
+
+int main() {
+  Fallible();  // Discarded Status: the build must break HERE.
+  return 0;
+}

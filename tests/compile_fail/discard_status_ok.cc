@@ -1,0 +1,17 @@
+// Positive control for discard_status.cc: identical translation unit,
+// but the Status is consumed — must compile under the same flags. If
+// this control fails, the harness is reporting toolchain breakage, not
+// the [[nodiscard]] discipline.
+
+#include "common/status.h"
+
+namespace {
+
+mrcc::Status Fallible() { return mrcc::Status::Internal("boom"); }
+
+}  // namespace
+
+int main() {
+  const mrcc::Status status = Fallible();
+  return status.ok() ? 0 : 1;
+}

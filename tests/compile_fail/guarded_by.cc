@@ -1,0 +1,34 @@
+// Negative-compile fixture: reading an MRCC_GUARDED_BY field without its
+// mutex must not compile under Clang Thread Safety Analysis
+// (-Wthread-safety -Werror=thread-safety-analysis). GCC ignores the
+// annotations, so the harness only registers this case on Clang.
+// The companion guarded_by_ok.cc holds the lock and must compile.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Tally {
+ public:
+  void Bump() {
+    mrcc::MutexLock lock(mu_);
+    ++count_;
+  }
+
+  int Peek() {
+    return count_;  // No lock held: the build must break HERE.
+  }
+
+ private:
+  mrcc::Mutex mu_;
+  int count_ MRCC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Tally tally;
+  tally.Bump();
+  return tally.Peek();
+}

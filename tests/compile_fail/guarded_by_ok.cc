@@ -1,0 +1,32 @@
+// Positive control for guarded_by.cc: the same guarded field accessed
+// under its mutex — must compile cleanly with -Wthread-safety -Werror.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Tally {
+ public:
+  void Bump() {
+    mrcc::MutexLock lock(mu_);
+    ++count_;
+  }
+
+  int Peek() {
+    mrcc::MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mrcc::Mutex mu_;
+  int count_ MRCC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Tally tally;
+  tally.Bump();
+  return tally.Peek();
+}

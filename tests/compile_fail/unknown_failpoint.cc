@@ -1,0 +1,12 @@
+// Negative-lint fixture: this file compiles, but the failpoint site name
+// below is not in fp::AllSites() (kSites, src/common/failpoint.cc), so
+// tools/mrcc_lint.py must reject it — the harness runs the linter on
+// exactly this file and asserts a nonzero exit. At runtime the same typo
+// would be an MRCC_DCHECK failure in debug and a silent never-fires in
+// release, which is why the gate is compile-time.
+
+#include "common/failpoint.h"
+
+int main() {
+  return mrcc::fp::Maybe("compile.fail.unknown_site").ok() ? 0 : 1;
+}

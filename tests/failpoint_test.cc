@@ -100,7 +100,8 @@ TEST_F(FailpointTest, ArmMultipleSitesAtOnce) {
 }
 
 TEST_F(FailpointTest, BadSpecsAreRejectedWithoutArmingAnything) {
-  EXPECT_EQ(fp::Arm("no.such.site").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fp::Arm("no.such.site").code(),  // lint-allow: failpoint-site
+            StatusCode::kInvalidArgument);
   EXPECT_EQ(fp::Arm("tree.build.alloc=bogus").code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(fp::Arm("tree.build.alloc=0").code(),
@@ -108,7 +109,8 @@ TEST_F(FailpointTest, BadSpecsAreRejectedWithoutArmingAnything) {
   EXPECT_EQ(fp::Arm("tree.build.alloc=p2@1").code(),
             StatusCode::kInvalidArgument);
   // An invalid item anywhere in the list arms nothing (atomic arming).
-  EXPECT_FALSE(fp::Arm("tree.build.alloc,no.such.site").ok());
+  EXPECT_FALSE(  // lint-allow: failpoint-site
+      fp::Arm("tree.build.alloc,no.such.site").ok());
   EXPECT_TRUE(fp::Maybe("tree.build.alloc").ok());
 }
 

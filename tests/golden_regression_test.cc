@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "core/mrcc.h"
 #include "core/tree_io.h"
 #include "data/generator.h"
@@ -88,7 +89,9 @@ LabeledDataset Clustered(size_t n, size_t dims, size_t k, uint64_t seed) {
   cfg.min_cluster_dims = dims > 3 ? dims - 3 : 1;
   cfg.max_cluster_dims = dims > 1 ? dims - 1 : 1;
   cfg.seed = seed;
-  return std::move(GenerateSynthetic(cfg)).value();
+  Result<LabeledDataset> r = GenerateSynthetic(cfg);
+  MRCC_CHECK(r.ok());  // Golden inputs must exist before hashing anything.
+  return std::move(r).value();
 }
 
 struct GoldenCase {

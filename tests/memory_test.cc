@@ -60,7 +60,9 @@ TEST(PeakRssTest, ReturnsPositiveOnLinux) {
 
 TEST(MemoryTrackerTest, ArrayAndAlignedForms) {
   const int64_t before = MemoryTracker::CurrentBytes();
-  char* arr = new char[4096];
+  // The raw new[] is the point: this test exercises the replaced array
+  // operator new/delete directly.
+  char* arr = new char[4096];  // lint-allow: new-array
   arr[0] = 1;
   EXPECT_GE(MemoryTracker::CurrentBytes() - before, 4096);
   delete[] arr;

@@ -1,10 +1,10 @@
 // Shared helpers for the test suite.
 
-#ifndef MRCC_TESTS_TEST_UTIL_H_
-#define MRCC_TESTS_TEST_UTIL_H_
+#pragma once
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "data/generator.h"
@@ -45,9 +45,8 @@ inline LabeledDataset SmallClustered(size_t n = 4000, size_t dims = 8,
   cfg.max_cluster_dims = dims > 1 ? dims - 1 : 1;
   cfg.seed = seed;
   Result<LabeledDataset> r = GenerateSynthetic(cfg);
+  MRCC_CHECK(r.ok());  // Test fixture: a generator failure is a test bug.
   return std::move(r).value();
 }
 
 }  // namespace mrcc::testing
-
-#endif  // MRCC_TESTS_TEST_UTIL_H_
