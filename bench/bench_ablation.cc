@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   // fit under kMaxFullMaskDims.
   for (size_t i = 0; i < 4; ++i) {  // 6d, 8d, 10d, 12d.
     const SyntheticConfig config = Group1Config(i, options.scale);
-    const LabeledDataset dataset = MustGenerate(config);
+    const LabeledDataset dataset = MustGenerate(config, options.data_dir);
 
     MrCCParams face;
     sink.Add(Measure(face, dataset, "face"));
@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("-- resolution depth (14d base) --\n");
-  const LabeledDataset base = MustGenerate(Base14dConfig(options.scale));
+  const LabeledDataset base =
+      MustGenerate(Base14dConfig(options.scale), options.data_dir);
   for (int h : {4, 6, 8, 12}) {
     MrCCParams params;
     params.num_resolutions = h;

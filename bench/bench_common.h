@@ -16,16 +16,25 @@
 //                       mirroring the paper's 3h/1-week cutoffs.
 //   MRCC_BENCH_METHODS  comma-separated subset of methods to run.
 //   MRCC_BENCH_CSV      directory to also write <bench>.csv into.
+//   MRCC_BENCH_DATA_DIR directory to cache generated datasets in. Files
+//                       are keyed on every generator parameter, so a
+//                       config change regenerates and a repeat run (or
+//                       another bench sharing the config) loads the
+//                       cached file instead of regenerating.
+//   MRCC_BENCH_SOURCE   data backend axis where a bench supports it
+//                       (bench_scale_points): memory | chunked | mmap;
+//                       unset = sweep all three.
 //
 // Command-line flags (override the environment; shared by every bench):
 //   --json_out=PATH     write the run's BenchRecord JSON to PATH.
 //   --trace_out=PATH    enable stage tracing and write a Chrome trace
 //                       (chrome://tracing / ui.perfetto.dev) to PATH.
-//   --scale=X --budget=S --methods=A,B --csv_dir=DIR
-//                       flag twins of the environment knobs above.
+//   --scale=X --budget=S --methods=A,B --csv_dir=DIR --data_dir=DIR
+//   --source=S          flag twins of the environment knobs above.
 
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +49,7 @@
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "data/dataset_io.h"
 #include "data/generator.h"
 #include "eval/bench_record.h"
 #include "eval/measurement.h"
@@ -51,6 +61,8 @@ struct BenchOptions {
   double time_budget_seconds = 120.0;
   std::vector<std::string> methods = PaperMethodNames();
   std::string csv_dir;
+  std::string data_dir;   // Dataset cache directory; empty = no caching.
+  std::string source;     // Data backend axis; empty = bench default.
   std::string json_out;   // BenchRecord JSON path; empty = don't write.
   std::string trace_out;  // Chrome trace path; empty = tracing stays off.
 };
@@ -88,6 +100,12 @@ inline BenchOptions OptionsFromEnv() {
   if (const char* dir = std::getenv("MRCC_BENCH_CSV")) {
     options.csv_dir = dir;
   }
+  if (const char* dir = std::getenv("MRCC_BENCH_DATA_DIR")) {
+    options.data_dir = dir;
+  }
+  if (const char* source = std::getenv("MRCC_BENCH_SOURCE")) {
+    options.source = source;
+  }
   return options;
 }
 
@@ -118,11 +136,16 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
       options.methods = SplitCsvList(value);
     } else if (MatchFlag(argv[i], "csv_dir", &value)) {
       options.csv_dir = value;
+    } else if (MatchFlag(argv[i], "data_dir", &value)) {
+      options.data_dir = value;
+    } else if (MatchFlag(argv[i], "source", &value)) {
+      options.source = value;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--json_out=PATH] "
                    "[--trace_out=PATH] [--scale=X] [--budget=S] "
-                   "[--methods=A,B] [--csv_dir=DIR]\n",
+                   "[--methods=A,B] [--csv_dir=DIR] [--data_dir=DIR] "
+                   "[--source=memory|chunked|mmap]\n",
                    argv[i], argv[0]);
       std::exit(2);
     }
@@ -150,6 +173,10 @@ class BenchRecorder {
   void Add(const RunMeasurement& m) {
     record_.entries.push_back(ToBenchEntry(m));
   }
+
+  /// For entries built outside the RunMeasurement harness (e.g. the data
+  /// source comparison, which sets BenchEntry::source).
+  void Add(const BenchEntry& entry) { record_.entries.push_back(entry); }
 
   /// Exit code for main(): 0, or 1 when an output file failed to write.
   int Finish() {
@@ -209,14 +236,132 @@ class ResultSink {
   BenchRecorder* recorder_;
 };
 
+// ---------------------------------------------------------------------
+// Dataset cache: generated benchmark inputs keyed on every generator
+// parameter. The cache file pair is
+//   <data_dir>/<name>-<fnv64 of all config fields>.bin    (SaveBinary,
+//       point values + ground-truth labels)
+//   <data_dir>/<name>-<hash>.axes                         (per-cluster
+//       relevant-axes truth, which the binary format does not carry)
+// so any config change — including a seed or scale bump — misses the
+// cache and regenerates, while repeat runs and benches sharing a config
+// load the file instead of regenerating. Generation is deterministic, so
+// a cache hit and a fresh generation are byte-identical inputs.
+
+inline uint64_t Fnv64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Every field of the config, flattened; doubles at full precision.
+inline std::string ConfigFingerprint(const SyntheticConfig& c) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "|d=%zu|n=%zu|k=%zu|noise=%.17g|cd=%zu..%zu|sd=%.17g..%.17g"
+                "|rot=%zu|seed=%llu",
+                c.num_dims, c.num_points, c.num_clusters, c.noise_fraction,
+                c.min_cluster_dims, c.max_cluster_dims, c.min_stddev,
+                c.max_stddev, c.num_rotations,
+                static_cast<unsigned long long>(c.seed));
+  std::string key = c.name + buf;
+  for (double w : c.cluster_weights) {
+    std::snprintf(buf, sizeof(buf), "|w=%.17g", w);
+    key += buf;
+  }
+  return key;
+}
+
+/// Writes the relevant-axes ground truth as a tiny text sidecar.
+inline bool SaveAxesSidecar(const Clustering& truth, size_t num_dims,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "mrcc-axes 1\n" << truth.clusters.size() << ' ' << num_dims << '\n';
+  for (const ClusterInfo& cluster : truth.clusters) {
+    for (size_t j = 0; j < num_dims; ++j) {
+      out << (j < cluster.relevant_axes.size() && cluster.relevant_axes[j]
+                  ? '1'
+                  : '0');
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+inline bool LoadAxesSidecar(const std::string& path, size_t num_dims,
+                            std::vector<ClusterInfo>* clusters) {
+  std::ifstream in(path);
+  std::string magic;
+  int version = 0;
+  size_t k = 0, d = 0;
+  if (!(in >> magic >> version >> k >> d) || magic != "mrcc-axes" ||
+      version != 1 || d != num_dims) {
+    return false;
+  }
+  clusters->clear();
+  for (size_t c = 0; c < k; ++c) {
+    std::string row;
+    if (!(in >> row) || row.size() != d) return false;
+    ClusterInfo info;
+    info.relevant_axes.resize(d);
+    for (size_t j = 0; j < d; ++j) info.relevant_axes[j] = row[j] == '1';
+    clusters->push_back(std::move(info));
+  }
+  return true;
+}
+
+/// Cache lookup: a hit must reconstruct the full LabeledDataset (values,
+/// labels, relevant axes) or it is treated as a miss.
+inline bool TryLoadCached(const std::string& base, const SyntheticConfig& c,
+                          LabeledDataset* out) {
+  std::vector<int> labels;
+  Result<Dataset> data = LoadBinary(base + ".bin", &labels);
+  if (!data.ok() || labels.size() != data->NumPoints()) return false;
+  std::vector<ClusterInfo> clusters;
+  if (!LoadAxesSidecar(base + ".axes", data->NumDims(), &clusters)) {
+    return false;
+  }
+  out->name = c.name;
+  out->data = std::move(*data);
+  out->truth.labels = std::move(labels);
+  out->truth.clusters = std::move(clusters);
+  return out->truth.Validate(out->data.NumPoints(), out->data.NumDims()).ok();
+}
+
 /// Generates a labeled dataset or dies (bench inputs are code, not user
-/// input).
-inline LabeledDataset MustGenerate(const SyntheticConfig& config) {
+/// input). With a non-empty `data_dir`, reads/writes the dataset cache
+/// described above; cache failures fall back to regeneration silently
+/// (the cache is an accelerator, never a correctness dependency).
+inline LabeledDataset MustGenerate(const SyntheticConfig& config,
+                                   const std::string& data_dir = "") {
+  char hash[24];
+  std::string base;
+  if (!data_dir.empty()) {
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      Fnv64(ConfigFingerprint(config))));
+    base = data_dir + "/" + config.name + "-" + hash;
+    LabeledDataset cached;
+    if (TryLoadCached(base, config, &cached)) return cached;
+  }
   Result<LabeledDataset> r = GenerateSynthetic(config);
   if (!r.ok()) {
     std::fprintf(stderr, "dataset %s: %s\n", config.name.c_str(),
                  r.status().ToString().c_str());
     std::exit(1);
+  }
+  if (!base.empty()) {
+    // Best effort: a failed write (missing dir, no space) leaves at most
+    // a partial pair, which the next lookup rejects and overwrites.
+    if (!SaveBinary(r->data, base + ".bin", &r->truth.labels).ok() ||
+        !SaveAxesSidecar(r->truth, r->data.NumDims(), base + ".axes")) {
+      std::remove((base + ".bin").c_str());
+      std::remove((base + ".axes").c_str());
+    }
   }
   return std::move(r).value();
 }
@@ -263,7 +408,7 @@ inline void RunMatrix(const std::string& bench_name,
                       BenchRecorder* recorder = nullptr) {
   ResultSink sink(bench_name, options, recorder);
   for (const SyntheticConfig& config : configs) {
-    const LabeledDataset dataset = MustGenerate(config);
+    const LabeledDataset dataset = MustGenerate(config, options.data_dir);
     MethodTuning tuning;
     tuning.num_clusters = config.num_clusters;
     tuning.noise_fraction = config.noise_fraction;

@@ -10,6 +10,12 @@
 // per-stage timings plus the speedup over the serial run are printed.
 // Labels are asserted bit-identical to the serial run at every thread
 // count — the engine's determinism contract.
+//
+// It also compares the data backends (--source=memory|chunked|mmap,
+// default: all three) on the largest dataset: the same MrCC run over the
+// in-memory buffer, bounded-buffer file reads and an mmap'ed file. Labels
+// are asserted identical across backends and one BenchEntry per backend —
+// distinguished by BenchEntry::source — lands in the BenchRecord.
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +23,9 @@
 #include "bench/bench_common.h"
 #include "core/mrcc.h"
 #include "data/catalog.h"
+#include "data/data_source.h"
+#include "data/dataset_io.h"
+#include "eval/quality.h"
 
 namespace {
 
@@ -39,7 +48,8 @@ void RunThreadScaling(const mrcc::bench::BenchOptions& options) {
   for (size_t i = 1; i < configs.size(); ++i) {
     if (configs[i].num_points > configs[largest].num_points) largest = i;
   }
-  const LabeledDataset dataset = bench::MustGenerate(configs[largest]);
+  const LabeledDataset dataset =
+      bench::MustGenerate(configs[largest], options.data_dir);
 
   std::printf("\n== MrCC thread scaling on %s (%zu points x %zu dims) ==\n",
               dataset.name.c_str(), dataset.data.NumPoints(),
@@ -81,6 +91,91 @@ void RunThreadScaling(const mrcc::bench::BenchOptions& options) {
   }
 }
 
+void RunSourceComparison(const mrcc::bench::BenchOptions& options,
+                         mrcc::bench::BenchRecorder* recorder) {
+  using namespace mrcc;
+
+  std::vector<std::string> sources = {"memory", "chunked", "mmap"};
+  if (!options.source.empty()) sources = {options.source};
+
+  std::vector<SyntheticConfig> configs = PointsGroupConfigs(options.scale);
+  size_t largest = 0;
+  for (size_t i = 1; i < configs.size(); ++i) {
+    if (configs[i].num_points > configs[largest].num_points) largest = i;
+  }
+  const LabeledDataset dataset =
+      bench::MustGenerate(configs[largest], options.data_dir);
+  const std::string bin_path =
+      (options.data_dir.empty() ? std::string("/tmp") : options.data_dir) +
+      "/mrcc_scale_points_source.bin";
+  if (Status s = SaveBinary(dataset.data, bin_path); !s.ok()) {
+    std::fprintf(stderr, "source comparison: %s\n", s.ToString().c_str());
+    return;
+  }
+
+  std::printf("\n== MrCC data backends on %s (%zu points x %zu dims) ==\n",
+              dataset.name.c_str(), dataset.data.NumPoints(),
+              dataset.data.NumDims());
+  std::printf("%8s %10s %10s %12s %10s\n", "source", "tree(s)", "total(s)",
+              "chunks", "quality");
+
+  std::vector<int> reference_labels;
+  for (const std::string& source_name : sources) {
+    MrCCParams params;
+    Result<MrCCResult> r(Status::Internal("unset"));
+    if (source_name == "memory") {
+      const MemoryDataSource source(dataset.data);
+      r = MrCC(params).Run(source);
+    } else if (source_name == "chunked") {
+      Result<ChunkedBinaryDataSource> source =
+          ChunkedBinaryDataSource::Open(bin_path);
+      r = source.ok() ? MrCC(params).Run(*source)
+                      : Result<MrCCResult>(source.status());
+    } else if (source_name == "mmap") {
+      Result<MmapFileDataSource> source = MmapFileDataSource::Open(bin_path);
+      r = source.ok() ? MrCC(params).Run(*source)
+                      : Result<MrCCResult>(source.status());
+    } else {
+      std::fprintf(stderr, "unknown --source=%s (memory|chunked|mmap)\n",
+                   source_name.c_str());
+      std::exit(2);
+    }
+
+    BenchEntry entry;
+    entry.method = "MrCC";
+    entry.dataset = dataset.name;
+    entry.source = source_name;
+    if (!r.ok()) {
+      entry.error = r.status().ToString();
+      std::fprintf(stderr, "MrCC(source=%s): %s\n", source_name.c_str(),
+                   entry.error.c_str());
+      recorder->Add(entry);
+      continue;
+    }
+    if (reference_labels.empty()) {
+      reference_labels = r->clustering.labels;
+    } else if (r->clustering.labels != reference_labels) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: source=%s labels differ\n",
+                   source_name.c_str());
+      std::exit(1);
+    }
+    const QualityReport quality =
+        EvaluateClustering(r->clustering, dataset.truth);
+    entry.completed = true;
+    entry.seconds = r->stats.total_seconds;
+    entry.quality = quality.quality;
+    entry.subspace_quality = quality.subspace_quality;
+    entry.clusters_found = r->clustering.NumClusters();
+    recorder->Add(entry);
+    std::printf("%8s %10.3f %10.3f %12llu %10.3f\n", source_name.c_str(),
+                r->stats.tree_build_seconds, r->stats.total_seconds,
+                static_cast<unsigned long long>(r->stats.chunks_scanned),
+                quality.quality);
+  }
+  std::remove(bin_path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,5 +186,6 @@ int main(int argc, char** argv) {
   RunMatrix("scale_points", mrcc::PointsGroupConfigs(options.scale), options,
             &recorder);
   RunThreadScaling(options);
+  RunSourceComparison(options, &recorder);
   return recorder.Finish();
 }

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   const int resolutions[] = {4, 5, 10, 20, 40, 80};
 
   for (const SyntheticConfig& config : Group1Configs(options.scale)) {
-    const LabeledDataset dataset = MustGenerate(config);
+    const LabeledDataset dataset = MustGenerate(config, options.data_dir);
 
     std::printf("-- %s: alpha sweep (H = 4), Fig. 4a-c --\n",
                 config.name.c_str());

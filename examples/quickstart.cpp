@@ -69,6 +69,11 @@ int main(int argc, char** argv) {
       std::printf("    - %s\n", reason.c_str());
     }
   }
+  if (r.stats.chunks_scanned > 0) {
+    std::printf("  streaming: %llu chunks of up to %zu points\n",
+                static_cast<unsigned long long>(r.stats.chunks_scanned),
+                r.stats.chunk_points);
+  }
   if (r.stats.points_skipped > 0 || r.stats.points_clamped > 0) {
     std::printf("  input hygiene: %llu points skipped, %llu clamped "
                 "(policy %s)\n",

@@ -10,8 +10,12 @@ cd "$(dirname "$0")"
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build
 
-mkdir -p results
-export MRCC_BENCH_CSV="$PWD/results"
+# Shared dataset cache: benches key generated datasets on every generator
+# parameter and reuse the files (results/data/*.bin + .axes), so datasets
+# shared between benches — and between repeat invocations of this script —
+# are generated exactly once instead of once per bench.
+mkdir -p results results/data
+export MRCC_BENCH_DATA_DIR="$PWD/results/data"
 export MRCC_BENCH_BUDGET="${MRCC_BENCH_BUDGET:-300}"
 
 ctest --test-dir build 2>&1 | tee test_output.txt
@@ -30,7 +34,8 @@ failed=()
 for b in "${benches[@]}"; do
   echo "### $b" | tee -a bench_output.txt
   status=0
-  "./build/bench/$b" --json_out="results/BENCH_${b#bench_}.json" \
+  "./build/bench/$b" --csv_dir="$PWD/results" \
+    --json_out="results/BENCH_${b#bench_}.json" \
     >> bench_output.txt 2>&1 || status=$?
   if [[ $status -ne 0 ]]; then
     echo "FAILED: $b (exit $status)" | tee -a bench_output.txt

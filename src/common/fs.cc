@@ -6,6 +6,7 @@
 #include <thread>
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -54,6 +55,42 @@ Result<UniqueFd> OpenForRead(const std::string& path) {
     return Status::IOError(ErrnoMessage("cannot open", path, errno));
   }
   return UniqueFd(fd);
+}
+
+MmapRegion::~MmapRegion() {
+  if (addr_ != nullptr) ::munmap(addr_, length_);
+}
+
+MmapRegion::MmapRegion(MmapRegion&& other) noexcept
+    : addr_(other.addr_), length_(other.length_) {
+  other.addr_ = nullptr;
+  other.length_ = 0;
+}
+
+MmapRegion& MmapRegion::operator=(MmapRegion&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, length_);
+    addr_ = other.addr_;
+    length_ = other.length_;
+    other.addr_ = nullptr;
+    other.length_ = 0;
+  }
+  return *this;
+}
+
+Result<MmapRegion> MmapRegion::Map(int fd, size_t length,
+                                   const std::string& path) {
+  if (length == 0) {
+    return Status::InvalidArgument("cannot map empty file " + path);
+  }
+  MRCC_RETURN_IF_ERROR(fp::Maybe("source.mmap"));
+  void* addr = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (addr == MAP_FAILED) {
+    return Status::IOError(ErrnoMessage("cannot mmap", path, errno));
+  }
+  // Advisory only: a kernel that rejects the hint still serves the pages.
+  (void)::madvise(addr, length, MADV_SEQUENTIAL);
+  return MmapRegion(addr, length);
 }
 
 Result<uint64_t> FileSize(int fd, const std::string& path) {

@@ -54,11 +54,14 @@ Clustering MergeBetaClusters(const std::vector<BetaCluster>& betas,
 Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
                                      const std::vector<int>& beta_to_cluster,
                                      const DataSource& source,
-                                     int num_threads, BadPointPolicy policy) {
+                                     int num_threads, BadPointPolicy policy,
+                                     size_t chunk_points) {
   // Each contained point is labeled beta_to_cluster[b] — a short map
   // silently mislabels, a long one reads out of the betas' range.
   MRCC_CHECK_EQ(beta_to_cluster.size(), betas.size());
   const size_t n = source.NumPoints();
+  const size_t num_dims = source.NumDims();
+  if (chunk_points == 0) chunk_points = 4096;
   std::vector<int> labels(n, kNoiseLabel);
   // Every worker labels one contiguous slice through its own cursor;
   // writes are disjoint, so the result does not depend on the thread
@@ -73,35 +76,37 @@ Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
   Status first_error;  // Guarded by status_mu (locals cannot carry the
                        // MRCC_GUARDED_BY annotation; keep the pairing).
   pool.ParallelFor(n, [&](int, size_t begin, size_t end) {
-    Result<std::unique_ptr<DataSource::Cursor>> cursor =
-        source.Scan(begin, end);
-    Status slice_status = cursor.status();
-    if (cursor.ok()) {
-      std::span<const double> point;
-      std::vector<double> scratch;
-      for (size_t i = begin; i < end && (*cursor)->Next(&point); ++i) {
-        // Mirror the tree-build pass: a skipped point was never counted,
-        // so it stays noise; a clamped point was counted at its clamped
-        // coordinates, so it is looked up there. kReject checks nothing —
-        // the build already failed on the first bad value.
-        if (policy != BadPointPolicy::kReject) {
-          const PointAction action = ClassifyPoint(point, policy);
-          if (action == PointAction::kSkip) continue;
-          if (action == PointAction::kClamp) {
-            scratch.assign(point.begin(), point.end());
-            SanitizePoint(scratch, policy);
-            point = scratch;
+    std::vector<double> scratch;
+    const Status slice_status = source.ScanChunks(
+        begin, end, chunk_points,
+        [&](size_t first, std::span<const double> values) -> Status {
+          const size_t count = values.size() / num_dims;
+          for (size_t j = 0; j < count; ++j) {
+            std::span<const double> point =
+                values.subspan(j * num_dims, num_dims);
+            // Mirror the tree-build pass: a skipped point was never
+            // counted, so it stays noise; a clamped point was counted at
+            // its clamped coordinates, so it is looked up there. kReject
+            // checks nothing — the build already failed on the first bad
+            // value.
+            if (policy != BadPointPolicy::kReject) {
+              const PointAction action = ClassifyPoint(point, policy);
+              if (action == PointAction::kSkip) continue;
+              if (action == PointAction::kClamp) {
+                scratch.assign(point.begin(), point.end());
+                SanitizePoint(scratch, policy);
+                point = scratch;
+              }
+            }
+            for (size_t b = 0; b < betas.size(); ++b) {
+              if (betas[b].Contains(point)) {
+                labels[first + j] = beta_to_cluster[b];
+                break;
+              }
+            }
           }
-        }
-        for (size_t b = 0; b < betas.size(); ++b) {
-          if (betas[b].Contains(point)) {
-            labels[i] = beta_to_cluster[b];
-            break;
-          }
-        }
-      }
-      slice_status = (*cursor)->status();
-    }
+          return Status::OK();
+        });
     if (!slice_status.ok()) {
       MutexLock lock(status_mu);
       if (first_error.ok()) first_error = slice_status;

@@ -44,13 +44,18 @@ Clustering MergeBetaClusters(const std::vector<BetaCluster>& betas,
 /// coordinates, so each point's label matches what the tree counted.
 /// kReject is the historical fast path — the build already failed on the
 /// first bad value, so labeling assumes clean input and checks nothing.
+///
+/// The scan consumes the source in bounded chunks of `chunk_points`
+/// points (0 = a 4096-point default); the chunk size bounds raw-point
+/// memory and never changes the labels.
 [[nodiscard]] Result<std::vector<int>> LabelPoints(
     const std::vector<BetaCluster>& betas,
                                      const std::vector<int>& beta_to_cluster,
                                      const DataSource& source,
                                      int num_threads = 1,
                                      BadPointPolicy policy =
-                                         BadPointPolicy::kReject);
+                                         BadPointPolicy::kReject,
+                                     size_t chunk_points = 0);
 
 /// Merges β-clusters and labels `data`'s points in one call (the
 /// in-memory composition of the two functions above).

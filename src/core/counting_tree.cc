@@ -135,6 +135,43 @@ Result<CountingTree> CountingTree::Builder::Finish() && {
   return std::move(*tree_);
 }
 
+Status CountingTree::Insert(std::span<const double> point) {
+  if (point.size() != num_dims_) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  for (double v : point) {
+    if (!(v >= 0.0 && v < 1.0)) {
+      return Status::InvalidArgument(
+          "points must be normalized to [0,1)^d before insertion");
+    }
+  }
+  if (packed_) Unpack();
+  InsertPoint(point);
+  return Status::OK();
+}
+
+Status CountingTree::InsertBatch(std::span<const double> values) {
+  if (values.size() % num_dims_ != 0) {
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(values.size()) +
+        " values is not a whole number of " + std::to_string(num_dims_) +
+        "-dimensional points");
+  }
+  for (size_t off = 0; off < values.size(); off += num_dims_) {
+    MRCC_RETURN_IF_ERROR(Insert(values.subspan(off, num_dims_)));
+  }
+  return Status::OK();
+}
+
+void CountingTree::Seal() {
+  if (packed_) return;
+  Pack();
+  // A search may have marked cells before the inserts; new cells start
+  // unused, so clear everything for the next search.
+  ResetUsedFlags();
+  DCheckInvariants(*this);
+}
+
 Result<CountingTree> CountingTree::Build(const Dataset& data,
                                          int num_resolutions) {
   if (!data.InUnitCube()) {

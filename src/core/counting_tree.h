@@ -151,6 +151,27 @@ class CountingTree {
     std::unique_ptr<CountingTree> tree_;
   };
 
+  /// Incremental maintenance: counts one more point into an already-built
+  /// tree. The tree re-enters construction mode on the first Insert; call
+  /// Seal() before any read access (Level, FindCell, the β-search). A
+  /// sealed tree that received inserts is cell-for-cell identical to one
+  /// built from the concatenation of the original stream and the inserted
+  /// points — the canonical pack order depends only on cell creation
+  /// order, which appending preserves. Points must lie in [0,1)^d.
+  [[nodiscard]] Status Insert(std::span<const double> point);
+
+  /// Counts `values.size() / num_dims()` points laid out row-major (the
+  /// ScanChunks chunk shape). On a bad point the batch stops there:
+  /// points before it stay counted, the rest are not.
+  [[nodiscard]] Status InsertBatch(std::span<const double> values);
+
+  /// Packs the tree back into canonical (readable) order after Insert
+  /// calls and clears the β-search's used flags. No-op on a sealed tree.
+  void Seal();
+
+  /// False while unsealed Insert()s are pending.
+  bool sealed() const { return packed_; }
+
   /// Number of resolutions H (the root counts as resolution 0).
   int num_resolutions() const { return num_resolutions_; }
 

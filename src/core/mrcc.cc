@@ -14,6 +14,7 @@
 #include "common/timer.h"
 #include "common/trace.h"
 #include "core/laplacian_mask.h"
+#include "core/streaming_mrcc.h"
 #include "core/tree_io.h"
 
 namespace mrcc {
@@ -23,6 +24,28 @@ namespace {
 /// into per-thread partial trees costs more in merge work than the scan
 /// saves, and the thread count never changes the result anyway.
 constexpr size_t kMinPointsPerShard = 2048;
+
+/// Default points per scan chunk when no explicit size or memory budget
+/// constrains it. 4096 points × 62 dims × 8 bytes ≈ 2 MiB per shard —
+/// enough to amortize a block read, small enough to stay cache-friendly.
+constexpr size_t kDefaultChunkPoints = 4096;
+
+/// Effective chunk size of the streaming scans: an explicit
+/// params.chunk_points wins; otherwise the default, shrunk so all
+/// shards' chunk buffers together fit in half of budget.max_memory_bytes
+/// (the other half belongs to the tree). Never zero.
+size_t ChunkPointsFor(const MrCCParams& params, size_t num_dims,
+                      int shards) {
+  if (params.chunk_points > 0) return params.chunk_points;
+  size_t chunk = kDefaultChunkPoints;
+  if (params.budget.max_memory_bytes > 0 && num_dims > 0 && shards > 0) {
+    const size_t bytes_per_point = num_dims * sizeof(double);
+    const size_t cap = params.budget.max_memory_bytes /
+                       (2 * static_cast<size_t>(shards) * bytes_per_point);
+    chunk = std::clamp<size_t>(cap, 1, kDefaultChunkPoints);
+  }
+  return chunk;
+}
 
 /// Builds the Counting-tree over `source`, sharded across `num_threads`
 /// workers. Each worker counts one contiguous point slice into a private
@@ -34,8 +57,9 @@ constexpr size_t kMinPointsPerShard = 2048;
 Result<CountingTree> BuildTreeSharded(const DataSource& source,
                                       int num_resolutions, int num_threads,
                                       BadPointPolicy policy,
-                                      MrCCStats* stats) {
+                                      size_t chunk_points, MrCCStats* stats) {
   const size_t n = source.NumPoints();
+  const size_t num_dims = source.NumDims();
   const int want_shards = std::max(
       1, std::min<int>(num_threads,
                        static_cast<int>(n / kMinPointsPerShard)));
@@ -75,55 +99,62 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
   // so the totals are deterministic like everything else.
   std::vector<uint64_t> shard_skipped(static_cast<size_t>(shards), 0);
   std::vector<uint64_t> shard_clamped(static_cast<size_t>(shards), 0);
+  std::vector<uint64_t> shard_chunks(static_cast<size_t>(shards), 0);
   pool.ParallelFor(n, [&](int t, size_t begin, size_t end) {
     MRCC_TRACE_SPAN_N("tree.build.shard",
                       static_cast<int64_t>(end - begin));
     Timer shard_timer;
     const size_t st = static_cast<size_t>(t);
-    Result<std::unique_ptr<DataSource::Cursor>> cursor =
-        source.Scan(begin, end);
-    if (!cursor.ok()) {
-      partial[st] = cursor.status();
-      return;
-    }
-    CountingTree::Builder builder(source.NumDims(), num_resolutions);
-    std::span<const double> point;
+    CountingTree::Builder builder(num_dims, num_resolutions);
     std::vector<double> scratch;
     // tree.build.alloc stands in for the builder's node-pool allocation
     // failing under memory pressure.
     Status status = fp::Maybe("tree.build.alloc");
     if (status.ok()) status = builder.status();
-    size_t row = begin;
-    while (status.ok() && (*cursor)->Next(&point)) {
-      if (fp::MaybeTrue("source.read.corrupt")) {
-        // Simulated bit rot: poison one coordinate the way a damaged
-        // row would arrive from any backend.
-        scratch.assign(point.begin(), point.end());
-        scratch[0] = std::numeric_limits<double>::quiet_NaN();
-        point = scratch;
-      }
-      const PointAction action = ClassifyPoint(point, policy);
-      if (action == PointAction::kReject) {
-        status = Status::InvalidArgument(
-            "point " + std::to_string(row) + " of " + source.Name() +
-            " has a NaN/Inf/out-of-[0,1) value; normalize the data or "
-            "pick a bad_point_policy");
-      } else if (action == PointAction::kSkip) {
-        ++shard_skipped[st];
-      } else {
-        if (action == PointAction::kClamp) {
-          if (point.data() != scratch.data()) {
-            scratch.assign(point.begin(), point.end());
-          }
-          SanitizePoint(scratch, policy);
-          point = scratch;
-          ++shard_clamped[st];
-        }
-        status = builder.Add(point);
-      }
-      ++row;
+    if (status.ok()) {
+      // Chunks arrive in order and cover [begin, end) exactly once, so
+      // this fold is bit-identical to the old point-at-a-time cursor
+      // loop at every chunk size.
+      status = source.ScanChunks(
+          begin, end, chunk_points,
+          [&](size_t first, std::span<const double> values) -> Status {
+            ++shard_chunks[st];
+            const size_t count = values.size() / num_dims;
+            for (size_t j = 0; j < count; ++j) {
+              std::span<const double> point =
+                  values.subspan(j * num_dims, num_dims);
+              if (fp::MaybeTrue("source.read.corrupt")) {
+                // Simulated bit rot: poison one coordinate the way a
+                // damaged row would arrive from any backend.
+                scratch.assign(point.begin(), point.end());
+                scratch[0] = std::numeric_limits<double>::quiet_NaN();
+                point = scratch;
+              }
+              const PointAction action = ClassifyPoint(point, policy);
+              if (action == PointAction::kReject) {
+                return Status::InvalidArgument(
+                    "point " + std::to_string(first + j) + " of " +
+                    source.Name() +
+                    " has a NaN/Inf/out-of-[0,1) value; normalize the data "
+                    "or pick a bad_point_policy");
+              }
+              if (action == PointAction::kSkip) {
+                ++shard_skipped[st];
+                continue;
+              }
+              if (action == PointAction::kClamp) {
+                if (point.data() != scratch.data()) {
+                  scratch.assign(point.begin(), point.end());
+                }
+                SanitizePoint(scratch, policy);
+                point = scratch;
+                ++shard_clamped[st];
+              }
+              MRCC_RETURN_IF_ERROR(builder.Add(point));
+            }
+            return Status::OK();
+          });
     }
-    if (status.ok()) status = (*cursor)->status();
     partial[st] =
         status.ok() ? std::move(builder).Finish() : Result<CountingTree>(status);
     shard_seconds[st] = shard_timer.ElapsedSeconds();
@@ -134,9 +165,20 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
   for (int t = 0; t < shards; ++t) {
     stats->points_skipped += shard_skipped[static_cast<size_t>(t)];
     stats->points_clamped += shard_clamped[static_cast<size_t>(t)];
+    stats->chunks_scanned += shard_chunks[static_cast<size_t>(t)];
   }
 
   MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.counter("tree.chunks_scanned").Add(
+      static_cast<int64_t>(stats->chunks_scanned));
+  // Worst-case raw points resident at once: every shard holding a full
+  // chunk buffer. Zero-copy backends (memory, mmap) stay below it.
+  stats->resident_point_bound =
+      static_cast<size_t>(shards) *
+      std::min(chunk_points, (n + static_cast<size_t>(shards) - 1) /
+                                 static_cast<size_t>(shards));
+  metrics.gauge("memory.resident_points").SetMax(
+      static_cast<int64_t>(stats->resident_point_bound));
   if (stats->points_skipped > 0) {
     metrics.counter("input.points_skipped").Add(
         static_cast<int64_t>(stats->points_skipped));
@@ -184,10 +226,18 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
 
 }  // namespace
 
+Status WindowParams::Validate() const {
+  if (generations == 0) {
+    return Status::InvalidArgument("window.generations must be >= 1");
+  }
+  return Status::OK();
+}
+
 Status MrCCParams::Validate() const {
   if (!(alpha > 0.0 && alpha < 1.0)) {
     return Status::InvalidArgument("alpha must be in (0, 1)");
   }
+  MRCC_RETURN_IF_ERROR(window.Validate());
   if (num_resolutions < 3) {
     return Status::InvalidArgument("num_resolutions (H) must be >= 3");
   }
@@ -219,6 +269,7 @@ MrCC::MrCC(MrCCParams params) : params_(params) {}
 Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   // The pipeline's single parameter gate (see MrCCParams::Validate).
   MRCC_RETURN_IF_ERROR(params_.Validate(source.NumDims()));
+  if (params_.window.enabled()) return RunWindowed(source);
   const int num_threads = ResolveThreadCount(params_.num_threads);
 
   MRCC_TRACE_SPAN_N("mrcc.run", static_cast<int64_t>(source.NumPoints()));
@@ -235,12 +286,18 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   };
 
   // Phase 1: single-scan Counting-tree construction, sharded by points.
+  // Shards consume the source in bounded chunks, so raw-point memory
+  // stays at shards × chunk regardless of dataset size (DESIGN.md §14).
+  const size_t chunk_points =
+      ChunkPointsFor(params_, source.NumDims(), num_threads);
+  result.stats.chunk_points = chunk_points;
   Timer phase;
   Result<CountingTree> tree(Status::Internal("tree build not run"));
   {
     MRCC_TRACE_SPAN("tree.build");
     tree = BuildTreeSharded(source, params_.num_resolutions, num_threads,
-                            params_.bad_point_policy, &result.stats);
+                            params_.bad_point_policy, chunk_points,
+                            &result.stats);
   }
   if (!tree.ok()) return tree.status();
   result.stats.tree_build_seconds = phase.ElapsedSeconds();
@@ -332,7 +389,8 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
       MRCC_TRACE_SPAN_N("cluster.label_points",
                         static_cast<int64_t>(source.NumPoints()));
       labels = LabelPoints(result.beta_clusters, result.beta_to_cluster,
-                           source, num_threads, params_.bad_point_policy);
+                           source, num_threads, params_.bad_point_policy,
+                           chunk_points);
     }
     if (!labels.ok()) return labels.status();
     result.clustering.labels = std::move(*labels);
@@ -342,6 +400,39 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   // Allocator high-water mark since the last ResetPeak() — with the
   // bench harness's per-run reset this is the run's peak ("arena
   // high-water"); standalone it is a process-lifetime bound.
+  metrics.gauge("memory.high_water_bytes").SetMax(MemoryTracker::PeakBytes());
+  return result;
+}
+
+Result<MrCCResult> MrCC::RunWindowed(const DataSource& source) const {
+  const size_t n = source.NumPoints();
+  Timer total;
+  Result<StreamingMrCC> engine =
+      StreamingMrCC::Create(params_, source.NumDims());
+  if (!engine.ok()) return engine.status();
+
+  // Feed the whole source through the incremental engine in bounded
+  // chunks (the feed is inherently serial: generation order is stream
+  // order), then snapshot and label every point against the trailing
+  // window's clusters.
+  const size_t chunk_points = ChunkPointsFor(params_, source.NumDims(), 1);
+  uint64_t chunks = 0;
+  MRCC_RETURN_IF_ERROR(source.ScanChunks(
+      0, n, chunk_points,
+      [&](size_t, std::span<const double> values) -> Status {
+        ++chunks;
+        return engine->PushChunk(values);
+      }));
+  Result<MrCCResult> result = engine->Snapshot(source);
+  if (!result.ok()) return result.status();
+  result->stats.chunks_scanned = chunks;
+  result->stats.chunk_points = chunk_points;
+  result->stats.resident_point_bound = std::min<size_t>(chunk_points, n);
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.counter("tree.chunks_scanned").Add(static_cast<int64_t>(chunks));
+  metrics.gauge("memory.resident_points").SetMax(
+      static_cast<int64_t>(result->stats.resident_point_bound));
+  result->stats.total_seconds = total.ElapsedSeconds();
   metrics.gauge("memory.high_water_bytes").SetMax(MemoryTracker::PeakBytes());
   return result;
 }

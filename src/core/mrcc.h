@@ -32,6 +32,25 @@
 
 namespace mrcc {
 
+/// Sliding-window mode of the incremental engine (core/streaming_mrcc.h):
+/// keep only (approximately) the most recent `points` points counted in
+/// the tree, evicting whole generations at a time. Disabled by default —
+/// every point ever pushed stays counted.
+struct WindowParams {
+  /// Target number of retained points; 0 disables the window.
+  size_t points = 0;
+
+  /// Eviction granularity: the window is maintained as this many
+  /// generation sub-trees of points/generations points each, and old
+  /// points leave a generation at a time (the window is exact to one
+  /// generation). Must be >= 1.
+  size_t generations = 8;
+
+  bool enabled() const { return points > 0; }
+
+  [[nodiscard]] Status Validate() const;
+};
+
 /// Tunable parameters of MrCC (paper §IV-D/E defaults).
 struct MrCCParams {
   /// Significance level of the β-cluster binomial test, in (0, 1).
@@ -62,6 +81,17 @@ struct MrCCParams {
   /// the wall deadline returns partial results. Both mark the run
   /// degraded in MrCCStats rather than failing it.
   ResourceBudget budget;
+
+  /// Chunk size (points) of the streaming data scans; 0 = automatic: a
+  /// 4096-point default, shrunk so all shards' chunk buffers together
+  /// stay within half of budget.max_memory_bytes. The chunk size never
+  /// changes results — any value yields bit-identical output.
+  size_t chunk_points = 0;
+
+  /// Optional sliding-window mode: when enabled, Run() routes through
+  /// the incremental streaming engine and clusters only the trailing
+  /// window of the input (labels still cover every point).
+  WindowParams window;
 
   /// Data-independent parameter checks (alpha, H, threads, budget).
   [[nodiscard]] Status Validate() const;
@@ -147,6 +177,19 @@ struct MrCCStats {
   /// during the tree-build scan (0 under kReject, which fails instead).
   uint64_t points_skipped = 0;
   uint64_t points_clamped = 0;
+
+  // ---- Out-of-core scan telemetry (DESIGN.md §14).
+
+  /// Chunks delivered by the tree-build scan across all shards.
+  uint64_t chunks_scanned = 0;
+
+  /// Effective chunk size (points) the scans used (params.chunk_points
+  /// after the 0 = automatic mapping).
+  size_t chunk_points = 0;
+
+  /// Upper bound on raw points resident in scan buffers at any instant
+  /// (shards × chunk size; zero-copy sources stay below it).
+  size_t resident_point_bound = 0;
 };
 
 /// Complete output of one MrCC run.
@@ -182,6 +225,11 @@ class MrCC : public SubspaceClusterer {
   [[nodiscard]] Result<Clustering> Cluster(const Dataset& data) override;
 
  private:
+  /// The window-mode pipeline: streams the source through the incremental
+  /// engine (core/streaming_mrcc.h) so only the trailing window is
+  /// counted, then labels every point against the window's clusters.
+  [[nodiscard]] Result<MrCCResult> RunWindowed(const DataSource& source) const;
+
   MrCCParams params_;
 };
 

@@ -1,6 +1,10 @@
 #include "data/data_source.h"
 
+#include <algorithm>
+
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace mrcc {
 namespace {
@@ -12,6 +16,25 @@ Status CheckRange(size_t begin, size_t end, size_t num_points) {
                               std::to_string(num_points) + " points");
   }
   return Status::OK();
+}
+
+Status CheckChunkArgs(size_t begin, size_t end, size_t num_points,
+                      size_t chunk_points) {
+  MRCC_RETURN_IF_ERROR(CheckRange(begin, end, num_points));
+  if (chunk_points == 0) {
+    return Status::InvalidArgument("chunk_points must be >= 1");
+  }
+  return Status::OK();
+}
+
+/// Shared tail of every ScanChunks implementation: opens the per-chunk
+/// trace span, honors the chunk-delivery failpoint, and hands the chunk
+/// to the consumer.
+Status EmitChunk(size_t first, size_t count, std::span<const double> values,
+                 const DataSource::ChunkCallback& fn) {
+  MRCC_TRACE_SPAN_N("source.scan_chunk", static_cast<int64_t>(count));
+  MRCC_RETURN_IF_ERROR(fp::Maybe("source.chunk.read"));
+  return fn(first, values);
 }
 
 class MemoryCursor : public DataSource::Cursor {
@@ -56,13 +79,141 @@ class FileCursor : public DataSource::Cursor {
   std::vector<double> buffer_;
 };
 
+/// Serves points out of a bounded block buffer, refilled with one pread
+/// per block. The block-refill is the same chunk-delivery seam as
+/// ScanChunks, so it honors the `source.chunk.read` failpoint too.
+class ChunkedFileCursor : public DataSource::Cursor {
+ public:
+  ChunkedFileCursor(UniqueFd fd, std::string path, size_t num_dims,
+                    uint64_t data_start, size_t block_points, size_t begin,
+                    size_t end)
+      : fd_(std::move(fd)),
+        path_(std::move(path)),
+        num_dims_(num_dims),
+        data_start_(data_start),
+        block_points_(block_points),
+        next_(begin),
+        end_(end) {}
+
+  bool Next(std::span<const double>* point) override {
+    if (!status_.ok() || next_ >= end_) return false;
+    if (served_ >= buffered_ && !Fill()) return false;
+    *point = std::span<const double>(buffer_.data() + served_ * num_dims_,
+                                     num_dims_);
+    ++served_;
+    ++next_;
+    return true;
+  }
+
+  const Status& status() const override { return status_; }
+
+ private:
+  bool Fill() {
+    const size_t count = std::min(block_points_, end_ - next_);
+    buffer_.resize(count * num_dims_);
+    MRCC_TRACE_SPAN_N("source.scan_chunk", static_cast<int64_t>(count));
+    status_ = fp::Maybe("source.chunk.read");
+    if (status_.ok()) {
+      const uint64_t point_bytes = num_dims_ * sizeof(double);
+      status_ = ReadExactAt(fd_.get(), buffer_.data(), count * point_bytes,
+                            data_start_ + next_ * point_bytes, path_);
+    }
+    if (!status_.ok()) return false;
+    buffered_ = count;
+    served_ = 0;
+    return true;
+  }
+
+  UniqueFd fd_;
+  const std::string path_;
+  const size_t num_dims_;
+  const uint64_t data_start_;
+  const size_t block_points_;
+  size_t next_;
+  const size_t end_;
+  std::vector<double> buffer_;
+  size_t buffered_ = 0;
+  size_t served_ = 0;
+  Status status_;
+};
+
+/// Zero-copy cursor over a memory-mapped point array.
+class MmapCursor : public DataSource::Cursor {
+ public:
+  MmapCursor(const double* base, size_t num_dims, size_t begin, size_t end)
+      : base_(base), num_dims_(num_dims), next_(begin), end_(end) {}
+
+  bool Next(std::span<const double>* point) override {
+    if (next_ >= end_) return false;
+    *point = std::span<const double>(base_ + next_ * num_dims_, num_dims_);
+    ++next_;
+    return true;
+  }
+
+  const Status& status() const override { return status_; }
+
+ private:
+  const double* base_;
+  const size_t num_dims_;
+  size_t next_;
+  const size_t end_;
+  Status status_;
+};
+
 }  // namespace
+
+Status DataSource::ScanChunks(size_t begin, size_t end, size_t chunk_points,
+                              const ChunkCallback& fn) const {
+  MRCC_RETURN_IF_ERROR(CheckChunkArgs(begin, end, NumPoints(), chunk_points));
+  const size_t num_dims = NumDims();
+  Result<std::unique_ptr<Cursor>> cursor = Scan(begin, end);
+  if (!cursor.ok()) return cursor.status();
+  std::vector<double> buffer;
+  size_t next = begin;
+  while (next < end) {
+    const size_t count = std::min(chunk_points, end - next);
+    buffer.resize(count * num_dims);
+    for (size_t i = 0; i < count; ++i) {
+      std::span<const double> point;
+      if (!(*cursor)->Next(&point)) {
+        return (*cursor)->status().ok()
+                   ? Status::Internal("source " + Name() + " ended at point " +
+                                      std::to_string(next + i) + " of " +
+                                      std::to_string(end))
+                   : (*cursor)->status();
+      }
+      std::copy(point.begin(), point.end(), buffer.begin() + i * num_dims);
+    }
+    MRCC_RETURN_IF_ERROR(EmitChunk(next, count, buffer, fn));
+    next += count;
+  }
+  return Status::OK();
+}
 
 Result<std::unique_ptr<DataSource::Cursor>> MemoryDataSource::Scan(
     size_t begin, size_t end) const {
   MRCC_RETURN_IF_ERROR(CheckRange(begin, end, NumPoints()));
   MRCC_RETURN_IF_ERROR(fp::Maybe("source.scan"));
   return std::unique_ptr<Cursor>(new MemoryCursor(*data_, begin, end));
+}
+
+Status MemoryDataSource::ScanChunks(size_t begin, size_t end,
+                                    size_t chunk_points,
+                                    const ChunkCallback& fn) const {
+  MRCC_RETURN_IF_ERROR(CheckChunkArgs(begin, end, NumPoints(), chunk_points));
+  MRCC_RETURN_IF_ERROR(fp::Maybe("source.scan"));
+  const size_t num_dims = NumDims();
+  size_t next = begin;
+  while (next < end) {
+    const size_t count = std::min(chunk_points, end - next);
+    // Rows are contiguous in the dataset's flat buffer, so a multi-row
+    // span is just the first row widened.
+    const std::span<const double> values(data_->Point(next).data(),
+                                         count * num_dims);
+    MRCC_RETURN_IF_ERROR(EmitChunk(next, count, values, fn));
+    next += count;
+  }
+  return Status::OK();
 }
 
 Result<BinaryFileDataSource> BinaryFileDataSource::Open(
@@ -85,6 +236,122 @@ Result<std::unique_ptr<DataSource::Cursor>> BinaryFileDataSource::Scan(
   MRCC_RETURN_IF_ERROR(reader->SeekTo(begin));
   return std::unique_ptr<Cursor>(
       new FileCursor(std::move(*reader), end));
+}
+
+Result<ChunkedBinaryDataSource> ChunkedBinaryDataSource::Open(
+    const std::string& path, size_t buffer_bytes) {
+  Result<BinaryDatasetReader> reader = BinaryDatasetReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  ChunkedBinaryDataSource source;
+  source.path_ = path;
+  source.num_points_ = reader->num_points();
+  source.num_dims_ = reader->num_dims();
+  source.data_start_ = reader->data_start();
+  const size_t point_bytes = source.num_dims_ * sizeof(double);
+  source.buffer_points_ =
+      std::max<size_t>(1, point_bytes == 0 ? 1 : buffer_bytes / point_bytes);
+  return source;
+}
+
+Result<std::unique_ptr<DataSource::Cursor>> ChunkedBinaryDataSource::Scan(
+    size_t begin, size_t end) const {
+  MRCC_RETURN_IF_ERROR(CheckRange(begin, end, num_points_));
+  MRCC_RETURN_IF_ERROR(fp::Maybe("source.scan"));
+  Result<UniqueFd> fd = OpenForRead(path_);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<Cursor>(
+      new ChunkedFileCursor(std::move(*fd), path_, num_dims_, data_start_,
+                            buffer_points_, begin, end));
+}
+
+Status ChunkedBinaryDataSource::ScanChunks(size_t begin, size_t end,
+                                           size_t chunk_points,
+                                           const ChunkCallback& fn) const {
+  MRCC_RETURN_IF_ERROR(CheckChunkArgs(begin, end, num_points_, chunk_points));
+  MRCC_RETURN_IF_ERROR(fp::Maybe("source.scan"));
+  Result<UniqueFd> fd = OpenForRead(path_);
+  if (!fd.ok()) return fd.status();
+  // The caller's chunk size and this source's buffer cap both bound the
+  // block; chunks stay "at most chunk_points" either way.
+  const size_t block = std::min(chunk_points, buffer_points_);
+  const uint64_t point_bytes = num_dims_ * sizeof(double);
+  std::vector<double> buffer;
+  size_t next = begin;
+  while (next < end) {
+    const size_t count = std::min(block, end - next);
+    buffer.resize(count * num_dims_);
+    MRCC_RETURN_IF_ERROR(fp::Maybe("source.chunk.read"));
+    MRCC_RETURN_IF_ERROR(ReadExactAt(fd->get(), buffer.data(),
+                                     count * point_bytes,
+                                     data_start_ + next * point_bytes, path_));
+    {
+      MRCC_TRACE_SPAN_N("source.scan_chunk", static_cast<int64_t>(count));
+      MRCC_RETURN_IF_ERROR(fn(next, buffer));
+    }
+    next += count;
+  }
+  return Status::OK();
+}
+
+Result<MmapFileDataSource> MmapFileDataSource::Open(const std::string& path) {
+  Result<BinaryDatasetReader> reader = BinaryDatasetReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  MmapFileDataSource source;
+  source.path_ = path;
+  source.num_points_ = reader->num_points();
+  source.num_dims_ = reader->num_dims();
+  source.data_start_ = reader->data_start();
+  // Map header + point data only; a trailing label block is not scanned.
+  const uint64_t map_bytes =
+      source.data_start_ + static_cast<uint64_t>(source.num_points_) *
+                               source.num_dims_ * sizeof(double);
+  Result<UniqueFd> fd = OpenForRead(path);
+  if (!fd.ok()) return fd.status();
+  Result<MmapRegion> region = MmapRegion::Map(fd->get(), map_bytes, path);
+  if (region.ok()) {
+    source.region_ = std::move(*region);
+  } else {
+    // Kernel (or failpoint) refused the mapping: degrade to bounded
+    // pread blocks rather than failing — the data is still streamable.
+    MetricsRegistry::Global().counter("source.mmap_fallbacks").Increment();
+    Result<ChunkedBinaryDataSource> fallback = ChunkedBinaryDataSource::Open(path);
+    if (!fallback.ok()) return fallback.status();
+    source.fallback_ = std::make_unique<ChunkedBinaryDataSource>(
+        std::move(*fallback));
+  }
+  return source;
+}
+
+const double* MmapFileDataSource::Row(size_t i) const {
+  return reinterpret_cast<const double*>(region_.data() + data_start_) +
+         i * num_dims_;
+}
+
+Result<std::unique_ptr<DataSource::Cursor>> MmapFileDataSource::Scan(
+    size_t begin, size_t end) const {
+  if (fallback_ != nullptr) return fallback_->Scan(begin, end);
+  MRCC_RETURN_IF_ERROR(CheckRange(begin, end, num_points_));
+  MRCC_RETURN_IF_ERROR(fp::Maybe("source.scan"));
+  const double* base = num_points_ == 0 ? nullptr : Row(0);
+  return std::unique_ptr<Cursor>(new MmapCursor(base, num_dims_, begin, end));
+}
+
+Status MmapFileDataSource::ScanChunks(size_t begin, size_t end,
+                                      size_t chunk_points,
+                                      const ChunkCallback& fn) const {
+  if (fallback_ != nullptr) {
+    return fallback_->ScanChunks(begin, end, chunk_points, fn);
+  }
+  MRCC_RETURN_IF_ERROR(CheckChunkArgs(begin, end, num_points_, chunk_points));
+  MRCC_RETURN_IF_ERROR(fp::Maybe("source.scan"));
+  size_t next = begin;
+  while (next < end) {
+    const size_t count = std::min(chunk_points, end - next);
+    const std::span<const double> values(Row(next), count * num_dims_);
+    MRCC_RETURN_IF_ERROR(EmitChunk(next, count, values, fn));
+    next += count;
+  }
+  return Status::OK();
 }
 
 }  // namespace mrcc

@@ -43,6 +43,11 @@ class BinaryDatasetReader {
   /// Points read so far.
   size_t position() const { return position_; }
 
+  /// Byte offset of the first point's data (end of the validated header).
+  /// 8-byte aligned in format version 1, so a memory-mapped file can serve
+  /// the doubles in place.
+  uint64_t data_start() const { return data_start_; }
+
   /// Reads the next point into `out` (must hold num_dims() doubles).
   /// Returns false at end of data; a short read yields an IOError through
   /// status().

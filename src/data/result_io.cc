@@ -141,6 +141,11 @@ std::string MrCCResultToJson(const MrCCResult& result) {
          std::to_string(result.stats.points_skipped);
   out += ",\"points_clamped\":" +
          std::to_string(result.stats.points_clamped);
+  out += ",\"chunks_scanned\":" +
+         std::to_string(result.stats.chunks_scanned);
+  out += ",\"chunk_points\":" + std::to_string(result.stats.chunk_points);
+  out += ",\"resident_point_bound\":" +
+         std::to_string(result.stats.resident_point_bound);
   out += "}";
   out += '}';
   return out;

@@ -319,6 +319,8 @@ std::string BenchRecord::ToJson() const {
     out += ",\"subspace_quality\":";
     AppendDouble(e.subspace_quality, &out);
     out += ",\"clusters_found\":" + std::to_string(e.clusters_found);
+    out += ",\"source\":";
+    AppendEscaped(e.source, &out);
     out += ",\"error\":";
     AppendEscaped(e.error, &out);
     out += '}';
@@ -382,6 +384,8 @@ Result<BenchRecord> BenchRecord::FromJson(const std::string& json) {
       entry.subspace_quality = NumberOr(element.Find("subspace_quality"), 0.0);
       entry.clusters_found = static_cast<uint64_t>(
           NumberOr(element.Find("clusters_found"), 0.0));
+      // Records written before the source axis existed are memory runs.
+      entry.source = StringOr(element.Find("source"), "memory");
       record.entries.push_back(std::move(entry));
     }
   }

@@ -142,6 +142,15 @@ std::string RenderRunReportHtml(const Dataset& data, const MrCCResult& result,
     }
     html += "</ul>";
   }
+  if (result.stats.chunks_scanned > 0) {
+    Appendf(&html,
+            "<p>streaming: %llu chunks of up to %llu points scanned "
+            "(&le; %llu points resident at once).</p>",
+            static_cast<unsigned long long>(result.stats.chunks_scanned),
+            static_cast<unsigned long long>(result.stats.chunk_points),
+            static_cast<unsigned long long>(
+                result.stats.resident_point_bound));
+  }
   if (result.stats.points_skipped > 0 || result.stats.points_clamped > 0) {
     Appendf(&html,
             "<p>input hygiene: %llu points skipped, %llu clamped into "

@@ -202,6 +202,165 @@ TEST(BinaryFileDataSourceTest, ExhaustedRetriesSurfaceAsIOError) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------
+// ScanChunks: the out-of-core delivery contract (data_source.h file
+// comment) — chunks in order, range covered exactly once, identical
+// values on every backend at every chunk size.
+
+/// Replays a ScanChunks call into a flat vector, checking ordering and
+/// chunk-size bounds along the way.
+std::vector<double> DrainChunks(const DataSource& source, size_t begin,
+                                size_t end, size_t chunk_points) {
+  std::vector<double> out;
+  size_t expect_first = begin;
+  const Status status = source.ScanChunks(
+      begin, end, chunk_points,
+      [&](size_t first, std::span<const double> values) {
+        EXPECT_EQ(first, expect_first) << "chunks out of order or overlapping";
+        EXPECT_GT(values.size(), 0u);
+        EXPECT_EQ(values.size() % source.NumDims(), 0u);
+        EXPECT_LE(values.size() / source.NumDims(), chunk_points);
+        expect_first = first + values.size() / source.NumDims();
+        out.insert(out.end(), values.begin(), values.end());
+        return Status::OK();
+      });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(expect_first, end) << "range not covered";
+  return out;
+}
+
+TEST(ScanChunksTest, EveryBackendDeliversIdenticalChunkStreams) {
+  Dataset d = testing::UniformDataset(257, 5, 23);
+  const std::string path = ::testing::TempDir() + "mrcc_chunks.bin";
+  ASSERT_TRUE(SaveBinary(d, path).ok());
+
+  MemoryDataSource memory(d);
+  Result<BinaryFileDataSource> file = BinaryFileDataSource::Open(path);
+  ASSERT_TRUE(file.ok());
+  // 96-byte buffer: holds 2 points of 5 doubles, so every chunk request
+  // spans several block reads — the re-blocking seam.
+  Result<ChunkedBinaryDataSource> chunked =
+      ChunkedBinaryDataSource::Open(path, 96);
+  ASSERT_TRUE(chunked.ok());
+  EXPECT_EQ(chunked->buffer_points(), 2u);
+  Result<MmapFileDataSource> mapped = MmapFileDataSource::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_TRUE(mapped->using_mmap());
+
+  const std::vector<double> expected = DrainChunks(memory, 0, 257, 257);
+  ASSERT_EQ(expected.size(), 257u * 5u);
+  for (size_t chunk : {size_t{1}, size_t{7}, size_t{64}, size_t{4096}}) {
+    SCOPED_TRACE("chunk_points=" + std::to_string(chunk));
+    EXPECT_EQ(DrainChunks(memory, 0, 257, chunk), expected);
+    EXPECT_EQ(DrainChunks(*file, 0, 257, chunk), expected);
+    EXPECT_EQ(DrainChunks(*chunked, 0, 257, chunk), expected);
+    EXPECT_EQ(DrainChunks(*mapped, 0, 257, chunk), expected);
+  }
+  // Sub-ranges, including both ends.
+  for (const auto& [begin, end] :
+       {std::pair<size_t, size_t>{0, 1}, {256, 257}, {100, 200}}) {
+    SCOPED_TRACE("range [" + std::to_string(begin) + ", " +
+                 std::to_string(end) + ")");
+    const std::vector<double> want(expected.begin() + begin * 5,
+                                   expected.begin() + end * 5);
+    EXPECT_EQ(DrainChunks(*chunked, begin, end, 3), want);
+    EXPECT_EQ(DrainChunks(*mapped, begin, end, 3), want);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScanChunksTest, CallbackErrorAbortsTheScanUnchanged) {
+  Dataset d = testing::UniformDataset(40, 2, 24);
+  MemoryDataSource source(d);
+  size_t calls = 0;
+  const Status status = source.ScanChunks(
+      0, 40, 10, [&](size_t, std::span<const double>) {
+        ++calls;
+        return calls == 2 ? Status::Internal("stop here") : Status::OK();
+      });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "stop here");
+  EXPECT_EQ(calls, 2u);  // Nothing delivered past the failure.
+}
+
+TEST(ScanChunksTest, ArgumentsAreValidated) {
+  Dataset d = testing::UniformDataset(10, 2, 25);
+  MemoryDataSource source(d);
+  const auto ignore = [](size_t, std::span<const double>) {
+    return Status::OK();
+  };
+  EXPECT_EQ(source.ScanChunks(0, 11, 4, ignore).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(source.ScanChunks(7, 5, 4, ignore).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(source.ScanChunks(0, 10, 0, ignore).code(),
+            StatusCode::kInvalidArgument);
+  // An empty range is a no-op, not an error.
+  EXPECT_TRUE(source.ScanChunks(5, 5, 4, ignore).ok());
+}
+
+TEST(ScanChunksTest, ChunkReadFaultSurfacesFromEveryBackend) {
+  Dataset d = testing::UniformDataset(30, 3, 26);
+  const std::string path = ::testing::TempDir() + "mrcc_chunk_fault.bin";
+  ASSERT_TRUE(SaveBinary(d, path).ok());
+  Result<MmapFileDataSource> mapped = MmapFileDataSource::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  MemoryDataSource memory(d);
+
+  fp::ScopedArm arm("source.chunk.read");
+  const auto ignore = [](size_t, std::span<const double>) {
+    return Status::OK();
+  };
+  EXPECT_EQ(memory.ScanChunks(0, 30, 8, ignore).code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(mapped->ScanChunks(0, 30, 8, ignore).code(),
+            StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileDataSourceTest, CursorScanMatchesMemory) {
+  Dataset d = testing::UniformDataset(128, 4, 27);
+  const std::string path = ::testing::TempDir() + "mrcc_mmap_scan.bin";
+  ASSERT_TRUE(SaveBinary(d, path).ok());
+  Result<MmapFileDataSource> mapped = MmapFileDataSource::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  MemoryDataSource memory(d);
+
+  for (const auto& [begin, end] :
+       {std::pair<size_t, size_t>{0, 128}, {0, 1}, {127, 128}, {30, 90}}) {
+    auto from_map = mapped->Scan(begin, end);
+    auto from_memory = memory.Scan(begin, end);
+    ASSERT_TRUE(from_map.ok() && from_memory.ok());
+    EXPECT_EQ(Drain(**from_map), Drain(**from_memory))
+        << "range [" << begin << ", " << end << ")";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileDataSourceTest, FallbackServesTheSameBytes) {
+  Dataset d = testing::UniformDataset(90, 3, 28);
+  const std::string path = ::testing::TempDir() + "mrcc_mmap_fb.bin";
+  ASSERT_TRUE(SaveBinary(d, path).ok());
+
+  Result<MmapFileDataSource> mapped = MmapFileDataSource::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_TRUE(mapped->using_mmap());
+  const std::vector<double> expected = DrainChunks(*mapped, 0, 90, 11);
+
+  Result<MmapFileDataSource> fallback(Status::Internal("unset"));
+  {
+    fp::ScopedArm arm("source.mmap");
+    fallback = MmapFileDataSource::Open(path);
+  }
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_FALSE(fallback->using_mmap());
+  EXPECT_EQ(DrainChunks(*fallback, 0, 90, 11), expected);
+  auto cursor = fallback->ScanAll();
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_EQ(Drain(**cursor).size(), 90u);
+  std::remove(path.c_str());
+}
+
 TEST(DatasetReaderSeekTest, SeekToJumpsToPoint) {
   Dataset d = testing::UniformDataset(64, 5, 16);
   const std::string path = ::testing::TempDir() + "mrcc_seek.bin";

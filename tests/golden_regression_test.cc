@@ -25,6 +25,8 @@
 #include "common/check.h"
 #include "core/mrcc.h"
 #include "core/tree_io.h"
+#include "data/data_source.h"
+#include "data/dataset_io.h"
 #include "data/generator.h"
 
 namespace mrcc {
@@ -129,6 +131,43 @@ TEST(GoldenRegressionTest, ResultsAndTreeBytesMatchPreRefactorRuns) {
     const std::string path =
         ::testing::TempDir() + "mrcc_golden_" + std::to_string(c.seed) + ".bin";
     EXPECT_EQ(HashTreeBytes(*tree, path), c.tree_hash);
+  }
+}
+
+// The out-of-core backends and every chunk size must reproduce the same
+// pre-refactor hashes: streaming is a storage change, not an algorithmic
+// one, so the pinned history covers it too.
+TEST(GoldenRegressionTest, OutOfCoreBuildsMatchThePinnedHashes) {
+  for (const GoldenCase& c : kGolden) {
+    SCOPED_TRACE("n=" + std::to_string(c.n) + " d=" + std::to_string(c.d) +
+                 " seed=" + std::to_string(c.seed));
+    LabeledDataset ds = Clustered(c.n, c.d, c.k, c.seed);
+    const std::string bin_path = ::testing::TempDir() + "mrcc_golden_src_" +
+                                 std::to_string(c.seed) + ".bin";
+    ASSERT_TRUE(SaveBinary(ds.data, bin_path).ok());
+
+    MrCCParams params;
+    params.num_resolutions = c.resolutions;
+    params.num_threads = 1;
+
+    for (const size_t chunk : {size_t{0}, size_t{1}, size_t{1009}}) {
+      SCOPED_TRACE("chunk_points=" + std::to_string(chunk));
+      params.chunk_points = chunk;
+
+      Result<ChunkedBinaryDataSource> chunked =
+          ChunkedBinaryDataSource::Open(bin_path);
+      ASSERT_TRUE(chunked.ok()) << chunked.status().ToString();
+      Result<MrCCResult> r = MrCC(params).Run(*chunked);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(HashResult(*r), c.result_hash);
+
+      Result<MmapFileDataSource> mapped = MmapFileDataSource::Open(bin_path);
+      ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+      r = MrCC(params).Run(*mapped);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(HashResult(*r), c.result_hash);
+    }
+    std::remove(bin_path.c_str());
   }
 }
 

@@ -25,6 +25,13 @@ offending line):
                      prefix. Tests/benches are exempt (they exercise the
                      registries with toy names).
 
+  span-documented    Every MRCC_TRACE_SPAN[_N] literal inside src/ must
+                     additionally appear in the DESIGN.md §10 span table —
+                     the table is the tracing contract, and an undocumented
+                     span would silently widen it. The documented set is
+                     parsed from DESIGN.md, so adding a span means adding
+                     its table row in the same change.
+
   result-unchecked   `x.value()` / `std::move(x).value()` on a Result
                      requires a dominating check of the same variable —
                      `x.ok()` or `x.status()` earlier in the same function
@@ -214,6 +221,21 @@ def call_string_literals(source, callee_re):
         yield line, source[j + 1:k]
 
 
+def load_documented_spans(root):
+    """Span names listed in the DESIGN.md §10 span-taxonomy table."""
+    path = os.path.join(root, "DESIGN.md")
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    m = re.search(r"### Span taxonomy(.*?)(?:\n### |\n## )", text, re.S)
+    if not m:
+        raise RuntimeError("cannot locate the span-taxonomy table in %s"
+                           % path)
+    spans = set(re.findall(r"^\|\s*`([a-z0-9_.]+)`", m.group(1), re.M))
+    if not spans:
+        raise RuntimeError("span-taxonomy table parsed empty in %s" % path)
+    return spans
+
+
 def load_registered_sites(root):
     """Parses the closed kSites list out of src/common/failpoint.cc."""
     path = os.path.join(root, "src", "common", "failpoint.cc")
@@ -263,6 +285,16 @@ def check_failpoint_sites(path, source, sites, findings):
                     path, line, "failpoint-site",
                     "'%s' is not in fp::AllSites() (kSites, failpoint.cc)"
                     % site))
+
+
+def check_spans_documented(path, source, spans, findings):
+    for line, lit in call_string_literals(source,
+                                          r"\bMRCC_TRACE_SPAN(?:_N)?"):
+        if lit not in spans:
+            findings.append(Finding(
+                path, line, "span-documented",
+                "span '%s' is missing from the DESIGN.md §10 span table"
+                % lit))
 
 
 def check_metric_and_span_names(path, source, findings):
@@ -405,13 +437,14 @@ def check_cell_storage(path, source, findings):
             "CellRef (tests: CountingTree::TestPeer)"))
 
 
-def lint_file(path, rel, sites, result_fns, findings):
+def lint_file(path, rel, sites, spans, result_fns, findings):
     with open(path, encoding="utf-8", errors="replace") as f:
         source = f.read()
     raw = []
     check_failpoint_sites(rel, source, sites, raw)
     if rel.replace(os.sep, "/").startswith("src/"):
         check_metric_and_span_names(rel, source, raw)
+        check_spans_documented(rel, source, spans, raw)
     check_result_value(rel, source, result_fns, raw)
     check_cell_storage(rel, source, raw)
     allow = suppressed_lines(source)
@@ -436,6 +469,7 @@ def main(argv):
         os.path.dirname(os.path.abspath(__file__)))
     try:
         sites = load_registered_sites(root)
+        spans = load_documented_spans(root)
         result_fns = load_result_returning_functions(root)
     except (OSError, RuntimeError) as e:
         print("mrcc_lint.py: %s" % e, file=sys.stderr)
@@ -459,7 +493,7 @@ def main(argv):
     findings = []
     for path in paths:
         rel = os.path.relpath(path, root)
-        lint_file(path, rel, sites, result_fns, findings)
+        lint_file(path, rel, sites, spans, result_fns, findings)
 
     for f_ in findings:
         print(f_, file=sys.stderr)
