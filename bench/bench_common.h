@@ -24,13 +24,18 @@
 //   MRCC_BENCH_SOURCE   data backend axis where a bench supports it
 //                       (bench_scale_points): memory | chunked | mmap;
 //                       unset = sweep all three.
+//   MRCC_BENCH_READ_AHEAD
+//                       read-ahead depths (comma-separated) to sweep on
+//                       the backend-comparison axis; unset = "0,2"
+//                       (synchronous vs. double buffering).
 //
 // Command-line flags (override the environment; shared by every bench):
 //   --json_out=PATH     write the run's BenchRecord JSON to PATH.
 //   --trace_out=PATH    enable stage tracing and write a Chrome trace
 //                       (chrome://tracing / ui.perfetto.dev) to PATH.
 //   --scale=X --budget=S --methods=A,B --csv_dir=DIR --data_dir=DIR
-//   --source=S          flag twins of the environment knobs above.
+//   --source=S --read_ahead=D0,D1
+//                       flag twins of the environment knobs above.
 
 #pragma once
 
@@ -65,6 +70,11 @@ struct BenchOptions {
   std::string source;     // Data backend axis; empty = bench default.
   std::string json_out;   // BenchRecord JSON path; empty = don't write.
   std::string trace_out;  // Chrome trace path; empty = tracing stays off.
+
+  // Read-ahead depths the backend-comparison axis sweeps (chunk buffers;
+  // 0 = synchronous scans). The default contrasts today's synchronous
+  // path with double buffering.
+  std::vector<size_t> read_ahead = {0, 2};
 };
 
 inline std::vector<std::string> SplitCsvList(const std::string& raw) {
@@ -80,6 +90,27 @@ inline std::vector<std::string> SplitCsvList(const std::string& raw) {
   }
   if (!token.empty()) out.push_back(token);
   return out;
+}
+
+/// "0,2,8" -> {0, 2, 8}. A bench axis misconfiguration should be loud,
+/// not silent, so non-numeric tokens abort.
+inline std::vector<size_t> ParseReadAheadList(const std::string& raw) {
+  std::vector<size_t> depths;
+  for (const std::string& token : SplitCsvList(raw)) {
+    char* rest = nullptr;
+    const unsigned long long v = std::strtoull(token.c_str(), &rest, 10);
+    if (rest == token.c_str() || *rest != '\0') {
+      std::fprintf(stderr, "read_ahead: '%s' is not a depth\n",
+                   token.c_str());
+      std::exit(2);
+    }
+    depths.push_back(static_cast<size_t>(v));
+  }
+  if (depths.empty()) {
+    std::fprintf(stderr, "read_ahead: empty depth list\n");
+    std::exit(2);
+  }
+  return depths;
 }
 
 inline BenchOptions OptionsFromEnv() {
@@ -105,6 +136,9 @@ inline BenchOptions OptionsFromEnv() {
   }
   if (const char* source = std::getenv("MRCC_BENCH_SOURCE")) {
     options.source = source;
+  }
+  if (const char* depths = std::getenv("MRCC_BENCH_READ_AHEAD")) {
+    options.read_ahead = ParseReadAheadList(depths);
   }
   return options;
 }
@@ -140,12 +174,14 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
       options.data_dir = value;
     } else if (MatchFlag(argv[i], "source", &value)) {
       options.source = value;
+    } else if (MatchFlag(argv[i], "read_ahead", &value)) {
+      options.read_ahead = ParseReadAheadList(value);
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--json_out=PATH] "
                    "[--trace_out=PATH] [--scale=X] [--budget=S] "
                    "[--methods=A,B] [--csv_dir=DIR] [--data_dir=DIR] "
-                   "[--source=memory|chunked|mmap]\n",
+                   "[--source=memory|chunked|mmap] [--read_ahead=D0,D1]\n",
                    argv[i], argv[0]);
       std::exit(2);
     }

@@ -13,14 +13,19 @@
 //
 // It also compares the data backends (--source=memory|chunked|mmap,
 // default: all three) on the largest dataset: the same MrCC run over the
-// in-memory buffer, bounded-buffer file reads and an mmap'ed file. Labels
-// are asserted identical across backends and one BenchEntry per backend —
-// distinguished by BenchEntry::source — lands in the BenchRecord.
+// in-memory buffer, bounded-buffer file reads and an mmap'ed file, each
+// swept over the pipelined-scan depths (--read_ahead=D0,D1, default 0,2 =
+// synchronous vs. double buffering) with the page cache dropped before
+// every file-backed run so the axis measures device reads. Labels are
+// asserted identical across every backend × depth and one BenchEntry per
+// cell — distinguished by BenchEntry::source / BenchEntry::read_ahead —
+// lands in the BenchRecord.
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "bench/bench_common.h"
+#include "common/fs.h"
 #include "core/mrcc.h"
 #include "data/catalog.h"
 #include "data/data_source.h"
@@ -116,62 +121,78 @@ void RunSourceComparison(const mrcc::bench::BenchOptions& options,
   std::printf("\n== MrCC data backends on %s (%zu points x %zu dims) ==\n",
               dataset.name.c_str(), dataset.data.NumPoints(),
               dataset.data.NumDims());
-  std::printf("%8s %10s %10s %12s %10s\n", "source", "tree(s)", "total(s)",
-              "chunks", "quality");
+  std::printf("%8s %6s %10s %10s %12s %8s %10s\n", "source", "ahead",
+              "tree(s)", "total(s)", "chunks", "stalls", "quality");
 
   std::vector<int> reference_labels;
   for (const std::string& source_name : sources) {
-    MrCCParams params;
-    Result<MrCCResult> r(Status::Internal("unset"));
-    if (source_name == "memory") {
-      const MemoryDataSource source(dataset.data);
-      r = MrCC(params).Run(source);
-    } else if (source_name == "chunked") {
-      Result<ChunkedBinaryDataSource> source =
-          ChunkedBinaryDataSource::Open(bin_path);
-      r = source.ok() ? MrCC(params).Run(*source)
-                      : Result<MrCCResult>(source.status());
-    } else if (source_name == "mmap") {
-      Result<MmapFileDataSource> source = MmapFileDataSource::Open(bin_path);
-      r = source.ok() ? MrCC(params).Run(*source)
-                      : Result<MrCCResult>(source.status());
-    } else {
-      std::fprintf(stderr, "unknown --source=%s (memory|chunked|mmap)\n",
-                   source_name.c_str());
-      std::exit(2);
-    }
+    for (size_t depth : options.read_ahead) {
+      MrCCParams params;
+      params.read_ahead_chunks = depth;
+      Result<MrCCResult> r(Status::Internal("unset"));
+      if (source_name == "memory") {
+        const MemoryDataSource source(dataset.data);
+        r = MrCC(params).Run(source);
+      } else if (source_name == "chunked" || source_name == "mmap") {
+        // Cold-cache: without this, the second depth's run would read the
+        // first one's page cache and the axis would measure nothing.
+        if (Status s = DropFileCache(bin_path); !s.ok()) {
+          std::fprintf(stderr, "drop cache (best effort): %s\n",
+                       s.ToString().c_str());
+        }
+        if (source_name == "chunked") {
+          Result<ChunkedBinaryDataSource> source =
+              ChunkedBinaryDataSource::Open(bin_path);
+          r = source.ok() ? MrCC(params).Run(*source)
+                          : Result<MrCCResult>(source.status());
+        } else {
+          Result<MmapFileDataSource> source =
+              MmapFileDataSource::Open(bin_path);
+          r = source.ok() ? MrCC(params).Run(*source)
+                          : Result<MrCCResult>(source.status());
+        }
+      } else {
+        std::fprintf(stderr, "unknown --source=%s (memory|chunked|mmap)\n",
+                     source_name.c_str());
+        std::exit(2);
+      }
 
-    BenchEntry entry;
-    entry.method = "MrCC";
-    entry.dataset = dataset.name;
-    entry.source = source_name;
-    if (!r.ok()) {
-      entry.error = r.status().ToString();
-      std::fprintf(stderr, "MrCC(source=%s): %s\n", source_name.c_str(),
-                   entry.error.c_str());
+      BenchEntry entry;
+      entry.method = "MrCC";
+      entry.dataset = dataset.name;
+      entry.source = source_name;
+      entry.read_ahead = static_cast<int64_t>(depth);
+      if (!r.ok()) {
+        entry.error = r.status().ToString();
+        std::fprintf(stderr, "MrCC(source=%s, read_ahead=%zu): %s\n",
+                     source_name.c_str(), depth, entry.error.c_str());
+        recorder->Add(entry);
+        continue;
+      }
+      if (reference_labels.empty()) {
+        reference_labels = r->clustering.labels;
+      } else if (r->clustering.labels != reference_labels) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: source=%s read_ahead=%zu "
+                     "labels differ\n",
+                     source_name.c_str(), depth);
+        std::exit(1);
+      }
+      const QualityReport quality =
+          EvaluateClustering(r->clustering, dataset.truth);
+      entry.completed = true;
+      entry.seconds = r->stats.total_seconds;
+      entry.quality = quality.quality;
+      entry.subspace_quality = quality.subspace_quality;
+      entry.clusters_found = r->clustering.NumClusters();
       recorder->Add(entry);
-      continue;
+      std::printf("%8s %6zu %10.3f %10.3f %12llu %8llu %10.3f\n",
+                  source_name.c_str(), depth, r->stats.tree_build_seconds,
+                  r->stats.total_seconds,
+                  static_cast<unsigned long long>(r->stats.chunks_scanned),
+                  static_cast<unsigned long long>(r->stats.prefetch_stalls),
+                  quality.quality);
     }
-    if (reference_labels.empty()) {
-      reference_labels = r->clustering.labels;
-    } else if (r->clustering.labels != reference_labels) {
-      std::fprintf(stderr,
-                   "DETERMINISM VIOLATION: source=%s labels differ\n",
-                   source_name.c_str());
-      std::exit(1);
-    }
-    const QualityReport quality =
-        EvaluateClustering(r->clustering, dataset.truth);
-    entry.completed = true;
-    entry.seconds = r->stats.total_seconds;
-    entry.quality = quality.quality;
-    entry.subspace_quality = quality.subspace_quality;
-    entry.clusters_found = r->clustering.NumClusters();
-    recorder->Add(entry);
-    std::printf("%8s %10.3f %10.3f %12llu %10.3f\n", source_name.c_str(),
-                r->stats.tree_build_seconds, r->stats.total_seconds,
-                static_cast<unsigned long long>(r->stats.chunks_scanned),
-                quality.quality);
   }
   std::remove(bin_path.c_str());
 }

@@ -3,7 +3,12 @@
 //
 //   ./examples/out_of_core --generate <file.bin> [points] [dims]
 //   ./examples/out_of_core [--source=memory|chunked|mmap]
-//                          [--budget-mb=N] <file.bin>
+//                          [--budget-mb=N] [--read-ahead=N] <file.bin>
+//
+// --read-ahead sets the pipelined-scan depth (chunk buffers a background
+// reader keeps ahead of the build; default 2 = double buffering, 0 =
+// synchronous scans). Results are identical at every depth; the budget
+// accounting covers the ring, so a capped run stays capped.
 //
 // --generate writes a synthetic clustered dataset to <file.bin> and
 // exits; run it once, then cluster the file with any backend:
@@ -68,9 +73,10 @@ int Generate(const std::string& path, size_t points, size_t dims) {
 }
 
 int Cluster(const std::string& path, const std::string& source_name,
-            size_t budget_mb) {
+            size_t budget_mb, size_t read_ahead) {
   mrcc::MrCCParams params;
   params.budget.max_memory_bytes = budget_mb * 1024 * 1024;
+  params.read_ahead_chunks = read_ahead;
 
   mrcc::Result<mrcc::MrCCResult> result(mrcc::Status::Internal("unset"));
   std::string mode = source_name;
@@ -126,9 +132,14 @@ int Cluster(const std::string& path, const std::string& source_name,
   std::printf("source: %s\n", mode.c_str());
   if (r.stats.chunks_scanned > 0) {
     std::printf("streaming: %llu chunks of up to %zu points "
-                "(<= %zu points resident at once)\n",
+                "(<= %zu points resident at once; read-ahead %zu, "
+                "%llu stalls, %llu full-ring waits)\n",
                 static_cast<unsigned long long>(r.stats.chunks_scanned),
-                r.stats.chunk_points, r.stats.resident_point_bound);
+                r.stats.chunk_points, r.stats.resident_point_bound,
+                r.stats.read_ahead_chunks,
+                static_cast<unsigned long long>(r.stats.prefetch_stalls),
+                static_cast<unsigned long long>(
+                    r.stats.prefetch_queue_full_waits));
   }
   std::printf("tree: %.3f s, %.1f KiB; total %.3f s\n",
               r.stats.tree_build_seconds,
@@ -145,6 +156,7 @@ int main(int argc, char** argv) {
   bool generate = false;
   std::string source = "chunked";
   size_t budget_mb = 0;
+  size_t read_ahead = 2;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -155,6 +167,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--budget-mb=", 0) == 0) {
       budget_mb = std::strtoul(arg.c_str() + std::strlen("--budget-mb="),
                                nullptr, 10);
+    } else if (arg.rfind("--read-ahead=", 0) == 0) {
+      read_ahead = std::strtoul(arg.c_str() + std::strlen("--read-ahead="),
+                                nullptr, 10);
     } else {
       positional.push_back(arg);
     }
@@ -163,7 +178,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --generate <file.bin> [points] [dims]\n"
                  "       %s [--source=memory|chunked|mmap] "
-                 "[--budget-mb=N] <file.bin>\n",
+                 "[--budget-mb=N] [--read-ahead=N] <file.bin>\n",
                  argv[0], argv[0]);
     return 2;
   }
@@ -177,5 +192,5 @@ int main(int argc, char** argv) {
                             : 12;
     return Generate(path, points, dims);
   }
-  return Cluster(path, source, budget_mb);
+  return Cluster(path, source, budget_mb, read_ahead);
 }

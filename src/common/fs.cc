@@ -1,5 +1,6 @@
 #include "common/fs.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <system_error>
@@ -93,6 +94,17 @@ Result<MmapRegion> MmapRegion::Map(int fd, size_t length,
   return MmapRegion(addr, length);
 }
 
+void MmapRegion::WillNeed(size_t offset, size_t length) const {
+  if (addr_ == nullptr || offset >= length_ || length == 0) return;
+  length = std::min(length, length_ - offset);
+  // madvise wants a page-aligned start; round the offset down (the extra
+  // prefix pages are already resident or about to be).
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t aligned = offset & ~(page - 1);
+  (void)::madvise(static_cast<char*>(addr_) + aligned,
+                  length + (offset - aligned), MADV_WILLNEED);
+}
+
 Result<uint64_t> FileSize(int fd, const std::string& path) {
   struct stat st;
   if (::fstat(fd, &st) != 0) {
@@ -144,6 +156,21 @@ Status ReadExactAt(int fd, void* buf, size_t n, uint64_t offset,
         std::to_string(offset + done) +
         (retries > 0 ? " after " + std::to_string(retries) + " retries"
                      : ""));
+  }
+  return Status::OK();
+}
+
+Status DropFileCache(const std::string& path) {
+  Result<UniqueFd> fd = OpenForRead(path);
+  if (!fd.ok()) return fd.status();
+  // Dirty pages are not dropped; flush them first so the advice bites.
+  (void)::fsync(fd->get());
+  const int err = ::posix_fadvise(fd->get(), 0, 0, POSIX_FADV_DONTNEED);
+  // EINVAL/ENOSYS mean the filesystem does not support the advice (tmpfs,
+  // some network mounts) — the cache simply stays warm, which is not a
+  // failure of the caller's scan.
+  if (err != 0 && err != EINVAL && err != ENOSYS) {
+    return Status::IOError(ErrnoMessage("fadvise failed", path, err));
   }
   return Status::OK();
 }

@@ -75,6 +75,12 @@ class MmapRegion {
   }
   size_t size() const { return length_; }
 
+  /// Advises the kernel that [offset, offset + length) will be read soon
+  /// (MADV_WILLNEED), so page-in starts before the first touch. Advisory
+  /// and clamped to the mapping: out-of-range requests shrink to fit and
+  /// a kernel that ignores the hint costs nothing. No-op when !valid().
+  void WillNeed(size_t offset, size_t length) const;
+
  private:
   MmapRegion(void* addr, size_t length) : addr_(addr), length_(length) {}
 
@@ -101,5 +107,12 @@ inline constexpr int kMaxReadRetries = 3;
 /// `path` is used for error messages only.
 [[nodiscard]] Status ReadExactAt(int fd, void* buf, size_t n, uint64_t offset,
                    const std::string& path);
+
+/// Asks the kernel to drop `path`'s cached pages (posix_fadvise
+/// POSIX_FADV_DONTNEED). Best effort: tmpfs and some filesystems ignore
+/// the hint, and an unsupported advice is not an error. The cold-cache
+/// benches use this so a repeated scan measures device reads, not page
+/// cache hits.
+[[nodiscard]] Status DropFileCache(const std::string& path);
 
 }  // namespace mrcc

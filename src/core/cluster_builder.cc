@@ -55,7 +55,9 @@ Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
                                      const std::vector<int>& beta_to_cluster,
                                      const DataSource& source,
                                      int num_threads, BadPointPolicy policy,
-                                     size_t chunk_points) {
+                                     size_t chunk_points,
+                                     size_t read_ahead_chunks,
+                                     PrefetchStats* prefetch) {
   // Each contained point is labeled beta_to_cluster[b] — a short map
   // silently mislabels, a long one reads out of the betas' range.
   MRCC_CHECK_EQ(beta_to_cluster.size(), betas.size());
@@ -72,12 +74,17 @@ Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
       ResolveThreadCount(num_threads),
       static_cast<int>(std::max<size_t>(1, n / kMinPointsPerSlice))));
 
+  std::vector<PrefetchStats> slice_prefetch(
+      static_cast<size_t>(pool.num_threads()));
   Mutex status_mu;
   Status first_error;  // Guarded by status_mu (locals cannot carry the
                        // MRCC_GUARDED_BY annotation; keep the pairing).
-  pool.ParallelFor(n, [&](int, size_t begin, size_t end) {
+  pool.ParallelFor(n, [&](int t, size_t begin, size_t end) {
     std::vector<double> scratch;
-    const Status slice_status = source.ScanChunks(
+    // Reads of the next chunk overlap the box-membership tests of the
+    // current one; depth 0 degenerates to the plain synchronous scan.
+    const ReadAheadScanner scanner(source, read_ahead_chunks);
+    const Status slice_status = scanner.ScanChunks(
         begin, end, chunk_points,
         [&](size_t first, std::span<const double> values) -> Status {
           const size_t count = values.size() / num_dims;
@@ -106,13 +113,18 @@ Result<std::vector<int>> LabelPoints(const std::vector<BetaCluster>& betas,
             }
           }
           return Status::OK();
-        });
+        },
+        &slice_prefetch[static_cast<size_t>(t)]);
     if (!slice_status.ok()) {
       MutexLock lock(status_mu);
       if (first_error.ok()) first_error = slice_status;
     }
   });
   MRCC_RETURN_IF_ERROR(first_error);
+  if (prefetch != nullptr) {
+    // Slice order, like every other reduction in the pipeline.
+    for (const PrefetchStats& s : slice_prefetch) *prefetch += s;
+  }
   return labels;
 }
 

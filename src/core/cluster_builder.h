@@ -19,6 +19,7 @@
 #include "core/beta_cluster_finder.h"
 #include "data/data_source.h"
 #include "data/dataset.h"
+#include "data/prefetch.h"
 #include "data/sanitize.h"
 
 namespace mrcc {
@@ -47,15 +48,16 @@ Clustering MergeBetaClusters(const std::vector<BetaCluster>& betas,
 ///
 /// The scan consumes the source in bounded chunks of `chunk_points`
 /// points (0 = a 4096-point default); the chunk size bounds raw-point
-/// memory and never changes the labels.
+/// memory and never changes the labels. `read_ahead_chunks` pipelines
+/// each slice's scan through a ReadAheadScanner of that depth (0 = the
+/// synchronous path; never changes the labels either); `prefetch`, when
+/// non-null, accumulates the scans' counters in slice order.
 [[nodiscard]] Result<std::vector<int>> LabelPoints(
     const std::vector<BetaCluster>& betas,
-                                     const std::vector<int>& beta_to_cluster,
-                                     const DataSource& source,
-                                     int num_threads = 1,
-                                     BadPointPolicy policy =
-                                         BadPointPolicy::kReject,
-                                     size_t chunk_points = 0);
+    const std::vector<int>& beta_to_cluster, const DataSource& source,
+    int num_threads = 1, BadPointPolicy policy = BadPointPolicy::kReject,
+    size_t chunk_points = 0, size_t read_ahead_chunks = 0,
+    PrefetchStats* prefetch = nullptr);
 
 /// Merges β-clusters and labels `data`'s points in one call (the
 /// in-memory composition of the two functions above).

@@ -16,6 +16,7 @@
 #include "core/laplacian_mask.h"
 #include "core/streaming_mrcc.h"
 #include "core/tree_io.h"
+#include "data/prefetch.h"
 
 namespace mrcc {
 namespace {
@@ -30,18 +31,27 @@ constexpr size_t kMinPointsPerShard = 2048;
 /// enough to amortize a block read, small enough to stay cache-friendly.
 constexpr size_t kDefaultChunkPoints = 4096;
 
+/// Chunk buffers live per scan: the read-ahead ring holds up to
+/// read_ahead_chunks of them, and a synchronous scan (depth 0) holds one.
+size_t BuffersPerScan(const MrCCParams& params) {
+  return std::max<size_t>(1, params.read_ahead_chunks);
+}
+
 /// Effective chunk size of the streaming scans: an explicit
 /// params.chunk_points wins; otherwise the default, shrunk so all
-/// shards' chunk buffers together fit in half of budget.max_memory_bytes
-/// (the other half belongs to the tree). Never zero.
+/// shards' chunk buffers together — read_ahead_chunks deep each — fit in
+/// half of budget.max_memory_bytes (the other half belongs to the tree).
+/// Never zero.
 size_t ChunkPointsFor(const MrCCParams& params, size_t num_dims,
                       int shards) {
   if (params.chunk_points > 0) return params.chunk_points;
   size_t chunk = kDefaultChunkPoints;
   if (params.budget.max_memory_bytes > 0 && num_dims > 0 && shards > 0) {
     const size_t bytes_per_point = num_dims * sizeof(double);
-    const size_t cap = params.budget.max_memory_bytes /
-                       (2 * static_cast<size_t>(shards) * bytes_per_point);
+    const size_t cap =
+        params.budget.max_memory_bytes /
+        (2 * static_cast<size_t>(shards) * BuffersPerScan(params) *
+         bytes_per_point);
     chunk = std::clamp<size_t>(cap, 1, kDefaultChunkPoints);
   }
   return chunk;
@@ -57,7 +67,8 @@ size_t ChunkPointsFor(const MrCCParams& params, size_t num_dims,
 Result<CountingTree> BuildTreeSharded(const DataSource& source,
                                       int num_resolutions, int num_threads,
                                       BadPointPolicy policy,
-                                      size_t chunk_points, MrCCStats* stats) {
+                                      size_t chunk_points, size_t read_ahead,
+                                      MrCCStats* stats) {
   const size_t n = source.NumPoints();
   const size_t num_dims = source.NumDims();
   const int want_shards = std::max(
@@ -100,6 +111,7 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
   std::vector<uint64_t> shard_skipped(static_cast<size_t>(shards), 0);
   std::vector<uint64_t> shard_clamped(static_cast<size_t>(shards), 0);
   std::vector<uint64_t> shard_chunks(static_cast<size_t>(shards), 0);
+  std::vector<PrefetchStats> shard_prefetch(static_cast<size_t>(shards));
   pool.ParallelFor(n, [&](int t, size_t begin, size_t end) {
     MRCC_TRACE_SPAN_N("tree.build.shard",
                       static_cast<int64_t>(end - begin));
@@ -114,8 +126,11 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
     if (status.ok()) {
       // Chunks arrive in order and cover [begin, end) exactly once, so
       // this fold is bit-identical to the old point-at-a-time cursor
-      // loop at every chunk size.
-      status = source.ScanChunks(
+      // loop at every chunk size. The scanner keeps up to read_ahead
+      // chunks in flight behind this shard's inserts; depth 0 is the
+      // plain synchronous scan.
+      const ReadAheadScanner scanner(source, read_ahead);
+      status = scanner.ScanChunks(
           begin, end, chunk_points,
           [&](size_t first, std::span<const double> values) -> Status {
             ++shard_chunks[st];
@@ -153,7 +168,8 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
               MRCC_RETURN_IF_ERROR(builder.Add(point));
             }
             return Status::OK();
-          });
+          },
+          &shard_prefetch[st]);
     }
     partial[st] =
         status.ok() ? std::move(builder).Finish() : Result<CountingTree>(status);
@@ -166,17 +182,23 @@ Result<CountingTree> BuildTreeSharded(const DataSource& source,
     stats->points_skipped += shard_skipped[static_cast<size_t>(t)];
     stats->points_clamped += shard_clamped[static_cast<size_t>(t)];
     stats->chunks_scanned += shard_chunks[static_cast<size_t>(t)];
+    stats->prefetch_stalls += shard_prefetch[static_cast<size_t>(t)].stalls;
+    stats->prefetch_queue_full_waits +=
+        shard_prefetch[static_cast<size_t>(t)].queue_full_waits;
   }
 
   MetricsRegistry& metrics = MetricsRegistry::Global();
   metrics.counter("tree.chunks_scanned").Add(
       static_cast<int64_t>(stats->chunks_scanned));
-  // Worst-case raw points resident at once: every shard holding a full
-  // chunk buffer. Zero-copy backends (memory, mmap) stay below it.
+  // Worst-case raw points resident at once: every shard holding all of
+  // its scan's chunk buffers (the read-ahead ring, or one buffer for a
+  // synchronous scan). Zero-copy backends (memory, mmap) stay below it.
+  const size_t buffers = std::max<size_t>(1, read_ahead);
   stats->resident_point_bound =
       static_cast<size_t>(shards) *
-      std::min(chunk_points, (n + static_cast<size_t>(shards) - 1) /
-                                 static_cast<size_t>(shards));
+      std::min(buffers * chunk_points,
+               (n + static_cast<size_t>(shards) - 1) /
+                   static_cast<size_t>(shards));
   metrics.gauge("memory.resident_points").SetMax(
       static_cast<int64_t>(stats->resident_point_bound));
   if (stats->points_skipped > 0) {
@@ -291,13 +313,14 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
   const size_t chunk_points =
       ChunkPointsFor(params_, source.NumDims(), num_threads);
   result.stats.chunk_points = chunk_points;
+  result.stats.read_ahead_chunks = params_.read_ahead_chunks;
   Timer phase;
   Result<CountingTree> tree(Status::Internal("tree build not run"));
   {
     MRCC_TRACE_SPAN("tree.build");
     tree = BuildTreeSharded(source, params_.num_resolutions, num_threads,
                             params_.bad_point_policy, chunk_points,
-                            &result.stats);
+                            params_.read_ahead_chunks, &result.stats);
   }
   if (!tree.ok()) return tree.status();
   result.stats.tree_build_seconds = phase.ElapsedSeconds();
@@ -385,15 +408,19 @@ Result<MrCCResult> MrCC::Run(const DataSource& source) const {
     result.clustering.labels.assign(source.NumPoints(), kNoiseLabel);
   } else {
     Result<std::vector<int>> labels(Status::Internal("labeling not run"));
+    PrefetchStats label_prefetch;
     {
       MRCC_TRACE_SPAN_N("cluster.label_points",
                         static_cast<int64_t>(source.NumPoints()));
       labels = LabelPoints(result.beta_clusters, result.beta_to_cluster,
                            source, num_threads, params_.bad_point_policy,
-                           chunk_points);
+                           chunk_points, params_.read_ahead_chunks,
+                           &label_prefetch);
     }
     if (!labels.ok()) return labels.status();
     result.clustering.labels = std::move(*labels);
+    result.stats.prefetch_stalls += label_prefetch.stalls;
+    result.stats.prefetch_queue_full_waits += label_prefetch.queue_full_waits;
   }
   result.stats.cluster_build_seconds = phase.ElapsedSeconds();
   result.stats.total_seconds = total.ElapsedSeconds();
@@ -413,21 +440,30 @@ Result<MrCCResult> MrCC::RunWindowed(const DataSource& source) const {
 
   // Feed the whole source through the incremental engine in bounded
   // chunks (the feed is inherently serial: generation order is stream
-  // order), then snapshot and label every point against the trailing
-  // window's clusters.
+  // order, which is exactly what the read-ahead scanner preserves — the
+  // reader thread overlaps the next chunk's I/O with PushChunk), then
+  // snapshot and label every point against the trailing window's
+  // clusters.
   const size_t chunk_points = ChunkPointsFor(params_, source.NumDims(), 1);
   uint64_t chunks = 0;
-  MRCC_RETURN_IF_ERROR(source.ScanChunks(
+  PrefetchStats prefetch;
+  const ReadAheadScanner scanner(source, params_.read_ahead_chunks);
+  MRCC_RETURN_IF_ERROR(scanner.ScanChunks(
       0, n, chunk_points,
       [&](size_t, std::span<const double> values) -> Status {
         ++chunks;
         return engine->PushChunk(values);
-      }));
+      },
+      &prefetch));
   Result<MrCCResult> result = engine->Snapshot(source);
   if (!result.ok()) return result.status();
   result->stats.chunks_scanned = chunks;
   result->stats.chunk_points = chunk_points;
-  result->stats.resident_point_bound = std::min<size_t>(chunk_points, n);
+  result->stats.read_ahead_chunks = params_.read_ahead_chunks;
+  result->stats.prefetch_stalls = prefetch.stalls;
+  result->stats.prefetch_queue_full_waits = prefetch.queue_full_waits;
+  result->stats.resident_point_bound =
+      std::min<size_t>(BuffersPerScan(params_) * chunk_points, n);
   MetricsRegistry& metrics = MetricsRegistry::Global();
   metrics.counter("tree.chunks_scanned").Add(static_cast<int64_t>(chunks));
   metrics.gauge("memory.resident_points").SetMax(

@@ -84,9 +84,18 @@ struct MrCCParams {
 
   /// Chunk size (points) of the streaming data scans; 0 = automatic: a
   /// 4096-point default, shrunk so all shards' chunk buffers together
-  /// stay within half of budget.max_memory_bytes. The chunk size never
-  /// changes results — any value yields bit-identical output.
+  /// (read_ahead_chunks deep each) stay within half of
+  /// budget.max_memory_bytes. The chunk size never changes results — any
+  /// value yields bit-identical output.
   size_t chunk_points = 0;
+
+  /// Read-ahead depth (chunk buffers) of the pipelined data scans: a
+  /// background reader thread per scan keeps up to this many chunks
+  /// buffered ahead of the consumer, overlapping chunk I/O with tree
+  /// insertion / labeling (data/prefetch.h). 2 = double buffering (the
+  /// default), 0 = the synchronous scan path. Never changes results —
+  /// every depth yields bit-identical output; it only moves wall time.
+  size_t read_ahead_chunks = 2;
 
   /// Optional sliding-window mode: when enabled, Run() routes through
   /// the incremental streaming engine and clusters only the trailing
@@ -188,8 +197,24 @@ struct MrCCStats {
   size_t chunk_points = 0;
 
   /// Upper bound on raw points resident in scan buffers at any instant
-  /// (shards × chunk size; zero-copy sources stay below it).
+  /// (shards × read-ahead depth × chunk size; zero-copy sources stay
+  /// below it).
   size_t resident_point_bound = 0;
+
+  // ---- Pipelined-scan telemetry (DESIGN.md §15).
+
+  /// Read-ahead depth the scans used (params.read_ahead_chunks).
+  size_t read_ahead_chunks = 0;
+
+  /// Times a scan consumer blocked on an empty read-ahead ring (I/O
+  /// slower than compute), summed over the build + labeling scans.
+  /// Timing-dependent diagnostic, like shard_imbalance — NOT
+  /// deterministic across runs.
+  uint64_t prefetch_stalls = 0;
+
+  /// Times a reader thread blocked on a full read-ahead ring (compute
+  /// slower than I/O — the healthy regime). Timing-dependent diagnostic.
+  uint64_t prefetch_queue_full_waits = 0;
 };
 
 /// Complete output of one MrCC run.

@@ -168,11 +168,12 @@ Status DataSource::ScanChunks(size_t begin, size_t end, size_t chunk_points,
   const size_t num_dims = NumDims();
   Result<std::unique_ptr<Cursor>> cursor = Scan(begin, end);
   if (!cursor.ok()) return cursor.status();
-  std::vector<double> buffer;
+  // One buffer for the whole scan, sized for the largest chunk; each
+  // chunk is a prefix of it (the last chunk may be short).
+  std::vector<double> buffer(std::min(chunk_points, end - begin) * num_dims);
   size_t next = begin;
   while (next < end) {
     const size_t count = std::min(chunk_points, end - next);
-    buffer.resize(count * num_dims);
     for (size_t i = 0; i < count; ++i) {
       std::span<const double> point;
       if (!(*cursor)->Next(&point)) {
@@ -182,9 +183,12 @@ Status DataSource::ScanChunks(size_t begin, size_t end, size_t chunk_points,
                                       std::to_string(end))
                    : (*cursor)->status();
       }
-      std::copy(point.begin(), point.end(), buffer.begin() + i * num_dims);
+      std::copy(point.begin(), point.end(),
+                buffer.begin() + static_cast<std::ptrdiff_t>(i * num_dims));
     }
-    MRCC_RETURN_IF_ERROR(EmitChunk(next, count, buffer, fn));
+    MRCC_RETURN_IF_ERROR(EmitChunk(
+        next, count, std::span<const double>(buffer.data(), count * num_dims),
+        fn));
     next += count;
   }
   return Status::OK();
@@ -275,18 +279,20 @@ Status ChunkedBinaryDataSource::ScanChunks(size_t begin, size_t end,
   // block; chunks stay "at most chunk_points" either way.
   const size_t block = std::min(chunk_points, buffer_points_);
   const uint64_t point_bytes = num_dims_ * sizeof(double);
-  std::vector<double> buffer;
+  // One block buffer reused across the whole scan (no per-chunk
+  // allocation); short final blocks read a prefix of it.
+  std::vector<double> buffer(std::min(block, end - begin) * num_dims_);
   size_t next = begin;
   while (next < end) {
     const size_t count = std::min(block, end - next);
-    buffer.resize(count * num_dims_);
     MRCC_RETURN_IF_ERROR(fp::Maybe("source.chunk.read"));
     MRCC_RETURN_IF_ERROR(ReadExactAt(fd->get(), buffer.data(),
                                      count * point_bytes,
                                      data_start_ + next * point_bytes, path_));
     {
       MRCC_TRACE_SPAN_N("source.scan_chunk", static_cast<int64_t>(count));
-      MRCC_RETURN_IF_ERROR(fn(next, buffer));
+      MRCC_RETURN_IF_ERROR(fn(next, std::span<const double>(
+                                        buffer.data(), count * num_dims_)));
     }
     next += count;
   }
@@ -344,9 +350,19 @@ Status MmapFileDataSource::ScanChunks(size_t begin, size_t end,
   }
   MRCC_RETURN_IF_ERROR(CheckChunkArgs(begin, end, num_points_, chunk_points));
   MRCC_RETURN_IF_ERROR(fp::Maybe("source.scan"));
+  const size_t point_bytes = num_dims_ * sizeof(double);
   size_t next = begin;
   while (next < end) {
     const size_t count = std::min(chunk_points, end - next);
+    // Tell the kernel to start paging in the next window while the
+    // consumer works on this one — the mmap path's own read-ahead
+    // (advisory; MADV_SEQUENTIAL already turned readahead up, this
+    // pins it to the scan's actual stride).
+    const size_t ahead = next + count;
+    if (ahead < end) {
+      region_.WillNeed(data_start_ + ahead * point_bytes,
+                       std::min(chunk_points, end - ahead) * point_bytes);
+    }
     const std::span<const double> values(Row(next), count * num_dims_);
     MRCC_RETURN_IF_ERROR(EmitChunk(next, count, values, fn));
     next += count;

@@ -1,0 +1,105 @@
+// Pipelined chunk scans: overlap a DataSource's I/O with the consumer's
+// compute.
+//
+// Every DataSource::ScanChunks implementation is strictly synchronous —
+// the consumer callback runs inline between block reads, so the disk is
+// idle while the consumer computes and the consumer is idle while the
+// next block loads. Per chunk that costs io + compute; a scan-dominated
+// build (the single-scan counting-tree construction, the labeling pass)
+// wants max(io, compute) instead.
+//
+// ReadAheadScanner provides exactly that: a background reader thread
+// drives the wrapped source's ScanChunks, copying each delivered chunk
+// into a bounded ring of `depth` reusable buffers, while the calling
+// thread pops chunks in order and runs the consumer callback. With
+// depth = 2 (the MrCCParams::read_ahead_chunks default) this is classic
+// double buffering: one buffer being consumed, one being filled.
+//
+// Contract, relative to a plain ScanChunks call:
+//   - Chunks arrive in the same order, with the same (first, values)
+//     payloads, and cover the range exactly once — any per-point fold is
+//     bit-identical to the synchronous scan at every depth.
+//   - depth = 0 IS the synchronous path (the call forwards verbatim).
+//   - The `source.chunk.read` failpoint and the `source.scan_chunk` span
+//     fire on the reader side, where the I/O happens. A reader error is
+//     delivered to the consumer on the pop after the already-read chunks
+//     drain — the same prefix-then-fail behavior as the synchronous scan.
+//   - A non-OK Status from the consumer callback cancels the reader and
+//     propagates out unchanged.
+//   - At most `depth` chunk buffers exist per scan, so the raw-point
+//     bound of a pipelined scan is depth × chunk_points (× d × 8 bytes);
+//     MrCC's ChunkPointsFor shrinks the chunk size accordingly so
+//     budget.max_memory_bytes accounting stays honest.
+//
+// When the reader thread cannot be spawned (thread-limit pressure, or
+// the `pool.spawn` failpoint), the scan degrades to the synchronous path
+// — results unchanged, overlap lost — counted by the
+// `source.prefetch.spawn_fallbacks` metric.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/data_source.h"
+
+namespace mrcc {
+
+/// Counters of one pipelined scan. The wait counters are timing-dependent
+/// diagnostics (like tree.shard_micros): they measure how well I/O hid
+/// behind compute on this machine, and are NOT deterministic across runs.
+/// `chunks` is deterministic like every other work counter.
+struct PrefetchStats {
+  /// Chunks delivered to the consumer.
+  uint64_t chunks = 0;
+
+  /// Times the consumer blocked on an empty ring (I/O slower than
+  /// compute; counted once per blocking episode).
+  uint64_t stalls = 0;
+
+  /// Times the reader blocked on a full ring (compute slower than I/O —
+  /// the healthy regime; counted once per blocking episode).
+  uint64_t queue_full_waits = 0;
+
+  /// Scans that fell back to the synchronous path because the reader
+  /// thread could not be spawned.
+  uint64_t spawn_fallbacks = 0;
+
+  PrefetchStats& operator+=(const PrefetchStats& other) {
+    chunks += other.chunks;
+    stalls += other.stalls;
+    queue_full_waits += other.queue_full_waits;
+    spawn_fallbacks += other.spawn_fallbacks;
+    return *this;
+  }
+};
+
+/// Read-ahead wrapper over any DataSource (see file comment). Cheap to
+/// construct — per-scan state lives inside ScanChunks — so each shard of
+/// a sharded scan makes its own. Non-owning: `source` must outlive the
+/// scanner. Concurrent ScanChunks calls over disjoint ranges are safe,
+/// matching the wrapped source's contract.
+class ReadAheadScanner {
+ public:
+  /// `depth` is the ring size in chunk buffers; 0 forwards synchronously.
+  ReadAheadScanner(const DataSource& source, size_t depth)
+      : source_(&source), depth_(depth) {}
+
+  size_t depth() const { return depth_; }
+
+  /// Streams points [begin, end) to `fn` in chunks of at most
+  /// `chunk_points` points, reading ahead up to depth() chunks. Same
+  /// argument contract as DataSource::ScanChunks. `stats`, when non-null,
+  /// accumulates (+=) this scan's counters; the same counters also feed
+  /// the global `source.prefetch.*` metrics.
+  [[nodiscard]] Status ScanChunks(size_t begin, size_t end,
+                                  size_t chunk_points,
+                                  const DataSource::ChunkCallback& fn,
+                                  PrefetchStats* stats = nullptr) const;
+
+ private:
+  const DataSource* source_;
+  size_t depth_;
+};
+
+}  // namespace mrcc

@@ -146,6 +146,12 @@ std::string MrCCResultToJson(const MrCCResult& result) {
   out += ",\"chunk_points\":" + std::to_string(result.stats.chunk_points);
   out += ",\"resident_point_bound\":" +
          std::to_string(result.stats.resident_point_bound);
+  out += ",\"read_ahead_chunks\":" +
+         std::to_string(result.stats.read_ahead_chunks);
+  out += ",\"prefetch_stalls\":" +
+         std::to_string(result.stats.prefetch_stalls);
+  out += ",\"prefetch_queue_full_waits\":" +
+         std::to_string(result.stats.prefetch_queue_full_waits);
   out += "}";
   out += '}';
   return out;

@@ -321,6 +321,7 @@ std::string BenchRecord::ToJson() const {
     out += ",\"clusters_found\":" + std::to_string(e.clusters_found);
     out += ",\"source\":";
     AppendEscaped(e.source, &out);
+    out += ",\"read_ahead\":" + std::to_string(e.read_ahead);
     out += ",\"error\":";
     AppendEscaped(e.error, &out);
     out += '}';
@@ -386,6 +387,10 @@ Result<BenchRecord> BenchRecord::FromJson(const std::string& json) {
           NumberOr(element.Find("clusters_found"), 0.0));
       // Records written before the source axis existed are memory runs.
       entry.source = StringOr(element.Find("source"), "memory");
+      // Records written before the read-ahead axis existed ran the
+      // synchronous scans.
+      entry.read_ahead =
+          static_cast<int64_t>(NumberOr(element.Find("read_ahead"), 0.0));
       record.entries.push_back(std::move(entry));
     }
   }

@@ -45,6 +45,11 @@ struct BenchEntry {
   /// backends; this axis exists to compare their time and memory.
   std::string source = "memory";
 
+  /// Read-ahead depth (chunk buffers) the run's pipelined scans used;
+  /// 0 = synchronous scans. Like `source`, a time/memory axis only —
+  /// results are bit-identical at every depth.
+  int64_t read_ahead = 0;
+
   bool operator==(const BenchEntry&) const = default;
 };
 

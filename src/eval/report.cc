@@ -145,11 +145,16 @@ std::string RenderRunReportHtml(const Dataset& data, const MrCCResult& result,
   if (result.stats.chunks_scanned > 0) {
     Appendf(&html,
             "<p>streaming: %llu chunks of up to %llu points scanned "
-            "(&le; %llu points resident at once).</p>",
+            "(&le; %llu points resident at once; read-ahead depth %llu, "
+            "%llu consumer stalls, %llu full-ring waits).</p>",
             static_cast<unsigned long long>(result.stats.chunks_scanned),
             static_cast<unsigned long long>(result.stats.chunk_points),
             static_cast<unsigned long long>(
-                result.stats.resident_point_bound));
+                result.stats.resident_point_bound),
+            static_cast<unsigned long long>(result.stats.read_ahead_chunks),
+            static_cast<unsigned long long>(result.stats.prefetch_stalls),
+            static_cast<unsigned long long>(
+                result.stats.prefetch_queue_full_waits));
   }
   if (result.stats.points_skipped > 0 || result.stats.points_clamped > 0) {
     Appendf(&html,

@@ -26,6 +26,8 @@ BenchRecord MakeRecord() {
   ok.quality = 0.9785;
   ok.subspace_quality = 0.85;
   ok.clusters_found = 12;
+  ok.source = "chunked";
+  ok.read_ahead = 2;
   record.entries.push_back(ok);
 
   BenchEntry failed;
@@ -109,6 +111,10 @@ TEST(BenchRecordTest, IgnoresUnknownKeysForForwardCompatibility) {
   ASSERT_EQ(parsed->entries.size(), 1u);
   EXPECT_EQ(parsed->entries[0].method, "M");
   EXPECT_DOUBLE_EQ(parsed->entries[0].seconds, 2.0);
+  // Entries predating the source/read-ahead axes default to memory runs
+  // with synchronous scans.
+  EXPECT_EQ(parsed->entries[0].source, "memory");
+  EXPECT_EQ(parsed->entries[0].read_ahead, 0);
 }
 
 TEST(BenchRecordTest, SaveLoadRoundTrip) {

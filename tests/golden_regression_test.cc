@@ -171,5 +171,51 @@ TEST(GoldenRegressionTest, OutOfCoreBuildsMatchThePinnedHashes) {
   }
 }
 
+// The pipelined scans must also reproduce the pinned history: read-ahead
+// moves wall time, never bits, at every depth × backend × thread count.
+// (Depth 0 is the synchronous path; 8 out-runs the consumer and parks the
+// reader on a full ring.)
+TEST(GoldenRegressionTest, ReadAheadDepthsMatchThePinnedHashes) {
+  for (const GoldenCase& c : {kGolden[0], kGolden[3]}) {
+    SCOPED_TRACE("n=" + std::to_string(c.n) + " d=" + std::to_string(c.d) +
+                 " seed=" + std::to_string(c.seed));
+    LabeledDataset ds = Clustered(c.n, c.d, c.k, c.seed);
+    const std::string bin_path = ::testing::TempDir() + "mrcc_golden_ra_" +
+                                 std::to_string(c.seed) + ".bin";
+    ASSERT_TRUE(SaveBinary(ds.data, bin_path).ok());
+
+    MrCCParams params;
+    params.num_resolutions = c.resolutions;
+    params.chunk_points = 509;  // Prime, so chunks straddle shard seams.
+
+    for (const int threads : {1, 3}) {
+      params.num_threads = threads;
+      for (const size_t depth : {size_t{0}, size_t{1}, size_t{2}, size_t{8}}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " read_ahead=" + std::to_string(depth));
+        params.read_ahead_chunks = depth;
+
+        Result<MrCCResult> r = MrCC(params).Run(ds.data);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_EQ(HashResult(*r), c.result_hash);
+
+        Result<ChunkedBinaryDataSource> chunked =
+            ChunkedBinaryDataSource::Open(bin_path);
+        ASSERT_TRUE(chunked.ok()) << chunked.status().ToString();
+        r = MrCC(params).Run(*chunked);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_EQ(HashResult(*r), c.result_hash);
+
+        Result<MmapFileDataSource> mapped = MmapFileDataSource::Open(bin_path);
+        ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+        r = MrCC(params).Run(*mapped);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_EQ(HashResult(*r), c.result_hash);
+      }
+    }
+    std::remove(bin_path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace mrcc
