@@ -47,6 +47,14 @@ constexpr SiteInfo kSites[] = {
     // exhausting the machine.
     {"budget.memory", StatusCode::kResourceExhausted},
     {"budget.deadline", StatusCode::kDeadlineExceeded},
+    // Distributed-build seams (src/dist/): artifact publication, checksum
+    // verification (boolean — simulates bit rot the trailer must catch),
+    // a shard that fails to load in the merger (absorbed by rebuild
+    // recovery), and manifest publication.
+    {"shard.write", StatusCode::kIOError},
+    {"shard.checksum", StatusCode::kIOError},
+    {"merge.shard_load", StatusCode::kIOError},
+    {"manifest.write", StatusCode::kIOError},
 };
 constexpr size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 

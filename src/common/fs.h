@@ -108,6 +108,36 @@ inline constexpr int kMaxReadRetries = 3;
 [[nodiscard]] Status ReadExactAt(int fd, void* buf, size_t n, uint64_t offset,
                    const std::string& path);
 
+/// Seed ("offset basis") of the 64-bit FNV-1a hash below.
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+
+/// 64-bit FNV-1a over `n` bytes, continuing from `seed`. This is the
+/// checksum of the shard-artifact trailer (src/dist/shard_io.h) and the
+/// fingerprint hash of the build manifest: fast, dependency-free, and
+/// stable across platforms. Chain calls by passing the previous return
+/// value as `seed`.
+uint64_t Fnv1a(const void* data, size_t n, uint64_t seed = kFnvOffsetBasis);
+
+/// Atomically replaces `path` with `contents`: writes to a temporary
+/// file in the same directory, fsyncs it, renames it over `path`, then
+/// fsyncs the directory so the rename itself is durable. A crash (even
+/// SIGKILL) at any instant leaves either the old file or the complete
+/// new one — never a torn mix; at worst a stale `<path>.tmp.<pid>` file
+/// survives, which a rerun simply overwrites. This is the only sanctioned
+/// way to publish an artifact another process may read (tree files, shard
+/// artifacts, manifests, result JSON, reports).
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                     const std::string& contents);
+
+/// Reads all of `path` into a string (NotFound surfaces as IOError, like
+/// every loader in this repo; see OpenForRead).
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
+
+/// Creates `path` and any missing parents (mkdir -p semantics). An
+/// existing directory is success; an existing non-directory at any
+/// component is IOError.
+[[nodiscard]] Status MakeDirs(const std::string& path);
+
 /// Asks the kernel to drop `path`'s cached pages (posix_fadvise
 /// POSIX_FADV_DONTNEED). Best effort: tmpfs and some filesystems ignore
 /// the hint, and an unsupported advice is not an error. The cold-cache

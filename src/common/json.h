@@ -1,0 +1,57 @@
+// Minimal JSON reading/writing shared by the BenchRecord schema and the
+// distributed build manifest (src/dist/manifest.h).
+//
+// Not a general-purpose library: objects, arrays, strings, numbers,
+// booleans and null only; \uXXXX escapes outside ASCII are replaced with
+// '?', and numbers are parsed as double (exact for the int64 magnitudes
+// the schemas carry in practice; counters cap at 2^53 without loss).
+// Both consumers follow the same compatibility rule: readers ignore
+// unknown keys, and a version field gates anything breaking.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrcc {
+
+/// One parsed JSON value (a tree; objects keep insertion order).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First value under `key` in an object (nullptr when absent).
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses `text` as one JSON document. Errors are InvalidArgument naming
+/// the byte offset of the first unparsable character.
+[[nodiscard]] Result<JsonValue> ParseJson(const std::string& text);
+
+/// Appends `s` as a quoted JSON string with the required escapes.
+void AppendJsonEscaped(const std::string& s, std::string* out);
+
+/// Appends the shortest decimal representation that parses back to
+/// exactly `v` (%.15g when it round-trips, %.17g otherwise).
+void AppendJsonDouble(double v, std::string* out);
+
+// Typed accessors with fallbacks, for tolerant schema readers.
+double JsonNumberOr(const JsonValue* v, double fallback);
+std::string JsonStringOr(const JsonValue* v, const std::string& fallback);
+bool JsonBoolOr(const JsonValue* v, bool fallback);
+
+}  // namespace mrcc

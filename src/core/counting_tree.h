@@ -315,8 +315,9 @@ class CountingTree {
       : num_dims_(num_dims), num_resolutions_(num_resolutions) {}
 
   // Persistence and merging need raw access to the arenas (tree_io.h).
-  friend Status SaveTree(const CountingTree& tree, const std::string& path);
-  friend Result<CountingTree> LoadTree(const std::string& path);
+  friend std::string SerializeTree(const CountingTree& tree);
+  friend Result<CountingTree> ParseTree(const std::string& bytes,
+                                        const std::string& path);
   friend Result<MergeTreeStats> MergeTree(CountingTree* tree,
                                           const CountingTree& other);
 

@@ -1,9 +1,9 @@
 #include "core/tree_io.h"
 
 #include <cstring>
-#include <fstream>
 
 #include "common/check.h"
+#include "common/fs.h"
 
 namespace mrcc {
 namespace {
@@ -12,84 +12,125 @@ constexpr char kMagic[4] = {'M', 'R', 'T', 'R'};
 constexpr uint32_t kVersion = 1;
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+void AppendPod(const T& v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return static_cast<bool>(in);
-}
+/// Sequential cursor over serialized tree bytes. Every read names the
+/// section it parses, so an error can say *which* record failed and at
+/// what offset — "cell record ends at byte 91213" locates the damage in
+/// a multi-megabyte artifact without a hex dump.
+class TreeCursor {
+ public:
+  TreeCursor(const std::string& bytes, const std::string& path)
+      : bytes_(bytes), path_(path) {}
+
+  template <typename T>
+  [[nodiscard]] Status Read(const char* section, T* v) {
+    if (bytes_.size() - pos_ < sizeof(T)) {
+      return Status::IOError("truncated tree file " + path_ + ": " + section +
+                             " ends at byte " + std::to_string(bytes_.size()) +
+                             " (needed " + std::to_string(sizeof(T)) +
+                             " bytes at offset " + std::to_string(pos_) + ")");
+    }
+    field_start_ = pos_;
+    std::memcpy(v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  /// Rejects a value that parsed but cannot be right, pointing at the
+  /// offset where the offending field starts.
+  Status Bad(const char* section, const std::string& why) const {
+    return Status::IOError("bad " + std::string(section) + " in " + path_ +
+                           " at byte " + std::to_string(field_start_) + ": " +
+                           why);
+  }
+
+  size_t pos() const { return pos_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  const std::string& path_;
+  size_t pos_ = 0;
+  size_t field_start_ = 0;
+};
 
 }  // namespace
 
-Status SaveTree(const CountingTree& tree, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint32_t>(tree.num_dims()));
-  WritePod(out, static_cast<uint32_t>(tree.num_resolutions()));
-  WritePod(out, tree.total_points());
-  WritePod(out, static_cast<uint64_t>(tree.num_nodes()));
+std::string SerializeTree(const CountingTree& tree) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendPod(kVersion, &out);
+  AppendPod(static_cast<uint32_t>(tree.num_dims()), &out);
+  AppendPod(static_cast<uint32_t>(tree.num_resolutions()), &out);
+  AppendPod(tree.total_points(), &out);
+  AppendPod(static_cast<uint64_t>(tree.num_nodes()), &out);
   const size_t d = tree.num_dims();
   MRCC_DCHECK(tree.packed_);
   for (size_t n = 0; n < tree.nodes_.size(); ++n) {
     const CountingTree::Node& node = tree.nodes_[n];
     const CountingTree::Arena& arena =
         tree.arenas_[static_cast<size_t>(node.level)];
-    WritePod(out, static_cast<int32_t>(node.level));
-    for (uint64_t c : node.base_coords) WritePod(out, c);
-    WritePod(out, static_cast<uint64_t>(node.count));
+    AppendPod(static_cast<int32_t>(node.level), &out);
+    for (uint64_t c : node.base_coords) AppendPod(c, &out);
+    AppendPod(static_cast<uint64_t>(node.count), &out);
     for (uint32_t c = 0; c < node.count; ++c) {
       const size_t i = static_cast<size_t>(node.first) + c;
-      WritePod(out, arena.loc[i]);
-      WritePod(out, arena.n[i]);
-      WritePod(out, arena.child[i]);
-      for (size_t j = 0; j < d; ++j) WritePod(out, arena.half[i * d + j]);  // lint-allow: cell-storage
+      AppendPod(arena.loc[i], &out);
+      AppendPod(arena.n[i], &out);
+      AppendPod(arena.child[i], &out);
+      for (size_t j = 0; j < d; ++j) AppendPod(arena.half[i * d + j], &out);  // lint-allow: cell-storage
     }
   }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return out;
 }
 
-Result<CountingTree> LoadTree(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
-  // The counts in the header and the per-node records drive allocations,
-  // so never trust them further than the file size: a record of k
-  // elements needs at least k * sizeof(element) bytes of payload. This
-  // turns a corrupt or truncated file into a clean IOError instead of a
-  // multi-gigabyte resize.
-  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
-  in.seekg(0);
+Status SaveTree(const CountingTree& tree, const std::string& path) {
+  return WriteFileAtomic(path, SerializeTree(tree));
+}
+
+Result<CountingTree> ParseTree(const std::string& bytes,
+                               const std::string& path) {
+  TreeCursor in(bytes, path);
   char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::IOError("bad magic in " + path);
+  MRCC_RETURN_IF_ERROR(in.Read("magic", &magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return in.Bad("magic", "expected \"MRTR\"");
   }
   uint32_t version = 0, dims = 0, resolutions = 0;
   uint64_t total_points = 0, node_count = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::IOError("unsupported tree version in " + path);
+  MRCC_RETURN_IF_ERROR(in.Read("version", &version));
+  if (version != kVersion) {
+    return in.Bad("version", "unsupported version " + std::to_string(version) +
+                                 " (reader supports " +
+                                 std::to_string(kVersion) + ")");
   }
-  if (!ReadPod(in, &dims) || !ReadPod(in, &resolutions) ||
-      !ReadPod(in, &total_points) || !ReadPod(in, &node_count)) {
-    return Status::IOError("truncated tree header in " + path);
+  MRCC_RETURN_IF_ERROR(in.Read("header dims", &dims));
+  MRCC_RETURN_IF_ERROR(in.Read("header resolutions", &resolutions));
+  MRCC_RETURN_IF_ERROR(in.Read("header total_points", &total_points));
+  MRCC_RETURN_IF_ERROR(in.Read("header node_count", &node_count));
+  if (dims == 0 || dims > CountingTree::kMaxDims) {
+    return in.Bad("header dims", "implausible value");
   }
-  if (dims == 0 || dims > CountingTree::kMaxDims || resolutions < 3 ||
-      resolutions > CountingTree::kMaxResolutions + 1) {
-    return Status::IOError("implausible tree header in " + path);
+  if (resolutions < 3 || resolutions > CountingTree::kMaxResolutions + 1) {
+    return in.Bad("header resolutions", "implausible value");
   }
-  // Per-record minimum sizes in the serialized layout (see tree_io.h).
+  // The counts in the header and the per-node records drive allocations,
+  // so never trust them further than the byte count: a record of k
+  // elements needs at least k * sizeof(element) bytes of payload. This
+  // turns a corrupt or truncated stream into a clean IOError instead of
+  // a multi-gigabyte resize.
   const uint64_t d = dims;
   const uint64_t node_bytes = sizeof(int32_t) + d * sizeof(uint64_t) +
                               sizeof(uint64_t);
   const uint64_t cell_bytes = sizeof(uint64_t) + sizeof(uint32_t) +
                               sizeof(int32_t) + d * sizeof(uint32_t);
-  if (node_count > file_size / node_bytes) {
-    return Status::IOError("implausible node count in " + path);
+  if (node_count > bytes.size() / node_bytes) {
+    return in.Bad("header node_count",
+                  std::to_string(node_count) + " nodes cannot fit in " +
+                      std::to_string(bytes.size()) + " bytes");
   }
 
   CountingTree tree(dims, static_cast<int>(resolutions));
@@ -103,21 +144,23 @@ Result<CountingTree> LoadTree(const std::string& path) {
   for (uint64_t n = 0; n < node_count; ++n) {
     CountingTree::Node& node = tree.nodes_[n];
     int32_t level = 0;
-    if (!ReadPod(in, &level) || level < 1 ||
-        level >= static_cast<int32_t>(resolutions)) {
-      return Status::IOError("bad node level in " + path);
+    MRCC_RETURN_IF_ERROR(in.Read("node level", &level));
+    if (level < 1 || level >= static_cast<int32_t>(resolutions)) {
+      return in.Bad("node level", "level " + std::to_string(level) +
+                                      " outside [1, " +
+                                      std::to_string(resolutions) + ")");
     }
     node.level = level;
     node.base_coords.resize(dims);
     for (uint64_t& c : node.base_coords) {
-      if (!ReadPod(in, &c)) return Status::IOError("truncated: " + path);
+      MRCC_RETURN_IF_ERROR(in.Read("node base coordinate", &c));
     }
     uint64_t cell_count = 0;
-    if (!ReadPod(in, &cell_count)) {
-      return Status::IOError("truncated: " + path);
-    }
-    if (cell_count > file_size / cell_bytes) {
-      return Status::IOError("implausible cell count in " + path);
+    MRCC_RETURN_IF_ERROR(in.Read("node cell_count", &cell_count));
+    if (cell_count > bytes.size() / cell_bytes) {
+      return in.Bad("node cell_count",
+                    std::to_string(cell_count) + " cells cannot fit in " +
+                        std::to_string(bytes.size()) + " bytes");
     }
     CountingTree::Arena& arena = tree.arenas_[static_cast<size_t>(level)];
     node.first = static_cast<uint32_t>(arena.size());
@@ -126,11 +169,13 @@ Result<CountingTree> LoadTree(const std::string& path) {
       uint64_t loc = 0;
       uint32_t count = 0;
       int32_t child = -1;
-      if (!ReadPod(in, &loc) || !ReadPod(in, &count) || !ReadPod(in, &child)) {
-        return Status::IOError("truncated cell in " + path);
-      }
+      MRCC_RETURN_IF_ERROR(in.Read("cell loc", &loc));
+      MRCC_RETURN_IF_ERROR(in.Read("cell count", &count));
+      MRCC_RETURN_IF_ERROR(in.Read("cell child pointer", &child));
       if (child >= 0 && static_cast<uint64_t>(child) >= node_count) {
-        return Status::IOError("dangling child pointer in " + path);
+        return in.Bad("cell child pointer",
+                      "child " + std::to_string(child) + " >= node count " +
+                          std::to_string(node_count));
       }
       arena.loc.push_back(loc);
       arena.n.push_back(count);
@@ -140,9 +185,8 @@ Result<CountingTree> LoadTree(const std::string& path) {
       const size_t half_base = arena.half.size();
       arena.half.resize(half_base + dims);
       for (size_t j = 0; j < dims; ++j) {
-        if (!ReadPod(in, &arena.half[half_base + j])) {  // lint-allow: cell-storage
-          return Status::IOError("truncated half counts in " + path);
-        }
+        MRCC_RETURN_IF_ERROR(
+            in.Read("cell half count", &arena.half[half_base + j]));  // lint-allow: cell-storage
       }
     }
     if (cell_count > CountingTree::kIndexThreshold) {
@@ -155,6 +199,12 @@ Result<CountingTree> LoadTree(const std::string& path) {
     tree.by_level_[static_cast<size_t>(level)].push_back(
         static_cast<uint32_t>(n));
   }
+  if (in.pos() != in.size()) {
+    return Status::IOError(
+        "trailing garbage in tree file " + path + ": " +
+        std::to_string(in.size() - in.pos()) + " bytes past the last node" +
+        " (tree ends at byte " + std::to_string(in.pos()) + ")");
+  }
   tree.packed_ = true;
   // Field-level reads above only prove the bytes parse; a well-formed
   // stream can still encode a structurally corrupt tree (half counts
@@ -165,6 +215,12 @@ Result<CountingTree> LoadTree(const std::string& path) {
     return Status::IOError("corrupt tree in " + path + ": " + v.message());
   }
   return tree;
+}
+
+Result<CountingTree> LoadTree(const std::string& path) {
+  Result<std::string> bytes = ReadFileToString(path);
+  MRCC_RETURN_IF_ERROR(bytes.status());
+  return ParseTree(*bytes, path);
 }
 
 Result<MergeTreeStats> MergeTree(CountingTree* tree,

@@ -43,8 +43,25 @@ struct MergeTreeStats {
   }
 };
 
-/// Writes `tree` to `path` (usedCell flags are not persisted — they are
-/// search state, not data).
+/// Serializes `tree` into the binary layout above (usedCell flags are not
+/// persisted — they are search state, not data). The returned bytes are
+/// what SaveTree writes and what a shard artifact embeds ahead of its
+/// checksum trailer (src/dist/shard_io.h).
+std::string SerializeTree(const CountingTree& tree);
+
+/// Parses a tree from bytes produced by SerializeTree. `path` appears in
+/// error messages only. Every failure is an IOError naming the section
+/// that failed and the byte offset where it did, in the fs.h truncation
+/// style: "truncated tree file <path>: <section> ends at byte <end>
+/// (needed <n> bytes at offset <start>)" for short reads, and
+/// "bad <section> in <path> at byte <start>: <why>" for parseable bytes
+/// with impossible values.
+[[nodiscard]] Result<CountingTree> ParseTree(const std::string& bytes,
+                                             const std::string& path);
+
+/// Writes `tree` to `path` atomically (temp file + fsync + rename; see
+/// WriteFileAtomic) — a crash mid-save leaves the previous file intact,
+/// never a torn tree.
 [[nodiscard]] Status SaveTree(const CountingTree& tree,
                               const std::string& path);
 

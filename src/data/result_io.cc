@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "common/fs.h"
 
 namespace mrcc {
 namespace {
@@ -159,20 +160,20 @@ std::string MrCCResultToJson(const MrCCResult& result) {
 
 Status WriteJsonFile(const std::string& json, const std::string& path) {
   MRCC_RETURN_IF_ERROR(fp::Maybe("result.write"));
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out << json << '\n';
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  // Atomic publish: a crash mid-write must never leave a half-written
+  // result a downstream consumer could parse as complete.
+  return WriteFileAtomic(path, json + "\n");
 }
 
 Status SaveLabels(const std::vector<int>& labels, const std::string& path) {
   MRCC_RETURN_IF_ERROR(fp::Maybe("result.write"));
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  for (int label : labels) out << label << '\n';
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  std::string out;
+  out.reserve(labels.size() * 3);
+  for (int label : labels) {
+    out += std::to_string(label);
+    out += '\n';
+  }
+  return WriteFileAtomic(path, out);
 }
 
 Result<std::vector<int>> LoadLabels(const std::string& path) {

@@ -1,0 +1,97 @@
+// The build manifest: the shared plan of one multi-process sharded build.
+//
+// A JSON file in the work directory records what is being built (dataset
+// path, a content fingerprint, a hash of the result-affecting
+// parameters) and how it is partitioned (the ordered contiguous point
+// ranges, one per shard), plus a per-shard `done` bit. The plan part is
+// immutable once written; `done` bits flip as workers publish artifacts.
+//
+// Concurrency and crash model:
+//   - The manifest is only ever rewritten whole via WriteFileAtomic, so
+//     readers never see a torn file.
+//   - Done-bit updates are read-modify-write under an flock'd lockfile
+//     (`<manifest>.lock`), so two workers finishing at once both land.
+//   - The done bit is a *hint*, not the source of truth: a worker can be
+//     killed between publishing its artifact and marking the manifest
+//     (bit stale-false), and a crash cannot produce the reverse
+//     (bit true, no artifact) because marking happens strictly after the
+//     artifact's atomic rename. Resume therefore trusts only "artifact
+//     exists and verifies"; the bit just lets it skip cheap re-checks.
+//   - Fingerprint and params-hash mismatches fail resume loudly: stale
+//     artifacts from a different dataset or parameterization must never
+//     fold into a new build.
+//
+// Fault injection: SaveManifest honors the `manifest.write` failpoint.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/mrcc.h"
+
+namespace mrcc {
+namespace dist {
+
+/// One shard's slice of the plan: points [begin, end), plus the
+/// completion hint.
+struct ShardPlan {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  bool done = false;
+};
+
+/// The whole manifest (see file comment for the trust model).
+struct BuildManifest {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string dataset_path;
+  uint64_t fingerprint = 0;  // FingerprintDataset at plan time.
+  uint64_t params_hash = 0;  // HashParams at plan time.
+  uint64_t num_points = 0;
+  uint64_t num_dims = 0;
+  std::vector<ShardPlan> shards;
+
+  std::string ToJson() const;
+
+  /// Parses and structurally validates a manifest. InvalidArgument names
+  /// what is wrong: bad JSON, wrong schema version, missing fields, or a
+  /// partition that is not an ordered contiguous cover of
+  /// [0, num_points).
+  [[nodiscard]] static Result<BuildManifest> FromJson(
+      const std::string& json);
+};
+
+/// Content fingerprint of a binary dataset file: FNV-1a over the file
+/// size and the first 64 KiB (header + leading rows). Cheap at any
+/// dataset size, yet catches the realistic staleness modes — a replaced,
+/// regenerated, or re-normalized file.
+[[nodiscard]] Result<uint64_t> FingerprintDataset(const std::string& path);
+
+/// Hash of the parameters that affect results (alpha, H, full_mask,
+/// bad-point policy, window). Threading and chunking knobs are excluded
+/// by design: the engine guarantees those never change output, so a
+/// resume across different machine shapes must not be refused.
+uint64_t HashParams(const MrCCParams& params);
+
+/// Splits [0, num_points) into `num_shards` ordered contiguous ranges,
+/// sized as evenly as possible (the leading ranges take the remainder).
+/// Empty ranges are never produced: with fewer points than shards the
+/// plan has fewer shards.
+std::vector<ShardPlan> PlanPartitions(uint64_t num_points, int num_shards);
+
+/// Writes the manifest atomically. Honors the `manifest.write` failpoint.
+[[nodiscard]] Status SaveManifest(const BuildManifest& manifest,
+                                  const std::string& path);
+
+/// Loads and validates the manifest at `path`.
+[[nodiscard]] Result<BuildManifest> LoadManifest(const std::string& path);
+
+/// Sets shard `index`'s done bit under the manifest lockfile (see file
+/// comment) and rewrites the manifest atomically.
+[[nodiscard]] Status MarkShardDone(const std::string& path, size_t index);
+
+}  // namespace dist
+}  // namespace mrcc

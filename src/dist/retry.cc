@@ -1,0 +1,74 @@
+#include "dist/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace mrcc {
+namespace dist {
+namespace {
+
+/// splitmix64 — the same mix the failpoint registry uses, so one seed
+/// convention serves the whole repo.
+uint64_t Hash(uint64_t seed, uint64_t k) {
+  uint64_t z = seed + k * 0x9E3779B97F4A7C15ULL + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t BackoffMicros(const RetryPolicy& policy, int attempt) {
+  double backoff = static_cast<double>(policy.initial_backoff_us);
+  for (int i = 1; i < attempt; ++i) {
+    backoff *= policy.multiplier;
+    if (backoff >= static_cast<double>(policy.max_backoff_us)) break;
+  }
+  const uint64_t full = std::min(
+      policy.max_backoff_us,
+      static_cast<uint64_t>(std::max(backoff, 1.0)));
+  // Jitter into [full/2, full]: enough spread to break retry lockstep
+  // between workers, never so little delay that the backoff is void.
+  const uint64_t half = full / 2;
+  const uint64_t spread = full - half + 1;
+  return half + Hash(policy.jitter_seed, static_cast<uint64_t>(attempt)) %
+                    spread;
+}
+
+Status RetryTransient(const RetryPolicy& policy, const std::string& what,
+                      const std::function<Status()>& op, RetryStats* stats,
+                      const SleepFn& sleep) {
+  RetryStats local;
+  RetryStats& s = stats != nullptr ? *stats : local;
+  s = RetryStats();
+  Status last = Status::OK();
+  const int max_attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++s.attempts;
+    last = op();
+    if (last.ok() || last.code() != StatusCode::kIOError) return last;
+    if (attempt == max_attempts) break;
+    const uint64_t backoff = BackoffMicros(policy, attempt);
+    if (policy.backoff_budget_us > 0 &&
+        s.slept_us + backoff > policy.backoff_budget_us) {
+      return Status::FromCode(
+          last.code(), what + ": gave up after " + std::to_string(s.attempts) +
+                           " attempts (backoff budget " +
+                           std::to_string(policy.backoff_budget_us) +
+                           "us exhausted): " + last.message());
+    }
+    s.slept_us += backoff;
+    if (sleep) {
+      sleep(backoff);
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    }
+  }
+  return Status::FromCode(
+      last.code(), what + ": gave up after " + std::to_string(s.attempts) +
+                       " attempts: " + last.message());
+}
+
+}  // namespace dist
+}  // namespace mrcc

@@ -1,0 +1,83 @@
+// Bounded retry with jittered exponential backoff, for the transient
+// failures a multi-process build meets: a shard artifact mid-publish on
+// shared storage, an NFS hiccup, a reader racing a writer's rename.
+//
+// Everything here is deterministic under test: the jitter for attempt k
+// is a pure function of (jitter_seed, k), and callers inject a sleep
+// hook so the retry suite asserts exact backoff sequences without
+// wall-clock time. Production callers omit the hook and get a real
+// this_thread::sleep_for.
+//
+// Only IOError is retried — it is the code every storage seam in this
+// repo surfaces transient trouble as (common/fs.h). Any other code means
+// the operation itself is wrong (InvalidArgument, a corrupt artifact's
+// kInternal validation failure) and retrying would just repeat it.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace mrcc {
+namespace dist {
+
+/// Backoff shape of one retry loop. Defaults suit local-disk artifact
+/// loads: ~1ms first backoff, doubling to a 200ms ceiling, four tries.
+struct RetryPolicy {
+  /// Total tries, including the first (>= 1). The loop gives up and
+  /// returns the last error once these are spent.
+  int max_attempts = 4;
+
+  /// Backoff before retry k (1-based) starts from this and multiplies.
+  uint64_t initial_backoff_us = 1000;
+
+  /// Growth factor per retry (>= 1).
+  double multiplier = 2.0;
+
+  /// Ceiling on a single backoff.
+  uint64_t max_backoff_us = 200000;
+
+  /// Give-up deadline on *cumulative* backoff: once the total slept
+  /// would exceed this, the loop stops retrying even with attempts
+  /// left. Measured in planned sleep time, not wall time, so tests are
+  /// deterministic. 0 = no deadline.
+  uint64_t backoff_budget_us = 0;
+
+  /// Seed of the deterministic jitter (see BackoffMicros).
+  uint64_t jitter_seed = 0;
+};
+
+/// The backoff before retry `attempt` (1-based): the exponential value
+/// initial * multiplier^(attempt-1), capped at max_backoff_us, then
+/// jittered into [half, full] by a splitmix64 hash of (jitter_seed,
+/// attempt). Pure function — same policy and attempt, same answer —
+/// so N processes with different seeds decorrelate while each stays
+/// reproducible.
+uint64_t BackoffMicros(const RetryPolicy& policy, int attempt);
+
+/// Counters of one RetryTransient call, for the caller's metrics.
+struct RetryStats {
+  int attempts = 0;       // Tries made (1 = first try succeeded).
+  uint64_t slept_us = 0;  // Total backoff planned/slept.
+};
+
+/// Sleep hook: receives the backoff in microseconds. Tests pass a
+/// recorder; an empty function means really sleep.
+using SleepFn = std::function<void(uint64_t micros)>;
+
+/// Runs `op` until it returns OK, a non-retryable code, or the policy is
+/// exhausted. IOError retries with BackoffMicros delays. On give-up the
+/// last error is returned with a prefix naming `what` and the attempt
+/// count, so the operator sees "loading shard 3: gave up after 4
+/// attempts: ..." instead of a bare errno string.
+[[nodiscard]] Status RetryTransient(const RetryPolicy& policy,
+                                    const std::string& what,
+                                    const std::function<Status()>& op,
+                                    RetryStats* stats = nullptr,
+                                    const SleepFn& sleep = SleepFn());
+
+}  // namespace dist
+}  // namespace mrcc

@@ -1,279 +1,12 @@
 #include "eval/bench_record.h"
 
-#include <cctype>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <memory>
 #include <sstream>
 
+#include "common/fs.h"
+#include "common/json.h"
+
 namespace mrcc {
-namespace {
-
-void AppendEscaped(const std::string& s, std::string* out) {
-  *out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-  *out += '"';
-}
-
-// Shortest representation that parses back to exactly `v`: %.15g when it
-// round-trips, %.17g (always exact for IEEE doubles) otherwise.
-void AppendDouble(double v, std::string* out) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.15g", v);
-  if (std::strtod(buf, nullptr) != v) {
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-  }
-  *out += buf;
-}
-
-// ---------------------------------------------------------------------
-// A minimal JSON reader, sufficient for the BenchRecord schema (objects,
-// arrays, strings, numbers, booleans, null). Not a general-purpose
-// library: \uXXXX escapes outside ASCII are replaced with '?', and
-// numbers are parsed as double (exact for the int64 magnitudes the
-// schema carries in practice; counters cap at 2^53 without loss).
-// ---------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool bool_value = false;
-  double number_value = 0.0;
-  std::string string_value;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Result<JsonValue> Parse() {
-    JsonValue value;
-    MRCC_RETURN_IF_ERROR(ParseValue(&value));
-    SkipSpace();
-    if (pos_ != text_.size()) return Error("trailing characters");
-    return value;
-  }
-
- private:
-  Status Error(const std::string& what) const {
-    return Status::InvalidArgument("JSON parse error at offset " +
-                                   std::to_string(pos_) + ": " + what);
-  }
-
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Status ParseValue(JsonValue* out) {
-    SkipSpace();
-    if (pos_ >= text_.size()) return Error("unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out->kind = JsonValue::Kind::kString;
-      return ParseString(&out->string_value);
-    }
-    if (c == 't' || c == 'f') return ParseLiteral(out);
-    if (c == 'n') return ParseLiteral(out);
-    return ParseNumber(out);
-  }
-
-  Status ParseLiteral(JsonValue* out) {
-    auto match = [&](const char* word) {
-      const size_t len = std::string(word).size();
-      if (text_.compare(pos_, len, word) == 0) {
-        pos_ += len;
-        return true;
-      }
-      return false;
-    };
-    if (match("true")) {
-      out->kind = JsonValue::Kind::kBool;
-      out->bool_value = true;
-      return Status::OK();
-    }
-    if (match("false")) {
-      out->kind = JsonValue::Kind::kBool;
-      out->bool_value = false;
-      return Status::OK();
-    }
-    if (match("null")) {
-      out->kind = JsonValue::Kind::kNull;
-      return Status::OK();
-    }
-    return Error("bad literal");
-  }
-
-  Status ParseNumber(JsonValue* out) {
-    const size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Error("bad number");
-    char* end = nullptr;
-    const std::string token = text_.substr(start, pos_ - start);
-    const double v = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') return Error("bad number");
-    out->kind = JsonValue::Kind::kNumber;
-    out->number_value = v;
-    return Status::OK();
-  }
-
-  Status ParseString(std::string* out) {
-    if (!Consume('"')) return Error("expected string");
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return Status::OK();
-      if (c != '\\') {
-        *out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) break;
-      const char escape = text_[pos_++];
-      switch (escape) {
-        case '"':
-        case '\\':
-        case '/':
-          *out += escape;
-          break;
-        case 'n':
-          *out += '\n';
-          break;
-        case 'r':
-          *out += '\r';
-          break;
-        case 't':
-          *out += '\t';
-          break;
-        case 'b':
-          *out += '\b';
-          break;
-        case 'f':
-          *out += '\f';
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
-          const std::string hex = text_.substr(pos_, 4);
-          pos_ += 4;
-          char* end = nullptr;
-          const long code = std::strtol(hex.c_str(), &end, 16);
-          if (end == nullptr || *end != '\0') return Error("bad \\u escape");
-          *out += code < 0x80 ? static_cast<char>(code) : '?';
-          break;
-        }
-        default:
-          return Error("bad escape");
-      }
-    }
-    return Error("unterminated string");
-  }
-
-  Status ParseArray(JsonValue* out) {
-    if (!Consume('[')) return Error("expected array");
-    out->kind = JsonValue::Kind::kArray;
-    if (Consume(']')) return Status::OK();
-    while (true) {
-      JsonValue element;
-      MRCC_RETURN_IF_ERROR(ParseValue(&element));
-      out->array.push_back(std::move(element));
-      if (Consume(']')) return Status::OK();
-      if (!Consume(',')) return Error("expected ',' or ']'");
-    }
-  }
-
-  Status ParseObject(JsonValue* out) {
-    if (!Consume('{')) return Error("expected object");
-    out->kind = JsonValue::Kind::kObject;
-    if (Consume('}')) return Status::OK();
-    while (true) {
-      SkipSpace();
-      std::string key;
-      MRCC_RETURN_IF_ERROR(ParseString(&key));
-      if (!Consume(':')) return Error("expected ':'");
-      JsonValue value;
-      MRCC_RETURN_IF_ERROR(ParseValue(&value));
-      out->object.emplace_back(std::move(key), std::move(value));
-      if (Consume('}')) return Status::OK();
-      if (!Consume(',')) return Error("expected ',' or '}'");
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-double NumberOr(const JsonValue* v, double fallback) {
-  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number_value
-                                                             : fallback;
-}
-
-std::string StringOr(const JsonValue* v, const std::string& fallback) {
-  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->string_value
-                                                             : fallback;
-}
-
-bool BoolOr(const JsonValue* v, bool fallback) {
-  return v != nullptr && v->kind == JsonValue::Kind::kBool ? v->bool_value
-                                                           : fallback;
-}
-
-}  // namespace
 
 BenchEntry ToBenchEntry(const RunMeasurement& m) {
   BenchEntry entry;
@@ -292,45 +25,45 @@ BenchEntry ToBenchEntry(const RunMeasurement& m) {
 std::string BenchRecord::ToJson() const {
   std::string out = "{\"schema_version\":" + std::to_string(schema_version);
   out += ",\"bench\":";
-  AppendEscaped(bench, &out);
+  AppendJsonEscaped(bench, &out);
   out += ",\"scale\":";
-  AppendDouble(scale, &out);
+  AppendJsonDouble(scale, &out);
   out += ",\"time_budget_seconds\":";
-  AppendDouble(time_budget_seconds, &out);
+  AppendJsonDouble(time_budget_seconds, &out);
   out += ",\"num_threads_available\":" + std::to_string(num_threads_available);
   out += ",\"wall_seconds\":";
-  AppendDouble(wall_seconds, &out);
+  AppendJsonDouble(wall_seconds, &out);
   out += ",\"peak_rss_bytes\":" + std::to_string(peak_rss_bytes);
   out += ",\"entries\":[";
   for (size_t i = 0; i < entries.size(); ++i) {
     const BenchEntry& e = entries[i];
     if (i > 0) out += ',';
     out += "{\"method\":";
-    AppendEscaped(e.method, &out);
+    AppendJsonEscaped(e.method, &out);
     out += ",\"dataset\":";
-    AppendEscaped(e.dataset, &out);
+    AppendJsonEscaped(e.dataset, &out);
     out += ",\"completed\":";
     out += e.completed ? "true" : "false";
     out += ",\"seconds\":";
-    AppendDouble(e.seconds, &out);
+    AppendJsonDouble(e.seconds, &out);
     out += ",\"peak_heap_bytes\":" + std::to_string(e.peak_heap_bytes);
     out += ",\"quality\":";
-    AppendDouble(e.quality, &out);
+    AppendJsonDouble(e.quality, &out);
     out += ",\"subspace_quality\":";
-    AppendDouble(e.subspace_quality, &out);
+    AppendJsonDouble(e.subspace_quality, &out);
     out += ",\"clusters_found\":" + std::to_string(e.clusters_found);
     out += ",\"source\":";
-    AppendEscaped(e.source, &out);
+    AppendJsonEscaped(e.source, &out);
     out += ",\"read_ahead\":" + std::to_string(e.read_ahead);
     out += ",\"error\":";
-    AppendEscaped(e.error, &out);
+    AppendJsonEscaped(e.error, &out);
     out += '}';
   }
   out += "],\"metrics\":{";
   bool first = true;
   for (const auto& [name, value] : metrics) {
     if (!first) out += ',';
-    AppendEscaped(name, &out);
+    AppendJsonEscaped(name, &out);
     out += ':' + std::to_string(value);
     first = false;
   }
@@ -339,7 +72,7 @@ std::string BenchRecord::ToJson() const {
 }
 
 Result<BenchRecord> BenchRecord::FromJson(const std::string& json) {
-  Result<JsonValue> parsed = JsonParser(json).Parse();
+  Result<JsonValue> parsed = ParseJson(json);
   MRCC_RETURN_IF_ERROR(parsed.status());
   const JsonValue& root = *parsed;
   if (root.kind != JsonValue::Kind::kObject) {
@@ -358,14 +91,14 @@ Result<BenchRecord> BenchRecord::FromJson(const std::string& json) {
   }
 
   BenchRecord record;
-  record.bench = StringOr(root.Find("bench"), "");
-  record.scale = NumberOr(root.Find("scale"), 0.0);
-  record.time_budget_seconds = NumberOr(root.Find("time_budget_seconds"), 0.0);
+  record.bench = JsonStringOr(root.Find("bench"), "");
+  record.scale = JsonNumberOr(root.Find("scale"), 0.0);
+  record.time_budget_seconds = JsonNumberOr(root.Find("time_budget_seconds"), 0.0);
   record.num_threads_available =
-      static_cast<int>(NumberOr(root.Find("num_threads_available"), 0.0));
-  record.wall_seconds = NumberOr(root.Find("wall_seconds"), 0.0);
+      static_cast<int>(JsonNumberOr(root.Find("num_threads_available"), 0.0));
+  record.wall_seconds = JsonNumberOr(root.Find("wall_seconds"), 0.0);
   record.peak_rss_bytes =
-      static_cast<int64_t>(NumberOr(root.Find("peak_rss_bytes"), 0.0));
+      static_cast<int64_t>(JsonNumberOr(root.Find("peak_rss_bytes"), 0.0));
 
   if (const JsonValue* entries = root.Find("entries");
       entries != nullptr && entries->kind == JsonValue::Kind::kArray) {
@@ -374,23 +107,23 @@ Result<BenchRecord> BenchRecord::FromJson(const std::string& json) {
         return Status::InvalidArgument("BenchRecord entry is not an object");
       }
       BenchEntry entry;
-      entry.method = StringOr(element.Find("method"), "");
-      entry.dataset = StringOr(element.Find("dataset"), "");
-      entry.completed = BoolOr(element.Find("completed"), false);
-      entry.error = StringOr(element.Find("error"), "");
-      entry.seconds = NumberOr(element.Find("seconds"), 0.0);
+      entry.method = JsonStringOr(element.Find("method"), "");
+      entry.dataset = JsonStringOr(element.Find("dataset"), "");
+      entry.completed = JsonBoolOr(element.Find("completed"), false);
+      entry.error = JsonStringOr(element.Find("error"), "");
+      entry.seconds = JsonNumberOr(element.Find("seconds"), 0.0);
       entry.peak_heap_bytes =
-          static_cast<int64_t>(NumberOr(element.Find("peak_heap_bytes"), 0.0));
-      entry.quality = NumberOr(element.Find("quality"), 0.0);
-      entry.subspace_quality = NumberOr(element.Find("subspace_quality"), 0.0);
+          static_cast<int64_t>(JsonNumberOr(element.Find("peak_heap_bytes"), 0.0));
+      entry.quality = JsonNumberOr(element.Find("quality"), 0.0);
+      entry.subspace_quality = JsonNumberOr(element.Find("subspace_quality"), 0.0);
       entry.clusters_found = static_cast<uint64_t>(
-          NumberOr(element.Find("clusters_found"), 0.0));
+          JsonNumberOr(element.Find("clusters_found"), 0.0));
       // Records written before the source axis existed are memory runs.
-      entry.source = StringOr(element.Find("source"), "memory");
+      entry.source = JsonStringOr(element.Find("source"), "memory");
       // Records written before the read-ahead axis existed ran the
       // synchronous scans.
       entry.read_ahead =
-          static_cast<int64_t>(NumberOr(element.Find("read_ahead"), 0.0));
+          static_cast<int64_t>(JsonNumberOr(element.Find("read_ahead"), 0.0));
       record.entries.push_back(std::move(entry));
     }
   }
@@ -407,11 +140,9 @@ Result<BenchRecord> BenchRecord::FromJson(const std::string& json) {
 }
 
 Status BenchRecord::Save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out << ToJson() << '\n';
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  // Atomic publish: bench sweeps overwrite their record repeatedly, and
+  // a crash mid-save must keep the previous complete record readable.
+  return WriteFileAtomic(path, ToJson() + "\n");
 }
 
 Result<BenchRecord> BenchRecord::Load(const std::string& path) {

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
-#include <fstream>
 #include <map>
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/fs.h"
 #include "eval/analysis.h"
 
 namespace mrcc {
@@ -217,11 +217,10 @@ Status WriteRunReport(const Dataset& data, const MrCCResult& result,
                       const std::string& title, const std::string& path,
                       const ReportOptions& options) {
   MRCC_RETURN_IF_ERROR(fp::Maybe("report.write"));
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out << RenderRunReportHtml(data, result, title, options);
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  // Atomic publish, like every artifact writer (common/fs.h): a watcher
+  // refreshing the report mid-write must never see half an HTML page.
+  return WriteFileAtomic(path, RenderRunReportHtml(data, result, title,
+                                                   options));
 }
 
 }  // namespace mrcc

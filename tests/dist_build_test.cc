@@ -1,0 +1,249 @@
+// End-to-end suite of dist/sharded_build.h, all in-process: the sharded
+// pipeline must equal the single-process MrCC::Run bit for bit, resume
+// must skip completed shards, and shard loss (deleted or corrupt
+// artifacts, injected load faults) must degrade to rebuilds — never to
+// wrong results.
+
+#include "dist/sharded_build.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/failpoint.h"
+#include "common/fs.h"
+#include "common/metrics.h"
+#include "core/tree_io.h"
+#include "data/dataset_io.h"
+#include "test_util.h"
+
+namespace mrcc {
+namespace dist {
+namespace {
+
+void ExpectSameResults(const MrCCResult& a, const MrCCResult& b) {
+  EXPECT_EQ(a.clustering.labels, b.clustering.labels);
+  EXPECT_EQ(a.beta_to_cluster, b.beta_to_cluster);
+  ASSERT_EQ(a.beta_clusters.size(), b.beta_clusters.size());
+  for (size_t i = 0; i < a.beta_clusters.size(); ++i) {
+    EXPECT_EQ(a.beta_clusters[i].lower, b.beta_clusters[i].lower);
+    EXPECT_EQ(a.beta_clusters[i].upper, b.beta_clusters[i].upper);
+    EXPECT_EQ(a.beta_clusters[i].relevant, b.beta_clusters[i].relevant);
+    EXPECT_EQ(a.beta_clusters[i].level, b.beta_clusters[i].level);
+    EXPECT_EQ(a.beta_clusters[i].center_count, b.beta_clusters[i].center_count);
+  }
+  ASSERT_EQ(a.clustering.clusters.size(), b.clustering.clusters.size());
+  for (size_t c = 0; c < a.clustering.clusters.size(); ++c) {
+    EXPECT_EQ(a.clustering.clusters[c].relevant_axes,
+              b.clustering.clusters[c].relevant_axes);
+  }
+}
+
+class DistBuildTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = testing::SmallClustered(2500, 6, 2, 23).data;
+    dir_ = ::testing::TempDir() + "mrcc_dist_build_test";
+    (void)std::system(("rm -rf " + dir_ + " && mkdir -p " + dir_).c_str());
+    options_.dataset_path = dir_ + "/points.bin";
+    options_.work_dir = dir_;
+    options_.num_shards = 4;
+    options_.params.num_threads = 1;
+    ASSERT_TRUE(SaveBinary(data_, options_.dataset_path).ok());
+    Result<MrCCResult> baseline = MrCC(options_.params).Run(data_);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    baseline_ = std::make_unique<MrCCResult>(std::move(*baseline));
+    ASSERT_GT(baseline_->clustering.NumClusters(), 0u);
+  }
+  void TearDown() override {
+    fp::DisarmAll();
+    (void)std::system(("rm -rf " + dir_).c_str());
+  }
+
+  int64_t Metric(const char* name) {
+    return MetricsRegistry::Global().counter(name).value();
+  }
+
+  Dataset data_;
+  std::string dir_;
+  ShardedBuildOptions options_;
+  std::unique_ptr<MrCCResult> baseline_;
+};
+
+TEST_F(DistBuildTest, ShardedBuildMatchesSingleProcessBitForBit) {
+  Result<MrCCResult> sharded = RunShardedBuild(options_);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ExpectSameResults(*baseline_, *sharded);
+}
+
+TEST_F(DistBuildTest, ShardCountNeverChangesResults) {
+  for (const int shards : {1, 3, 7}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardedBuildOptions options = options_;
+    options.work_dir = dir_ + "/s" + std::to_string(shards);
+    (void)std::system(("mkdir -p " + options.work_dir).c_str());
+    options.num_shards = shards;
+    Result<MrCCResult> sharded = RunShardedBuild(options);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ExpectSameResults(*baseline_, *sharded);
+  }
+}
+
+TEST_F(DistBuildTest, MergedTreeEqualsSerialTree) {
+  Result<BuildManifest> manifest = PrepareManifest(options_);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  for (size_t i = 0; i < manifest->shards.size(); ++i) {
+    ASSERT_TRUE(BuildShard(options_, *manifest, i).ok());
+  }
+  Result<CountingTree> merged = MergeShardTrees(options_, *manifest);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  Result<CountingTree> serial =
+      CountingTree::Build(data_, options_.params.num_resolutions);
+  ASSERT_TRUE(serial.ok());
+  // Byte equality, not just equivalence: the sharded path must reproduce
+  // the serial tree's serialized form exactly (the golden contract).
+  EXPECT_EQ(SerializeTree(*merged), SerializeTree(*serial));
+}
+
+TEST_F(DistBuildTest, ResumeSkipsCompletedShards) {
+  Result<BuildManifest> manifest = PrepareManifest(options_);
+  ASSERT_TRUE(manifest.ok());
+  for (size_t i = 0; i < manifest->shards.size(); ++i) {
+    ASSERT_TRUE(BuildShard(options_, *manifest, i).ok());
+  }
+  // Arm the publication failpoint: a re-run that tried to rebuild any
+  // shard would fail its artifact write. All four must skip.
+  fp::ScopedArm arm("shard.write");
+  for (size_t i = 0; i < manifest->shards.size(); ++i) {
+    EXPECT_TRUE(BuildShard(options_, *manifest, i).ok()) << "shard " << i;
+  }
+  fp::DisarmAll();
+  Result<BuildManifest> resumed = LoadManifest(ManifestPath(dir_));
+  ASSERT_TRUE(resumed.ok());
+  for (const ShardPlan& shard : resumed->shards) {
+    EXPECT_TRUE(shard.done);
+  }
+}
+
+TEST_F(DistBuildTest, DeletedArtifactIsRebuiltWithIdenticalResults) {
+  Result<MrCCResult> first = RunShardedBuild(options_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(std::remove(ShardArtifactPath(dir_, 2).c_str()), 0);
+  const int64_t rebuilds_before = Metric("shard.rebuilds");
+  Result<BuildManifest> manifest = LoadManifest(ManifestPath(dir_));
+  ASSERT_TRUE(manifest.ok());
+  Result<MrCCResult> recovered = MergeShards(options_, *manifest);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectSameResults(*baseline_, *recovered);
+  EXPECT_EQ(Metric("shard.rebuilds"), rebuilds_before + 1);
+}
+
+TEST_F(DistBuildTest, CorruptArtifactIsRebuiltWithIdenticalResults) {
+  Result<MrCCResult> first = RunShardedBuild(options_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Rot one byte in the middle of shard 1's artifact. The checksum
+  // rejects it, the merger rebuilds that partition.
+  const std::string victim = ShardArtifactPath(dir_, 1);
+  Result<std::string> bytes = ReadFileToString(victim);
+  ASSERT_TRUE(bytes.ok());
+  std::string rotted = *bytes;
+  rotted[rotted.size() / 2] =
+      static_cast<char>(rotted[rotted.size() / 2] ^ 0x20);
+  ASSERT_TRUE(WriteFileAtomic(victim, rotted).ok());
+
+  const int64_t rebuilds_before = Metric("shard.rebuilds");
+  const int64_t checksum_before = Metric("shard.checksum_failures");
+  Result<BuildManifest> manifest = LoadManifest(ManifestPath(dir_));
+  ASSERT_TRUE(manifest.ok());
+  Result<MrCCResult> recovered = MergeShards(options_, *manifest);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectSameResults(*baseline_, *recovered);
+  EXPECT_EQ(Metric("shard.rebuilds"), rebuilds_before + 1);
+  EXPECT_GT(Metric("shard.checksum_failures"), checksum_before);
+}
+
+TEST_F(DistBuildTest, ArtifactFromWrongPartitionIsRebuilt) {
+  Result<BuildManifest> manifest = PrepareManifest(options_);
+  ASSERT_TRUE(manifest.ok());
+  for (size_t i = 0; i < manifest->shards.size(); ++i) {
+    ASSERT_TRUE(BuildShard(options_, *manifest, i).ok());
+  }
+  // Swap two artifacts: both verify (checksums are fine) but each now
+  // covers the wrong partition; the range cross-check must catch it.
+  const std::string a = ShardArtifactPath(dir_, 0);
+  const std::string b = ShardArtifactPath(dir_, 1);
+  ASSERT_EQ(std::rename(a.c_str(), (a + ".swap").c_str()), 0);
+  ASSERT_EQ(std::rename(b.c_str(), a.c_str()), 0);
+  ASSERT_EQ(std::rename((a + ".swap").c_str(), b.c_str()), 0);
+
+  const int64_t rebuilds_before = Metric("shard.rebuilds");
+  Result<MrCCResult> recovered = MergeShards(options_, *manifest);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectSameResults(*baseline_, *recovered);
+  EXPECT_EQ(Metric("shard.rebuilds"), rebuilds_before + 2);
+}
+
+TEST_F(DistBuildTest, TransientLoadFaultIsRetriedNotRebuilt) {
+  Result<MrCCResult> first = RunShardedBuild(options_);
+  ASSERT_TRUE(first.ok());
+  Result<BuildManifest> manifest = LoadManifest(ManifestPath(dir_));
+  ASSERT_TRUE(manifest.ok());
+
+  const int64_t rebuilds_before = Metric("shard.rebuilds");
+  const int64_t retries_before = Metric("merge.retries");
+  // Fire on the first hit only: shard 0's first load attempt fails, the
+  // retry succeeds, and no rebuild happens.
+  fp::ScopedArm arm("merge.shard_load=1");
+  Result<CountingTree> tree = LoadOrRebuildShard(options_, *manifest, 0);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(Metric("shard.rebuilds"), rebuilds_before);
+  EXPECT_EQ(Metric("merge.retries"), retries_before + 1);
+}
+
+TEST_F(DistBuildTest, PersistentLoadFaultFallsBackToRebuild) {
+  Result<MrCCResult> first = RunShardedBuild(options_);
+  ASSERT_TRUE(first.ok());
+  Result<BuildManifest> manifest = LoadManifest(ManifestPath(dir_));
+  ASSERT_TRUE(manifest.ok());
+
+  ShardedBuildOptions options = options_;
+  options.retry.max_attempts = 2;  // Keep the exhausted-retries path quick.
+  const int64_t rebuilds_before = Metric("shard.rebuilds");
+  fp::ScopedArm arm("merge.shard_load");  // Every load attempt fails.
+  Result<MrCCResult> recovered = MergeShards(options, *manifest);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectSameResults(*baseline_, *recovered);
+  EXPECT_EQ(Metric("shard.rebuilds"),
+            rebuilds_before +
+                static_cast<int64_t>(manifest->shards.size()));
+}
+
+TEST_F(DistBuildTest, ThreadedMergePhasesMatchSerial) {
+  ShardedBuildOptions options = options_;
+  options.params.num_threads = 3;
+  Result<MrCCResult> sharded = RunShardedBuild(options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ExpectSameResults(*baseline_, *sharded);
+}
+
+TEST_F(DistBuildTest, BuildShardRejectsOutOfRangeIndex) {
+  Result<BuildManifest> manifest = PrepareManifest(options_);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(BuildShard(options_, *manifest, 99).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DistBuildTest, BuildShardTreeRejectsBadRange) {
+  EXPECT_EQ(BuildShardTree(options_, 10, 10).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      BuildShardTree(options_, 0, data_.NumPoints() + 1).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace mrcc

@@ -1,0 +1,203 @@
+// Unit suite of dist/retry.h: deterministic backoff shape, jitter
+// bounds, retry/give-up behavior, and the injected sleep hook.
+
+#include "dist/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mrcc {
+namespace dist {
+namespace {
+
+TEST(BackoffMicrosTest, DeterministicForSamePolicyAndAttempt) {
+  RetryPolicy policy;
+  policy.jitter_seed = 42;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_EQ(BackoffMicros(policy, attempt), BackoffMicros(policy, attempt))
+        << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffMicrosTest, JitterStaysInHalfToFullOfExponential) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 1000;
+  policy.multiplier = 2.0;
+  policy.max_backoff_us = 200000;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    policy.jitter_seed = seed;
+    uint64_t full = policy.initial_backoff_us;
+    for (int attempt = 1; attempt <= 10; ++attempt) {
+      const uint64_t backoff = BackoffMicros(policy, attempt);
+      EXPECT_GE(backoff, full / 2) << "seed " << seed << " attempt " << attempt;
+      EXPECT_LE(backoff, full) << "seed " << seed << " attempt " << attempt;
+      full = std::min<uint64_t>(full * 2, policy.max_backoff_us);
+    }
+  }
+}
+
+TEST(BackoffMicrosTest, CapsAtMaxBackoff) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 1000;
+  policy.multiplier = 10.0;
+  policy.max_backoff_us = 5000;
+  // By attempt 3 the exponential (100000) is far past the cap.
+  EXPECT_LE(BackoffMicros(policy, 3), 5000u);
+  EXPECT_GE(BackoffMicros(policy, 3), 2500u);
+  EXPECT_LE(BackoffMicros(policy, 30), 5000u);
+}
+
+TEST(BackoffMicrosTest, DifferentSeedsDecorrelate) {
+  RetryPolicy a;
+  a.jitter_seed = 1;
+  RetryPolicy b;
+  b.jitter_seed = 2;
+  int differing = 0;
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    if (BackoffMicros(a, attempt) != BackoffMicros(b, attempt)) ++differing;
+  }
+  EXPECT_GT(differing, 5);  // Jitter spread makes collisions rare.
+}
+
+TEST(RetryTransientTest, FirstTrySuccessNeverSleeps) {
+  RetryStats stats;
+  std::vector<uint64_t> sleeps;
+  const Status status = RetryTransient(
+      RetryPolicy(), "op", [] { return Status::OK(); }, &stats,
+      [&](uint64_t us) { sleeps.push_back(us); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.slept_us, 0u);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTransientTest, RetriesIOErrorUntilSuccess) {
+  int calls = 0;
+  RetryStats stats;
+  std::vector<uint64_t> sleeps;
+  const Status status = RetryTransient(
+      RetryPolicy(), "op",
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::IOError("flaky") : Status::OK();
+      },
+      &stats, [&](uint64_t us) { sleeps.push_back(us); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  ASSERT_EQ(sleeps.size(), 2u);
+  RetryPolicy policy;
+  EXPECT_EQ(sleeps[0], BackoffMicros(policy, 1));
+  EXPECT_EQ(sleeps[1], BackoffMicros(policy, 2));
+  EXPECT_EQ(stats.slept_us, sleeps[0] + sleeps[1]);
+}
+
+TEST(RetryTransientTest, NonIOErrorReturnsImmediately) {
+  int calls = 0;
+  std::vector<uint64_t> sleeps;
+  const Status status = RetryTransient(
+      RetryPolicy(), "op",
+      [&] {
+        ++calls;
+        return Status::InvalidArgument("wrong, not transient");
+      },
+      nullptr, [&](uint64_t us) { sleeps.push_back(us); });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "wrong, not transient");  // No prefix added.
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTransientTest, GivesUpAfterMaxAttemptsWithNamedMessage) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  int calls = 0;
+  RetryStats stats;
+  const Status status = RetryTransient(
+      policy, "loading shard 3",
+      [&] {
+        ++calls;
+        return Status::IOError("disk on fire");
+      },
+      &stats, [](uint64_t) {});
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(status.message(),
+            "loading shard 3: gave up after 4 attempts: disk on fire");
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(stats.attempts, 4);
+}
+
+TEST(RetryTransientTest, BackoffBudgetStopsRetryingEarly) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_us = 1000;
+  policy.backoff_budget_us = 1;  // First planned backoff already exceeds it.
+  int calls = 0;
+  const Status status = RetryTransient(
+      policy, "op",
+      [&] {
+        ++calls;
+        return Status::IOError("down");
+      },
+      nullptr, [](uint64_t) {});
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(status.message(),
+            "op: gave up after 1 attempts (backoff budget 1us exhausted): "
+            "down");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTransientTest, BudgetCountsCumulativePlannedSleep) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.jitter_seed = 9;
+  // Budget fits the first two backoffs exactly, not the third.
+  const uint64_t b1 = BackoffMicros(policy, 1);
+  const uint64_t b2 = BackoffMicros(policy, 2);
+  policy.backoff_budget_us = b1 + b2;
+  int calls = 0;
+  RetryStats stats;
+  const Status status = RetryTransient(
+      policy, "op",
+      [&] {
+        ++calls;
+        return Status::IOError("down");
+      },
+      &stats, [](uint64_t) {});
+  EXPECT_EQ(calls, 3);  // Tries 1..3 run; backoff before try 4 would bust.
+  EXPECT_EQ(stats.slept_us, b1 + b2);
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("backoff budget"), std::string::npos);
+}
+
+TEST(RetryTransientTest, MaxAttemptsBelowOneStillTriesOnce) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  int calls = 0;
+  const Status status = RetryTransient(
+      policy, "op",
+      [&] {
+        ++calls;
+        return Status::OK();
+      },
+      nullptr, [](uint64_t) {});
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTransientTest, StatsResetBetweenCalls) {
+  RetryStats stats;
+  stats.attempts = 99;
+  stats.slept_us = 12345;
+  const Status status = RetryTransient(
+      RetryPolicy(), "op", [] { return Status::OK(); }, &stats,
+      [](uint64_t) {});
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.slept_us, 0u);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace mrcc

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "data/data_source.h"
 #include "data/dataset_io.h"
 #include "data/result_io.h"
+#include "dist/sharded_build.h"
 #include "eval/report.h"
 #include "test_util.h"
 
@@ -66,6 +68,22 @@ const std::map<std::string, Expectation>& Expectations() {
   return *map;
 }
 
+/// The distributed seams (dist/) are reached by the sharded-build
+/// scenario instead of the single-process one.
+const std::map<std::string, Expectation>& DistExpectations() {
+  static const auto* map = new std::map<std::string, Expectation>{
+      // A failed artifact publication fails the worker's shard.
+      {"shard.write", {Outcome::kError, StatusCode::kIOError}},
+      // A failed manifest write fails planning.
+      {"manifest.write", {Outcome::kError, StatusCode::kIOError}},
+      // Checksum rot and lost loads are absorbed: the merger retries,
+      // then rebuilds the shard in-process — slower, never wrong.
+      {"shard.checksum", {Outcome::kAbsorbed}},
+      {"merge.shard_load", {Outcome::kAbsorbed}},
+  };
+  return *map;
+}
+
 /// One full out-of-core pipeline pass: open, cluster, persist, report.
 /// Exactly the surface a production driver runs, so an armed site fires
 /// wherever its real failure would.
@@ -84,6 +102,26 @@ Status RunScenario(const Dataset& data, const std::string& bin_path,
       WriteJsonFile(MrCCResultToJson(*result), out_prefix + "result.json"));
   MRCC_RETURN_IF_ERROR(WriteRunReport(data, *result, "fault sweep",
                                       out_prefix + "report.html"));
+  return Status::OK();
+}
+
+/// The multi-process surface: plan, build every shard, merge — what the
+/// mrcc-build driver runs. A fresh work directory every call so resume
+/// state from the previous arm cannot mask a seam.
+Status RunDistScenario(const std::string& bin_path,
+                       const std::string& work_dir, MrCCStats* stats) {
+  (void)std::system(
+      ("rm -rf " + work_dir + " && mkdir -p " + work_dir).c_str());
+  dist::ShardedBuildOptions options;
+  options.dataset_path = bin_path;
+  options.work_dir = work_dir;
+  options.num_shards = 3;
+  options.params.num_threads = 2;
+  options.retry.max_attempts = 2;  // Keep exhausted-retry arms quick.
+  options.retry.initial_backoff_us = 10;
+  const Result<MrCCResult> result = dist::RunShardedBuild(options);
+  if (!result.ok()) return result.status();
+  *stats = result->stats;
   return Status::OK();
 }
 
@@ -118,18 +156,27 @@ TEST_F(FaultInjectionTest, BaselineScenarioPassesDisarmed) {
 
 TEST_F(FaultInjectionTest, EveryRegisteredSiteFailsCleanlyOrDegrades) {
   const std::vector<std::string> sites = fp::AllSites();
-  ASSERT_EQ(sites.size(), Expectations().size())
+  ASSERT_EQ(sites.size(), Expectations().size() + DistExpectations().size())
       << "a failpoint site is missing a sweep expectation; add it to "
-         "Expectations() and the failure model in DESIGN.md §11";
+         "Expectations() (or DistExpectations() for dist/ seams) and the "
+         "failure model in DESIGN.md §11";
+  const std::string work_dir = ::testing::TempDir() + "mrcc_fault_dist";
   for (const std::string& site : sites) {
     SCOPED_TRACE("failpoint: " + site);
-    const auto it = Expectations().find(site);
-    ASSERT_NE(it, Expectations().end());
+    const bool dist_site =
+        DistExpectations().find(site) != DistExpectations().end();
+    const auto& expectations =
+        dist_site ? DistExpectations() : Expectations();
+    const auto it = expectations.find(site);
+    ASSERT_NE(it, expectations.end());
+    const auto run = [&](MrCCStats* stats) {
+      return dist_site ? RunDistScenario(bin_path_, work_dir, stats)
+                       : RunScenario(data_, bin_path_, out_prefix_, stats);
+    };
 
     fp::ScopedArm arm(site);  // Every-hit trigger.
     MrCCStats stats;
-    const Status status =
-        RunScenario(data_, bin_path_, out_prefix_, &stats);
+    const Status status = run(&stats);
     // Coverage: the scenario must actually reach the seam.
     EXPECT_GT(fp::HitCount(site.c_str()), 0u) << "seam never exercised";
     if (it->second.outcome == Outcome::kError) {
@@ -150,11 +197,11 @@ TEST_F(FaultInjectionTest, EveryRegisteredSiteFailsCleanlyOrDegrades) {
     // The pipeline must come back clean once the fault clears — no sticky
     // state, no half-written structures poisoning the next run.
     MrCCStats recovered;
-    const Status after =
-        RunScenario(data_, bin_path_, out_prefix_, &recovered);
+    const Status after = run(&recovered);
     EXPECT_TRUE(after.ok()) << site << " left damage: " << after.ToString();
     EXPECT_FALSE(recovered.degraded) << site;
   }
+  (void)std::system(("rm -rf " + work_dir).c_str());
 }
 
 TEST_F(FaultInjectionTest, SingleTransientErrorIsRetriedInvisibly) {

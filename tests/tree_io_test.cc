@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -72,6 +74,97 @@ TEST(TreeIoTest, LoadRejectsTruncation) {
               static_cast<std::streamsize>(contents.size() / 3));
   }
   EXPECT_FALSE(LoadTree(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TreeIoTest, TruncationErrorNamesSectionAndOffset) {
+  // Exact-message contract: operators locate damage in a multi-megabyte
+  // artifact from the section name and byte offset alone, so the format
+  // is load-bearing, not cosmetic.
+  Dataset d = testing::UniformDataset(300, 4, 4);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  const std::string bytes = SerializeTree(*tree);
+
+  // Cut inside the header: total_points is the u64 at offset 16.
+  Result<CountingTree> r = ParseTree(bytes.substr(0, 20), "t.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "truncated tree file t.bin: header total_points ends at byte 20 "
+            "(needed 8 bytes at offset 16)");
+
+  // Cut one byte short: the stream ends with the last cell's half
+  // counts (u32 each), so the final u32 comes up one byte short.
+  r = ParseTree(bytes.substr(0, bytes.size() - 1), "t.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "truncated tree file t.bin: cell half count ends at byte " +
+                std::to_string(bytes.size() - 1) + " (needed 4 bytes at offset " +
+                std::to_string(bytes.size() - 4) + ")");
+}
+
+TEST(TreeIoTest, BadValueErrorNamesSectionAndOffset) {
+  Dataset d = testing::UniformDataset(300, 4, 4);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  std::string bytes = SerializeTree(*tree);
+
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  Result<CountingTree> r = ParseTree(wrong_magic, "t.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "bad magic in t.bin at byte 0: expected \"MRTR\"");
+
+  std::string wrong_version = bytes;
+  wrong_version[4] = '\x09';
+  r = ParseTree(wrong_version, "t.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "bad version in t.bin at byte 4: unsupported version 9 "
+            "(reader supports 1)");
+}
+
+TEST(TreeIoTest, ParseTreeRejectsEveryProperPrefix) {
+  // No prefix of a valid stream may parse: this is the guarantee the
+  // shard-artifact checksum backstops, proven here byte by byte.
+  Dataset d = testing::UniformDataset(120, 3, 9);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  const std::string bytes = SerializeTree(*tree);
+  ASSERT_TRUE(ParseTree(bytes, "t.bin").ok());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Result<CountingTree> r = ParseTree(bytes.substr(0, len), "t.bin");
+    ASSERT_FALSE(r.ok()) << "prefix of " << len << " bytes parsed";
+    EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST(TreeIoTest, ParseTreeRejectsTrailingGarbage) {
+  Dataset d = testing::UniformDataset(120, 3, 9);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  std::string bytes = SerializeTree(*tree);
+  const size_t clean_size = bytes.size();
+  bytes += "xx";
+  Result<CountingTree> r = ParseTree(bytes, "t.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "trailing garbage in tree file t.bin: 2 bytes past the last node "
+            "(tree ends at byte " +
+                std::to_string(clean_size) + ")");
+}
+
+TEST(TreeIoTest, SaveLeavesNoTempFileBehind) {
+  Dataset d = testing::UniformDataset(200, 3, 11);
+  Result<CountingTree> tree = CountingTree::Build(d, 4);
+  ASSERT_TRUE(tree.ok());
+  const std::string path = ::testing::TempDir() + "mrcc_tree_atomic.bin";
+  ASSERT_TRUE(SaveTree(*tree, path).ok());
+  // The atomic-write temp file must have been renamed away.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::ifstream probe(tmp);
+  EXPECT_FALSE(probe.good()) << "stale temp file " << tmp;
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,110 @@
+// Shared flag parsing of the distributed-build CLIs (mrcc-shard,
+// mrcc-merge, mrcc-build).
+//
+// All three tools take the same build-defining flags, because each
+// process independently derives the manifest's params hash from them:
+// a worker invoked with different parameters than the planner is
+// refused by PrepareManifest (params_hash mismatch) instead of quietly
+// building an incompatible shard. Flags are --key=value only.
+
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "core/mrcc.h"
+#include "dist/sharded_build.h"
+
+namespace mrcc {
+namespace tools {
+
+struct DistFlags {
+  std::string data;      // --data=<binary dataset file> (required)
+  std::string work_dir;  // --work-dir=<dir> (required)
+  std::string out;       // --out=<result JSON path> (merge/build)
+  std::string labels;    // --labels=<labels path> (merge/build)
+  int shards = 4;        // --shards=N (plan size)
+  int shard = -1;        // --shard=I (mrcc-shard: which partition)
+  int workers = 0;       // --workers=N (mrcc-build: processes; 0 = shards)
+  int resolutions = 4;   // --resolutions=H
+  double alpha = 1e-10;  // --alpha=A
+  int threads = 1;       // --threads=T (in-process stages)
+
+  bool ok = true;
+  std::string error;
+};
+
+inline bool ParseInt(const std::string& value, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+inline DistFlags ParseDistFlags(int argc, char** argv) {
+  DistFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      flags.ok = false;
+      flags.error = "expected --key=value, got: " + arg;
+      return flags;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    bool parsed = true;
+    if (key == "--data") {
+      flags.data = value;
+    } else if (key == "--work-dir") {
+      flags.work_dir = value;
+    } else if (key == "--out") {
+      flags.out = value;
+    } else if (key == "--labels") {
+      flags.labels = value;
+    } else if (key == "--shards") {
+      parsed = ParseInt(value, &flags.shards);
+    } else if (key == "--shard") {
+      parsed = ParseInt(value, &flags.shard);
+    } else if (key == "--workers") {
+      parsed = ParseInt(value, &flags.workers);
+    } else if (key == "--resolutions") {
+      parsed = ParseInt(value, &flags.resolutions);
+    } else if (key == "--threads") {
+      parsed = ParseInt(value, &flags.threads);
+    } else if (key == "--alpha") {
+      char* end = nullptr;
+      flags.alpha = std::strtod(value.c_str(), &end);
+      parsed = end != value.c_str() && *end == '\0';
+    } else {
+      flags.ok = false;
+      flags.error = "unknown flag: " + key;
+      return flags;
+    }
+    if (!parsed) {
+      flags.ok = false;
+      flags.error = "bad value for " + key + ": " + value;
+      return flags;
+    }
+  }
+  if (flags.data.empty() || flags.work_dir.empty()) {
+    flags.ok = false;
+    flags.error = "--data and --work-dir are required";
+  }
+  return flags;
+}
+
+inline dist::ShardedBuildOptions ToOptions(const DistFlags& flags) {
+  dist::ShardedBuildOptions options;
+  options.dataset_path = flags.data;
+  options.work_dir = flags.work_dir;
+  options.num_shards = flags.shards;
+  options.params.alpha = flags.alpha;
+  options.params.num_resolutions = flags.resolutions;
+  options.params.num_threads = flags.threads;
+  return options;
+}
+
+}  // namespace tools
+}  // namespace mrcc

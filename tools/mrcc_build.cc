@@ -1,0 +1,176 @@
+// mrcc-build: supervisor of a multi-process sharded build.
+//
+// Plans the manifest, fork/execs one `mrcc-shard` worker per incomplete
+// shard (at most --workers concurrent; default one per shard), waits for
+// them all, then runs the merge + β-search + labeling in-process — the
+// same endgame as `mrcc-merge`. Because every worker is idempotent and
+// every artifact is published atomically, re-running `mrcc-build` after
+// any crash (its own or a worker's, including SIGKILL) resumes from the
+// completed shards and converges to the same bit-identical result.
+//
+//   mrcc-build --data=points.bin --work-dir=work --shards=8 --workers=4
+//              [--out=result.json] [--labels=labels.txt]
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/result_io.h"
+#include "dist_flags.h"
+
+namespace {
+
+// The worker binary ships next to this one; resolving it relative to
+// /proc/self/exe keeps the pair relocatable (no PATH dependence).
+std::string WorkerBinaryPath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "mrcc-shard";
+  buf[n] = '\0';
+  std::string self(buf);
+  const size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "mrcc-shard";
+  return self.substr(0, slash + 1) + "mrcc-shard";
+}
+
+struct Worker {
+  pid_t pid = -1;
+  size_t shard = 0;
+};
+
+pid_t SpawnWorker(const std::string& binary, const mrcc::tools::DistFlags& f,
+                  size_t shard) {
+  const std::string data = "--data=" + f.data;
+  const std::string work_dir = "--work-dir=" + f.work_dir;
+  const std::string shards = "--shards=" + std::to_string(f.shards);
+  const std::string shard_arg = "--shard=" + std::to_string(shard);
+  const std::string resolutions =
+      "--resolutions=" + std::to_string(f.resolutions);
+  // %.17g round-trips every double exactly; std::to_string would flatten
+  // the default alpha=1e-10 to "0.000000" and fail params validation.
+  char alpha_buf[40];
+  std::snprintf(alpha_buf, sizeof(alpha_buf), "--alpha=%.17g", f.alpha);
+  const std::string alpha(alpha_buf);
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;  // Parent (or fork failure, pid == -1).
+  ::execl(binary.c_str(), binary.c_str(), data.c_str(), work_dir.c_str(),
+          shards.c_str(), shard_arg.c_str(), resolutions.c_str(),
+          alpha.c_str(), static_cast<char*>(nullptr));
+  std::fprintf(stderr, "mrcc-build: exec %s: %s\n", binary.c_str(),
+               std::strerror(errno));
+  ::_exit(127);
+}
+
+// Reaps one worker; returns false (with a message) on non-zero exit or
+// abnormal termination.
+bool ReapOne(std::vector<Worker>* running) {
+  int status = 0;
+  const pid_t pid = ::waitpid(-1, &status, 0);
+  if (pid < 0) {
+    std::fprintf(stderr, "mrcc-build: waitpid: %s\n", std::strerror(errno));
+    return false;
+  }
+  size_t shard = 0;
+  for (size_t i = 0; i < running->size(); ++i) {
+    if ((*running)[i].pid == pid) {
+      shard = (*running)[i].shard;
+      (*running)[i] = running->back();
+      running->pop_back();
+      break;
+    }
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0) return true;
+  if (WIFSIGNALED(status)) {
+    std::fprintf(stderr, "mrcc-build: shard %zu worker killed by signal %d\n",
+                 shard, WTERMSIG(status));
+  } else {
+    std::fprintf(stderr, "mrcc-build: shard %zu worker exited with status %d\n",
+                 shard, WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrcc;
+  const tools::DistFlags flags = tools::ParseDistFlags(argc, argv);
+  if (!flags.ok) {
+    std::fprintf(stderr, "mrcc-build: %s\n", flags.error.c_str());
+    std::fprintf(stderr,
+                 "usage: mrcc-build --data=FILE --work-dir=DIR [--shards=N] "
+                 "[--workers=K] [--out=JSON] [--labels=FILE] [--threads=T]\n");
+    return 2;
+  }
+  const dist::ShardedBuildOptions options = tools::ToOptions(flags);
+  Result<dist::BuildManifest> manifest = dist::PrepareManifest(options);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "mrcc-build: %s\n",
+                 manifest.status().ToString().c_str());
+    return 1;
+  }
+
+  // Dispatch workers over the incomplete shards only: completed shards
+  // verify instantly, so resuming a crashed build re-runs just the
+  // missing work.
+  std::vector<size_t> pending;
+  for (size_t i = 0; i < manifest->shards.size(); ++i) {
+    if (!dist::ShardComplete(options, *manifest, i)) pending.push_back(i);
+  }
+  const size_t max_workers =
+      flags.workers > 0 ? static_cast<size_t>(flags.workers) : pending.size();
+  const std::string worker_binary = WorkerBinaryPath();
+  std::vector<Worker> running;
+  bool worker_failed = false;
+  for (size_t next = 0; next < pending.size() || !running.empty();) {
+    while (next < pending.size() && running.size() < max_workers) {
+      const size_t shard = pending[next++];
+      const pid_t pid = SpawnWorker(worker_binary, flags, shard);
+      if (pid < 0) {
+        std::fprintf(stderr, "mrcc-build: fork: %s\n", std::strerror(errno));
+        worker_failed = true;
+        break;
+      }
+      running.push_back({pid, shard});
+    }
+    if (running.empty()) break;
+    if (!ReapOne(&running)) worker_failed = true;
+  }
+  if (worker_failed) {
+    std::fprintf(stderr,
+                 "mrcc-build: worker failure; re-run to resume from the "
+                 "completed shards\n");
+    return 1;
+  }
+
+  Result<MrCCResult> result = dist::MergeShards(options, *manifest);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mrcc-build: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  if (!flags.out.empty()) {
+    const Status status = WriteJsonFile(MrCCResultToJson(*result), flags.out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "mrcc-build: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!flags.labels.empty()) {
+    const Status status = SaveLabels(result->clustering.labels, flags.labels);
+    if (!status.ok()) {
+      std::fprintf(stderr, "mrcc-build: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("built %zu shards (%zu fresh): %zu clusters over %zu points\n",
+              manifest->shards.size(), pending.size(),
+              result->clustering.NumClusters(),
+              result->clustering.labels.size());
+  return 0;
+}

@@ -68,6 +68,7 @@ import sys
 STAGE_PREFIXES = (
     "mrcc", "tree", "beta", "cluster", "memory", "input", "io",
     "pool", "source", "budget", "result", "report", "bench",
+    "shard", "merge", "manifest",
 )
 
 NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_<>]+)+$")

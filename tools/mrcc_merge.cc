@@ -1,0 +1,58 @@
+// mrcc-merge: the merger of a multi-process sharded build.
+//
+// Loads every shard artifact from the work directory (retrying
+// transient failures, rebuilding lost or corrupt shards in-process),
+// folds the trees into the serial-equivalent Counting-tree, and runs
+// the β-search + cluster merge + labeling scan once. The output is
+// bit-identical to a single-process MrCC::Run over the same dataset.
+//
+//   mrcc-merge --data=points.bin --work-dir=work
+//              [--out=result.json] [--labels=labels.txt] [--threads=T]
+
+#include <cstdio>
+
+#include "data/result_io.h"
+#include "dist_flags.h"
+
+int main(int argc, char** argv) {
+  using namespace mrcc;
+  const tools::DistFlags flags = tools::ParseDistFlags(argc, argv);
+  if (!flags.ok) {
+    std::fprintf(stderr, "mrcc-merge: %s\n", flags.error.c_str());
+    std::fprintf(stderr,
+                 "usage: mrcc-merge --data=FILE --work-dir=DIR "
+                 "[--out=JSON] [--labels=FILE] [--threads=T]\n");
+    return 2;
+  }
+  const dist::ShardedBuildOptions options = tools::ToOptions(flags);
+  Result<dist::BuildManifest> manifest = dist::PrepareManifest(options);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "mrcc-merge: %s\n",
+                 manifest.status().ToString().c_str());
+    return 1;
+  }
+  Result<MrCCResult> result = dist::MergeShards(options, *manifest);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mrcc-merge: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  if (!flags.out.empty()) {
+    const Status status = WriteJsonFile(MrCCResultToJson(*result), flags.out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "mrcc-merge: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!flags.labels.empty()) {
+    const Status status = SaveLabels(result->clustering.labels, flags.labels);
+    if (!status.ok()) {
+      std::fprintf(stderr, "mrcc-merge: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("merged %zu shards: %zu clusters over %zu points\n",
+              manifest->shards.size(), result->clustering.NumClusters(),
+              result->clustering.labels.size());
+  return 0;
+}
